@@ -1,0 +1,271 @@
+// Benchmarks: one per table/figure of the paper's evaluation (each runs
+// the corresponding experiment at a reduced scale; `go run
+// ./cmd/experiments` regenerates the full tables), plus microbenchmarks of
+// the substrate (ORC11 machine, checkers, libraries).
+package compass_test
+
+import (
+	"io"
+	"testing"
+
+	"compass"
+	"compass/internal/experiments"
+)
+
+// benchCfg is the reduced experiment scale used inside benchmarks.
+func benchCfg(execs int) experiments.Config {
+	return experiments.Config{Executions: execs, Seed: 1, StaleBias: 0.5, Out: io.Discard}
+}
+
+func requireOK(b *testing.B, s experiments.Summary) {
+	b.Helper()
+	if !s.OK {
+		b.Fatalf("experiment did not reproduce: %s", s)
+	}
+}
+
+// --- One benchmark per table/figure (see DESIGN.md §3 and EXPERIMENTS.md). ---
+
+func BenchmarkL1LitmusSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.L1Litmus(benchCfg(0)))
+	}
+}
+
+func BenchmarkFig1MPQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.Fig1MP(benchCfg(60)))
+	}
+}
+
+func BenchmarkFig2SpecMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.Fig2SpecMatrix(benchCfg(40)))
+	}
+}
+
+func BenchmarkFig3DeqPerm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.Fig3DeqPerm(benchCfg(60)))
+	}
+}
+
+func BenchmarkFig4HistStack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.Fig4HistStack(benchCfg(80)))
+	}
+}
+
+func BenchmarkFig5Exchanger(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.Fig5Exchanger(benchCfg(60)))
+	}
+}
+
+func BenchmarkElimStackE1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.E1ElimStack(benchCfg(60)))
+	}
+}
+
+func BenchmarkSPSCE2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.E2SPSC(benchCfg(60)))
+	}
+}
+
+func BenchmarkT1EffortTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.T1Effort(benchCfg(1)))
+	}
+}
+
+func BenchmarkT2CheckerCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.T2CheckerCost(benchCfg(20)))
+	}
+}
+
+func BenchmarkA1AblationDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.A1Ablations(benchCfg(40)))
+	}
+}
+
+func BenchmarkF1bSpecStrength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.F1bSpecStrength(benchCfg(1)))
+	}
+}
+
+func BenchmarkX1ExhaustiveVerification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.X1Exhaustive(benchCfg(1)))
+	}
+}
+
+func BenchmarkW1WorkStealingDeque(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.W1WorkStealing(benchCfg(50)))
+	}
+}
+
+func BenchmarkW2HazardPointerReclamation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.W2Reclamation(benchCfg(50)))
+	}
+}
+
+func BenchmarkM1RingQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireOK(b, experiments.M1RingQueue(benchCfg(50)))
+	}
+}
+
+func BenchmarkDequeVerifiedExecution(b *testing.B) {
+	build := compass.DequeWorkStealingWorkload(func(th *compass.Thread) *compass.WorkStealingDeque {
+		return compass.NewWorkStealingDeque(th, "wsq", 64)
+	}, compass.LevelHB, 4, 2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := build()
+		r := (&compass.Runner{}).Run(c.Prog, compass.NewRandomStrategy(int64(i)))
+		if r.Status != compass.StatusOK {
+			continue
+		}
+		if viols, _ := c.Check(); len(viols) > 0 {
+			b.Fatalf("violations: %v", viols)
+		}
+	}
+}
+
+// --- Substrate microbenchmarks. ---
+
+// BenchmarkMachineSteps measures raw simulator throughput: release writes
+// and acquire reads racing across two threads.
+func BenchmarkMachineSteps(b *testing.B) {
+	build := func() compass.Program {
+		var x compass.Loc
+		return compass.Program{
+			Setup: func(th *compass.Thread) { x = th.Alloc("x", 0) },
+			Workers: []func(*compass.Thread){
+				func(th *compass.Thread) {
+					for i := int64(0); i < 50; i++ {
+						th.Write(x, i, compass.Rel)
+					}
+				},
+				func(th *compass.Thread) {
+					for i := 0; i < 50; i++ {
+						th.Read(x, compass.Acq)
+					}
+				},
+			},
+		}
+	}
+	steps := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := (&compass.Runner{}).Run(build(), compass.NewRandomStrategy(int64(i)))
+		if r.Status != compass.StatusOK {
+			b.Fatalf("status %v", r.Status)
+		}
+		steps += r.Steps
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "steps/exec")
+}
+
+// benchQueueExecution measures one full verified execution (run + check)
+// of a queue implementation.
+func benchQueueExecution(b *testing.B, f compass.QueueFactory, level compass.SpecLevel) {
+	build := compass.QueueMixedWorkload(f, level, 2, 3, 2, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := build()
+		r := (&compass.Runner{}).Run(c.Prog, compass.NewRandomStrategy(int64(i)))
+		if r.Status != compass.StatusOK {
+			continue
+		}
+		if viols, _ := c.Check(); len(viols) > 0 {
+			b.Fatalf("violations: %v", viols)
+		}
+	}
+}
+
+func BenchmarkMSQueueVerifiedExecution(b *testing.B) {
+	benchQueueExecution(b, func(th *compass.Thread) compass.Queue {
+		return compass.NewMSQueue(th, "q")
+	}, compass.LevelAbsHB)
+}
+
+func BenchmarkHWQueueVerifiedExecution(b *testing.B) {
+	benchQueueExecution(b, func(th *compass.Thread) compass.Queue {
+		return compass.NewHWQueue(th, "q", 64)
+	}, compass.LevelHB)
+}
+
+func BenchmarkSCQueueVerifiedExecution(b *testing.B) {
+	benchQueueExecution(b, func(th *compass.Thread) compass.Queue {
+		return compass.NewSCQueue(th, "q", 64)
+	}, compass.LevelSC)
+}
+
+func BenchmarkTreiberVerifiedExecution(b *testing.B) {
+	build := compass.StackMixedWorkload(func(th *compass.Thread) compass.Stack {
+		return compass.NewTreiberStack(th, "s")
+	}, compass.LevelHist, 2, 2, 2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := build()
+		r := (&compass.Runner{}).Run(c.Prog, compass.NewRandomStrategy(int64(i)))
+		if r.Status != compass.StatusOK {
+			continue
+		}
+		if viols, _ := c.Check(); len(viols) > 0 {
+			b.Fatalf("violations: %v", viols)
+		}
+	}
+}
+
+func BenchmarkElimStackVerifiedExecution(b *testing.B) {
+	build := compass.ElimStackComposedWorkload(compass.LevelHB, 2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := build()
+		r := (&compass.Runner{}).Run(c.Prog, compass.NewRandomStrategy(int64(i)))
+		if r.Status != compass.StatusOK {
+			continue
+		}
+		if viols, _ := c.Check(); len(viols) > 0 {
+			b.Fatalf("violations: %v", viols)
+		}
+	}
+}
+
+func BenchmarkExchangerVerifiedExecution(b *testing.B) {
+	build := compass.ExchangerPairsWorkload(func(th *compass.Thread) *compass.Exchanger {
+		return compass.NewExchanger(th, "x")
+	}, 4, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := build()
+		r := (&compass.Runner{}).Run(c.Prog, compass.NewRandomStrategy(int64(i)))
+		if r.Status != compass.StatusOK {
+			continue
+		}
+		if viols, _ := c.Check(); len(viols) > 0 {
+			b.Fatalf("violations: %v", viols)
+		}
+	}
+}
+
+// BenchmarkExhaustiveMP measures the exhaustive explorer on the MP litmus
+// test (the unit of work behind every L1 verdict).
+func BenchmarkExhaustiveMP(b *testing.B) {
+	t := compass.LitmusSuite()[0]
+	for i := 0; i < b.N; i++ {
+		res := compass.RunLitmus(t, 400000)
+		if !res.OK() {
+			b.Fatalf("%s", res)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the executable COMPASS stack (see EXPERIMENTS.md for the
+// paper-vs-measured record). Output is markdown.
+//
+//	go run ./cmd/experiments              # all experiments, default scale
+//	go run ./cmd/experiments -n 500       # more executions per cell
+//	go run ./cmd/experiments -only F2,L1  # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"compass/internal/experiments"
+)
+
+func main() {
+	execs := flag.Int("n", 300, "executions per experiment cell")
+	seed := flag.Int64("seed", 1, "first scheduler seed")
+	stale := flag.Float64("stale", 0.5, "stale-read bias in [0,1]")
+	only := flag.String("only", "", "comma-separated experiment ids (F1,F1B,F2,F3,F4,F5,E1,E2,T1,T2,L1,A1,X1,W1,W2,M1)")
+	flag.Parse()
+
+	cfg := experiments.Config{Executions: *execs, Seed: *seed, StaleBias: *stale, Out: os.Stdout}
+
+	byID := map[string]func(experiments.Config) experiments.Summary{
+		"L1":  experiments.L1Litmus,
+		"F1":  experiments.Fig1MP,
+		"F2":  experiments.Fig2SpecMatrix,
+		"F3":  experiments.Fig3DeqPerm,
+		"F4":  experiments.Fig4HistStack,
+		"F5":  experiments.Fig5Exchanger,
+		"E1":  experiments.E1ElimStack,
+		"E2":  experiments.E2SPSC,
+		"T1":  experiments.T1Effort,
+		"T2":  experiments.T2CheckerCost,
+		"A1":  experiments.A1Ablations,
+		"F1B": experiments.F1bSpecStrength,
+		"X1":  experiments.X1Exhaustive,
+		"M1":  experiments.M1RingQueue,
+		"W2":  experiments.W2Reclamation,
+		"W1":  experiments.W1WorkStealing,
+	}
+
+	fmt.Println("# COMPASS experiments")
+	fmt.Printf("\nexecutions per cell: %d, seed: %d, stale bias: %.2f\n", *execs, *seed, *stale)
+
+	var sums []experiments.Summary
+	if *only == "" {
+		sums = experiments.All(cfg)
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			f, ok := byID[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			sums = append(sums, f(cfg))
+		}
+		fmt.Printf("\n## Summary\n\n")
+		for _, s := range sums {
+			fmt.Printf("- %s\n", s)
+		}
+	}
+	for _, s := range sums {
+		if !s.OK {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Command litmus runs the ORC11 litmus suite: each test is explored
+// exhaustively over all thread interleavings and relaxed read choices, and
+// the observed outcome histogram is compared against the memory model's
+// allowed/forbidden sets.
+//
+//	go run ./cmd/litmus            # the whole suite
+//	go run ./cmd/litmus -test SB   # one test
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"compass"
+)
+
+func main() {
+	name := flag.String("test", "", "run only the named test (e.g. MP+rel+acq, SB, LB)")
+	maxRuns := flag.Int("max-runs", 400000, "exploration bound per test")
+	flag.Parse()
+
+	failed := false
+	ran := 0
+	for _, t := range compass.LitmusSuite() {
+		if *name != "" && !strings.EqualFold(t.Name, *name) {
+			continue
+		}
+		ran++
+		res := compass.RunLitmus(t, *maxRuns)
+		fmt.Println(res)
+		fmt.Println()
+		if !res.OK() {
+			failed = true
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no test named %q; available:\n", *name)
+		for _, t := range compass.LitmusSuite() {
+			fmt.Fprintf(os.Stderr, "  %s\n", t.Name)
+		}
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,405 @@
+// Package compass is an executable reproduction of "Compass: Strong and
+// Compositional Library Specifications in Relaxed Memory Separation Logic"
+// (Dang, Jung, Choi, Nguyen, Mansky, Kang, Dreyer — PLDI 2022).
+//
+// Where the paper builds a Coq framework on the iRC11 separation logic,
+// this library builds the executable counterpart:
+//
+//   - a view-based operational simulator of the ORC11 memory model
+//     (per-location write histories, per-thread views, na/rlx/acq/rel
+//     accesses, fences, RMWs, race detection);
+//   - a deterministic scheduler with seeded-random and bounded-exhaustive
+//     exploration of interleavings and relaxed read choices;
+//   - the COMPASS event-graph specification framework: events with
+//     physical and logical views, the so relation, the derived lhb
+//     relation, and logically atomic commit recording;
+//   - the paper's spec styles as runtime-checked consistency conditions:
+//     LAT_hb (graph specs), LAT_hb^abs (abstract states), LAT_hb^hist
+//     (linearizable histories), and the SC reference level;
+//   - the paper's libraries with their exact access modes: Michael-Scott
+//     queue, weak Herlihy-Wing queue, Treiber stack, elimination
+//     exchanger, elimination stack, and coarse-grained SC baselines;
+//   - the paper's clients: message passing over queues (Fig. 1/3), SPSC
+//     (§3.2), the two-queue invariant client (§2.2), resource exchange
+//     (§4.2);
+//   - a verification harness running workloads over many executions and
+//     checking every event graph, with replayable counterexample seeds.
+//
+// # Quick start
+//
+//	build := compass.QueueMixedWorkload(
+//	    func(th *compass.Thread) compass.Queue {
+//	        return compass.NewMSQueue(th, "q")
+//	    },
+//	    compass.LevelAbsHB, 2, 3, 2, 4)
+//	report := compass.RunChecked("msqueue", build, compass.CheckOptions{Executions: 500})
+//	fmt.Println(report)
+//
+// See the examples/ directory for runnable programs and EXPERIMENTS.md for
+// the reproduction of the paper's figures.
+package compass
+
+import (
+	"compass/internal/check"
+	"compass/internal/core"
+	"compass/internal/deque"
+	"compass/internal/exchanger"
+	"compass/internal/litmus"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/queue"
+	"compass/internal/spec"
+	"compass/internal/stack"
+	"compass/internal/view"
+)
+
+// --- Machine: programs, threads, strategies, exploration. ---
+
+type (
+	// Thread is the handle through which program code accesses simulated
+	// memory; every method is a scheduling point.
+	Thread = machine.Thread
+	// Program is a concurrent test program (setup, workers, final).
+	Program = machine.Program
+	// Runner executes programs under a strategy.
+	Runner = machine.Runner
+	// ExecResult is the outcome of one execution.
+	ExecResult = machine.Result
+	// Strategy resolves scheduling and read nondeterminism.
+	Strategy = machine.Strategy
+	// ExploreOpts bounds exhaustive exploration.
+	ExploreOpts = machine.ExploreOpts
+	// Status classifies how an execution ended.
+	Status = machine.Status
+)
+
+// Execution statuses.
+const (
+	StatusOK     = machine.OK
+	StatusRacy   = machine.Racy
+	StatusBudget = machine.Budget
+	StatusFailed = machine.Failed
+)
+
+// NewRandomStrategy returns a seeded random strategy (replayable).
+func NewRandomStrategy(seed int64) Strategy { return machine.NewRandom(seed) }
+
+// NewRandomStrategyBiased returns a seeded random strategy with an
+// explicit stale-read bias in [0, 1].
+func NewRandomStrategyBiased(seed int64, staleBias float64) Strategy {
+	return machine.NewRandomBiased(seed, staleBias)
+}
+
+// Explore enumerates executions exhaustively (see machine.Explore).
+func Explore(build func() Program, opts ExploreOpts, visit func(*ExecResult) bool) machine.ExploreResult {
+	return machine.Explore(build, opts, visit)
+}
+
+// --- Memory model surface. ---
+
+type (
+	// Mode is a memory access mode (NA, Rlx, Acq, Rel, AcqRel).
+	Mode = memory.Mode
+	// Loc identifies a simulated memory location.
+	Loc = view.Loc
+	// View is a physical view (location → timestamp).
+	View = view.View
+	// LogView is a logical view (set of event IDs).
+	LogView = view.LogView
+)
+
+// Access modes.
+const (
+	NA     = memory.NA
+	Rlx    = memory.Rlx
+	Acq    = memory.Acq
+	Rel    = memory.Rel
+	AcqRel = memory.AcqRel
+)
+
+// --- Event graphs and specs. ---
+
+type (
+	// Graph is a library object's event graph.
+	Graph = core.Graph
+	// Event is one library operation in a graph.
+	Event = core.Event
+	// EventID identifies an event.
+	EventID = view.EventID
+	// Recorder records events at commit points.
+	Recorder = core.Recorder
+	// Kind is an event type (Enq, Deq, Push, Pop, Exchange, ...).
+	Kind = core.Kind
+	// SpecLevel identifies a specification style.
+	SpecLevel = spec.Level
+	// SpecResult is a consistency-check verdict.
+	SpecResult = spec.Result
+	// Violation is one failed consistency condition.
+	Violation = spec.Violation
+)
+
+// Event kinds.
+const (
+	KindEnq      = core.Enq
+	KindDeq      = core.Deq
+	KindEmpDeq   = core.EmpDeq
+	KindPush     = core.Push
+	KindPop      = core.Pop
+	KindEmpPop   = core.EmpPop
+	KindExchange = core.Exchange
+)
+
+// ExFail is the ⊥ result of a failed exchange.
+const ExFail = core.ExFail
+
+// Spec levels, from weakest to strongest.
+const (
+	LevelHB    = spec.LevelHB
+	LevelAbsHB = spec.LevelAbsHB
+	LevelHist  = spec.LevelHist
+	LevelSC    = spec.LevelSC
+)
+
+// SpecLevels lists all spec levels from weakest to strongest.
+var SpecLevels = spec.Levels
+
+// CheckQueue checks QueueConsistent at the given level.
+func CheckQueue(g *Graph, level SpecLevel) SpecResult { return spec.CheckQueue(g, level) }
+
+// CheckStack checks StackConsistent at the given level.
+func CheckStack(g *Graph, level SpecLevel) SpecResult { return spec.CheckStack(g, level) }
+
+// CheckExchanger checks ExchangerConsistent.
+func CheckExchanger(g *Graph) SpecResult { return spec.CheckExchanger(g) }
+
+// CheckDeque checks the work-stealing deque consistency conditions.
+func CheckDeque(g *Graph, level SpecLevel) SpecResult { return spec.CheckDeque(g, level) }
+
+// CheckQueueWeakEmpty checks the queue conditions without QUEUE-EMPDEQ
+// (the spec the bounded MPMC ring satisfies).
+func CheckQueueWeakEmpty(g *Graph, level SpecLevel) SpecResult {
+	return spec.CheckQueueWeakEmpty(g, level)
+}
+
+// CheckLock checks LockConsistent over a recorded lock's event graph.
+func CheckLock(g *Graph) SpecResult { return spec.CheckLock(g) }
+
+// CheckQueueSoAbs checks only the Cosmo-style LAT_so^abs fragment (§2.3)
+// — too weak to exclude the Fig. 1 behaviour; see EXPERIMENTS.md F1b.
+func CheckQueueSoAbs(g *Graph) SpecResult { return spec.CheckQueueSoAbs(g) }
+
+// CheckQueueSPSC checks the derived single-producer single-consumer queue
+// spec of §3.2 (strict order correspondence).
+func CheckQueueSPSC(g *Graph) SpecResult { return spec.CheckQueueSPSC(g) }
+
+// Seen returns the thread's current logical view — the executable analogue
+// of the paper's SeenQueue/SeenStack/SeenExchanges assertions.
+func Seen(th *Thread) LogView { return core.Seen(th) }
+
+// --- Libraries. ---
+
+type (
+	// Queue is the common queue interface.
+	Queue = queue.Queue
+	// Stack is the common stack interface.
+	Stack = stack.Stack
+	// Exchanger is the elimination exchanger.
+	Exchanger = exchanger.Exchanger
+	// TreiberStack is the relaxed Treiber stack (exposes try operations).
+	TreiberStack = stack.Treiber
+	// ElimStack is the elimination stack (base Treiber + exchanger).
+	ElimStack = stack.ElimStack
+	// WorkStealingDeque is the Chase-Lev deque (§6 future work).
+	WorkStealingDeque = deque.Deque
+	// TreiberHPStack is the Treiber stack with hazard-pointer reclamation
+	// (§6 future work).
+	TreiberHPStack = stack.TreiberHP
+)
+
+// NewMSQueue allocates a Michael-Scott queue (rel/acq; LAT_hb^abs, §3.2).
+func NewMSQueue(th *Thread, name string) Queue { return queue.NewMS(th, name) }
+
+// NewMSQueueFenced allocates the fence-publishing Michael-Scott variant
+// (release fence + relaxed CASes; same specs as NewMSQueue).
+func NewMSQueueFenced(th *Thread, name string) Queue { return queue.NewMSFenced(th, name) }
+
+// NewWorkStealingDeque allocates a Chase-Lev work-stealing deque (the
+// paper's §6 future-work library) with the SC fences of Lê et al.
+func NewWorkStealingDeque(th *Thread, name string, cap int) *WorkStealingDeque {
+	return deque.New(th, name, cap)
+}
+
+// Deliberately broken ablation variants (missing synchronization), for
+// demonstrating and testing violation detection; see DESIGN.md §4.
+var (
+	// NewMSQueueBuggyRelaxedLink drops the release on the MS link CAS.
+	NewMSQueueBuggyRelaxedLink = func(th *Thread, name string) Queue { return queue.NewMSBuggyRelaxedLink(th, name) }
+	// NewHWQueueBuggyRelaxedSlot drops the release on the HW slot write.
+	NewHWQueueBuggyRelaxedSlot = func(th *Thread, name string, cap int) Queue { return queue.NewHWBuggyRelaxedSlot(th, name, cap) }
+	// NewTreiberBuggyRelaxedPush drops the release on the Treiber push CAS.
+	NewTreiberBuggyRelaxedPush = func(th *Thread, name string) *TreiberStack { return stack.NewTreiberBuggyRelaxedPush(th, name) }
+	// NewExchangerBuggyRelaxedOffer drops the release on the offer CAS.
+	NewExchangerBuggyRelaxedOffer = func(th *Thread, name string) *Exchanger { return exchanger.NewBuggyRelaxedOffer(th, name) }
+)
+
+// NewWorkStealingDequeBuggyNoSCFence drops the Chase-Lev SC fences: the
+// take/steal race can double-consume the last element.
+func NewWorkStealingDequeBuggyNoSCFence(th *Thread, name string, cap int) *WorkStealingDeque {
+	return deque.NewBuggyNoSCFence(th, name, cap)
+}
+
+// NewHWQueue allocates a weak Herlihy-Wing queue (LAT_hb, §3.1-§3.2).
+func NewHWQueue(th *Thread, name string, cap int) Queue { return queue.NewHW(th, name, cap) }
+
+// NewSCQueue allocates the coarse-grained lock-based queue baseline (§2.2).
+func NewSCQueue(th *Thread, name string, cap int) Queue { return queue.NewSC(th, name, cap) }
+
+// NewRingQueue allocates a bounded MPMC ring-buffer queue (the Cosmo
+// bounded-queue lineage); it satisfies the weak-empty LAT_hb spec — see
+// CheckQueueWeakEmpty and experiment M1.
+func NewRingQueue(th *Thread, name string, cap int) Queue { return queue.NewRing(th, name, cap) }
+
+// NewTreiberStack allocates a relaxed Treiber stack (LAT_hb^hist, §3.3).
+func NewTreiberStack(th *Thread, name string) *TreiberStack { return stack.NewTreiber(th, name) }
+
+// NewSCStack allocates the coarse-grained lock-based stack baseline.
+func NewSCStack(th *Thread, name string, cap int) Stack { return stack.NewSC(th, name, cap) }
+
+// NewElimStack allocates an elimination stack (§4.1).
+func NewElimStack(th *Thread, name string) *ElimStack { return stack.NewElim(th, name) }
+
+// NewTreiberHPStack allocates a Treiber stack with hazard-pointer
+// reclamation: popped nodes are freed once no reader protects them, and
+// the machine verifies the absence of use-after-free.
+func NewTreiberHPStack(th *Thread, name string, maxThreads int) *TreiberHPStack {
+	return stack.NewTreiberHP(th, name, maxThreads)
+}
+
+// NewExchanger allocates an elimination exchanger (§4.2).
+func NewExchanger(th *Thread, name string) *Exchanger { return exchanger.New(th, name) }
+
+// DequeueBlocking retries TryDequeue until an element arrives.
+func DequeueBlocking(q Queue, th *Thread) int64 { return queue.Dequeue(q, th) }
+
+// --- Verification harness. ---
+
+type (
+	// Checked is a runnable, checkable workload instance.
+	Checked = check.Checked
+	// CheckOptions configures a harness run.
+	CheckOptions = check.Options
+	// Report aggregates a harness run.
+	Report = check.Report
+	// QueueFactory builds a queue in a program's setup.
+	QueueFactory = check.QueueFactory
+	// StackFactory builds a stack in a program's setup.
+	StackFactory = check.StackFactory
+	// ExchangerFactory builds an exchanger in a program's setup.
+	ExchangerFactory = check.ExchangerFactory
+)
+
+// RunChecked runs a workload under the harness.
+func RunChecked(name string, build func() Checked, opt CheckOptions) *Report {
+	return check.Run(name, build, opt)
+}
+
+// RunExhaustive explores every execution of the workload (all schedules
+// and read choices, up to maxRuns with the given per-execution step
+// budget) and checks each one; a complete pass is a proof for the bounded
+// instance.
+func RunExhaustive(name string, build func() Checked, maxRuns, budget int) *Report {
+	return check.Exhaustive(name, build, maxRuns, budget)
+}
+
+// ExplainChecked replays one seed of a workload with per-step tracing,
+// returning the execution status, the operation log, and any violations —
+// for diagnosing counterexamples reported by RunChecked.
+func ExplainChecked(build func() Checked, seed int64, staleBias float64, budget int) (Status, []string, []Violation) {
+	return check.Explain(build, seed, staleBias, budget)
+}
+
+// DequeFactory builds a work-stealing deque in a program's setup.
+type DequeFactory = check.DequeFactory
+
+// DequeWorkStealingWorkload builds the Chase-Lev verification workload.
+func DequeWorkStealingWorkload(f DequeFactory, level SpecLevel, perOwner, thieves, steals int) func() Checked {
+	return check.DequeWorkStealing(f, level, perOwner, thieves, steals)
+}
+
+// CollectSpecResults merges spec results into a Checked.Check return.
+func CollectSpecResults(results ...SpecResult) ([]Violation, int) {
+	return check.Collect(results...)
+}
+
+// QueueMixedWorkload builds the general queue verification workload.
+func QueueMixedWorkload(f QueueFactory, level SpecLevel, producers, perProducer, consumers, attempts int) func() Checked {
+	return check.QueueMixed(f, level, producers, perProducer, consumers, attempts)
+}
+
+// QueueDrainWorkload builds the fully-drained queue workload.
+func QueueDrainWorkload(f QueueFactory, level SpecLevel, producers, perProducer, consumers int) func() Checked {
+	return check.QueueDrain(f, level, producers, perProducer, consumers)
+}
+
+// StackMixedWorkload builds the general stack verification workload.
+func StackMixedWorkload(f StackFactory, level SpecLevel, pushers, perPusher, poppers, attempts int) func() Checked {
+	return check.StackMixed(f, level, pushers, perPusher, poppers, attempts)
+}
+
+// StackPingPongWorkload builds the contended push/pop workload that
+// exercises elimination.
+func StackPingPongWorkload(f StackFactory, level SpecLevel, pairs, rounds int) func() Checked {
+	return check.StackPingPong(f, level, pairs, rounds)
+}
+
+// ElimStackComposedWorkload checks the elimination stack together with its
+// base stack's and exchanger's graphs (§4.1).
+func ElimStackComposedWorkload(level SpecLevel, pairs, rounds int) func() Checked {
+	return check.ElimStackComposed(level, pairs, rounds)
+}
+
+// ExchangerPairsWorkload builds the exchanger verification workload.
+func ExchangerPairsWorkload(f ExchangerFactory, n, patience int) func() Checked {
+	return check.ExchangerPairs(f, n, patience)
+}
+
+// MPQueueClient builds the Fig. 1 / Fig. 3 message-passing client.
+func MPQueueClient(f QueueFactory, level SpecLevel, releaseFlag bool) func() Checked {
+	return check.MPQueue(f, level, releaseFlag)
+}
+
+// SPSCClient builds the §3.2 single-producer single-consumer client.
+func SPSCClient(f QueueFactory, level SpecLevel, n int) func() Checked {
+	return check.SPSC(f, level, n)
+}
+
+// PipelineClient builds the chained-queues compositional client
+// (producer → q1 → relay → q2 → consumer, end-to-end FIFO).
+func PipelineClient(f QueueFactory, level SpecLevel, n int) func() Checked {
+	return check.Pipeline(f, level, n)
+}
+
+// OddEvenClient builds the §2.2 two-queue invariant client.
+func OddEvenClient(f QueueFactory, level SpecLevel, movers, moves int) func() Checked {
+	return check.OddEven(f, level, movers, moves)
+}
+
+// ResourceExchangeClient builds the §4.2 resource-transfer client.
+func ResourceExchangeClient(f ExchangerFactory) func() Checked {
+	return check.ResourceExchange(f)
+}
+
+// --- Litmus suite. ---
+
+type (
+	// LitmusTest is one litmus test for the memory model.
+	LitmusTest = litmus.Test
+	// LitmusResult is the exhaustive-exploration verdict of a test.
+	LitmusResult = litmus.Result
+)
+
+// LitmusSuite returns the ORC11 validation litmus tests.
+func LitmusSuite() []LitmusTest { return litmus.Suite() }
+
+// RunLitmus explores a litmus test exhaustively.
+func RunLitmus(t LitmusTest, maxRuns int) *LitmusResult { return litmus.Run(t, maxRuns) }

@@ -1,0 +1,43 @@
+// Command exchange reproduces the exchanger spec of §4.2 (Fig. 5) and its
+// derived resource-transfer spec: n threads exchange values through a
+// single exchanger, and the consistency checker validates symmetric
+// matching, value swapping, atomic pair commits (helping), and call
+// overlap. The resource client then exchanges *ownership*: two threads
+// swap non-atomic cells through the exchanger and read each other's secret
+// race-free — exactly the resource-exchange reasoning the paper derives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compass"
+)
+
+func main() {
+	threads := flag.Int("threads", 4, "number of exchanging threads")
+	patience := flag.Int("patience", 6, "exchange attempts before giving up")
+	execs := flag.Int("n", 1000, "number of random executions")
+	flag.Parse()
+
+	factory := func(th *compass.Thread) *compass.Exchanger { return compass.NewExchanger(th, "x") }
+
+	rep := compass.RunChecked("exchanger-pairs",
+		compass.ExchangerPairsWorkload(factory, *threads, *patience),
+		compass.CheckOptions{Executions: *execs, StaleBias: 0.5})
+	fmt.Println(rep)
+	if !rep.Passed() {
+		os.Exit(1)
+	}
+
+	rep = compass.RunChecked("resource-exchange",
+		compass.ResourceExchangeClient(factory),
+		compass.CheckOptions{Executions: *execs, StaleBias: 0.5})
+	fmt.Println(rep)
+	if !rep.Passed() {
+		os.Exit(1)
+	}
+	fmt.Println("\nExchangerConsistent (Fig. 5) and the derived resource-transfer spec")
+	fmt.Println("verified on every explored execution.")
+}

@@ -1,0 +1,78 @@
+// Command prove runs bounded *proofs*: it exhaustively explores every
+// thread interleaving and every relaxed read choice of a small library
+// instance, checking each execution's event graph. When the exploration
+// completes, the verdict covers the whole behaviour space of the instance
+// — the closest executable analogue of the paper's Coq theorems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compass"
+)
+
+func main() {
+	lib := flag.String("lib", "ms", "library: ms, hw, treiber, deque")
+	specName := flag.String("spec", "abs", "spec style: hb, abs, hist, sc")
+	maxRuns := flag.Int("max-runs", 500000, "exploration bound")
+	flag.Parse()
+
+	var level compass.SpecLevel
+	switch *specName {
+	case "hb":
+		level = compass.LevelHB
+	case "abs":
+		level = compass.LevelAbsHB
+	case "hist":
+		level = compass.LevelHist
+	case "sc":
+		level = compass.LevelSC
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -spec %q\n", *specName)
+		os.Exit(2)
+	}
+
+	var build func() compass.Checked
+	var desc string
+	switch *lib {
+	case "ms":
+		desc = "Michael-Scott queue, 1 producer × 2 enqueues, 1 consumer × 2 attempts"
+		build = compass.QueueMixedWorkload(func(th *compass.Thread) compass.Queue {
+			return compass.NewMSQueue(th, "q")
+		}, level, 1, 2, 1, 2)
+	case "hw":
+		desc = "Herlihy-Wing queue, 2 producers × 1 enqueue, 1 consumer × 2 attempts"
+		build = compass.QueueMixedWorkload(func(th *compass.Thread) compass.Queue {
+			return compass.NewHWQueue(th, "q", 8)
+		}, level, 2, 1, 1, 2)
+	case "treiber":
+		desc = "Treiber stack, 1 pusher × 2, 1 popper × 2"
+		build = compass.StackMixedWorkload(func(th *compass.Thread) compass.Stack {
+			return compass.NewTreiberStack(th, "s")
+		}, level, 1, 2, 1, 2)
+	case "deque":
+		desc = "Chase-Lev deque, owner 2 push/1 take + 1 thief"
+		build = compass.DequeWorkStealingWorkload(func(th *compass.Thread) *compass.WorkStealingDeque {
+			return compass.NewWorkStealingDeque(th, "wsq", 8)
+		}, level, 1, 1, 1)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -lib %q\n", *lib)
+		os.Exit(2)
+	}
+
+	fmt.Printf("exhaustively exploring: %s @ %v\n\n", desc, level)
+	rep := compass.RunExhaustive(*lib, build, *maxRuns, 3000)
+	fmt.Println(rep)
+	switch {
+	case rep.Passed() && rep.Complete:
+		fmt.Println("\nPROOF for this bounded instance: every execution satisfies the spec.")
+	case !rep.Passed():
+		fmt.Println("\nviolation found (for HW @ abs this is the expected §3.2 result).")
+		os.Exit(1)
+	default:
+		fmt.Println("\nexploration bound hit before completion — raise -max-runs.")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module compass
+
+go 1.22

@@ -1,0 +1,222 @@
+// Package check is the verification harness: it runs workload programs
+// many times under seeded-random scheduling (or exhaustively for small
+// programs), extracts each execution's event graphs, evaluates the spec
+// checkers on them, and aggregates verdicts with replayable counterexample
+// seeds. It is the executable counterpart of the paper's per-library and
+// per-client Coq proofs: a proof shows every execution satisfies the spec;
+// the harness checks the spec on every explored execution.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"compass/internal/machine"
+	"compass/internal/spec"
+)
+
+// Checked is one runnable, checkable instance of a workload: a fresh
+// program plus a post-execution check closure over its recorders.
+type Checked struct {
+	Prog machine.Program
+	// Check is invoked after an execution completes with status OK; it
+	// returns the spec violations found in the execution's event graphs,
+	// plus the number of checks that could not be decided.
+	Check func() (violations []spec.Violation, unknown int)
+}
+
+// Options configures a harness run.
+type Options struct {
+	// Executions is the number of random executions (default 200).
+	Executions int
+	// Seed is the first seed; execution i uses Seed+i (default 1).
+	Seed int64
+	// Budget caps machine steps per execution (default 100000).
+	Budget int
+	// StaleBias is the probability of deliberately stale reads (default
+	// 0.4); higher values explore weaker behaviours more aggressively.
+	StaleBias float64
+	// MaxFailures stops the run early after this many failing executions
+	// (default 5).
+	MaxFailures int
+	// KeepGoing disables the early stop.
+	KeepGoing bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Executions == 0 {
+		o.Executions = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.StaleBias == 0 {
+		o.StaleBias = 0.4
+	}
+	if o.MaxFailures == 0 {
+		o.MaxFailures = 5
+	}
+	return o
+}
+
+// Failure records one failing execution with its replay seed.
+type Failure struct {
+	Seed       int64
+	Status     machine.Status
+	Err        error
+	Violations []spec.Violation
+}
+
+func (f Failure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d (%v)", f.Seed, f.Status)
+	if f.Err != nil {
+		fmt.Fprintf(&b, ": %v", f.Err)
+	}
+	for _, v := range f.Violations {
+		fmt.Fprintf(&b, "\n    %s", v)
+	}
+	return b.String()
+}
+
+// Report aggregates a harness run.
+type Report struct {
+	Name       string
+	Executions int
+	OK         int // executions that completed and passed all checks
+	Discarded  int // budget-exhausted executions (neither pass nor fail)
+	Failures   []Failure
+	Unknown    int // checks that could not be decided
+	Steps      int // total machine steps across executions
+	// Exhaustive and Complete are set by Exhaustive: when Complete is
+	// true, every execution of the bounded program was explored, so a pass
+	// is a proof for the instance rather than statistical evidence.
+	Exhaustive bool
+	Complete   bool
+}
+
+// Passed reports whether no execution failed (discarded and unknown
+// executions do not fail a run, but they are reported).
+func (r *Report) Passed() bool { return len(r.Failures) == 0 }
+
+func (r *Report) String() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.Passed() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "%-34s %s  %d executions, %d ok, %d discarded, %d unknown, %d steps",
+		r.Name, verdict, r.Executions, r.OK, r.Discarded, r.Unknown, r.Steps)
+	if r.Exhaustive {
+		if r.Complete {
+			b.WriteString(" [exhaustive: all executions explored]")
+		} else {
+			b.WriteString(" [exhaustive: bound hit, incomplete]")
+		}
+	}
+	for i, f := range r.Failures {
+		if i == 3 {
+			fmt.Fprintf(&b, "\n  ... and %d more failures", len(r.Failures)-3)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %s", f)
+	}
+	return b.String()
+}
+
+// Run executes build()'s programs Executions times under seeded random
+// strategies, checking each OK execution.
+func Run(name string, build func() Checked, opt Options) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{Name: name, Executions: opt.Executions}
+	runner := &machine.Runner{Budget: opt.Budget}
+	for i := 0; i < opt.Executions; i++ {
+		seed := opt.Seed + int64(i)
+		c := build()
+		res := runner.Run(c.Prog, machine.NewRandomBiased(seed, opt.StaleBias))
+		rep.Steps += res.Steps
+		switch res.Status {
+		case machine.Budget:
+			rep.Discarded++
+			continue
+		case machine.Racy, machine.Failed:
+			rep.Failures = append(rep.Failures, Failure{Seed: seed, Status: res.Status, Err: res.Err})
+		case machine.OK:
+			viols, unknown := c.Check()
+			rep.Unknown += unknown
+			if len(viols) == 0 {
+				rep.OK++
+			} else {
+				rep.Failures = append(rep.Failures, Failure{Seed: seed, Status: res.Status, Violations: viols})
+			}
+		}
+		if !opt.KeepGoing && len(rep.Failures) >= opt.MaxFailures {
+			break
+		}
+	}
+	return rep
+}
+
+// Exhaustive explores every execution of the workload (all interleavings
+// and all read choices) up to maxRuns, checking each one. When the
+// returned report has Complete set, a pass is a *proof* for the bounded
+// instance — the executable analogue of the paper's per-implementation
+// theorems, on a finite workload.
+func Exhaustive(name string, build func() Checked, maxRuns, budget int) *Report {
+	rep := &Report{Name: name, Exhaustive: true}
+	var cur Checked
+	res := machine.Explore(func() machine.Program {
+		cur = build()
+		return cur.Prog
+	}, machine.ExploreOpts{MaxRuns: maxRuns, Budget: budget}, func(r *machine.Result) bool {
+		rep.Executions++
+		rep.Steps += r.Steps
+		switch r.Status {
+		case machine.Budget:
+			rep.Discarded++
+		case machine.Racy, machine.Failed:
+			rep.Failures = append(rep.Failures, Failure{Seed: -1, Status: r.Status, Err: r.Err})
+		case machine.OK:
+			viols, unknown := cur.Check()
+			rep.Unknown += unknown
+			if len(viols) == 0 {
+				rep.OK++
+			} else {
+				rep.Failures = append(rep.Failures, Failure{Seed: -1, Status: r.Status, Violations: viols})
+			}
+		}
+		return len(rep.Failures) < 5
+	})
+	rep.Complete = res.Complete
+	return rep
+}
+
+// Explain replays the execution with the given seed under tracing and
+// returns the per-step operation log together with the violations found —
+// for diagnosing a Failure reported by Run.
+func Explain(build func() Checked, seed int64, staleBias float64, budget int) (machine.Status, []string, []spec.Violation) {
+	if staleBias == 0 {
+		staleBias = 0.4
+	}
+	c := build()
+	res := (&machine.Runner{Budget: budget, Trace: true}).Run(c.Prog, machine.NewRandomBiased(seed, staleBias))
+	var viols []spec.Violation
+	if res.Status == machine.OK {
+		viols, _ = c.Check()
+	}
+	return res.Status, res.Trace, viols
+}
+
+// Collect merges several spec results into the (violations, unknown) pair
+// a Checked.Check closure returns.
+func Collect(results ...spec.Result) ([]spec.Violation, int) {
+	var out []spec.Violation
+	unknown := 0
+	for _, r := range results {
+		out = append(out, r.Violations...)
+		if r.Unknown {
+			unknown++
+		}
+	}
+	return out, unknown
+}

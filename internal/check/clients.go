@@ -1,0 +1,248 @@
+package check
+
+import (
+	"fmt"
+
+	"compass/internal/core"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/queue"
+	"compass/internal/spec"
+	"compass/internal/view"
+)
+
+// MPQueue is the Message-Passing client of Fig. 1 (and the proof sketch of
+// Fig. 3): the left thread enqueues 41 and 42 and release-writes a flag;
+// the middle thread performs one (possibly empty) dequeue; the right
+// thread acquire-reads the flag until it is set and then dequeues. Because
+// at most one of the two enqueues can have been consumed concurrently and
+// both happen-before the right thread's dequeue (through the external
+// flag synchronization), the right dequeue can never return empty — the
+// property Cosmo's so-only specs cannot derive but QUEUE-EMPDEQ can.
+//
+// releaseFlag selects the flag's modes: true is the verified client
+// (rel/acq); false is the ablation (rlx/rlx) in which the property is
+// expected to fail in some executions, witnessing that the external
+// synchronization is what makes the argument go through.
+//
+// The Fig. 3 dequeue-permission accounting is checked on the final graph:
+// with two deqPerm(1) permissions in the system, at most two successful
+// dequeues can exist.
+func MPQueue(f QueueFactory, level spec.Level, releaseFlag bool) func() Checked {
+	wmode, rmode := memory.Rel, memory.Acq
+	if !releaseFlag {
+		wmode, rmode = memory.Rlx, memory.Rlx
+	}
+	return func() Checked {
+		var q queue.Queue
+		var flag view.Loc
+		return Checked{
+			Prog: machine.Program{
+				Name: "mp-queue",
+				Setup: func(th *machine.Thread) {
+					q = f(th)
+					flag = th.Alloc("flag", 0)
+				},
+				Workers: []func(*machine.Thread){
+					func(th *machine.Thread) {
+						q.Enqueue(th, 41)
+						q.Enqueue(th, 42)
+						th.Write(flag, 1, wmode)
+					},
+					func(th *machine.Thread) {
+						q.TryDequeue(th)
+					},
+					func(th *machine.Thread) {
+						for th.Read(flag, rmode) == 0 {
+							th.Yield()
+						}
+						v, ok := q.TryDequeue(th)
+						if !ok {
+							th.Failf("MP: right thread's dequeue returned empty")
+						}
+						if v != 41 && v != 42 {
+							th.Failf("MP: right thread dequeued %d, want 41 or 42", v)
+						}
+						th.Report("right", v)
+					},
+				},
+			},
+			Check: func() ([]spec.Violation, int) {
+				g := q.Recorder().Graph()
+				viols, unknown := Collect(spec.CheckQueue(g, level))
+				// Fig. 3 permission accounting: size(G.so) ≤ 2.
+				if n := len(g.So()); n > 2 {
+					viols = append(viols, spec.Violation{
+						Rule:   "CLIENT-DEQPERM",
+						Detail: fmt.Sprintf("%d successful dequeues with only 2 permissions", n),
+					})
+				}
+				return viols, unknown
+			},
+		}
+	}
+}
+
+// SPSC is the single-producer single-consumer client of §3.2: the producer
+// enqueues the contents of an array in index order; the consumer dequeues
+// n elements (retrying on empty) into its own array. FIFO requires the
+// consumer's array to equal the producer's.
+func SPSC(f QueueFactory, level spec.Level, n int) func() Checked {
+	return func() Checked {
+		var q queue.Queue
+		ac := make([]view.Loc, n)
+		return Checked{
+			Prog: machine.Program{
+				Name: "spsc",
+				Setup: func(th *machine.Thread) {
+					q = f(th)
+					for i := range ac {
+						ac[i] = th.Alloc("a_c", 0)
+					}
+				},
+				Workers: []func(*machine.Thread){
+					func(th *machine.Thread) { // producer
+						for i := 0; i < n; i++ {
+							q.Enqueue(th, int64(i+1))
+						}
+					},
+					func(th *machine.Thread) { // consumer
+						for i := 0; i < n; i++ {
+							th.Write(ac[i], queue.Dequeue(q, th), memory.NA)
+						}
+					},
+				},
+				Final: func(th *machine.Thread) {
+					for i := 0; i < n; i++ {
+						if v := th.Read(ac[i], memory.NA); v != int64(i+1) {
+							th.Failf("SPSC: a_c[%d] = %d, want %d (FIFO violated)", i, v, i+1)
+						}
+					}
+				},
+			},
+			Check: func() ([]spec.Violation, int) {
+				// The derived SPSC spec (§3.2): strict order correspondence
+				// between enqueues and dequeues, on top of the base level.
+				return Collect(
+					spec.CheckQueue(q.Recorder().Graph(), level),
+					spec.CheckQueueSPSC(q.Recorder().Graph()))
+			},
+		}
+	}
+}
+
+// Pipeline is a compositional client: values flow producer → q1 → relay →
+// q2 → consumer. End-to-end FIFO must hold — the consumer receives exactly
+// the produced sequence, in order — which requires composing the FIFO
+// guarantees of both queues through the relay's program order (the kind of
+// multi-object protocol §2.2's invariant discussion motivates). Both
+// queues' graphs are checked, plus the client-level order property.
+func Pipeline(f QueueFactory, level spec.Level, n int) func() Checked {
+	return func() Checked {
+		var q1, q2 queue.Queue
+		out := make([]view.Loc, n)
+		return Checked{
+			Prog: machine.Program{
+				Name: "pipeline",
+				Setup: func(th *machine.Thread) {
+					q1 = f(th)
+					q2 = f(th)
+					for i := range out {
+						out[i] = th.Alloc("out", 0)
+					}
+				},
+				Workers: []func(*machine.Thread){
+					func(th *machine.Thread) { // producer
+						for i := 0; i < n; i++ {
+							q1.Enqueue(th, int64(i+1))
+						}
+					},
+					func(th *machine.Thread) { // relay
+						for i := 0; i < n; i++ {
+							q2.Enqueue(th, queue.Dequeue(q1, th))
+						}
+					},
+					func(th *machine.Thread) { // consumer
+						for i := 0; i < n; i++ {
+							th.Write(out[i], queue.Dequeue(q2, th), memory.NA)
+						}
+					},
+				},
+				Final: func(th *machine.Thread) {
+					for i := 0; i < n; i++ {
+						if v := th.Read(out[i], memory.NA); v != int64(i+1) {
+							th.Failf("pipeline: out[%d] = %d, want %d (end-to-end FIFO violated)", i, v, i+1)
+						}
+					}
+				},
+			},
+			Check: func() ([]spec.Violation, int) {
+				return Collect(
+					spec.CheckQueue(q1.Recorder().Graph(), level),
+					spec.CheckQueue(q2.Recorder().Graph(), level))
+			},
+		}
+	}
+}
+
+// OddEven is the two-queue client protocol sketched in §2.2: an invariant
+// R ties two queues together — one holds only odd numbers, the other only
+// even numbers. Movers dequeue from one queue and enqueue the parity-
+// preserving successor into the other. The client invariant is checked on
+// the final graphs: every value that ever entered q1 is odd, every value
+// that entered q2 is even.
+func OddEven(f QueueFactory, level spec.Level, movers, moves int) func() Checked {
+	return func() Checked {
+		var q1, q2 queue.Queue
+		workers := make([]func(*machine.Thread), 0, movers)
+		for m := 0; m < movers; m++ {
+			workers = append(workers, func(th *machine.Thread) {
+				for i := 0; i < moves; i++ {
+					if v, ok := q1.TryDequeue(th); ok {
+						if v%2 != 1 {
+							th.Failf("odd queue delivered even value %d", v)
+						}
+						q2.Enqueue(th, v+1)
+					}
+					if v, ok := q2.TryDequeue(th); ok {
+						if v%2 != 0 {
+							th.Failf("even queue delivered odd value %d", v)
+						}
+						q1.Enqueue(th, v+1)
+					}
+				}
+			})
+		}
+		return Checked{
+			Prog: machine.Program{
+				Name: "odd-even",
+				Setup: func(th *machine.Thread) {
+					q1 = f(th)
+					q2 = f(th)
+					q1.Enqueue(th, 1)
+					q1.Enqueue(th, 3)
+					q2.Enqueue(th, 2)
+				},
+				Workers: workers,
+			},
+			Check: func() ([]spec.Violation, int) {
+				g1, g2 := q1.Recorder().Graph(), q2.Recorder().Graph()
+				viols, unknown := Collect(
+					spec.CheckQueue(g1, level), spec.CheckQueue(g2, level))
+				for _, e := range g1.Events() {
+					if e.Kind == core.Enq && e.Val%2 != 1 {
+						viols = append(viols, spec.Violation{Rule: "CLIENT-PARITY",
+							Detail: fmt.Sprintf("even value %d entered the odd queue", e.Val)})
+					}
+				}
+				for _, e := range g2.Events() {
+					if e.Kind == core.Enq && e.Val%2 != 0 {
+						viols = append(viols, spec.Violation{Rule: "CLIENT-PARITY",
+							Detail: fmt.Sprintf("odd value %d entered the even queue", e.Val)})
+					}
+				}
+				return viols, unknown
+			},
+		}
+	}
+}

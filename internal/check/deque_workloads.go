@@ -1,0 +1,48 @@
+package check
+
+import (
+	"compass/internal/deque"
+	"compass/internal/machine"
+	"compass/internal/spec"
+)
+
+// DequeFactory constructs a fresh work-stealing deque (called in Setup).
+type DequeFactory func(th *machine.Thread) *deque.Deque
+
+// DequeWorkStealing is the Chase-Lev verification workload: one owner
+// pushes perOwner elements and interleaves takes; thieves attempt steals.
+// The final graph is checked at the given spec level.
+func DequeWorkStealing(f DequeFactory, level spec.Level, perOwner, thieves, steals int) func() Checked {
+	return func() Checked {
+		var d *deque.Deque
+		workers := make([]func(*machine.Thread), 0, 1+thieves)
+		workers = append(workers, func(th *machine.Thread) { // owner
+			for i := 0; i < perOwner; i++ {
+				d.PushBottom(th, int64(100+i))
+				if i%2 == 1 {
+					d.TakeBottom(th)
+				}
+			}
+			for i := 0; i < perOwner; i++ {
+				d.TakeBottom(th)
+			}
+		})
+		for t := 0; t < thieves; t++ {
+			workers = append(workers, func(th *machine.Thread) {
+				for i := 0; i < steals; i++ {
+					d.Steal(th)
+				}
+			})
+		}
+		return Checked{
+			Prog: machine.Program{
+				Name:    "deque-worksteal",
+				Setup:   func(th *machine.Thread) { d = f(th) },
+				Workers: workers,
+			},
+			Check: func() ([]spec.Violation, int) {
+				return Collect(spec.CheckDeque(d.Recorder().Graph(), level))
+			},
+		}
+	}
+}

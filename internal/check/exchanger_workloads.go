@@ -1,0 +1,83 @@
+package check
+
+import (
+	"compass/internal/core"
+	"compass/internal/exchanger"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/spec"
+	"compass/internal/view"
+)
+
+// ExchangerFactory constructs a fresh exchanger (called in Setup).
+type ExchangerFactory func(th *machine.Thread) *exchanger.Exchanger
+
+// ExchangerPairs is the exchanger verification workload: n threads each
+// perform one exchange with the given patience; the final graph is checked
+// against ExchangerConsistent (Fig. 5).
+func ExchangerPairs(f ExchangerFactory, n, patience int) func() Checked {
+	return func() Checked {
+		var x *exchanger.Exchanger
+		workers := make([]func(*machine.Thread), n)
+		for i := 0; i < n; i++ {
+			i := i
+			workers[i] = func(th *machine.Thread) {
+				r := x.Exchange(th, int64(100+i), patience)
+				th.Report("r", r)
+			}
+		}
+		return Checked{
+			Prog: machine.Program{
+				Name:    "exchanger-pairs",
+				Setup:   func(th *machine.Thread) { x = f(th) },
+				Workers: workers,
+			},
+			Check: func() ([]spec.Violation, int) {
+				return Collect(spec.CheckExchanger(x.Recorder().Graph()))
+			},
+		}
+	}
+}
+
+// ResourceExchange is the §4.2 resource-transfer client built on the
+// derived exchanger spec: each of two threads owns a non-atomic cell
+// holding a secret, and they exchange cell handles through the exchanger.
+// A successful exchange must transfer ownership — the non-atomic read of
+// the partner's cell is race free exactly because the exchanger's
+// release/acquire structure transfers the partner's view along so.
+func ResourceExchange(f ExchangerFactory) func() Checked {
+	return func() Checked {
+		var x *exchanger.Exchanger
+		secrets := [2]int64{111, 222}
+		var cells [2]view.Loc
+		worker := func(i int) func(*machine.Thread) {
+			return func(th *machine.Thread) {
+				cells[i] = th.Alloc("resource", 0)
+				th.Write(cells[i], secrets[i], memory.NA)
+				// Exchange cell handles until matched (retry on failure).
+				for {
+					r := x.Exchange(th, int64(cells[i])+1, 4)
+					if r == core.ExFail {
+						th.Yield()
+						continue
+					}
+					got := th.Read(view.Loc(r-1), memory.NA)
+					if got != secrets[1-i] {
+						th.Failf("resource exchange delivered %d, want %d", got, secrets[1-i])
+					}
+					return
+				}
+			}
+		}
+		return Checked{
+			Prog: machine.Program{
+				Name:    "resource-exchange",
+				Setup:   func(th *machine.Thread) { x = f(th) },
+				Workers: []func(*machine.Thread){worker(0), worker(1)},
+			},
+			Check: func() ([]spec.Violation, int) {
+				return Collect(spec.CheckExchanger(x.Recorder().Graph()))
+			},
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package check
+
+import (
+	"compass/internal/machine"
+	"compass/internal/spec"
+	"compass/internal/stack"
+)
+
+// StackFactory constructs a fresh stack (called in Setup).
+type StackFactory func(th *machine.Thread) stack.Stack
+
+// StackMixed is the general stack verification workload: pushers push
+// unique positive values while poppers attempt pops (which may report
+// empty); the final graph is checked at the given spec level.
+func StackMixed(f StackFactory, level spec.Level, pushers, perPusher, poppers, attempts int) func() Checked {
+	return func() Checked {
+		var s stack.Stack
+		workers := make([]func(*machine.Thread), 0, pushers+poppers)
+		for p := 0; p < pushers; p++ {
+			p := p
+			workers = append(workers, func(th *machine.Thread) {
+				for i := 0; i < perPusher; i++ {
+					s.Push(th, int64(1000*(p+1)+i+1))
+				}
+			})
+		}
+		for c := 0; c < poppers; c++ {
+			workers = append(workers, func(th *machine.Thread) {
+				for i := 0; i < attempts; i++ {
+					s.Pop(th)
+				}
+			})
+		}
+		return Checked{
+			Prog: machine.Program{
+				Name:    "stack-mixed",
+				Setup:   func(th *machine.Thread) { s = f(th) },
+				Workers: workers,
+			},
+			Check: func() ([]spec.Violation, int) {
+				return Collect(spec.CheckStack(s.Recorder().Graph(), level))
+			},
+		}
+	}
+}
+
+// StackPingPong drives pairs of threads that both push and pop — the
+// workload that exercises elimination (a push racing a pop can match on
+// the exchanger instead of the base stack).
+func StackPingPong(f StackFactory, level spec.Level, pairs, rounds int) func() Checked {
+	return func() Checked {
+		var s stack.Stack
+		workers := make([]func(*machine.Thread), 0, 2*pairs)
+		for p := 0; p < pairs; p++ {
+			p := p
+			workers = append(workers,
+				func(th *machine.Thread) {
+					for i := 0; i < rounds; i++ {
+						s.Push(th, int64(1000*(p+1)+i+1))
+					}
+				},
+				func(th *machine.Thread) {
+					for i := 0; i < rounds; i++ {
+						s.Pop(th)
+					}
+				})
+		}
+		return Checked{
+			Prog: machine.Program{
+				Name:    "stack-pingpong",
+				Setup:   func(th *machine.Thread) { s = f(th) },
+				Workers: workers,
+			},
+			Check: func() ([]spec.Violation, int) {
+				return Collect(spec.CheckStack(s.Recorder().Graph(), level))
+			},
+		}
+	}
+}
+
+// ElimStackComposed runs the ping-pong workload on an elimination stack
+// and checks all three graphs: the ElimStack's own graph at the given
+// level, the base Treiber stack's graph, and the exchanger's graph — the
+// compositional verification of §4.1 (the ES satisfies the same stack
+// specs as its base, relying only on the components' specs).
+func ElimStackComposed(level spec.Level, pairs, rounds int) func() Checked {
+	return func() Checked {
+		var s *stack.ElimStack
+		workers := make([]func(*machine.Thread), 0, 2*pairs)
+		for p := 0; p < pairs; p++ {
+			p := p
+			workers = append(workers,
+				func(th *machine.Thread) {
+					for i := 0; i < rounds; i++ {
+						s.Push(th, int64(1000*(p+1)+i+1))
+					}
+				},
+				func(th *machine.Thread) {
+					for i := 0; i < rounds; i++ {
+						s.Pop(th)
+					}
+				})
+		}
+		return Checked{
+			Prog: machine.Program{
+				Name:    "elimstack-composed",
+				Setup:   func(th *machine.Thread) { s = stack.NewElim(th, "es") },
+				Workers: workers,
+			},
+			Check: func() ([]spec.Violation, int) {
+				return Collect(
+					spec.CheckStack(s.Recorder().Graph(), level),
+					spec.CheckStack(s.Base().Recorder().Graph(), spec.LevelHB),
+					spec.CheckExchanger(s.Exchanger().Recorder().Graph()),
+				)
+			},
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package check_test
+
+import (
+	"testing"
+
+	"compass/internal/check"
+	"compass/internal/machine"
+	"compass/internal/queue"
+	"compass/internal/spec"
+	"compass/internal/stack"
+)
+
+// Stress tests: wider thread counts and op counts than the unit workloads,
+// validating that the harness and checkers scale beyond litmus-sized
+// instances. Skipped in -short mode.
+
+func TestStressMSQueue4x4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	f := func(th *machine.Thread) queue.Queue { return queue.NewMS(th, "q") }
+	rep := check.Run("stress/ms-4x4",
+		check.QueueMixed(f, spec.LevelAbsHB, 4, 4, 4, 5),
+		check.Options{Executions: 150, StaleBias: 0.5})
+	if !rep.Passed() || rep.OK == 0 {
+		t.Fatalf("%s", rep)
+	}
+	t.Logf("%s", rep)
+}
+
+func TestStressHWQueueWideScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	f := func(th *machine.Thread) queue.Queue { return queue.NewHW(th, "q", 128) }
+	rep := check.Run("stress/hw-4x4",
+		check.QueueMixed(f, spec.LevelHB, 4, 4, 4, 5),
+		check.Options{Executions: 150, StaleBias: 0.6})
+	if !rep.Passed() || rep.OK == 0 {
+		t.Fatalf("%s", rep)
+	}
+}
+
+func TestStressTreiberDeepHist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// Larger graphs exercise the hist fast path and the search fallback on
+	// instances near the linearizer's bound.
+	f := func(th *machine.Thread) stack.Stack { return stack.NewTreiber(th, "s") }
+	rep := check.Run("stress/treiber-hist",
+		check.StackMixed(f, spec.LevelHist, 3, 3, 3, 4),
+		check.Options{Executions: 150, StaleBias: 0.6})
+	if !rep.Passed() || rep.OK == 0 {
+		t.Fatalf("%s", rep)
+	}
+	if rep.Unknown > 0 {
+		t.Logf("note: %d hist checks exceeded the search bound (reported, not failed)", rep.Unknown)
+	}
+}
+
+func TestStressElimStackContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rep := check.Run("stress/es-3pairs",
+		check.ElimStackComposed(spec.LevelHB, 3, 3),
+		check.Options{Executions: 150, StaleBias: 0.6})
+	if !rep.Passed() || rep.OK == 0 {
+		t.Fatalf("%s", rep)
+	}
+}
+
+func TestStressPipelineLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	f := func(th *machine.Thread) queue.Queue { return queue.NewMS(th, "q") }
+	rep := check.Run("stress/pipeline-10",
+		check.Pipeline(f, spec.LevelHB, 10),
+		check.Options{Executions: 100, StaleBias: 0.5})
+	if !rep.Passed() || rep.OK == 0 {
+		t.Fatalf("%s", rep)
+	}
+}

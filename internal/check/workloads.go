@@ -1,0 +1,87 @@
+package check
+
+import (
+	"compass/internal/machine"
+	"compass/internal/queue"
+	"compass/internal/spec"
+)
+
+// QueueFactory constructs a fresh queue on the machine (called in Setup).
+type QueueFactory func(th *machine.Thread) queue.Queue
+
+// QueueMixed is the general queue verification workload: producers×
+// perProducer unique enqueues racing consumers×attempts try-dequeues, with
+// the final graph checked at the given spec level. Unconsumed elements and
+// empty dequeues are expected and legal.
+func QueueMixed(f QueueFactory, level spec.Level, producers, perProducer, consumers, attempts int) func() Checked {
+	return func() Checked {
+		var q queue.Queue
+		workers := make([]func(*machine.Thread), 0, producers+consumers)
+		for p := 0; p < producers; p++ {
+			p := p
+			workers = append(workers, func(th *machine.Thread) {
+				for i := 0; i < perProducer; i++ {
+					q.Enqueue(th, int64(1000*(p+1)+i+1))
+				}
+			})
+		}
+		for c := 0; c < consumers; c++ {
+			workers = append(workers, func(th *machine.Thread) {
+				for i := 0; i < attempts; i++ {
+					q.TryDequeue(th)
+				}
+			})
+		}
+		return Checked{
+			Prog: machine.Program{
+				Name:    "queue-mixed",
+				Setup:   func(th *machine.Thread) { q = f(th) },
+				Workers: workers,
+			},
+			Check: func() ([]spec.Violation, int) {
+				return Collect(spec.CheckQueue(q.Recorder().Graph(), level))
+			},
+		}
+	}
+}
+
+// QueueDrain is a workload in which consumers dequeue (with retry) exactly
+// as many elements as are produced, so the final graph has no unmatched
+// enqueues; used for throughput-style checks and FIFO-order scrutiny.
+func QueueDrain(f QueueFactory, level spec.Level, producers, perProducer, consumers int) func() Checked {
+	total := producers * perProducer
+	return func() Checked {
+		var q queue.Queue
+		workers := make([]func(*machine.Thread), 0, producers+consumers)
+		for p := 0; p < producers; p++ {
+			p := p
+			workers = append(workers, func(th *machine.Thread) {
+				for i := 0; i < perProducer; i++ {
+					q.Enqueue(th, int64(1000*(p+1)+i+1))
+				}
+			})
+		}
+		for c := 0; c < consumers; c++ {
+			c := c
+			n := total / consumers
+			if c < total%consumers {
+				n++
+			}
+			workers = append(workers, func(th *machine.Thread) {
+				for i := 0; i < n; i++ {
+					queue.Dequeue(q, th)
+				}
+			})
+		}
+		return Checked{
+			Prog: machine.Program{
+				Name:    "queue-drain",
+				Setup:   func(th *machine.Thread) { q = f(th) },
+				Workers: workers,
+			},
+			Check: func() ([]spec.Violation, int) {
+				return Collect(spec.CheckQueue(q.Recorder().Graph(), level))
+			},
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"compass/internal/view"
+)
+
+// GraphBuilder constructs event graphs directly, without running the
+// machine. It is used by spec unit tests and by property-based fuzzing of
+// the consistency checkers against hand-crafted (including deliberately
+// inconsistent) graphs.
+type GraphBuilder struct {
+	g    *Graph
+	step int
+}
+
+// NewGraphBuilder returns a builder for an empty graph.
+func NewGraphBuilder(name string) *GraphBuilder {
+	return &GraphBuilder{g: NewGraph(name)}
+}
+
+// Add appends a committed event with the given kind, payloads, and logical
+// view (the IDs of events that happen-before it). Events are committed in
+// call order; commit steps are consecutive. Returns the new event's ID.
+func (b *GraphBuilder) Add(kind Kind, val, val2 int64, lhb ...view.EventID) view.EventID {
+	id := view.MakeEventID(b.g.tag, len(b.g.events))
+	b.step++
+	lv := view.NewLog()
+	for _, e := range lhb {
+		lv.Add(e)
+		// lhb is transitive: inherit predecessors' logviews.
+		lv.JoinInto(b.g.Event(e).LogView)
+	}
+	pv := view.New()
+	b.g.events = append(b.g.events, &Event{
+		ID: id, Kind: kind, Val: val, Val2: val2,
+		StartStep: b.step, CommitStep: b.step,
+		PhysView: pv, LogView: lv, Committed: true,
+	})
+	b.g.CommitOrder = append(b.g.CommitOrder, id)
+	return id
+}
+
+// So records (a, b) ∈ so.
+func (b *GraphBuilder) So(a, d view.EventID) { b.g.addSo(a, d) }
+
+// SetPhysView overrides the physical view of an event (for view-transfer
+// checker tests).
+func (b *GraphBuilder) SetPhysView(id view.EventID, v view.View) {
+	b.g.Event(id).PhysView = v
+}
+
+// SetSteps overrides the start/commit steps of an event (for overlap
+// checker tests).
+func (b *GraphBuilder) SetSteps(id view.EventID, start, commit int) {
+	b.g.Event(id).StartStep = start
+	b.g.Event(id).CommitStep = commit
+}
+
+// AddLhb inserts e into d's logical view directly, without transitive
+// closure or commit-order validation (for testing checkers on malformed
+// graphs).
+func (b *GraphBuilder) AddLhb(e, d view.EventID) {
+	b.g.Event(d).LogView.Add(e)
+}
+
+// Graph returns the constructed graph.
+func (b *GraphBuilder) Graph() *Graph { return b.g }

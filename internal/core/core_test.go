@@ -1,0 +1,257 @@
+package core
+
+import (
+	"testing"
+
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// run executes a single-worker program and requires it to finish OK.
+func run(t *testing.T, setup func(*machine.Thread), workers ...func(*machine.Thread)) {
+	t.Helper()
+	prog := machine.Program{Setup: setup, Workers: workers}
+	r := (&machine.Runner{}).Run(prog, machine.NewRandomBiased(1, 0))
+	if r.Status != machine.OK {
+		t.Fatalf("status = %v, err = %v", r.Status, r.Err)
+	}
+}
+
+func TestCommitNewBuildsGraph(t *testing.T) {
+	rec := NewRecorder("q")
+	run(t, nil, func(th *machine.Thread) {
+		e := rec.CommitNew(th, Enq, 41)
+		d := rec.CommitNew(th, Enq, 42)
+		if e.Local() != 0 || d.Local() != 1 {
+			th.Failf("local ids = %d,%d", e.Local(), d.Local())
+		}
+	})
+	g := rec.Graph()
+	evs := g.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Kind != Enq || evs[0].Val != 41 || !evs[0].Committed {
+		t.Fatalf("event 0 wrong: %+v", evs[0])
+	}
+	// Program order yields lhb between same-thread commits.
+	e0, e1 := evs[0].ID, evs[1].ID
+	if !g.Lhb(e0, e1) {
+		t.Fatal("e0 must happen-before e1 (same thread)")
+	}
+	if g.Lhb(e1, e0) || g.Lhb(e0, e0) {
+		t.Fatal("lhb must be irreflexive and asymmetric here")
+	}
+	if len(g.CommitOrder) != 2 || g.CommitOrder[0] != e0 {
+		t.Fatalf("commit order = %v", g.CommitOrder)
+	}
+}
+
+func TestLogicalViewRidesOnReleaseAcquire(t *testing.T) {
+	rec := NewRecorder("q")
+	var flag view.Loc
+	var dLog view.LogView
+	var enqID, deqID view.EventID
+	var sawEnq bool
+	prog := machine.Program{
+		Setup: func(th *machine.Thread) { flag = th.Alloc("flag", 0) },
+		Workers: []func(*machine.Thread){
+			func(th *machine.Thread) {
+				enqID = rec.Begin(th, Enq, 7)
+				rec.Arm(th, enqID)
+				th.Write(flag, 1, memory.Rel) // commit instruction
+				rec.Commit(th, enqID)
+			},
+			func(th *machine.Thread) {
+				for th.Read(flag, memory.Acq) == 0 {
+					th.Yield()
+				}
+				deqID = rec.CommitNew(th, Deq, 7)
+				dLog = rec.Graph().Event(deqID).LogView.Clone()
+				sawEnq = dLog.Has(enqID)
+			},
+		},
+	}
+	r := (&machine.Runner{}).Run(prog, machine.NewRandomBiased(1, 0.2))
+	if r.Status != machine.OK {
+		t.Fatalf("status = %v err = %v", r.Status, r.Err)
+	}
+	if !sawEnq {
+		t.Fatalf("dequeue's logview %v must contain the enqueue acquired via rel/acq", dLog)
+	}
+	if !rec.Graph().Lhb(enqID, deqID) {
+		t.Fatal("Lhb(enq, deq) must hold")
+	}
+}
+
+func TestRelaxedPublishDoesNotTransferLogview(t *testing.T) {
+	rec := NewRecorder("q")
+	var flag view.Loc
+	var rlxEnqID view.EventID
+	var leaked bool
+	prog := machine.Program{
+		Setup: func(th *machine.Thread) { flag = th.Alloc("flag", 0) },
+		Workers: []func(*machine.Thread){
+			func(th *machine.Thread) {
+				rlxEnqID = rec.Begin(th, Enq, 7)
+				rec.Arm(th, rlxEnqID)
+				th.Write(flag, 1, memory.Rlx) // relaxed: must not carry the clock
+				rec.Commit(th, rlxEnqID)
+			},
+			func(th *machine.Thread) {
+				for th.Read(flag, memory.Acq) == 0 {
+					th.Yield()
+				}
+				leaked = Seen(th).Has(rlxEnqID)
+			},
+		},
+	}
+	r := (&machine.Runner{}).Run(prog, machine.NewRandomBiased(1, 0.2))
+	if r.Status != machine.OK {
+		t.Fatalf("status = %v err = %v", r.Status, r.Err)
+	}
+	if leaked {
+		t.Fatal("relaxed write must not transfer the logical view")
+	}
+}
+
+func TestSoAdjacency(t *testing.T) {
+	rec := NewRecorder("q")
+	var e, d view.EventID
+	run(t, nil, func(th *machine.Thread) {
+		e = rec.CommitNew(th, Enq, 1)
+		d = rec.CommitNew(th, Deq, 1)
+		rec.AddSo(e, d)
+	})
+	g := rec.Graph()
+	if got := g.SoFrom(e); len(got) != 1 || got[0] != d {
+		t.Fatalf("SoFrom(e) = %v", got)
+	}
+	if got := g.SoTo(d); len(got) != 1 || got[0] != e {
+		t.Fatalf("SoTo(d) = %v", got)
+	}
+	if so := g.So(); len(so) != 1 || so[0] != [2]view.EventID{e, d} {
+		t.Fatalf("So() = %v", so)
+	}
+}
+
+func TestHelpingCommitForeign(t *testing.T) {
+	rec := NewRecorder("x")
+	var id1, id2 view.EventID
+	run(t, nil, func(th *machine.Thread) {
+		// Helpee begins its event (as another thread would); the helper
+		// commits it, then itself, atomically in the commit order.
+		id1 = rec.Begin(th, Exchange, 10)
+		id2 = rec.Begin(th, Exchange, 20)
+		rec.CommitForeign(th, id1, 20)
+		rec.Commit(th, id2)
+		rec.SetVal2(id2, 10)
+		rec.AddSo(id1, id2)
+		rec.AddSo(id2, id1)
+	})
+	g := rec.Graph()
+	if len(g.CommitOrder) != 2 || g.CommitOrder[0] != id1 || g.CommitOrder[1] != id2 {
+		t.Fatalf("commit order = %v, want [%d %d]", g.CommitOrder, id1, id2)
+	}
+	e1, e2 := g.Event(id1), g.Event(id2)
+	if e1.Val != 10 || e1.Val2 != 20 || e2.Val != 20 || e2.Val2 != 10 {
+		t.Fatalf("payloads wrong: %v %v", e1, e2)
+	}
+	// Helper committed both, so its own event sees the helpee.
+	if !g.Lhb(id1, id2) {
+		t.Fatal("helpee must be in helper's logview")
+	}
+}
+
+func TestPendingExcluded(t *testing.T) {
+	rec := NewRecorder("x")
+	run(t, nil, func(th *machine.Thread) {
+		rec.Begin(th, Exchange, 1) // never committed (retracted offer)
+		rec.CommitNew(th, Exchange, 2)
+	})
+	g := rec.Graph()
+	if len(g.Events()) != 1 {
+		t.Fatalf("committed events = %d, want 1", len(g.Events()))
+	}
+	if p := g.Pending(); len(p) != 1 || p[0].ID.Local() != 0 {
+		t.Fatalf("pending = %v", p)
+	}
+	if g.NumEvents() != 2 {
+		t.Fatalf("NumEvents = %d, want 2", g.NumEvents())
+	}
+}
+
+func TestDoubleCommitPanics(t *testing.T) {
+	rec := NewRecorder("x")
+	run(t, nil, func(th *machine.Thread) {
+		id := rec.CommitNew(th, Enq, 1)
+		panicked := func() (p bool) {
+			defer func() { p = recover() != nil }()
+			rec.Commit(th, id)
+			return false
+		}()
+		if !panicked {
+			th.Failf("expected panic on double commit")
+		}
+	})
+}
+
+func TestSeenSnapshotIsIndependent(t *testing.T) {
+	rec := NewRecorder("q")
+	run(t, nil, func(th *machine.Thread) {
+		id := rec.CommitNew(th, Enq, 1)
+		s := Seen(th)
+		if !s.Has(id) {
+			th.Failf("Seen must contain own commit")
+		}
+		s.Add(view.MakeEventID(99999, 0))
+		if Seen(th).Has(view.MakeEventID(99999, 0)) {
+			th.Failf("Seen must return an independent snapshot")
+		}
+	})
+}
+
+func TestLogviewExcludesSelfAndOnlyEarlierCommits(t *testing.T) {
+	rec := NewRecorder("q")
+	run(t, nil, func(th *machine.Thread) {
+		for i := 0; i < 5; i++ {
+			rec.CommitNew(th, Enq, int64(i))
+		}
+	})
+	g := rec.Graph()
+	for i, e := range g.Events() {
+		if e.LogView.Has(e.ID) {
+			t.Fatalf("event %v contains itself in logview", e)
+		}
+		if e.LogView.Len() != i {
+			t.Fatalf("event %v logview size = %d, want %d", e, e.LogView.Len(), i)
+		}
+	}
+}
+
+func TestEventAndGraphString(t *testing.T) {
+	rec := NewRecorder("q")
+	var x, ed view.EventID
+	run(t, nil, func(th *machine.Thread) {
+		x = rec.CommitNew(th, Exchange, 5)
+		rec.SetVal2(x, 6)
+		ed = rec.CommitNew(th, EmpDeq, 0)
+	})
+	g := rec.Graph()
+	if got := g.Event(x).String(); got != "e0:Exchange(5,6)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := g.Event(ed).String(); got != "e1:Deq(ε)" {
+		t.Fatalf("String = %q", got)
+	}
+	if s := g.String(); len(s) == 0 {
+		t.Fatal("empty graph string")
+	}
+	for k, want := range map[Kind]string{Enq: "Enq", Deq: "Deq", EmpDeq: "Deq(ε)", Push: "Push",
+		Pop: "Pop", EmpPop: "Pop(ε)", Exchange: "Exchange", LockAcq: "LockAcq", LockRel: "LockRel"} {
+		if k.String() != want {
+			t.Fatalf("Kind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+}

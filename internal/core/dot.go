@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"compass/internal/view"
+)
+
+// DOT renders the event graph in Graphviz format: one node per committed
+// event (labeled with its payload and committing thread), solid edges for
+// the so relation, and dashed edges for the transitive reduction of the
+// lhb relation (restricted to this object's events, for readability).
+func (g *Graph) DOT() string {
+	events := g.Events()
+	// lhb edges within this graph.
+	lhb := map[[2]view.EventID]bool{}
+	for _, d := range events {
+		for _, e := range d.LogView.Events() {
+			if g.Owns(e) {
+				lhb[[2]view.EventID{e, d.ID}] = true
+			}
+		}
+	}
+	// Transitive reduction: drop e→d if some f has e→f and f→d.
+	reduced := map[[2]view.EventID]bool{}
+	for edge := range lhb {
+		e, d := edge[0], edge[1]
+		redundant := false
+		for _, f := range events {
+			if f.ID != e && f.ID != d && lhb[[2]view.EventID{e, f.ID}] && lhb[[2]view.EventID{f.ID, d}] {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			reduced[edge] = true
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n", g.Name)
+	for i, e := range events {
+		fmt.Fprintf(&b, "  e%d [label=\"#%d %s\\nT%d\"];\n", e.ID.Local(), i, e.String(), e.Thread)
+	}
+	for _, p := range g.So() {
+		fmt.Fprintf(&b, "  e%d -> e%d [label=\"so\", penwidth=2];\n", p[0].Local(), p[1].Local())
+	}
+	edges := make([][2]view.EventID, 0, len(reduced))
+	for edge := range reduced {
+		edges = append(edges, edge)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, edge := range edges {
+		fmt.Fprintf(&b, "  e%d -> e%d [style=dashed, color=gray];\n", edge[0].Local(), edge[1].Local())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTRendersEventsAndRelations(t *testing.T) {
+	b := NewGraphBuilder("q")
+	e0 := b.Add(Enq, 1, 0)
+	e1 := b.Add(Enq, 2, 0, e0)
+	d := b.Add(Deq, 1, 0, e1) // lhb from e1 (and transitively e0)
+	b.So(e0, d)
+	dot := b.Graph().DOT()
+	for _, want := range []string{
+		"digraph \"q\"",
+		"e0 [label=\"#0 e0:Enq(1)",
+		"e2 [label=\"#2 e2:Deq(1)",
+		"e0 -> e2 [label=\"so\"",
+		"e0 -> e1 [style=dashed", // reduced lhb
+		"e1 -> e2 [style=dashed",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Transitive reduction: the edge e0 -> e2 (implied via e1) must not
+	// appear as a dashed lhb edge.
+	if strings.Contains(dot, "e0 -> e2 [style=dashed") {
+		t.Fatalf("transitive lhb edge not reduced:\n%s", dot)
+	}
+}
+
+func TestDOTEmptyGraph(t *testing.T) {
+	dot := NewGraphBuilder("empty").Graph().DOT()
+	if !strings.Contains(dot, "digraph") {
+		t.Fatalf("bad dot: %s", dot)
+	}
+}

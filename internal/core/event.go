@@ -1,0 +1,229 @@
+// Package core implements the COMPASS specification framework: event
+// graphs over library operations (§3.1 of the paper), logical views, the
+// synchronized-with relation so, the derived local-happens-before relation
+// lhb, and the commit recorder through which library implementations
+// register their operations' commit (linearization) points.
+//
+// The recorder realizes logical atomicity executably: a library calls
+// Commit adjacent to the single machine instruction at which its operation
+// takes effect; because the scheduler serializes machine steps and no step
+// occurs between the instruction and the Commit call, the event insertion
+// is atomic with respect to all other threads. The resulting total commit
+// order is the execution's linearization-candidate order, and the logical
+// views that ride on the memory's release/acquire clocks yield exactly the
+// paper's lhb approximation.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"compass/internal/view"
+)
+
+// Kind is the type of a library event (the paper's event type component).
+type Kind uint8
+
+// Event kinds for the library types studied in the paper.
+const (
+	// Queue events (§3.1).
+	Enq    Kind = iota // Enq(v): enqueue of Val
+	Deq                // Deq(v): successful dequeue returning Val
+	EmpDeq             // Deq(ε): failing (empty) dequeue
+	// Stack events (§3.3, §4).
+	Push   // Push(v)
+	Pop    // Pop(v): successful pop returning Val
+	EmpPop // Pop(ε): failing (empty) pop
+	// Exchanger events (§4.2). Val is the offered value; Val2 the received
+	// value, or ExFail for a failed exchange.
+	Exchange
+	// Work-stealing deque events (§6 future work; Chase-Lev [12, 50]).
+	// Owner pushes/takes reuse Push/Pop/EmpPop; thieves use Steal/EmpSteal.
+	Steal
+	EmpSteal
+	// Lock events (substrate demos).
+	LockAcq
+	LockRel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Enq:
+		return "Enq"
+	case Deq:
+		return "Deq"
+	case EmpDeq:
+		return "Deq(ε)"
+	case Push:
+		return "Push"
+	case Pop:
+		return "Pop"
+	case EmpPop:
+		return "Pop(ε)"
+	case Exchange:
+		return "Exchange"
+	case Steal:
+		return "Steal"
+	case EmpSteal:
+		return "Steal(ε)"
+	case LockAcq:
+		return "LockAcq"
+	case LockRel:
+		return "LockRel"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ExFail is the ⊥ return value of a failed exchange.
+const ExFail int64 = -0x7fffffffffffffff
+
+// Event is one library operation in an event graph, mirroring the paper's
+// Event type: an event type plus payload values, a physical view, and a
+// logical view.
+type Event struct {
+	ID   view.EventID
+	Kind Kind
+	Val  int64 // primary payload (enqueued/pushed/popped/offered value)
+	Val2 int64 // secondary payload (exchanger: received value)
+
+	Thread     int // thread that performed the operation's call
+	StartStep  int // machine step at which the operation began
+	CommitStep int // machine step at which the operation committed
+
+	// PhysView is the committing thread's physical view at the commit
+	// point (after the commit instruction).
+	PhysView view.View
+	// LogView is the event's logical view: the set of events that
+	// happen-before this event in the library's local-happens-before
+	// relation (lhb). It never contains the event itself.
+	LogView view.LogView
+
+	Committed bool
+}
+
+func (e *Event) String() string {
+	switch {
+	case e.Kind == Exchange && e.Val2 == ExFail:
+		return fmt.Sprintf("e%d:Exchange(%d,⊥)", e.ID.Local(), e.Val)
+	case e.Kind == Exchange:
+		return fmt.Sprintf("e%d:Exchange(%d,%d)", e.ID.Local(), e.Val, e.Val2)
+	case e.Kind == EmpDeq || e.Kind == EmpPop || e.Kind == EmpSteal:
+		return fmt.Sprintf("e%d:%s", e.ID.Local(), e.Kind)
+	default:
+		return fmt.Sprintf("e%d:%s(%d)", e.ID.Local(), e.Kind, e.Val)
+	}
+}
+
+// Graph is the event graph of one library object: the committed events,
+// the synchronized-with relation so, and the total commit order (the
+// logical-atomicity order in which commits occurred).
+type Graph struct {
+	Name string
+	// tag is this object's globally unique tag, embedded in its EventIDs.
+	tag int64
+	// events, indexed by EventID; entries may be uncommitted (pending).
+	events []*Event
+	// so edges in insertion order.
+	so [][2]view.EventID
+	// soFrom/soTo adjacency.
+	soFrom map[view.EventID][]view.EventID
+	soTo   map[view.EventID][]view.EventID
+	// CommitOrder lists committed event IDs in commit order.
+	CommitOrder []view.EventID
+}
+
+// graphTag issues globally unique object tags (atomic: graphs may be
+// created from concurrently running machines in tests and benchmarks).
+var graphTag int64
+
+// NewGraph returns an empty event graph.
+func NewGraph(name string) *Graph {
+	return &Graph{
+		Name:   name,
+		tag:    atomic.AddInt64(&graphTag, 1),
+		soFrom: map[view.EventID][]view.EventID{},
+		soTo:   map[view.EventID][]view.EventID{},
+	}
+}
+
+// Tag returns the graph's globally unique object tag.
+func (g *Graph) Tag() int64 { return g.tag }
+
+// Owns reports whether the event ID belongs to this graph's object.
+func (g *Graph) Owns(id view.EventID) bool { return id.Object() == g.tag }
+
+// Event returns the event with the given ID (committed or pending). The ID
+// must belong to this graph.
+func (g *Graph) Event(id view.EventID) *Event {
+	if !g.Owns(id) {
+		panic(fmt.Sprintf("core: event %d does not belong to graph %s", id, g.Name))
+	}
+	return g.events[id.Local()]
+}
+
+// NumEvents returns the number of allocated events, committed or pending.
+func (g *Graph) NumEvents() int { return len(g.events) }
+
+// Events returns the committed events in commit order.
+func (g *Graph) Events() []*Event {
+	out := make([]*Event, 0, len(g.CommitOrder))
+	for _, id := range g.CommitOrder {
+		out = append(out, g.events[id.Local()])
+	}
+	return out
+}
+
+// Pending returns the events that were begun but never committed (e.g.
+// retracted exchanger offers).
+func (g *Graph) Pending() []*Event {
+	var out []*Event
+	for _, e := range g.events {
+		if !e.Committed {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// So returns the so edges in insertion order.
+func (g *Graph) So() [][2]view.EventID {
+	out := make([][2]view.EventID, len(g.so))
+	copy(out, g.so)
+	return out
+}
+
+// SoFrom returns the events d with (e, d) ∈ so.
+func (g *Graph) SoFrom(e view.EventID) []view.EventID { return g.soFrom[e] }
+
+// SoTo returns the events e with (e, d) ∈ so.
+func (g *Graph) SoTo(d view.EventID) []view.EventID { return g.soTo[d] }
+
+// Lhb reports whether e happens-before d in the library's
+// local-happens-before relation, i.e. e ∈ G(d).logview. e may belong to a
+// different object (cross-library lhb through shared thread clocks); d
+// must belong to this graph.
+func (g *Graph) Lhb(e, d view.EventID) bool {
+	return g.Event(d).LogView.Has(e)
+}
+
+// addSo records (a, b) ∈ so.
+func (g *Graph) addSo(a, b view.EventID) {
+	g.so = append(g.so, [2]view.EventID{a, b})
+	g.soFrom[a] = append(g.soFrom[a], b)
+	g.soTo[b] = append(g.soTo[b], a)
+}
+
+// String renders the graph compactly: events in commit order plus so.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("Graph %s: %d events", g.Name, len(g.CommitOrder))
+	for _, e := range g.Events() {
+		s += "\n  " + e.String() + " lview=" + e.LogView.String()
+	}
+	if len(g.so) > 0 {
+		s += "\n  so:"
+		for _, p := range g.so {
+			s += fmt.Sprintf(" (e%d,e%d)", p[0].Local(), p[1].Local())
+		}
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+package deque_test
+
+import (
+	"testing"
+
+	"compass/internal/check"
+	"compass/internal/deque"
+	"compass/internal/machine"
+	"compass/internal/spec"
+)
+
+func good(th *machine.Thread) *deque.Deque { return deque.New(th, "wsq", 64) }
+
+func requirePass(t *testing.T, rep *check.Report) {
+	t.Helper()
+	if !rep.Passed() {
+		t.Fatalf("%s", rep)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("no execution completed: %s", rep)
+	}
+}
+
+func requireFailureFound(t *testing.T, rep *check.Report) {
+	t.Helper()
+	if rep.Passed() {
+		t.Fatalf("expected violations, none found: %s", rep)
+	}
+}
+
+func TestDequeHB(t *testing.T) {
+	requirePass(t, check.Run("wsq/hb",
+		check.DequeWorkStealing(good, spec.LevelHB, 4, 2, 3),
+		check.Options{Executions: 400, StaleBias: 0.5}))
+}
+
+func TestDequeHBHighContention(t *testing.T) {
+	requirePass(t, check.Run("wsq/hb-hot",
+		check.DequeWorkStealing(good, spec.LevelHB, 3, 3, 3),
+		check.Options{Executions: 400, StaleBias: 0.7}))
+}
+
+func TestDequeHist(t *testing.T) {
+	requirePass(t, check.Run("wsq/hist",
+		check.DequeWorkStealing(good, spec.LevelHist, 3, 2, 2),
+		check.Options{Executions: 300, StaleBias: 0.5}))
+}
+
+func TestDequeBuggyNoSCFenceCaught(t *testing.T) {
+	// Without the SC fences, the take/steal race on the last element can
+	// consume it twice — the documented Chase-Lev weak-memory pitfall.
+	f := func(th *machine.Thread) *deque.Deque { return deque.NewBuggyNoSCFence(th, "wsq", 64) }
+	requireFailureFound(t, check.Run("wsq/no-sc-fence",
+		check.DequeWorkStealing(f, spec.LevelHB, 4, 2, 3),
+		check.Options{Executions: 1500, StaleBias: 0.7}))
+}
+
+func TestDequeSequentialOwner(t *testing.T) {
+	// Pure owner usage behaves like a stack (LIFO at the bottom).
+	build := func() check.Checked {
+		var d *deque.Deque
+		return check.Checked{
+			Prog: machine.Program{
+				Setup: func(th *machine.Thread) { d = good(th) },
+				Workers: []func(*machine.Thread){func(th *machine.Thread) {
+					if _, ok := d.TakeBottom(th); ok {
+						th.Failf("take from empty succeeded")
+					}
+					d.PushBottom(th, 1)
+					d.PushBottom(th, 2)
+					if v, ok := d.TakeBottom(th); !ok || v != 2 {
+						th.Failf("take = %d,%v; want 2", v, ok)
+					}
+					if v, ok := d.TakeBottom(th); !ok || v != 1 {
+						th.Failf("take = %d,%v; want 1", v, ok)
+					}
+				}},
+			},
+			Check: func() ([]spec.Violation, int) {
+				return check.Collect(spec.CheckDeque(d.Recorder().Graph(), spec.LevelSC))
+			},
+		}
+	}
+	requirePass(t, check.Run("wsq/seq", build, check.Options{Executions: 20}))
+}
+
+func TestDequeStealsFIFO(t *testing.T) {
+	// With only thieves consuming, elements leave in push order.
+	build := func() check.Checked {
+		var d *deque.Deque
+		return check.Checked{
+			Prog: machine.Program{
+				Setup: func(th *machine.Thread) {
+					d = good(th)
+				},
+				Workers: []func(*machine.Thread){
+					func(th *machine.Thread) {
+						for i := int64(1); i <= 4; i++ {
+							d.PushBottom(th, i)
+						}
+					},
+					func(th *machine.Thread) {
+						last := int64(0)
+						for i := 0; i < 8; i++ {
+							if v, ok := d.Steal(th); ok {
+								if v <= last {
+									th.Failf("steals out of order: %d after %d", v, last)
+								}
+								last = v
+							}
+						}
+					},
+				},
+			},
+			Check: func() ([]spec.Violation, int) {
+				return check.Collect(spec.CheckDeque(d.Recorder().Graph(), spec.LevelHB))
+			},
+		}
+	}
+	requirePass(t, check.Run("wsq/fifo-steals", build, check.Options{Executions: 300, StaleBias: 0.5}))
+}
+
+func TestDequeCapacityExceeded(t *testing.T) {
+	f := func(th *machine.Thread) *deque.Deque { return deque.New(th, "wsq", 2) }
+	rep := check.Run("wsq/cap", check.DequeWorkStealing(f, spec.LevelHB, 4, 0, 0),
+		check.Options{Executions: 5})
+	requireFailureFound(t, rep)
+}
+
+func TestDequeRejectsNonPositive(t *testing.T) {
+	prog := machine.Program{
+		Workers: []func(*machine.Thread){func(th *machine.Thread) {
+			d := deque.New(th, "wsq", 4)
+			d.PushBottom(th, 0)
+		}},
+	}
+	res := (&machine.Runner{}).Run(prog, machine.NewRandom(1))
+	if res.Status != machine.Failed {
+		t.Fatalf("status = %v, want Failed", res.Status)
+	}
+}

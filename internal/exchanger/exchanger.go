@@ -1,0 +1,166 @@
+// Package exchanger implements the elimination exchanger of Scherer, Lea
+// and Scott [63] on the simulated ORC11 memory, with the helping structure
+// the paper's exchanger spec captures (§4.2, Fig. 5):
+//
+// A thread installs an offer (a node with its value) into the slot with a
+// release CAS and waits for a partner. A partner claims the offer with an
+// acquire CAS — the commit point of BOTH exchanges: the claimer is the
+// *helper*, and it commits the offeror's (*helpee's*) event immediately
+// followed by its own, so a matched pair is atomic in the commit order and
+// no other operation can observe the intermediate state. The helper then
+// release-writes its value into the offer's response cell, which hands the
+// offeror its result and — through the clock carried by the release — the
+// logical view containing both events (the paper's local postcondition
+// SeenExchanges(x, G”, M')).
+//
+// A timed-out offeror retracts its offer with a CAS; if the retraction
+// fails, a partner has already claimed the offer and the response is
+// guaranteed to arrive. Exchanges that never match commit a failed event
+// Exchange(v, ⊥).
+package exchanger
+
+import (
+	"compass/internal/core"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// MatchFunc is invoked by the helper immediately after it commits a
+// matched pair — still atomically with the pair's commits (no machine step
+// occurs before the callback runs). The elimination stack uses it to
+// commit its own push/pop pair at the same point (§4.1).
+type MatchFunc func(th *machine.Thread, helpee, helper view.EventID, helpeeVal, helperVal int64)
+
+// exNode is one offer: an immutable value and event-ID cell (published by
+// the offer's release CAS) plus an atomic response cell (0 = no response).
+type exNode struct {
+	val  view.Loc
+	eid  view.Loc
+	resp view.Loc
+}
+
+// Exchanger is a single-slot exchanger object.
+type Exchanger struct {
+	slot  view.Loc
+	nodes []exNode
+	rec   *core.Recorder
+
+	offerMode memory.Mode // write mode of the offer CAS (Rel; buggy: Rlx)
+	respMode  memory.Mode // write mode of the response (Rel; buggy: Rlx)
+
+	// WaitSpins bounds how long an offeror waits for a partner before
+	// retracting (default 6).
+	WaitSpins int
+}
+
+// New allocates an exchanger with the paper's access modes.
+func New(th *machine.Thread, name string) *Exchanger {
+	return newEx(th, name, memory.Rel, memory.Rel)
+}
+
+// NewBuggyRelaxedOffer is the ablation variant whose offer CAS is relaxed:
+// the claimer races on the offer's value cell.
+func NewBuggyRelaxedOffer(th *machine.Thread, name string) *Exchanger {
+	return newEx(th, name, memory.Rlx, memory.Rel)
+}
+
+// NewBuggyRelaxedResponse is the ablation variant whose response write is
+// relaxed: the offeror gets its partner's value without synchronizing with
+// the partner, breaking resource transfer (the §4.2 derived spec).
+func NewBuggyRelaxedResponse(th *machine.Thread, name string) *Exchanger {
+	return newEx(th, name, memory.Rel, memory.Rlx)
+}
+
+func newEx(th *machine.Thread, name string, offerMode, respMode memory.Mode) *Exchanger {
+	return &Exchanger{
+		slot:      th.Alloc(name+".slot", 0),
+		rec:       core.NewRecorder(name),
+		offerMode: offerMode,
+		respMode:  respMode,
+		WaitSpins: 6,
+	}
+}
+
+// Recorder exposes the exchanger's event graph recorder.
+func (x *Exchanger) Recorder() *core.Recorder { return x.rec }
+
+func (x *Exchanger) alloc(th *machine.Thread, v, eid int64) int64 {
+	n := exNode{
+		val:  th.Alloc("ex.val", v),
+		eid:  th.Alloc("ex.eid", eid),
+		resp: th.Alloc("ex.resp", 0),
+	}
+	x.nodes = append(x.nodes, n)
+	return int64(len(x.nodes))
+}
+
+// Exchange offers v (which must be nonzero and not ⊥) for up to
+// patience+1 attempts. It returns the partner's value on success, or
+// core.ExFail (⊥) if no partner was found.
+func (x *Exchanger) Exchange(th *machine.Thread, v int64, patience int) int64 {
+	return x.ExchangeMatch(th, v, patience, nil)
+}
+
+// ExchangeMatch is Exchange with a helper-side match callback (see
+// MatchFunc).
+func (x *Exchanger) ExchangeMatch(th *machine.Thread, v int64, patience int, onMatch MatchFunc) int64 {
+	if v == 0 || v == core.ExFail {
+		th.Failf("exchanger: reserved value %d offered", v)
+	}
+	id := x.rec.Begin(th, core.Exchange, v)
+	for attempt := 0; attempt <= patience; attempt++ {
+		s := th.Read(x.slot, memory.Acq)
+		if s == 0 {
+			n := x.alloc(th, v, int64(id))
+			if _, ok := th.CAS(x.slot, 0, n, memory.Rlx, x.offerMode); !ok {
+				th.Yield() // lost the installation race
+				continue
+			}
+			if r, ok := x.awaitResponse(th, n, x.WaitSpins); ok {
+				return r
+			}
+			// Timed out: retract. Failure means a partner claimed the
+			// offer concurrently; its response is then guaranteed.
+			if _, ok := th.CAS(x.slot, n, 0, memory.Rlx, memory.Rlx); !ok {
+				r, _ := x.awaitResponse(th, n, -1)
+				return r
+			}
+			continue
+		}
+		// An offer is present: try to claim it.
+		if _, ok := th.CAS(x.slot, s, 0, memory.Acq, memory.Rlx); ok {
+			other := x.nodes[s-1]
+			theirVal := th.Read(other.val, memory.NA)
+			theirEid := view.EventID(th.Read(other.eid, memory.NA))
+			// Helper: commit the helpee's event, then our own —
+			// atomically (no machine step in between).
+			x.rec.CommitForeign(th, theirEid, v)
+			x.rec.Commit(th, id)
+			x.rec.SetVal2(id, theirVal)
+			x.rec.AddSo(theirEid, id)
+			x.rec.AddSo(id, theirEid)
+			if onMatch != nil {
+				onMatch(th, theirEid, id, theirVal, v)
+			}
+			th.Write(other.resp, v, x.respMode)
+			return theirVal
+		}
+		th.Yield()
+	}
+	x.rec.Commit(th, id) // failed exchange: Exchange(v, ⊥)
+	return core.ExFail
+}
+
+// awaitResponse polls the offer's response cell. spins < 0 waits
+// indefinitely (bounded by the machine's step budget).
+func (x *Exchanger) awaitResponse(th *machine.Thread, n int64, spins int) (int64, bool) {
+	node := x.nodes[n-1]
+	for i := 0; spins < 0 || i < spins; i++ {
+		if r := th.Read(node.resp, memory.Acq); r != 0 {
+			return r, true
+		}
+		th.Yield()
+	}
+	return 0, false
+}

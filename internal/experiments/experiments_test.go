@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// tiny returns a config small enough for unit testing each experiment.
+func tiny(execs int) Config {
+	return Config{Executions: execs, Seed: 1, StaleBias: 0.5, Out: io.Discard}
+}
+
+func requireReproduced(t *testing.T, s Summary) {
+	t.Helper()
+	if !s.OK {
+		t.Fatalf("experiment did not reproduce: %s", s)
+	}
+}
+
+func TestL1(t *testing.T)  { requireReproduced(t, L1Litmus(tiny(0))) }
+func TestF1(t *testing.T)  { requireReproduced(t, Fig1MP(tiny(60))) }
+func TestF1b(t *testing.T) { requireReproduced(t, F1bSpecStrength(tiny(1))) }
+func TestF3(t *testing.T)  { requireReproduced(t, Fig3DeqPerm(tiny(60))) }
+func TestF4(t *testing.T)  { requireReproduced(t, Fig4HistStack(tiny(80))) }
+func TestF5(t *testing.T)  { requireReproduced(t, Fig5Exchanger(tiny(60))) }
+func TestE1(t *testing.T)  { requireReproduced(t, E1ElimStack(tiny(60))) }
+func TestE2(t *testing.T)  { requireReproduced(t, E2SPSC(tiny(60))) }
+func TestT1(t *testing.T)  { requireReproduced(t, T1Effort(tiny(1))) }
+func TestT2(t *testing.T)  { requireReproduced(t, T2CheckerCost(tiny(20))) }
+func TestA1(t *testing.T)  { requireReproduced(t, A1Ablations(tiny(40))) }
+func TestW1(t *testing.T)  { requireReproduced(t, W1WorkStealing(tiny(50))) }
+func TestM1(t *testing.T)  { requireReproduced(t, M1RingQueue(tiny(60))) }
+func TestW2(t *testing.T)  { requireReproduced(t, W2Reclamation(tiny(60))) }
+
+func TestF2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full spec matrix is slow")
+	}
+	requireReproduced(t, Fig2SpecMatrix(tiny(40)))
+}
+
+func TestX1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration is slow")
+	}
+	requireReproduced(t, X1Exhaustive(tiny(1)))
+}
+
+func TestExperimentOutputIsMarkdown(t *testing.T) {
+	var b strings.Builder
+	cfg := tiny(30)
+	cfg.Out = &b
+	Fig1MP(cfg)
+	out := b.String()
+	if !strings.Contains(out, "## F1") || !strings.Contains(out, "| queue |") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Name: "x", OK: true, Detail: "d"}
+	if got := s.String(); !strings.Contains(got, "REPRODUCED") {
+		t.Fatalf("got %q", got)
+	}
+	s.OK = false
+	if got := s.String(); !strings.Contains(got, "MISMATCH") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCellRendering(t *testing.T) {
+	// covered indirectly; ensure helpers exist for the levels table.
+	if len(levelNames) != 4 {
+		t.Fatalf("levelNames = %d", len(levelNames))
+	}
+}

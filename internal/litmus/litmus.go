@@ -1,0 +1,424 @@
+// Package litmus validates the ORC11 machine against the classic litmus
+// tests: which weak behaviours the model must allow (store buffering,
+// IRIW, relaxed message passing) and which it must forbid (load buffering
+// — po ∪ rf is acyclic in ORC11, §1.2 —, coherence violations, stale
+// reads through release/acquire).
+//
+// Each test is explored exhaustively over all schedules and read choices,
+// so a verdict is a proof about the machine (for that bounded program),
+// not a sample.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// Test is one litmus test.
+type Test struct {
+	Name string
+	// Build returns a fresh program; outcomes are recorded via Report.
+	Build func() machine.Program
+	// Forbidden outcomes must never be observed.
+	Forbidden []string
+	// Required outcomes must be observed at least once (witnesses of
+	// allowed weak behaviour).
+	Required []string
+	// Note documents model-specific expectations (e.g. 2+2W).
+	Note string
+}
+
+// Result summarizes the exhaustive exploration of one test.
+type Result struct {
+	Test     Test
+	Runs     int
+	Complete bool
+	Outcomes map[string]int
+	// ForbiddenSeen lists forbidden outcomes that were observed.
+	ForbiddenSeen []string
+	// RequiredMissing lists required outcomes never observed.
+	RequiredMissing []string
+}
+
+// OK reports whether the machine matched the test's expectations.
+func (r *Result) OK() bool {
+	return r.Complete && len(r.ForbiddenSeen) == 0 && len(r.RequiredMissing) == 0
+}
+
+func (r *Result) String() string {
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = "FAIL"
+	}
+	keys := make([]string, 0, len(r.Outcomes))
+	for k := range r.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %s  %d executions (complete=%v)", r.Test.Name, verdict, r.Runs, r.Complete)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "\n    %-28s %6d", k, r.Outcomes[k])
+	}
+	for _, f := range r.ForbiddenSeen {
+		fmt.Fprintf(&b, "\n    FORBIDDEN OUTCOME SEEN: %s", f)
+	}
+	for _, m := range r.RequiredMissing {
+		fmt.Fprintf(&b, "\n    REQUIRED OUTCOME MISSING: %s", m)
+	}
+	return b.String()
+}
+
+// outcomeKey renders an outcome map canonically: "a=0 b=1" in key order.
+func outcomeKey(o map[string]int64) string {
+	keys := make([]string, 0, len(o))
+	for k := range o {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, o[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Run explores the test exhaustively (bounded by maxRuns) and evaluates
+// its expectations.
+func Run(t Test, maxRuns int) *Result {
+	res := &Result{Test: t, Outcomes: map[string]int{}}
+	er := machine.Explore(t.Build, machine.ExploreOpts{MaxRuns: maxRuns}, func(r *machine.Result) bool {
+		if r.Status == machine.OK {
+			res.Outcomes[outcomeKey(r.Outcome)]++
+		}
+		return true
+	})
+	res.Runs = er.Runs
+	res.Complete = er.Complete
+	for _, f := range t.Forbidden {
+		if res.Outcomes[f] > 0 {
+			res.ForbiddenSeen = append(res.ForbiddenSeen, f)
+		}
+	}
+	for _, q := range t.Required {
+		if res.Outcomes[q] == 0 {
+			res.RequiredMissing = append(res.RequiredMissing, q)
+		}
+	}
+	return res
+}
+
+// twoLoc allocates the standard two shared locations.
+func twoLoc(x, y *view.Loc) func(*machine.Thread) {
+	return func(th *machine.Thread) {
+		*x = th.Alloc("x", 0)
+		*y = th.Alloc("y", 0)
+	}
+}
+
+// Suite returns the litmus tests for the ORC11 machine.
+func Suite() []Test {
+	return []Test{
+		{
+			Name: "MP+rel+acq",
+			Note: "message passing with release/acquire: stale data forbidden",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) {
+							th.Write(x, 1, memory.Rlx)
+							th.Write(y, 1, memory.Rel)
+						},
+						func(th *machine.Thread) {
+							th.Report("f", th.Read(y, memory.Acq))
+							th.Report("d", th.Read(x, memory.Rlx))
+						},
+					},
+				}
+			},
+			Forbidden: []string{"d=0 f=1"},
+			Required:  []string{"d=1 f=1", "d=0 f=0"},
+		},
+		{
+			Name: "MP+rlx",
+			Note: "relaxed message passing: stale data allowed",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) {
+							th.Write(x, 1, memory.Rlx)
+							th.Write(y, 1, memory.Rlx)
+						},
+						func(th *machine.Thread) {
+							th.Report("f", th.Read(y, memory.Rlx))
+							th.Report("d", th.Read(x, memory.Rlx))
+						},
+					},
+				}
+			},
+			Required: []string{"d=0 f=1", "d=1 f=1"},
+		},
+		{
+			Name: "MP+fences",
+			Note: "relaxed accesses with release/acquire fences: stale data forbidden",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) {
+							th.Write(x, 1, memory.Rlx)
+							th.Fence(false, true)
+							th.Write(y, 1, memory.Rlx)
+						},
+						func(th *machine.Thread) {
+							f := th.Read(y, memory.Rlx)
+							th.Fence(true, false)
+							th.Report("f", f)
+							th.Report("d", th.Read(x, memory.Rlx))
+						},
+					},
+				}
+			},
+			Forbidden: []string{"d=0 f=1"},
+			Required:  []string{"d=1 f=1"},
+		},
+		{
+			Name: "SB",
+			Note: "store buffering: both-stale allowed without SC accesses (RC11)",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) {
+							th.Write(x, 1, memory.Rel)
+							th.Report("r1", th.Read(y, memory.Acq))
+						},
+						func(th *machine.Thread) {
+							th.Write(y, 1, memory.Rel)
+							th.Report("r2", th.Read(x, memory.Acq))
+						},
+					},
+				}
+			},
+			Required: []string{"r1=0 r2=0", "r1=1 r2=1"},
+		},
+		{
+			Name: "SB+scfence",
+			Note: "store buffering with SC fences: both-stale forbidden",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) {
+							th.Write(x, 1, memory.Rlx)
+							th.FenceSC()
+							th.Report("r1", th.Read(y, memory.Rlx))
+						},
+						func(th *machine.Thread) {
+							th.Write(y, 1, memory.Rlx)
+							th.FenceSC()
+							th.Report("r2", th.Read(x, memory.Rlx))
+						},
+					},
+				}
+			},
+			Forbidden: []string{"r1=0 r2=0"},
+			Required:  []string{"r1=1 r2=1", "r1=1 r2=0", "r1=0 r2=1"},
+		},
+		{
+			Name: "LB",
+			Note: "load buffering: forbidden in ORC11 (po ∪ rf acyclic)",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) {
+							th.Report("r1", th.Read(x, memory.Rlx))
+							th.Write(y, 1, memory.Rlx)
+						},
+						func(th *machine.Thread) {
+							th.Report("r2", th.Read(y, memory.Rlx))
+							th.Write(x, 1, memory.Rlx)
+						},
+					},
+				}
+			},
+			Forbidden: []string{"r1=1 r2=1"},
+			Required:  []string{"r1=0 r2=0", "r1=0 r2=1", "r1=1 r2=0"},
+		},
+		{
+			Name: "CoRR",
+			Note: "coherence of read-read: no location-level reordering",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) {
+							th.Write(x, 1, memory.Rlx)
+							th.Write(x, 2, memory.Rlx)
+						},
+						func(th *machine.Thread) {
+							th.Report("a", th.Read(x, memory.Rlx))
+							th.Report("b", th.Read(x, memory.Rlx))
+						},
+					},
+				}
+			},
+			Forbidden: []string{"a=2 b=1", "a=1 b=0", "a=2 b=0"},
+			Required:  []string{"a=0 b=0", "a=1 b=2", "a=2 b=2", "a=1 b=1"},
+		},
+		{
+			Name: "IRIW",
+			Note: "independent reads of independent writes: readers may disagree (no SC accesses)",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) { th.Write(x, 1, memory.Rel) },
+						func(th *machine.Thread) { th.Write(y, 1, memory.Rel) },
+						func(th *machine.Thread) {
+							th.Report("r1", th.Read(x, memory.Acq))
+							th.Report("r2", th.Read(y, memory.Acq))
+						},
+						func(th *machine.Thread) {
+							th.Report("r3", th.Read(y, memory.Acq))
+							th.Report("r4", th.Read(x, memory.Acq))
+						},
+					},
+				}
+			},
+			Required: []string{"r1=1 r2=0 r3=1 r4=0"},
+		},
+		{
+			Name: "2+2W",
+			Note: "2+2W weak outcome (mo against execution order) is unreachable in this machine — stricter than RC11, which allows it; realizing it needs promises/speculation (see DESIGN.md)",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) {
+							th.Write(x, 1, memory.Rlx)
+							th.Write(y, 2, memory.Rlx)
+						},
+						func(th *machine.Thread) {
+							th.Write(y, 1, memory.Rlx)
+							th.Write(x, 2, memory.Rlx)
+						},
+					},
+					Final: func(th *machine.Thread) {
+						th.Report("x", th.Read(x, memory.Rlx))
+						th.Report("y", th.Read(y, memory.Rlx))
+					},
+				}
+			},
+			Forbidden: []string{"x=1 y=1"},
+		},
+		{
+			Name: "MP+rmw-publish",
+			Note: "publication through a release FAA instead of a plain release store",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) {
+							th.Write(x, 1, memory.Rlx)
+							th.FetchAdd(y, 1, memory.Rlx, memory.Rel)
+						},
+						func(th *machine.Thread) {
+							th.Report("f", th.Read(y, memory.Acq))
+							th.Report("d", th.Read(x, memory.Rlx))
+						},
+					},
+				}
+			},
+			Forbidden: []string{"d=0 f=1"},
+			Required:  []string{"d=1 f=1", "d=0 f=0"},
+		},
+		{
+			Name: "CoWR",
+			Note: "coherence of write-read: a thread cannot read a value older than its own write",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) { th.Write(x, 1, memory.Rlx) },
+						func(th *machine.Thread) {
+							th.Write(x, 2, memory.Rlx)
+							th.Report("r", th.Read(x, memory.Rlx))
+						},
+					},
+				}
+			},
+			Forbidden: []string{"r=0"},
+			Required:  []string{"r=2", "r=1"},
+		},
+		{
+			Name: "RMW-atomicity",
+			Note: "parallel fetch-and-adds never lose updates",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) { th.FetchAdd(x, 1, memory.Rlx, memory.Rlx) },
+						func(th *machine.Thread) { th.FetchAdd(x, 1, memory.Rlx, memory.Rlx) },
+						func(th *machine.Thread) { th.FetchAdd(x, 1, memory.Rlx, memory.Rlx) },
+					},
+					Final: func(th *machine.Thread) {
+						th.Report("x", th.Read(x, memory.Rlx))
+					},
+				}
+			},
+			Forbidden: []string{"x=0", "x=1", "x=2"},
+			Required:  []string{"x=3"},
+		},
+		{
+			Name: "REL-SEQ",
+			Note: "release sequence through a relaxed RMW",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) {
+							th.Write(x, 1, memory.Rlx)
+							th.Write(y, 1, memory.Rel)
+						},
+						func(th *machine.Thread) {
+							th.FetchAdd(y, 1, memory.Rlx, memory.Rlx)
+						},
+						func(th *machine.Thread) {
+							f := th.Read(y, memory.Acq)
+							d := th.Read(x, memory.Rlx)
+							if f == 2 && d == 0 {
+								th.Report("broken", 1)
+							} else {
+								th.Report("broken", 0)
+							}
+						},
+					},
+				}
+			},
+			Forbidden: []string{"broken=1"},
+			Required:  []string{"broken=0"},
+		},
+	}
+}

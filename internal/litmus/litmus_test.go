@@ -1,0 +1,52 @@
+package litmus
+
+import (
+	"testing"
+)
+
+func TestSuiteAllPass(t *testing.T) {
+	for _, tc := range Suite() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			res := Run(tc, 400000)
+			if !res.OK() {
+				t.Fatalf("%s", res)
+			}
+		})
+	}
+}
+
+func TestOutcomeKeyCanonical(t *testing.T) {
+	k := outcomeKey(map[string]int64{"b": 2, "a": 1})
+	if k != "a=1 b=2" {
+		t.Fatalf("key = %q", k)
+	}
+}
+
+func TestResultStringHasVerdict(t *testing.T) {
+	res := Run(Suite()[0], 400000)
+	s := res.String()
+	if len(s) == 0 || res.Outcomes == nil {
+		t.Fatal("empty result rendering")
+	}
+}
+
+func TestForbiddenDetection(t *testing.T) {
+	// A deliberately wrong expectation must be flagged, proving the
+	// harness actually checks something.
+	bad := Suite()[1] // MP+rlx: the weak outcome IS observed
+	bad.Forbidden = []string{"d=0 f=1"}
+	res := Run(bad, 400000)
+	if res.OK() || len(res.ForbiddenSeen) == 0 {
+		t.Fatalf("harness failed to flag a seen forbidden outcome: %s", res)
+	}
+}
+
+func TestRequiredDetection(t *testing.T) {
+	bad := Suite()[0] // MP+rel+acq: stale data never happens
+	bad.Required = append(bad.Required, "d=0 f=1")
+	res := Run(bad, 400000)
+	if res.OK() || len(res.RequiredMissing) == 0 {
+		t.Fatalf("harness failed to flag a missing required outcome: %s", res)
+	}
+}

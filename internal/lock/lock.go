@@ -1,0 +1,95 @@
+// Package lock provides mutual-exclusion locks on the simulated ORC11
+// memory: a test-and-set spin lock (the synchronization substrate for the
+// coarse-grained SC baselines) and Peterson's lock (a client of the
+// machine's SC fences). The spin lock can optionally record LockAcq and
+// LockRel events on a COMPASS recorder, checked by spec.CheckLock —
+// making the lock itself a specified library in the paper's sense.
+package lock
+
+import (
+	"compass/internal/core"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// lockedSentinel is the cell value while the lock is held. Unlocked states
+// hold 0 (initial) or the releasing LockRel event's ID + 1 (so the next
+// acquirer can record its so edge).
+const lockedSentinel int64 = -1
+
+// SpinLock is a test-and-set spin lock.
+type SpinLock struct {
+	cell view.Loc
+	rec  *core.Recorder // nil unless NewRecorded
+}
+
+// New allocates an unlocked spin lock (no event recording).
+func New(th *machine.Thread, name string) *SpinLock {
+	return &SpinLock{cell: th.Alloc(name, 0)}
+}
+
+// NewRecorded allocates a spin lock that records LockAcq/LockRel events,
+// for checking against spec.CheckLock.
+func NewRecorded(th *machine.Thread, name string) *SpinLock {
+	return &SpinLock{cell: th.Alloc(name, 0), rec: core.NewRecorder(name)}
+}
+
+// Recorder exposes the lock's event recorder (nil for New).
+func (l *SpinLock) Recorder() *core.Recorder { return l.rec }
+
+// acquire is the single acquisition attempt: an RMW that takes the lock
+// if the cell holds any unlocked value, acquiring the previous releaser's
+// clock. Returns the previous cell value.
+func (l *SpinLock) acquire(th *machine.Thread) (int64, bool) {
+	return th.Update(l.cell, func(old int64) (int64, bool) {
+		if old == lockedSentinel {
+			return 0, false
+		}
+		return lockedSentinel, true
+	}, memory.Acq, memory.Rlx)
+}
+
+// record commits a LockAcq event matched to the releasing LockRel (if any).
+func (l *SpinLock) record(th *machine.Thread, old int64) {
+	if l.rec == nil {
+		return
+	}
+	a := l.rec.CommitNew(th, core.LockAcq, 0)
+	if old > 0 {
+		l.rec.AddSo(view.EventID(old-1), a)
+	}
+}
+
+// Lock spins until the lock is acquired. The successful RMW has acquire
+// semantics, so everything released by the previous Unlock is observed.
+func (l *SpinLock) Lock(th *machine.Thread) {
+	for {
+		if old, ok := l.acquire(th); ok {
+			l.record(th, old)
+			return
+		}
+		th.Yield()
+	}
+}
+
+// TryLock attempts to acquire the lock once.
+func (l *SpinLock) TryLock(th *machine.Thread) bool {
+	old, ok := l.acquire(th)
+	if ok {
+		l.record(th, old)
+	}
+	return ok
+}
+
+// Unlock releases the lock, publishing the critical section's effects.
+func (l *SpinLock) Unlock(th *machine.Thread) {
+	if l.rec == nil {
+		th.Write(l.cell, 0, memory.Rel)
+		return
+	}
+	id := l.rec.Begin(th, core.LockRel, 0)
+	l.rec.Arm(th, id)
+	th.Write(l.cell, int64(id)+1, memory.Rel) // commit point: the release
+	l.rec.Commit(th, id)
+}

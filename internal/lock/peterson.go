@@ -1,0 +1,72 @@
+package lock
+
+import (
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// Peterson is Peterson's two-thread mutual-exclusion lock, implemented
+// with relaxed accesses plus SC fences — the classic algorithm that is
+// broken under plain release/acquire (its entry protocol is a
+// store-buffering shape) and needs the global fence order. It serves as a
+// second client of the machine's SC fences next to the Chase-Lev deque.
+type Peterson struct {
+	flag [2]view.Loc
+	turn view.Loc
+	// scFence disables the fences in the buggy variant.
+	scFence bool
+}
+
+// NewPeterson allocates a Peterson lock for threads 0 and 1.
+func NewPeterson(th *machine.Thread, name string) *Peterson {
+	return newPeterson(th, name, true)
+}
+
+// NewPetersonBuggyNoFence is the ablation variant with a fully relaxed
+// entry protocol (relaxed turn exchange, no SC fence): both threads can
+// read each other's flag stale and enter the critical section
+// simultaneously.
+func NewPetersonBuggyNoFence(th *machine.Thread, name string) *Peterson {
+	return newPeterson(th, name, false)
+}
+
+func newPeterson(th *machine.Thread, name string, sc bool) *Peterson {
+	return &Peterson{
+		flag:    [2]view.Loc{th.Alloc(name+".flag0", 0), th.Alloc(name+".flag1", 0)},
+		turn:    th.Alloc(name+".turn", 0),
+		scFence: sc,
+	}
+}
+
+// Lock acquires the lock as contender who (0 or 1). The turn handoff is
+// an acq_rel exchange: yielding the turn must acquire the observations of
+// the contender that yielded before us (otherwise our stale read of their
+// flag lets both threads enter); the SC fence rules out the symmetric
+// store-buffering case where both contenders read both flags stale.
+func (p *Peterson) Lock(th *machine.Thread, who int) {
+	other := 1 - who
+	th.Write(p.flag[who], 1, memory.Rlx)
+	turnMode := memory.AcqRel
+	if !p.scFence {
+		turnMode = memory.Rlx // ablation: no ordering at all
+	}
+	th.Exchange(p.turn, int64(other), turnMode, turnMode)
+	if p.scFence {
+		th.FenceSC()
+	}
+	for {
+		if th.Read(p.flag[other], memory.Acq) == 0 {
+			return
+		}
+		if th.Read(p.turn, memory.Acq) != int64(other) {
+			return
+		}
+		th.Yield()
+	}
+}
+
+// Unlock releases the lock.
+func (p *Peterson) Unlock(th *machine.Thread, who int) {
+	th.Write(p.flag[who], 0, memory.Rel)
+}

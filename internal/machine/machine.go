@@ -1,0 +1,471 @@
+// Package machine executes concurrent programs against the ORC11 memory
+// simulator with fully controlled nondeterminism. Programs are plain Go
+// closures over a *Thread handle; every memory access is a scheduling
+// point. A pluggable Strategy resolves the two sources of relaxed-memory
+// nondeterminism: which thread steps next, and which visible message a
+// relaxed/acquire read observes.
+//
+// Threads run as goroutines but proceed in strict lockstep with the
+// scheduler: exactly one thread is ever between "granted" and "parked", so
+// the shared memory needs no locking and executions are deterministic
+// functions of the strategy's decisions (enabling replay and exhaustive
+// exploration).
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// Program is a concurrent test program: a setup phase run by the main
+// thread, N worker bodies run concurrently, and a final phase run by the
+// main thread after all workers have finished (joining their views, as a
+// pthread_join would).
+type Program struct {
+	Name    string
+	Setup   func(*Thread)
+	Workers []func(*Thread)
+	Final   func(*Thread)
+}
+
+// Status classifies how an execution ended.
+type Status uint8
+
+const (
+	// OK: the program ran to completion.
+	OK Status = iota
+	// Racy: a data race on a non-atomic access was detected (UB in ORC11).
+	Racy
+	// Budget: the step budget was exhausted (e.g. an unlucky spin loop);
+	// the execution is discarded, it is neither a pass nor a violation.
+	Budget
+	// Failed: the program itself reported a failure via Thread.Failf.
+	Failed
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Racy:
+		return "racy"
+	case Budget:
+		return "budget"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	Status  Status
+	Err     error
+	Mem     *memory.Memory
+	Steps   int
+	Outcome map[string]int64 // values reported by Thread.Report
+	// Trace is the per-step operation log (only when Runner.Trace is set).
+	Trace []string
+}
+
+// Strategy resolves scheduling and read nondeterminism. Implementations
+// must be deterministic given their own state so executions can be
+// replayed.
+type Strategy interface {
+	// PickThread picks the next thread to step among the runnable ones
+	// (indices into the program's thread list; 0 is the main thread).
+	// Called only when len(runnable) > 1.
+	PickThread(runnable []int) int
+	// Choose picks among n > 1 visible messages for a read.
+	Choose(n int) int
+}
+
+// abort is the panic payload used to unwind a thread on race/budget/kill.
+type abort struct {
+	status Status
+	err    error
+}
+
+type killed struct{}
+
+// Thread is the handle through which program code accesses the simulated
+// memory. All methods are scheduling points.
+type Thread struct {
+	id int
+	tv *memory.ThreadView
+	mc *controller
+}
+
+// ID returns the thread's index: 0 for the main thread, 1..N for workers.
+func (t *Thread) ID() int { return t.id }
+
+// TV exposes the underlying ORC11 thread view (used by the event-graph
+// recorder to snapshot and extend clocks at commit points).
+func (t *Thread) TV() *memory.ThreadView { return t.tv }
+
+// step parks the thread until the scheduler grants it its next event.
+func (t *Thread) step() {
+	select {
+	case t.mc.events <- event{tid: t.id, kind: evRequest}:
+	case <-t.mc.kill:
+		panic(killed{})
+	}
+	select {
+	case <-t.mc.grants[t.id]:
+	case <-t.mc.kill:
+		panic(killed{})
+	}
+	t.mc.steps++
+	if t.mc.steps > t.mc.budget {
+		panic(abort{status: Budget, err: errors.New("step budget exhausted")})
+	}
+}
+
+// Alloc allocates a fresh named location initialized to init.
+func (t *Thread) Alloc(name string, init int64) view.Loc {
+	t.step()
+	l := t.mc.mem.Alloc(t.tv, name, init)
+	t.mc.tracef("T%d  alloc   %s (l%d) := %d", t.id, name, l, init)
+	return l
+}
+
+// Read loads from l with the given access mode.
+func (t *Thread) Read(l view.Loc, mode memory.Mode) int64 {
+	t.step()
+	v, err := t.mc.mem.Read(t.tv, l, mode, t.mc.chooser())
+	if err != nil {
+		t.mc.tracef("T%d  RACE    read_%v %s", t.id, mode, t.mc.mem.Name(l))
+		panic(abort{status: Racy, err: err})
+	}
+	t.mc.tracef("T%d  read    %s =%v= %d", t.id, t.mc.mem.Name(l), mode, v)
+	return v
+}
+
+// Write stores v to l with the given access mode.
+func (t *Thread) Write(l view.Loc, v int64, mode memory.Mode) {
+	t.step()
+	if err := t.mc.mem.Write(t.tv, l, v, mode); err != nil {
+		t.mc.tracef("T%d  RACE    write_%v %s", t.id, mode, t.mc.mem.Name(l))
+		panic(abort{status: Racy, err: err})
+	}
+	t.mc.tracef("T%d  write   %s :=%v= %d", t.id, t.mc.mem.Name(l), mode, v)
+}
+
+// Free deallocates a location; any later access by any thread is
+// use-after-free, aborting the execution as undefined behaviour.
+func (t *Thread) Free(l view.Loc) {
+	t.step()
+	if err := t.mc.mem.Free(t.tv, l); err != nil {
+		panic(abort{status: Racy, err: err})
+	}
+	t.mc.tracef("T%d  free    %s", t.id, t.mc.mem.Name(l))
+}
+
+// Fence issues a fence: acquire, release, or both.
+func (t *Thread) Fence(acquire, release bool) {
+	t.step()
+	t.mc.mem.Fence(t.tv, acquire, release)
+	t.mc.tracef("T%d  fence   acq=%v rel=%v", t.id, acquire, release)
+}
+
+// FenceSC issues a sequentially consistent fence (totally ordered with all
+// other SC fences; forbids store-buffering between fenced accesses).
+func (t *Thread) FenceSC() {
+	t.step()
+	t.mc.mem.FenceSC(t.tv)
+	t.mc.tracef("T%d  fence   sc", t.id)
+}
+
+// CAS atomically compares-and-swaps l from expected to newv. readMode
+// governs the read side, writeMode the write side.
+func (t *Thread) CAS(l view.Loc, expected, newv int64, readMode, writeMode memory.Mode) (int64, bool) {
+	t.step()
+	old, ok := t.updateChecked(l, func(o int64) (int64, bool) { return newv, o == expected }, readMode, writeMode)
+	t.mc.tracef("T%d  cas     %s %d→%d (read %d, ok=%v)", t.id, t.mc.mem.Name(l), expected, newv, old, ok)
+	return old, ok
+}
+
+// FetchAdd atomically adds d to l and returns the previous value.
+func (t *Thread) FetchAdd(l view.Loc, d int64, readMode, writeMode memory.Mode) int64 {
+	t.step()
+	old, _ := t.updateChecked(l, func(o int64) (int64, bool) { return o + d, true }, readMode, writeMode)
+	t.mc.tracef("T%d  faa     %s += %d (old %d)", t.id, t.mc.mem.Name(l), d, old)
+	return old
+}
+
+// Exchange atomically swaps the value of l for v and returns the previous
+// value.
+func (t *Thread) Exchange(l view.Loc, v int64, readMode, writeMode memory.Mode) int64 {
+	t.step()
+	old, _ := t.updateChecked(l, func(int64) (int64, bool) { return v, true }, readMode, writeMode)
+	t.mc.tracef("T%d  xchg    %s := %d (old %d)", t.id, t.mc.mem.Name(l), v, old)
+	return old
+}
+
+// Update applies an arbitrary atomic read-modify-write.
+func (t *Thread) Update(l view.Loc, f memory.UpdateFunc, readMode, writeMode memory.Mode) (int64, bool) {
+	t.step()
+	return t.updateChecked(l, f, readMode, writeMode)
+}
+
+// updateChecked converts a UAFError panic from the memory's RMW path into
+// an execution abort.
+func (t *Thread) updateChecked(l view.Loc, f memory.UpdateFunc, readMode, writeMode memory.Mode) (int64, bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			if uaf, ok := p.(*memory.UAFError); ok {
+				panic(abort{status: Racy, err: uaf})
+			}
+			panic(p)
+		}
+	}()
+	return t.mc.mem.Update(t.tv, l, f, readMode, writeMode)
+}
+
+// Yield is a pure scheduling point (no memory effect). Spin loops should
+// yield so other threads can make progress under any strategy.
+func (t *Thread) Yield() { t.step() }
+
+// Report records a named outcome value for this execution (e.g. the value
+// returned by a dequeue), for litmus-style outcome histograms.
+func (t *Thread) Report(name string, v int64) {
+	t.step()
+	t.mc.outcome[name] = v
+}
+
+// Failf aborts the execution, marking it Failed. Used by programs to
+// report violated client-level assertions.
+func (t *Thread) Failf(format string, args ...interface{}) {
+	panic(abort{status: Failed, err: fmt.Errorf(format, args...)})
+}
+
+// Mem exposes the underlying memory (read-only use: histories, names).
+func (t *Thread) Mem() *memory.Memory { return t.mc.mem }
+
+// event kinds flowing from threads to the controller.
+const (
+	evRequest = iota // thread wants to take its next step
+	evFinished
+	evAborted
+	evSpawn // main thread is ready for workers to start
+)
+
+type event struct {
+	tid    int
+	kind   int
+	status Status
+	err    error
+}
+
+type controller struct {
+	mem     *memory.Memory
+	strat   Strategy
+	events  chan event
+	grants  []chan struct{}
+	kill    chan struct{}
+	steps   int
+	budget  int
+	outcome map[string]int64
+	trace   []string // per-step op log (only when tracing is enabled)
+	tracing bool
+}
+
+// tracef appends a formatted line to the execution trace.
+func (c *controller) tracef(format string, args ...interface{}) {
+	if c.tracing {
+		c.trace = append(c.trace, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *controller) chooser() memory.Chooser { return chooserFunc(c.strat.Choose) }
+
+type chooserFunc func(int) int
+
+func (f chooserFunc) Choose(n int) int {
+	i := f(n)
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("machine: strategy chose %d of %d", i, n))
+	}
+	return i
+}
+
+// Runner executes programs.
+type Runner struct {
+	// Budget is the maximum number of machine steps per execution
+	// (default 100000).
+	Budget int
+	// Trace records a human-readable per-step operation log into the
+	// Result (for diagnosing counterexamples; costs time and memory).
+	Trace bool
+}
+
+// Run executes prog under the given strategy and returns the result.
+func (r *Runner) Run(prog Program, strat Strategy) *Result {
+	budget := r.Budget
+	if budget <= 0 {
+		budget = 100000
+	}
+	nw := len(prog.Workers)
+	c := &controller{
+		mem:     memory.New(),
+		strat:   strat,
+		events:  make(chan event),
+		grants:  make([]chan struct{}, nw+1),
+		kill:    make(chan struct{}),
+		budget:  budget,
+		outcome: map[string]int64{},
+		tracing: r.Trace,
+	}
+	for i := range c.grants {
+		c.grants[i] = make(chan struct{})
+	}
+
+	mainTV := memory.NewThreadView(0)
+	mainTh := &Thread{id: 0, tv: mainTV, mc: c}
+	workers := make([]*Thread, nw)
+	for i := 0; i < nw; i++ {
+		workers[i] = &Thread{id: i + 1, mc: c} // tv filled at spawn time
+	}
+
+	runBody := func(t *Thread, body func(*Thread), spawnAfterSetup bool) {
+		defer func() {
+			if p := recover(); p != nil {
+				switch a := p.(type) {
+				case abort:
+					c.events <- event{tid: t.id, kind: evAborted, status: a.status, err: a.err}
+				case killed:
+					// controller is tearing the run down; exit silently
+				default:
+					panic(p)
+				}
+				return
+			}
+			c.events <- event{tid: t.id, kind: evFinished}
+		}()
+		body(t)
+		_ = spawnAfterSetup
+	}
+
+	// Main thread body: setup, spawn workers, wait, final.
+	go runBody(mainTh, func(t *Thread) {
+		if prog.Setup != nil {
+			prog.Setup(t)
+		}
+		// Signal the controller to start the workers; block until they all
+		// finish (the controller re-grants main afterwards).
+		select {
+		case c.events <- event{tid: 0, kind: evSpawn}:
+		case <-c.kill:
+			panic(killed{})
+		}
+		select {
+		case <-c.grants[0]:
+		case <-c.kill:
+			panic(killed{})
+		}
+		if prog.Final != nil {
+			prog.Final(t)
+		}
+	}, false)
+
+	// Controller loop.
+	type tstate uint8
+	const (
+		computing tstate = iota // between grant and next park
+		parked                  // waiting for a grant
+		blocked                 // main waiting for workers
+		done                    // finished or aborted
+		unstarted
+	)
+	states := make([]tstate, nw+1)
+	states[0] = computing
+	for i := 1; i <= nw; i++ {
+		states[i] = unstarted
+	}
+	var final *Result
+	finish := func(st Status, err error) {
+		final = &Result{Status: st, Err: err, Mem: c.mem, Steps: c.steps, Outcome: c.outcome, Trace: c.trace}
+	}
+
+	for final == nil {
+		// Wait until no thread is computing.
+		anyComputing := false
+		for _, s := range states {
+			if s == computing {
+				anyComputing = true
+			}
+		}
+		if anyComputing {
+			ev := <-c.events
+			switch ev.kind {
+			case evRequest:
+				states[ev.tid] = parked
+			case evFinished:
+				states[ev.tid] = done
+				if ev.tid == 0 {
+					finish(OK, nil)
+				}
+			case evAborted:
+				finish(ev.status, ev.err)
+			case evSpawn:
+				states[0] = blocked
+				for i := 1; i <= nw; i++ {
+					states[i] = computing
+					w := workers[i-1]
+					w.tv = mainTV.Fork(i)
+					go runBody(w, prog.Workers[i-1], false)
+				}
+				if nw == 0 {
+					states[0] = parked // will be resumed below
+				}
+			}
+			continue
+		}
+		// All threads parked/blocked/done. If workers are all done and main
+		// is blocked, join worker views and resume main.
+		if states[0] == blocked {
+			allDone := true
+			for i := 1; i <= nw; i++ {
+				if states[i] != done {
+					allDone = false
+				}
+			}
+			if allDone {
+				for i := 0; i < nw; i++ {
+					mainTV.JoinClock(workers[i].tv.Cur)
+				}
+				states[0] = computing
+				c.grants[0] <- struct{}{}
+				continue
+			}
+		}
+		// Pick a parked thread to grant.
+		runnable := runnable(states[:], int(parked))
+		if len(runnable) == 0 {
+			finish(Failed, errors.New("machine: deadlock (no runnable thread)"))
+			break
+		}
+		pick := runnable[0]
+		if len(runnable) > 1 {
+			pick = runnable[strat.PickThread(runnable)]
+		}
+		states[pick] = computing
+		c.grants[pick] <- struct{}{}
+	}
+
+	close(c.kill)
+	return final
+}
+
+func runnable[T ~uint8](states []T, parked int) []int {
+	var out []int
+	for i, s := range states {
+		if int(s) == parked {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package machine
+
+import (
+	"math/rand"
+)
+
+// RandomStrategy resolves all nondeterminism with a seeded PRNG, making
+// executions replayable from the seed alone. StaleBias controls how often
+// a read deliberately picks a stale (non-latest) visible message; the
+// remaining probability mass goes to the latest message so spin loops
+// terminate quickly.
+type RandomStrategy struct {
+	rng       *rand.Rand
+	staleBias float64
+}
+
+// NewRandom returns a random strategy with the given seed and a default
+// stale-read bias of 0.4.
+func NewRandom(seed int64) *RandomStrategy {
+	return &RandomStrategy{rng: rand.New(rand.NewSource(seed)), staleBias: 0.4}
+}
+
+// NewRandomBiased returns a random strategy with an explicit stale-read
+// bias in [0,1]: 0 always reads the latest message (SC-like per location),
+// 1 picks uniformly among all visible messages.
+func NewRandomBiased(seed int64, staleBias float64) *RandomStrategy {
+	return &RandomStrategy{rng: rand.New(rand.NewSource(seed)), staleBias: staleBias}
+}
+
+// PickThread picks uniformly among the runnable threads.
+func (s *RandomStrategy) PickThread(runnable []int) int {
+	return s.rng.Intn(len(runnable))
+}
+
+// Choose picks a visible message: with probability staleBias uniformly
+// among all n candidates, otherwise the latest (index n-1).
+func (s *RandomStrategy) Choose(n int) int {
+	if s.rng.Float64() < s.staleBias {
+		return s.rng.Intn(n)
+	}
+	return n - 1
+}
+
+// TraceStrategy replays an explicit decision sequence; decisions beyond
+// the recorded prefix default to 0 (first runnable thread, oldest visible
+// message). It also records every decision it makes, so a prefix can be
+// extended — this is the engine of the exhaustive explorer.
+type TraceStrategy struct {
+	prefix []traceDecision
+	pos    int
+	// Trace is the full decision sequence of the current run.
+	Trace []traceDecision
+	// DefaultLast makes out-of-prefix read choices pick the latest message
+	// instead of the oldest.
+	DefaultLast bool
+}
+
+type traceDecision struct {
+	N    int // number of alternatives at this decision point
+	Pick int
+}
+
+func (s *TraceStrategy) next(n int) int {
+	pick := 0
+	if s.pos < len(s.prefix) {
+		pick = s.prefix[s.pos].Pick
+		if pick >= n { // program changed shape under replay; clamp
+			pick = n - 1
+		}
+	} else if s.DefaultLast {
+		pick = n - 1
+	}
+	s.pos++
+	s.Trace = append(s.Trace, traceDecision{N: n, Pick: pick})
+	return pick
+}
+
+// PickThread replays or defaults the next scheduling decision.
+func (s *TraceStrategy) PickThread(runnable []int) int { return s.next(len(runnable)) }
+
+// Choose replays or defaults the next read choice.
+func (s *TraceStrategy) Choose(n int) int { return s.next(n) }
+
+// ExploreOpts bounds an exhaustive exploration.
+type ExploreOpts struct {
+	// MaxRuns caps the number of executions (default 200000).
+	MaxRuns int
+	// Budget caps steps per execution (default 100000).
+	Budget int
+	// MaxDepth caps the decision depth that is branched on; decisions
+	// beyond it take the default branch only (0 = unlimited).
+	MaxDepth int
+}
+
+// ExploreResult summarizes an exploration.
+type ExploreResult struct {
+	Runs     int
+	Complete bool // true if the decision tree was exhausted within bounds
+}
+
+// Explore enumerates executions of the program depth-first over all
+// scheduling and read-choice decisions, invoking visit for each completed
+// execution. build must return a fresh Program (fresh closures and
+// recorders) on every call. visit returning false stops the exploration.
+//
+// Exploration is exhaustive — and therefore a *proof* over the bounded
+// program — when the returned result has Complete == true.
+func Explore(build func() Program, opts ExploreOpts, visit func(*Result) bool) ExploreResult {
+	maxRuns := opts.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 200000
+	}
+	runner := &Runner{Budget: opts.Budget}
+	var prefix []traceDecision
+	res := ExploreResult{}
+	for res.Runs < maxRuns {
+		strat := &TraceStrategy{prefix: prefix}
+		r := runner.Run(build(), strat)
+		res.Runs++
+		if !visit(r) {
+			return res
+		}
+		// Backtrack: find the deepest decision with an unexplored branch.
+		trace := strat.Trace
+		i := len(trace) - 1
+		if opts.MaxDepth > 0 && i >= opts.MaxDepth {
+			i = opts.MaxDepth - 1
+		}
+		for ; i >= 0; i-- {
+			if trace[i].Pick+1 < trace[i].N {
+				break
+			}
+		}
+		if i < 0 {
+			res.Complete = true
+			return res
+		}
+		prefix = append(append([]traceDecision{}, trace[:i]...),
+			traceDecision{N: trace[i].N, Pick: trace[i].Pick + 1})
+	}
+	return res
+}
+
+// RunRandom executes the program n times with seeds seed, seed+1, ...,
+// invoking visit for each result. It returns the number of executions
+// that completed with status OK.
+func RunRandom(build func() Program, n int, seed int64, budget int, visit func(*Result) bool) int {
+	runner := &Runner{Budget: budget}
+	ok := 0
+	for i := 0; i < n; i++ {
+		r := runner.Run(build(), NewRandom(seed+int64(i)))
+		if r.Status == OK {
+			ok++
+		}
+		if !visit(r) {
+			break
+		}
+	}
+	return ok
+}

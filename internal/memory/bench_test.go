@@ -1,0 +1,65 @@
+package memory
+
+import (
+	"testing"
+)
+
+func BenchmarkReleaseWrite(b *testing.B) {
+	m := New()
+	tv := NewThreadView(0)
+	l := m.Alloc(tv, "x", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Write(tv, l, int64(i), Rel)
+	}
+}
+
+func BenchmarkAcquireRead(b *testing.B) {
+	m := New()
+	tv := NewThreadView(0)
+	l := m.Alloc(tv, "x", 0)
+	for i := 0; i < 64; i++ {
+		_ = m.Write(tv, l, int64(i), Rel)
+	}
+	rd := tv.Fork(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = m.Read(rd, l, Acq, last)
+	}
+}
+
+func BenchmarkCAS(b *testing.B) {
+	m := New()
+	tv := NewThreadView(0)
+	l := m.Alloc(tv, "x", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.CAS(tv, l, int64(i), int64(i+1), Acq, Rel)
+	}
+}
+
+func BenchmarkFenceSC(b *testing.B) {
+	m := New()
+	tv := NewThreadView(0)
+	_ = m.Alloc(tv, "x", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.FenceSC(tv)
+	}
+}
+
+func BenchmarkMessagePassingRoundTrip(b *testing.B) {
+	m := New()
+	t0 := NewThreadView(0)
+	data := m.Alloc(t0, "data", 0)
+	flag := m.Alloc(t0, "flag", 0)
+	w := t0.Fork(1)
+	r := t0.Fork(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Write(w, data, int64(i), Rlx)
+		_ = m.Write(w, flag, int64(i+1), Rel)
+		_, _ = m.Read(r, flag, Acq, last)
+		_, _ = m.Read(r, data, Rlx, last)
+	}
+}

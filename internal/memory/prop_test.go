@@ -1,0 +1,128 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+
+	"compass/internal/view"
+)
+
+// TestRandomWalkInvariants drives random operation sequences from several
+// threads against the memory and checks the machine's structural
+// invariants after every step:
+//
+//   - Cur ⊑ Acq for every thread;
+//   - histories are append-only with consecutive timestamps;
+//   - every message's clock includes its own (location, timestamp);
+//   - a thread's current view never exceeds the existing history;
+//   - reads never return a value the location never held.
+type walkChooser struct{ r *rand.Rand }
+
+func (c walkChooser) Choose(n int) int { return c.r.Intn(n) }
+
+func TestRandomWalkInvariants(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		m := New()
+		root := NewThreadView(0)
+		locs := make([]view.Loc, 4)
+		written := make([]map[int64]bool, 4)
+		for i := range locs {
+			locs[i] = m.Alloc(root, "l", 0)
+			written[i] = map[int64]bool{0: true}
+		}
+		threads := []*ThreadView{root.Fork(1), root.Fork(2), root.Fork(3)}
+		ch := walkChooser{r: r}
+		atomicModes := []Mode{Rlx, Acq, Rel, AcqRel}
+
+		for step := 0; step < 400; step++ {
+			tv := threads[r.Intn(len(threads))]
+			li := r.Intn(len(locs))
+			l := locs[li]
+			switch r.Intn(6) {
+			case 0, 1: // atomic write
+				v := int64(r.Intn(50))
+				mode := atomicModes[r.Intn(2)+2] // Rel or AcqRel
+				if r.Intn(2) == 0 {
+					mode = Rlx
+				}
+				if err := m.Write(tv, l, v, mode); err != nil {
+					t.Fatalf("atomic write errored: %v", err)
+				}
+				written[li][v] = true
+			case 2, 3: // atomic read
+				mode := Rlx
+				if r.Intn(2) == 0 {
+					mode = Acq
+				}
+				v, err := m.Read(tv, l, mode, ch)
+				if err != nil {
+					t.Fatalf("atomic read errored: %v", err)
+				}
+				if !written[li][v] {
+					t.Fatalf("read %d from l%d which never held it", v, l)
+				}
+			case 4: // RMW
+				v := int64(r.Intn(50))
+				m.Exchange(tv, l, v, atomicModes[r.Intn(4)], atomicModes[r.Intn(4)])
+				written[li][v] = true
+			case 5: // fence
+				switch r.Intn(3) {
+				case 0:
+					m.Fence(tv, true, false)
+				case 1:
+					m.Fence(tv, false, true)
+				case 2:
+					m.FenceSC(tv)
+				}
+			}
+			// Invariants.
+			for _, th := range threads {
+				if !th.Cur.Leq(th.Acq) {
+					t.Fatalf("seed %d step %d: Cur ⋢ Acq", seed, step)
+				}
+				for _, ll := range locs {
+					if th.Cur.V.Get(ll) > m.MaxTime(ll) {
+						t.Fatalf("seed %d step %d: view beyond history", seed, step)
+					}
+				}
+			}
+			for _, ll := range locs {
+				h := m.History(ll)
+				for i, msg := range h {
+					if msg.T != view.Time(i+1) {
+						t.Fatalf("non-consecutive timestamps at l%d", ll)
+					}
+					if msg.Clk.V.Get(ll) < msg.T {
+						t.Fatalf("message clock at l%d misses its own write", ll)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMonotonicViews checks that a thread's current view only ever grows
+// under a random operation mix.
+func TestMonotonicViews(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	m := New()
+	root := NewThreadView(0)
+	l := m.Alloc(root, "x", 0)
+	tv := root.Fork(1)
+	writer := root.Fork(2)
+	ch := walkChooser{r: r}
+	prev := tv.Cur.V.Clone()
+	for i := 0; i < 300; i++ {
+		if r.Intn(2) == 0 {
+			_ = m.Write(writer, l, int64(i), Rel)
+		}
+		if _, err := m.Read(tv, l, Acq, ch); err != nil {
+			t.Fatal(err)
+		}
+		if !prev.Leq(tv.Cur.V) {
+			t.Fatalf("view shrank at step %d", i)
+		}
+		prev = tv.Cur.V.Clone()
+	}
+}

@@ -1,0 +1,125 @@
+package queue
+
+import (
+	"compass/internal/core"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// HWQueue is the (weak) Herlihy–Wing array queue [34], in the relaxed
+// variant the paper verifies against the LAT_hb queue specs (§3.1–§3.2):
+// "enqueues use release operations, and dequeues use acquire ones", and
+// lhb is ensured only between matching enqueue-dequeue pairs. The abstract
+// state is not constructible at the commit points (§3.2), so this
+// implementation satisfies LAT_hb but not LAT_hb^abs — the checkers
+// demonstrate exactly that split (experiment F2).
+//
+// Layout: a bounded array of slots plus a back counter. An enqueue
+// fetch-and-adds back (release, so the counter chain carries the
+// enqueuer's observations) and release-writes its value into the obtained
+// slot (the commit point). A dequeue acquire-reads back, then scans the
+// slots with atomic exchanges (which read the coherence-latest value);
+// finding a value commits a successful dequeue, an exhausted scan commits
+// an empty dequeue. Event-ID cells are relaxed atomics: the acquire of the
+// slot write guarantees the matching dequeue reads the real ID.
+type HWQueue struct {
+	back  view.Loc
+	items []view.Loc
+	eids  []view.Loc
+	rec   *core.Recorder
+
+	slotMode memory.Mode // Rel; buggy variant Rlx
+	scanMode memory.Mode // Acq; buggy variant Rlx
+	faaMode  memory.Mode // Rel; buggy variant Rlx
+}
+
+// NewHW allocates a Herlihy–Wing queue with the given slot capacity and
+// the paper's access modes. Workloads must bound total enqueues by cap.
+func NewHW(th *machine.Thread, name string, cap int) *HWQueue {
+	return newHW(th, name, cap, memory.Rel, memory.Acq, memory.Rel)
+}
+
+// NewHWBuggyRelaxedSlot is the ablation variant whose slot write is
+// relaxed instead of release: the enqueue's commit no longer publishes the
+// enqueuer's observations, so the matched pair loses its lhb edge and view
+// transfer (SO-LHB/SO-VIEW violations) and the dequeue may read a stale
+// event ID (QUEUE-MATCHED violation).
+func NewHWBuggyRelaxedSlot(th *machine.Thread, name string, cap int) *HWQueue {
+	return newHW(th, name, cap, memory.Rlx, memory.Acq, memory.Rel)
+}
+
+// NewHWBuggyRelaxedScan is the ablation variant whose dequeue side is
+// fully relaxed (back read and slot exchanges): the dequeuer no longer
+// acquires the enqueue it consumes.
+func NewHWBuggyRelaxedScan(th *machine.Thread, name string, cap int) *HWQueue {
+	return newHW(th, name, cap, memory.Rel, memory.Rlx, memory.Rlx)
+}
+
+func newHW(th *machine.Thread, name string, cap int, slotMode, scanMode, faaMode memory.Mode) *HWQueue {
+	q := &HWQueue{
+		rec:      core.NewRecorder(name),
+		back:     th.Alloc(name+".back", 0),
+		slotMode: slotMode,
+		scanMode: scanMode,
+		faaMode:  faaMode,
+	}
+	q.items = make([]view.Loc, cap)
+	q.eids = make([]view.Loc, cap)
+	for i := 0; i < cap; i++ {
+		q.items[i] = th.Alloc(name+".item", 0)
+		q.eids[i] = th.Alloc(name+".eid", -1)
+	}
+	return q
+}
+
+// Recorder implements Queue.
+func (q *HWQueue) Recorder() *core.Recorder { return q.rec }
+
+// Enqueue implements Queue. Fails the execution if capacity is exceeded
+// (workloads must size the queue).
+func (q *HWQueue) Enqueue(th *machine.Thread, v int64) {
+	if v <= 0 {
+		th.Failf("hwqueue: values must be positive, got %d", v)
+	}
+	id := q.rec.Begin(th, core.Enq, v)
+	i := th.FetchAdd(q.back, 1, memory.Rlx, q.faaMode)
+	if int(i) >= len(q.items) {
+		th.Failf("hwqueue: capacity %d exceeded", len(q.items))
+	}
+	th.Write(q.eids[i], int64(id), memory.Rlx)
+	q.rec.Arm(th, id)
+	th.Write(q.items[i], v, q.slotMode) // commit point: the slot write
+	q.rec.Commit(th, id)
+}
+
+// TryDequeue implements Queue: one scan pass over the announced range;
+// empty-handed completion commits an empty dequeue.
+//
+// The empty dequeue's commit views are snapshotted at the back read: the
+// scan's slot exchanges acquire clocks from recycled empty-slot messages
+// (which carry the clocks of the dequeues that emptied them), and an empty
+// dequeue must not be charged with those later observations — its
+// knowledge at the moment it decided the observable range is what
+// QUEUE-EMPDEQ constrains. This mirrors the paper's remark that the
+// Herlihy-Wing commit points are subtle (§3.2).
+func (q *HWQueue) TryDequeue(th *machine.Thread) (int64, bool) {
+	rng := th.Read(q.back, q.scanMode)
+	empID := q.rec.Begin(th, core.EmpDeq, 0) // snapshot at the back read
+	if int(rng) > len(q.items) {
+		rng = int64(len(q.items))
+	}
+	for i := int64(0); i < rng; i++ {
+		x := th.Exchange(q.items[i], 0, q.scanMode, memory.Rlx)
+		if x != 0 {
+			d := q.rec.CommitNew(th, core.Deq, x) // commit point: the exchange
+			eid := th.Read(q.eids[i], memory.Rlx)
+			if eid >= 0 {
+				q.rec.AddSo(view.EventID(eid), d)
+			}
+			return x, true
+		}
+	}
+	q.rec.CommitStale(th, empID) // commit now, with the back-read snapshot
+	return 0, false
+}

@@ -1,0 +1,131 @@
+package queue
+
+import (
+	"compass/internal/core"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// MSQueue is the Michael–Scott lock-free queue [56] with release/acquire
+// synchronization, as verified in the paper against the LAT_hb^abs queue
+// specs (§3.2): "a purely release-acquire implementation of the
+// Michael-Scott queue satisfies the LAT_hb^abs specs".
+//
+// Access modes: the link CAS (the enqueue's commit point) is a release
+// write; reads of head/tail/next are acquire; the head-advancing CAS (the
+// dequeue's commit point) has an acquire read side; node value/event-ID
+// cells are non-atomic, published by the link release.
+type MSQueue struct {
+	head view.Loc
+	tail view.Loc
+	nt   nodeTable
+	rec  *core.Recorder
+
+	// linkMode is the write mode of the link CAS (Rel; the buggy variant
+	// uses Rlx, dropping the publication edge).
+	linkMode memory.Mode
+	// readMode is the read mode of head/tail/next loads (Acq; the buggy
+	// variant uses Rlx, dropping the acquisition edge).
+	readMode memory.Mode
+	// fencedPublish makes the enqueue publish through a release fence
+	// followed by relaxed CASes (NewMSFenced).
+	fencedPublish bool
+}
+
+// NewMS allocates a Michael–Scott queue with the paper's access modes.
+func NewMS(th *machine.Thread, name string) *MSQueue {
+	return newMS(th, name, memory.Rel, memory.Acq)
+}
+
+// NewMSBuggyRelaxedLink allocates the ablation variant whose link CAS is
+// relaxed instead of release: the enqueue no longer publishes the node's
+// contents, so dequeues race on the value cells (DESIGN.md ablation 1).
+func NewMSBuggyRelaxedLink(th *machine.Thread, name string) *MSQueue {
+	return newMS(th, name, memory.Rlx, memory.Acq)
+}
+
+// NewMSBuggyRelaxedRead allocates the ablation variant whose pointer loads
+// are relaxed instead of acquire.
+func NewMSBuggyRelaxedRead(th *machine.Thread, name string) *MSQueue {
+	return newMS(th, name, memory.Rel, memory.Rlx)
+}
+
+// NewMSFenced allocates a Michael-Scott queue whose enqueue publishes via
+// an explicit release *fence* followed by relaxed CASes, instead of
+// release CASes — exercising the ORC11 fence rules (§5 mentions that the
+// COMPASS interface must support fences). The dequeue side is unchanged
+// (acquire reads). Verified against the same specs as NewMS.
+func NewMSFenced(th *machine.Thread, name string) *MSQueue {
+	q := newMS(th, name, memory.Rlx, memory.Acq)
+	q.fencedPublish = true
+	return q
+}
+
+func newMS(th *machine.Thread, name string, linkMode, readMode memory.Mode) *MSQueue {
+	q := &MSQueue{rec: core.NewRecorder(name), linkMode: linkMode, readMode: readMode}
+	sentinel := q.nt.alloc(th, name+".sentinel", 0, -1)
+	q.head = th.Alloc(name+".head", sentinel)
+	q.tail = th.Alloc(name+".tail", sentinel)
+	return q
+}
+
+// Recorder implements Queue.
+func (q *MSQueue) Recorder() *core.Recorder { return q.rec }
+
+// Enqueue implements Queue: allocate a node, link it after the current
+// tail with a release CAS (the commit point), then advance the tail.
+func (q *MSQueue) Enqueue(th *machine.Thread, v int64) {
+	id := q.rec.Begin(th, core.Enq, v)
+	n := q.nt.alloc(th, "msq.node", v, int64(id))
+	for {
+		t := th.Read(q.tail, q.readMode)
+		tn := q.nt.at(t)
+		next := th.Read(tn.next, q.readMode)
+		if next != 0 {
+			// Tail is lagging; help advance it.
+			th.CAS(q.tail, t, next, memory.Rlx, q.linkMode)
+			continue
+		}
+		q.rec.Arm(th, id)
+		if q.fencedPublish {
+			// Release fence: the relaxed link CAS below carries everything
+			// observed so far, including the armed event and node cells.
+			th.Fence(false, true)
+		}
+		if _, ok := th.CAS(tn.next, 0, n, memory.Rlx, q.linkMode); ok {
+			q.rec.Commit(th, id) // commit point: the link CAS
+			th.CAS(q.tail, t, n, memory.Rlx, q.linkMode)
+			return
+		}
+		q.rec.Disarm(th, id)
+	}
+}
+
+// TryDequeue implements Queue: read the head's successor; if there is
+// none, commit an empty dequeue (the weak behaviour: the queue may in fact
+// be non-empty); otherwise swing the head with an acquire CAS (the commit
+// point) and return the successor's value.
+func (q *MSQueue) TryDequeue(th *machine.Thread) (int64, bool) {
+	for {
+		h := th.Read(q.head, q.readMode)
+		hn := q.nt.at(h)
+		next := th.Read(hn.next, q.readMode)
+		if next == 0 {
+			q.rec.CommitNew(th, core.EmpDeq, 0) // commit point: the next read
+			return 0, false
+		}
+		// Read the successor's payload before the CAS (its cells are
+		// immutable and were acquired by the next read), so the commit can
+		// be recorded adjacent to the CAS with no machine step in between.
+		n := q.nt.at(next)
+		v := th.Read(n.val, memory.NA)
+		eid := th.Read(n.eid, memory.NA)
+		if _, ok := th.CAS(q.head, h, next, memory.Acq, memory.Rlx); ok {
+			d := q.rec.CommitNew(th, core.Deq, v) // commit point: the head CAS
+			q.rec.AddSo(view.EventID(eid), d)
+			return v, true
+		}
+		th.Yield()
+	}
+}

@@ -1,0 +1,79 @@
+// Package queue provides the paper's queue implementations, running on the
+// simulated ORC11 memory with exactly the access modes the paper verifies:
+//
+//   - MSQueue: the Michael–Scott queue with release/acquire operations,
+//     verified in the paper against the LAT_hb^abs specs (§3.2).
+//   - HWQueue: the (weak) Herlihy–Wing queue with release enqueues and
+//     acquire dequeues, verified in the paper against the LAT_hb specs
+//     (§3.1–§3.2) — the abstract state is not constructible at its commit
+//     points.
+//   - SCQueue: a coarse-grained lock-based baseline satisfying the SC spec
+//     of §2.2.
+//
+// Each implementation records its events on a core.Recorder at its commit
+// points, producing the event graphs the spec checkers consume. Buggy
+// ablation variants (missing release/acquire, per DESIGN.md §4) are
+// provided to validate that the checkers catch real synchronization bugs.
+package queue
+
+import (
+	"compass/internal/core"
+	"compass/internal/machine"
+	"compass/internal/view"
+)
+
+// Queue is the common interface of all queue implementations. Values must
+// be positive (0 is the internal "empty slot" sentinel).
+type Queue interface {
+	// Enqueue inserts v at the tail (retrying internal contention).
+	Enqueue(th *machine.Thread, v int64)
+	// TryDequeue removes the head element, or reports that the dequeuer
+	// saw an empty queue (which, for weak implementations, may happen even
+	// when the queue is non-empty — the relaxed behaviour of §2.3).
+	TryDequeue(th *machine.Thread) (int64, bool)
+	// Recorder exposes the event graph recorder.
+	Recorder() *core.Recorder
+}
+
+// Dequeue retries TryDequeue until it returns an element. For use by
+// workloads that know the queue will eventually be non-empty.
+func Dequeue(q Queue, th *machine.Thread) int64 {
+	for {
+		if v, ok := q.TryDequeue(th); ok {
+			return v
+		}
+		th.Yield()
+	}
+}
+
+// nodeCells is the memory layout of one linked-list node: a value cell and
+// an event-ID cell (both non-atomic, published by the release of the link),
+// and an atomic next-pointer cell.
+type nodeCells struct {
+	val  view.Loc
+	eid  view.Loc
+	next view.Loc
+}
+
+// nodeTable maps opaque node handles (stored as int64 values in simulated
+// memory; 0 is nil) to their cells. It is only mutated by the currently
+// scheduled thread, so it needs no locking.
+type nodeTable struct {
+	nodes []nodeCells
+}
+
+// alloc allocates a fresh node and returns its handle. The initializing
+// writes carry the allocator's clock, so a release of the node's handle
+// publishes the value and event-ID cells for race-free non-atomic reads.
+func (nt *nodeTable) alloc(th *machine.Thread, name string, v, eid int64) int64 {
+	n := nodeCells{
+		val:  th.Alloc(name+".val", v),
+		eid:  th.Alloc(name+".eid", eid),
+		next: th.Alloc(name+".next", 0),
+	}
+	nt.nodes = append(nt.nodes, n)
+	return int64(len(nt.nodes))
+}
+
+// at resolves a non-nil handle.
+func (nt *nodeTable) at(h int64) nodeCells { return nt.nodes[h-1] }

@@ -1,0 +1,220 @@
+package queue_test
+
+import (
+	"testing"
+
+	"compass/internal/check"
+	"compass/internal/machine"
+	"compass/internal/queue"
+	"compass/internal/spec"
+)
+
+func msFactory(th *machine.Thread) queue.Queue { return queue.NewMS(th, "msq") }
+func hwFactory(th *machine.Thread) queue.Queue { return queue.NewHW(th, "hwq", 64) }
+func scFactory(th *machine.Thread) queue.Queue { return queue.NewSC(th, "scq", 64) }
+
+func requirePass(t *testing.T, rep *check.Report) {
+	t.Helper()
+	if !rep.Passed() {
+		t.Fatalf("%s", rep)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("no execution completed: %s", rep)
+	}
+}
+
+func requireFailureFound(t *testing.T, rep *check.Report) {
+	t.Helper()
+	if rep.Passed() {
+		t.Fatalf("expected violations, none found: %s", rep)
+	}
+}
+
+// --- Michael-Scott queue: the paper verifies it at LAT_hb^abs (§3.2). ---
+
+func TestMSQueueHB(t *testing.T) {
+	requirePass(t, check.Run("ms/hb",
+		check.QueueMixed(msFactory, spec.LevelHB, 2, 3, 2, 4), check.Options{Executions: 300}))
+}
+
+func TestMSQueueAbsHB(t *testing.T) {
+	requirePass(t, check.Run("ms/abs",
+		check.QueueMixed(msFactory, spec.LevelAbsHB, 2, 3, 2, 4), check.Options{Executions: 300}))
+}
+
+func TestMSQueueHist(t *testing.T) {
+	requirePass(t, check.Run("ms/hist",
+		check.QueueMixed(msFactory, spec.LevelHist, 2, 2, 2, 3), check.Options{Executions: 200}))
+}
+
+func TestMSQueueFailsSCLevel(t *testing.T) {
+	// A weak dequeue can report empty although the queue is non-empty at
+	// its commit point (§2.3) — the SC-level spec is too strong for MS.
+	requireFailureFound(t, check.Run("ms/sc",
+		check.QueueMixed(msFactory, spec.LevelSC, 2, 3, 2, 4),
+		check.Options{Executions: 500, StaleBias: 0.7}))
+}
+
+func TestMSQueueSingleThreadedIsSC(t *testing.T) {
+	// Without concurrency there are no relaxed behaviours: even the SC
+	// level passes.
+	build := func() check.Checked {
+		var q queue.Queue
+		return check.Checked{
+			Prog: machine.Program{
+				Setup: func(th *machine.Thread) { q = msFactory(th) },
+				Workers: []func(*machine.Thread){func(th *machine.Thread) {
+					q.TryDequeue(th)
+					q.Enqueue(th, 1)
+					q.Enqueue(th, 2)
+					if v, ok := q.TryDequeue(th); !ok || v != 1 {
+						th.Failf("sequential dequeue = %d,%v", v, ok)
+					}
+					if v, ok := q.TryDequeue(th); !ok || v != 2 {
+						th.Failf("sequential dequeue = %d,%v", v, ok)
+					}
+					if _, ok := q.TryDequeue(th); ok {
+						th.Failf("dequeue from empty succeeded")
+					}
+				}},
+			},
+			Check: func() ([]spec.Violation, int) {
+				return check.Collect(spec.CheckQueue(q.Recorder().Graph(), spec.LevelSC))
+			},
+		}
+	}
+	requirePass(t, check.Run("ms/seq", build, check.Options{Executions: 20}))
+}
+
+func TestMSFencedQueueAbsHB(t *testing.T) {
+	// The fence-published variant (release fence + relaxed CASes) must
+	// satisfy the same LAT_hb^abs specs as the release-CAS version.
+	f := func(th *machine.Thread) queue.Queue { return queue.NewMSFenced(th, "msq") }
+	requirePass(t, check.Run("ms-fenced/abs",
+		check.QueueMixed(f, spec.LevelAbsHB, 2, 3, 2, 4),
+		check.Options{Executions: 400, StaleBias: 0.6}))
+}
+
+func TestMSFencedSPSC(t *testing.T) {
+	f := func(th *machine.Thread) queue.Queue { return queue.NewMSFenced(th, "msq") }
+	requirePass(t, check.Run("ms-fenced/spsc",
+		check.SPSC(f, spec.LevelHB, 5), check.Options{Executions: 300, StaleBias: 0.5}))
+}
+
+// --- Herlihy-Wing queue: LAT_hb holds; LAT_hb^abs does not (§3.2). ---
+
+func TestHWQueueHB(t *testing.T) {
+	requirePass(t, check.Run("hw/hb",
+		check.QueueMixed(hwFactory, spec.LevelHB, 2, 3, 2, 4), check.Options{Executions: 300}))
+}
+
+func TestHWQueueHBHighContention(t *testing.T) {
+	requirePass(t, check.Run("hw/hb-hot",
+		check.QueueMixed(hwFactory, spec.LevelHB, 3, 2, 3, 3),
+		check.Options{Executions: 200, StaleBias: 0.6}))
+}
+
+func TestHWQueueFailsAbsLevel(t *testing.T) {
+	// The abstract state is not constructible at HW commit points: a
+	// dequeue's exchange can commit on a later slot while an earlier
+	// enqueue had already committed (§3.2).
+	requireFailureFound(t, check.Run("hw/abs",
+		check.QueueMixed(hwFactory, spec.LevelAbsHB, 2, 3, 2, 4),
+		check.Options{Executions: 800, StaleBias: 0.6}))
+}
+
+func TestHWQueueDrainHB(t *testing.T) {
+	requirePass(t, check.Run("hw/drain",
+		check.QueueDrain(hwFactory, spec.LevelHB, 2, 3, 2), check.Options{Executions: 200}))
+}
+
+// --- SC queue baseline: satisfies every level including SC (§2.2). ---
+
+func TestSCQueueAllLevels(t *testing.T) {
+	for _, lvl := range spec.Levels {
+		rep := check.Run("sc/"+lvl.String(),
+			check.QueueMixed(scFactory, lvl, 2, 3, 2, 4), check.Options{Executions: 200})
+		requirePass(t, rep)
+	}
+}
+
+// --- Ablations: the checkers must catch missing synchronization. ---
+
+func TestMSQueueBuggyRelaxedLinkCaught(t *testing.T) {
+	f := func(th *machine.Thread) queue.Queue { return queue.NewMSBuggyRelaxedLink(th, "msq") }
+	requireFailureFound(t, check.Run("ms-buggy-link",
+		check.QueueMixed(f, spec.LevelHB, 2, 3, 2, 4),
+		check.Options{Executions: 500, StaleBias: 0.6}))
+}
+
+func TestMSQueueBuggyRelaxedReadCaught(t *testing.T) {
+	f := func(th *machine.Thread) queue.Queue { return queue.NewMSBuggyRelaxedRead(th, "msq") }
+	requireFailureFound(t, check.Run("ms-buggy-read",
+		check.QueueMixed(f, spec.LevelHB, 2, 3, 2, 4),
+		check.Options{Executions: 500, StaleBias: 0.6}))
+}
+
+func TestHWQueueBuggyRelaxedSlotCaught(t *testing.T) {
+	f := func(th *machine.Thread) queue.Queue { return queue.NewHWBuggyRelaxedSlot(th, "hwq", 64) }
+	requireFailureFound(t, check.Run("hw-buggy-slot",
+		check.QueueMixed(f, spec.LevelHB, 2, 3, 2, 4),
+		check.Options{Executions: 500, StaleBias: 0.6}))
+}
+
+func TestHWQueueBuggyRelaxedScanCaught(t *testing.T) {
+	f := func(th *machine.Thread) queue.Queue { return queue.NewHWBuggyRelaxedScan(th, "hwq", 64) }
+	requireFailureFound(t, check.Run("hw-buggy-scan",
+		check.QueueMixed(f, spec.LevelHB, 2, 3, 2, 4),
+		check.Options{Executions: 500, StaleBias: 0.6}))
+}
+
+// --- Clients (Fig. 1, Fig. 3, §3.2, §2.2). ---
+
+func TestMPQueueClientMS(t *testing.T) {
+	requirePass(t, check.Run("mp/ms",
+		check.MPQueue(msFactory, spec.LevelHB, true), check.Options{Executions: 400, StaleBias: 0.5}))
+}
+
+func TestMPQueueClientHW(t *testing.T) {
+	requirePass(t, check.Run("mp/hw",
+		check.MPQueue(hwFactory, spec.LevelHB, true), check.Options{Executions: 400, StaleBias: 0.5}))
+}
+
+func TestMPQueueClientSC(t *testing.T) {
+	requirePass(t, check.Run("mp/sc",
+		check.MPQueue(scFactory, spec.LevelSC, true), check.Options{Executions: 200}))
+}
+
+func TestMPQueueClientRelaxedFlagFails(t *testing.T) {
+	// Without the release/acquire flag the external synchronization is
+	// gone: the right thread's dequeue can return empty.
+	requireFailureFound(t, check.Run("mp/hw-rlx",
+		check.MPQueue(hwFactory, spec.LevelHB, false),
+		check.Options{Executions: 800, StaleBias: 0.7}))
+}
+
+func TestSPSCClient(t *testing.T) {
+	for name, f := range map[string]check.QueueFactory{"ms": msFactory, "hw": hwFactory, "sc": scFactory} {
+		requirePass(t, check.Run("spsc/"+name,
+			check.SPSC(f, spec.LevelHB, 6), check.Options{Executions: 300, StaleBias: 0.5}))
+	}
+}
+
+func TestPipelineClient(t *testing.T) {
+	for name, f := range map[string]check.QueueFactory{"ms": msFactory, "hw": hwFactory} {
+		requirePass(t, check.Run("pipeline/"+name,
+			check.Pipeline(f, spec.LevelHB, 4), check.Options{Executions: 300, StaleBias: 0.5}))
+	}
+}
+
+func TestOddEvenClient(t *testing.T) {
+	requirePass(t, check.Run("oddeven/ms",
+		check.OddEven(msFactory, spec.LevelHB, 2, 3), check.Options{Executions: 200}))
+}
+
+func TestHWQueueCapacityExceededFails(t *testing.T) {
+	f := func(th *machine.Thread) queue.Queue { return queue.NewHW(th, "hwq", 2) }
+	rep := check.Run("hw/cap", check.QueueMixed(f, spec.LevelHB, 1, 3, 0, 0),
+		check.Options{Executions: 5})
+	requireFailureFound(t, rep)
+}

@@ -1,0 +1,120 @@
+package queue
+
+import (
+	"compass/internal/core"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// Ring is a bounded MPMC ring-buffer queue in the style of Vyukov's
+// bounded queue — the algorithm family behind Cosmo's verified bounded
+// queue (Mével and Jourdan [53]). Each slot carries a sequence number:
+// an enqueuer claims a position with a relaxed CAS on enqPos, fills the
+// slot, and publishes it with a release store of the sequence number (the
+// commit point); a dequeuer acquire-reads the sequence number, claims the
+// position with a relaxed CAS on deqPos (the commit point), reads the
+// value, and releases the slot for reuse.
+//
+// The ring is an instructive *negative* specimen for the spec hierarchy:
+// it satisfies the queue conditions except QUEUE-EMPDEQ — a dequeuer at
+// position p can observe slot p unpublished (its enqueuer has claimed but
+// not yet stored the sequence number) and report empty, even though a
+// later position p' was already published and happens-before the dequeue.
+// CheckQueueWeakEmpty is the spec it does satisfy; the full CheckQueue
+// flags real EMPDEQ violations under multi-producer workloads (experiment
+// M1).
+type Ring struct {
+	enqPos view.Loc
+	deqPos view.Loc
+	seqs   []view.Loc
+	vals   []view.Loc
+	eids   []view.Loc
+	rec    *core.Recorder
+}
+
+// NewRing allocates a bounded MPMC ring with the given capacity. Workloads
+// must bound total enqueues by cap (slots are not reused then, keeping
+// value/event-ID cells single-writer).
+func NewRing(th *machine.Thread, name string, cap int) *Ring {
+	q := &Ring{
+		enqPos: th.Alloc(name+".enqPos", 0),
+		deqPos: th.Alloc(name+".deqPos", 0),
+		rec:    core.NewRecorder(name),
+	}
+	q.seqs = make([]view.Loc, cap)
+	q.vals = make([]view.Loc, cap)
+	q.eids = make([]view.Loc, cap)
+	for i := 0; i < cap; i++ {
+		q.seqs[i] = th.Alloc(name+".seq", int64(i))
+		q.vals[i] = th.Alloc(name+".val", 0)
+		q.eids[i] = th.Alloc(name+".eid", -1)
+	}
+	return q
+}
+
+// Recorder implements Queue.
+func (q *Ring) Recorder() *core.Recorder { return q.rec }
+
+func (q *Ring) slot(pos int64) int { return int(pos) % len(q.seqs) }
+
+// Enqueue implements Queue. Fails the execution if the ring is full
+// (size workloads accordingly).
+func (q *Ring) Enqueue(th *machine.Thread, v int64) {
+	if v <= 0 {
+		th.Failf("ring: values must be positive, got %d", v)
+	}
+	id := q.rec.Begin(th, core.Enq, v)
+	for {
+		pos := th.Read(q.enqPos, memory.Rlx)
+		i := q.slot(pos)
+		seq := th.Read(q.seqs[i], memory.Acq)
+		switch {
+		case seq == pos:
+			if _, ok := th.CAS(q.enqPos, pos, pos+1, memory.Rlx, memory.Rlx); !ok {
+				th.Yield()
+				continue
+			}
+			th.Write(q.vals[i], v, memory.NA)
+			th.Write(q.eids[i], int64(id), memory.NA)
+			q.rec.Arm(th, id)
+			th.Write(q.seqs[i], pos+1, memory.Rel) // commit point: the publish
+			q.rec.Commit(th, id)
+			return
+		case seq < pos:
+			th.Failf("ring: capacity %d exceeded", len(q.seqs))
+		default:
+			th.Yield() // another enqueuer advanced past us; reload
+		}
+	}
+}
+
+// TryDequeue implements Queue: claim the next published slot, or report
+// empty if the slot at deqPos is not (visibly) published — the ring's
+// best-effort emptiness.
+func (q *Ring) TryDequeue(th *machine.Thread) (int64, bool) {
+	for {
+		pos := th.Read(q.deqPos, memory.Rlx)
+		i := q.slot(pos)
+		seq := th.Read(q.seqs[i], memory.Acq)
+		switch {
+		case seq == pos+1:
+			if _, ok := th.CAS(q.deqPos, pos, pos+1, memory.Rlx, memory.Rlx); !ok {
+				th.Yield()
+				continue
+			}
+			d := q.rec.CommitNew(th, core.Deq, 0) // commit point: the claim CAS
+			v := th.Read(q.vals[i], memory.NA)
+			eid := th.Read(q.eids[i], memory.NA)
+			q.rec.SetVal(d, v)
+			q.rec.AddSo(view.EventID(eid), d)
+			th.Write(q.seqs[i], pos+int64(len(q.seqs)), memory.Rel) // free the slot
+			return v, true
+		case seq < pos+1:
+			q.rec.CommitNew(th, core.EmpDeq, 0) // commit point: the seq read
+			return 0, false
+		default:
+			th.Yield() // another dequeuer advanced past us; reload
+		}
+	}
+}

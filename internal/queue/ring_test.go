@@ -1,0 +1,169 @@
+package queue_test
+
+import (
+	"testing"
+
+	"compass/internal/check"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/queue"
+	"compass/internal/spec"
+	"compass/internal/view"
+)
+
+func ringFactory(th *machine.Thread) queue.Queue { return queue.NewRing(th, "ring", 64) }
+
+// ringWeak runs the mixed workload checking CheckQueueWeakEmpty (the spec
+// the ring actually satisfies).
+func ringWeak(level spec.Level, producers, perProducer, consumers, attempts int) func() check.Checked {
+	return func() check.Checked {
+		var q queue.Queue
+		return check.Checked{
+			Prog: machine.Program{
+				Name:    "ring-weak",
+				Setup:   func(th *machine.Thread) { q = ringFactory(th) },
+				Workers: makeRingWorkers(&q, producers, perProducer, consumers, attempts),
+			},
+			Check: func() ([]spec.Violation, int) {
+				return check.Collect(spec.CheckQueueWeakEmpty(q.Recorder().Graph(), level))
+			},
+		}
+	}
+}
+
+func makeRingWorkers(q *queue.Queue, producers, perProducer, consumers, attempts int) []func(*machine.Thread) {
+	var workers []func(*machine.Thread)
+	for p := 0; p < producers; p++ {
+		p := p
+		workers = append(workers, func(th *machine.Thread) {
+			for i := 0; i < perProducer; i++ {
+				(*q).Enqueue(th, int64(1000*(p+1)+i+1))
+			}
+		})
+	}
+	for c := 0; c < consumers; c++ {
+		workers = append(workers, func(th *machine.Thread) {
+			for i := 0; i < attempts; i++ {
+				(*q).TryDequeue(th)
+			}
+		})
+	}
+	return workers
+}
+
+func TestRingWeakEmptySpec(t *testing.T) {
+	requirePass(t, check.Run("ring/weak-empty",
+		ringWeak(spec.LevelHB, 2, 3, 2, 4),
+		check.Options{Executions: 400, StaleBias: 0.6}))
+}
+
+func TestRingFailsAbsLevelWithTwoProducers(t *testing.T) {
+	// Like the Herlihy-Wing queue, the ring's abstract state is not
+	// constructible at its commit points: producer A can claim slot 0 and
+	// publish after producer B published slot 1, so the dequeue of slot 0
+	// contradicts the commit-order state.
+	requireFailureFound(t, check.Run("ring/abs",
+		ringWeak(spec.LevelAbsHB, 2, 3, 2, 4),
+		check.Options{Executions: 600, StaleBias: 0.6}))
+}
+
+func TestRingViolatesEmpDeqWithTwoProducers(t *testing.T) {
+	// The documented weakness needs external synchronization to become
+	// observable as lhb: producer A claims position 0; producer B enqueues
+	// (possibly position 1) and raises a flag; the consumer acquires the
+	// flag — so B's enqueue happens-before its dequeue — yet can still see
+	// position 0 unpublished and report empty → QUEUE-EMPDEQ violated.
+	build := func() check.Checked {
+		var q queue.Queue
+		var flag view.Loc
+		return check.Checked{
+			Prog: machine.Program{
+				Name: "ring-mp-2prod",
+				Setup: func(th *machine.Thread) {
+					q = ringFactory(th)
+					flag = th.Alloc("flag", 0)
+				},
+				Workers: []func(*machine.Thread){
+					func(th *machine.Thread) { q.Enqueue(th, 1001) },
+					func(th *machine.Thread) {
+						q.Enqueue(th, 2001)
+						th.Write(flag, 1, memory.Rel)
+					},
+					func(th *machine.Thread) {
+						for th.Read(flag, memory.Acq) == 0 {
+							th.Yield()
+						}
+						q.TryDequeue(th)
+					},
+				},
+			},
+			Check: func() ([]spec.Violation, int) {
+				return check.Collect(spec.CheckQueue(q.Recorder().Graph(), spec.LevelHB))
+			},
+		}
+	}
+	requireFailureFound(t, check.Run("ring/empdeq-mp", build,
+		check.Options{Executions: 2000, StaleBias: 0.6}))
+}
+
+func TestRingSingleProducerSatisfiesFullSpec(t *testing.T) {
+	// With one producer the unpublished-hole scenario needs two claimants
+	// and cannot arise: the full spec (including EMPDEQ) holds.
+	requirePass(t, check.Run("ring/spsc-full",
+		check.QueueMixed(ringFactory, spec.LevelHB, 1, 4, 2, 4),
+		check.Options{Executions: 600, StaleBias: 0.6}))
+}
+
+func TestRingSPSCClient(t *testing.T) {
+	requirePass(t, check.Run("ring/spsc",
+		check.SPSC(ringFactory, spec.LevelHB, 6),
+		check.Options{Executions: 300, StaleBias: 0.5}))
+}
+
+func TestRingSequential(t *testing.T) {
+	build := func() check.Checked {
+		var q queue.Queue
+		return check.Checked{
+			Prog: machine.Program{
+				Setup: func(th *machine.Thread) { q = ringFactory(th) },
+				Workers: []func(*machine.Thread){func(th *machine.Thread) {
+					if _, ok := q.TryDequeue(th); ok {
+						th.Failf("dequeue from empty succeeded")
+					}
+					q.Enqueue(th, 1)
+					q.Enqueue(th, 2)
+					if v, ok := q.TryDequeue(th); !ok || v != 1 {
+						th.Failf("deq = %d,%v; want 1", v, ok)
+					}
+					if v, ok := q.TryDequeue(th); !ok || v != 2 {
+						th.Failf("deq = %d,%v; want 2", v, ok)
+					}
+				}},
+			},
+			Check: func() ([]spec.Violation, int) {
+				return check.Collect(spec.CheckQueue(q.Recorder().Graph(), spec.LevelSC))
+			},
+		}
+	}
+	requirePass(t, check.Run("ring/seq", build, check.Options{Executions: 20}))
+}
+
+func TestRingCapacityExceeded(t *testing.T) {
+	f := func(th *machine.Thread) queue.Queue { return queue.NewRing(th, "ring", 2) }
+	rep := check.Run("ring/cap", check.QueueMixed(f, spec.LevelHB, 1, 3, 0, 0),
+		check.Options{Executions: 5})
+	requireFailureFound(t, rep)
+}
+
+func TestRingRejectsNonPositive(t *testing.T) {
+	prog := machine.Program{
+		Workers: []func(*machine.Thread){func(th *machine.Thread) {
+			q := queue.NewRing(th, "ring", 4)
+			q.Enqueue(th, 0)
+		}},
+	}
+	res := (&machine.Runner{}).Run(prog, machine.NewRandom(1))
+	if res.Status != machine.Failed {
+		t.Fatalf("status = %v, want Failed", res.Status)
+	}
+}

@@ -1,0 +1,80 @@
+package queue
+
+import (
+	"compass/internal/core"
+	"compass/internal/lock"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// SCQueue is the coarse-grained, lock-based baseline: every operation runs
+// under a spin lock, so every operation synchronizes with every other and
+// the commit order is exactly the critical-section order. It satisfies the
+// strongest spec level (SC, §2.2): an empty dequeue commits only when the
+// abstract state is truly empty at the commit point.
+type SCQueue struct {
+	lk   *lock.SpinLock
+	buf  []view.Loc
+	eids []view.Loc
+	hd   view.Loc // head index (non-atomic, lock-protected)
+	tl   view.Loc // tail index (non-atomic, lock-protected)
+	rec  *core.Recorder
+}
+
+// NewSC allocates a lock-based bounded queue. cap bounds the total number
+// of enqueues per execution (a ring buffer is unnecessary for bounded
+// workloads and keeps index reasoning trivial).
+func NewSC(th *machine.Thread, name string, cap int) *SCQueue {
+	q := &SCQueue{
+		lk:  lock.New(th, name+".lock"),
+		hd:  th.Alloc(name+".hd", 0),
+		tl:  th.Alloc(name+".tl", 0),
+		rec: core.NewRecorder(name),
+	}
+	q.buf = make([]view.Loc, cap)
+	q.eids = make([]view.Loc, cap)
+	for i := 0; i < cap; i++ {
+		q.buf[i] = th.Alloc(name+".buf", 0)
+		q.eids[i] = th.Alloc(name+".eid", -1)
+	}
+	return q
+}
+
+// Recorder implements Queue.
+func (q *SCQueue) Recorder() *core.Recorder { return q.rec }
+
+// Enqueue implements Queue.
+func (q *SCQueue) Enqueue(th *machine.Thread, v int64) {
+	q.lk.Lock(th)
+	t := th.Read(q.tl, memory.NA)
+	if int(t) >= len(q.buf) {
+		th.Failf("scqueue: capacity %d exceeded", len(q.buf))
+	}
+	id := q.rec.Begin(th, core.Enq, v)
+	th.Write(q.buf[t], v, memory.NA)
+	th.Write(q.eids[t], int64(id), memory.NA)
+	q.rec.Arm(th, id)
+	th.Write(q.tl, t+1, memory.NA) // commit point: the tail bump
+	q.rec.Commit(th, id)
+	q.lk.Unlock(th)
+}
+
+// TryDequeue implements Queue. Under the lock, emptiness is exact.
+func (q *SCQueue) TryDequeue(th *machine.Thread) (int64, bool) {
+	q.lk.Lock(th)
+	h := th.Read(q.hd, memory.NA)
+	t := th.Read(q.tl, memory.NA)
+	if h == t {
+		q.rec.CommitNew(th, core.EmpDeq, 0)
+		q.lk.Unlock(th)
+		return 0, false
+	}
+	v := th.Read(q.buf[h], memory.NA)
+	eid := th.Read(q.eids[h], memory.NA)
+	th.Write(q.hd, h+1, memory.NA) // commit point: the head bump
+	d := q.rec.CommitNew(th, core.Deq, v)
+	q.rec.AddSo(view.EventID(eid), d)
+	q.lk.Unlock(th)
+	return v, true
+}

@@ -1,0 +1,85 @@
+package spec
+
+import (
+	"testing"
+
+	"compass/internal/core"
+	"compass/internal/view"
+)
+
+// benchQueueGraph builds a well-formed queue graph with n matched
+// enqueue/dequeue pairs (FIFO, fully lhb-chained).
+func benchQueueGraph(n int) *core.Graph {
+	b := core.NewGraphBuilder("q")
+	var prev view.EventID = view.NoEvent
+	enqs := make([]view.EventID, n)
+	for i := 0; i < n; i++ {
+		if prev == view.NoEvent {
+			enqs[i] = b.Add(core.Enq, int64(i+1), 0)
+		} else {
+			enqs[i] = b.Add(core.Enq, int64(i+1), 0, prev)
+		}
+		prev = enqs[i]
+	}
+	for i := 0; i < n; i++ {
+		d := b.Add(core.Deq, int64(i+1), 0, prev, enqs[i])
+		b.So(enqs[i], d)
+		prev = d
+	}
+	return b.Graph()
+}
+
+func BenchmarkCheckQueueHB32(b *testing.B) {
+	g := benchQueueGraph(16) // 32 events
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := CheckQueue(g, LevelHB); !r.OK() {
+			b.Fatal(r.Violations)
+		}
+	}
+}
+
+func BenchmarkCheckQueueAbs32(b *testing.B) {
+	g := benchQueueGraph(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := CheckQueue(g, LevelAbsHB); !r.OK() {
+			b.Fatal(r.Violations)
+		}
+	}
+}
+
+func BenchmarkReplayCommitOrder128(b *testing.B) {
+	g := benchQueueGraph(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var res Result
+		ReplayCommitOrder(g, SeqQueue{}, true, &res)
+		if len(res.Violations) != 0 {
+			b.Fatal(res.Violations)
+		}
+	}
+}
+
+func BenchmarkLinearizableSearch(b *testing.B) {
+	// A graph whose commit order is not a strict witness (stale empty
+	// dequeue), forcing the memoized search.
+	builder := core.NewGraphBuilder("q")
+	var enqs []view.EventID
+	for i := 0; i < 6; i++ {
+		enqs = append(enqs, builder.Add(core.Enq, int64(i+1), 0))
+	}
+	builder.Add(core.EmpDeq, 0, 0) // unconstrained: must move first
+	for i := 0; i < 6; i++ {
+		d := builder.Add(core.Deq, int64(i+1), 0, enqs[i])
+		builder.So(enqs[i], d)
+	}
+	g := builder.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, unknown := Linearizable(g, SeqQueue{}, 0)
+		if !ok || unknown {
+			b.Fatalf("ok=%v unknown=%v", ok, unknown)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package spec
+
+import (
+	"compass/internal/core"
+)
+
+// SeqDeque is the sequential work-stealing deque semantics: the owner
+// pushes and takes at the back, thieves steal from the front.
+type SeqDeque struct{}
+
+// Name implements SeqObject.
+func (SeqDeque) Name() string { return "deque" }
+
+// Init implements SeqObject.
+func (SeqDeque) Init() SeqState { return dequeState(nil) }
+
+type dequeState []int64 // front = steal end, back = owner end
+
+func (s dequeState) Apply(e *core.Event, strict bool) (SeqState, bool) {
+	switch e.Kind {
+	case core.Push:
+		return append(s[:len(s):len(s)], e.Val), true
+	case core.Pop: // owner take: back
+		if len(s) == 0 || s[len(s)-1] != e.Val {
+			return s, false
+		}
+		return s[:len(s)-1], true
+	case core.Steal: // thief: front
+		if len(s) == 0 || s[0] != e.Val {
+			return s, false
+		}
+		return s[1:], true
+	case core.EmpPop, core.EmpSteal:
+		return s, !strict || len(s) == 0
+	}
+	return s, false
+}
+
+func (s dequeState) Key() string { return keyOf([]int64(s)) }
+
+// CheckDeque checks the work-stealing deque consistency conditions — the
+// COMPASS-style spec for the paper's §6 future-work library:
+//
+//   - DEQUE-KINDS/SO-SHAPE: owner events are Push/Pop/EmpPop from a single
+//     thread; thieves produce Steal/EmpSteal; so relates a push to exactly
+//     one consumer (owner take or steal).
+//   - DEQUE-MATCHES / DEQUE-UNIQ: consumed values were pushed, and every
+//     element is consumed at most once (the condition the missing-SC-fence
+//     ablation violates through the take/steal race).
+//   - SO-LHB / SO-VIEW: matched pairs synchronize (lhb + view transfer).
+//   - DEQUE-EMP: an element whose push happens-before an empty take/steal
+//     must be consumed (existence; the owner's take has a commit window, so
+//     no commit-index strictness is imposed — see the package docs).
+//
+// LevelAbsHB/LevelHist/LevelSC additionally interpret the history against
+// SeqDeque.
+func CheckDeque(g *core.Graph, level Level) Result {
+	res := Result{Level: level}
+	checkLogviewCommitClosed(g, &res)
+	checkSoImpliesLhbAndViews(g, &res)
+
+	ownerThread := -1
+	consDeg := map[int64]int{}
+	prodDeg := map[int64]int{}
+	for _, p := range g.So() {
+		e, d := g.Event(p[0]), g.Event(p[1])
+		if e.Kind != core.Push || (d.Kind != core.Pop && d.Kind != core.Steal) {
+			res.addf("DEQUE-SO-SHAPE", "so edge (%v, %v) is not Push→{Pop,Steal}", e, d)
+			continue
+		}
+		if e.Val != d.Val {
+			res.addf("DEQUE-MATCHES", "%v consumed a value different from its push %v", d, e)
+		}
+		consDeg[int64(d.ID)]++
+		prodDeg[int64(p[0])]++
+	}
+	for id, n := range prodDeg {
+		if n > 1 {
+			res.addf("DEQUE-UNIQ", "push e%d consumed %d times (take/steal race)", id, n)
+		}
+	}
+	for _, e := range g.Events() {
+		switch e.Kind {
+		case core.Push, core.Pop, core.EmpPop:
+			if ownerThread == -1 {
+				ownerThread = e.Thread
+			} else if e.Thread != ownerThread {
+				res.addf("DEQUE-OWNER", "owner operations from threads %d and %d", ownerThread, e.Thread)
+			}
+			if e.Kind == core.Pop && consDeg[int64(e.ID)] != 1 {
+				res.addf("DEQUE-MATCHED", "take %v matched %d times", e, consDeg[int64(e.ID)])
+			}
+		case core.Steal:
+			if consDeg[int64(e.ID)] != 1 {
+				res.addf("DEQUE-MATCHED", "steal %v matched %d times", e, consDeg[int64(e.ID)])
+			}
+		case core.EmpSteal:
+		default:
+			res.addf("DEQUE-KINDS", "foreign event %v in deque graph", e)
+		}
+	}
+	// DEQUE-EMP: visible pushes must be consumed somewhere.
+	prodToCons, _ := matchOf(g)
+	for _, d := range g.Events() {
+		if d.Kind != core.EmpPop && d.Kind != core.EmpSteal {
+			continue
+		}
+		for _, e := range g.Events() {
+			if e.Kind != core.Push || !g.Lhb(e.ID, d.ID) {
+				continue
+			}
+			if _, ok := prodToCons[e.ID]; !ok {
+				res.addf("DEQUE-EMP", "%v happens-before %v but is never consumed", e, d)
+			}
+		}
+	}
+	switch level {
+	case LevelAbsHB:
+		ReplayCommitOrder(g, SeqDeque{}, false, &res)
+	case LevelHist:
+		CheckHist(g, SeqDeque{}, 0, &res)
+	case LevelSC:
+		ReplayCommitOrder(g, SeqDeque{}, true, &res)
+	}
+	return res
+}

@@ -1,0 +1,119 @@
+package spec
+
+import (
+	"testing"
+
+	"compass/internal/core"
+)
+
+func TestDequeValid(t *testing.T) {
+	// Owner pushes 1, 2; takes 2 (back); thief steals 1 (front); then
+	// owner sees empty.
+	b := core.NewGraphBuilder("d")
+	e1 := b.Add(core.Push, 1, 0)
+	e2 := b.Add(core.Push, 2, 0, e1)
+	p := b.Add(core.Pop, 2, 0, e2)
+	s := b.Add(core.Steal, 1, 0, e1)
+	emp := b.Add(core.EmpPop, 0, 0, e1, e2, p, s)
+	b.So(e2, p)
+	b.So(e1, s)
+	g := b.Graph()
+	g.Event(e1).Thread = 1
+	g.Event(e2).Thread = 1
+	g.Event(p).Thread = 1
+	g.Event(emp).Thread = 1
+	g.Event(s).Thread = 2
+	for _, lvl := range Levels {
+		requireOK(t, CheckDeque(g, lvl))
+	}
+}
+
+func TestDequeDoubleConsume(t *testing.T) {
+	// The take/steal race: the same push consumed by both the owner's take
+	// and a thief's steal.
+	b := core.NewGraphBuilder("d")
+	e := b.Add(core.Push, 1, 0)
+	p := b.Add(core.Pop, 1, 0, e)
+	s := b.Add(core.Steal, 1, 0, e)
+	b.So(e, p)
+	b.So(e, s)
+	requireRule(t, CheckDeque(b.Graph(), LevelHB), "DEQUE-UNIQ")
+}
+
+func TestDequeValueMismatch(t *testing.T) {
+	b := core.NewGraphBuilder("d")
+	e := b.Add(core.Push, 1, 0)
+	s := b.Add(core.Steal, 99, 0, e)
+	b.So(e, s)
+	requireRule(t, CheckDeque(b.Graph(), LevelHB), "DEQUE-MATCHES")
+}
+
+func TestDequeTwoOwnersRejected(t *testing.T) {
+	b := core.NewGraphBuilder("d")
+	e1 := b.Add(core.Push, 1, 0)
+	e2 := b.Add(core.Push, 2, 0)
+	b.Graph().Event(e1).Thread = 1
+	b.Graph().Event(e2).Thread = 2
+	requireRule(t, CheckDeque(b.Graph(), LevelHB), "DEQUE-OWNER")
+}
+
+func TestDequeUnmatchedConsumer(t *testing.T) {
+	b := core.NewGraphBuilder("d")
+	b.Add(core.Steal, 1, 0)
+	requireRule(t, CheckDeque(b.Graph(), LevelHB), "DEQUE-MATCHED")
+}
+
+func TestDequeEmpViolation(t *testing.T) {
+	// A push visible to the empty steal but never consumed.
+	b := core.NewGraphBuilder("d")
+	e := b.Add(core.Push, 1, 0)
+	b.Add(core.EmpSteal, 0, 0, e)
+	requireRule(t, CheckDeque(b.Graph(), LevelHB), "DEQUE-EMP")
+}
+
+func TestDequeBadSoShape(t *testing.T) {
+	b := core.NewGraphBuilder("d")
+	e := b.Add(core.Push, 1, 0)
+	s := b.Add(core.EmpSteal, 0, 0, e)
+	b.So(e, s)
+	requireRule(t, CheckDeque(b.Graph(), LevelHB), "DEQUE-SO-SHAPE")
+}
+
+func TestDequeForeignKind(t *testing.T) {
+	b := core.NewGraphBuilder("d")
+	b.Add(core.Enq, 1, 0)
+	requireRule(t, CheckDeque(b.Graph(), LevelHB), "DEQUE-KINDS")
+}
+
+func TestDequeAbsLevelOrdering(t *testing.T) {
+	// Owner takes the front element via Pop (back semantics) — the commit
+	// order cannot be interpreted by SeqDeque.
+	b := core.NewGraphBuilder("d")
+	e1 := b.Add(core.Push, 1, 0)
+	e2 := b.Add(core.Push, 2, 0, e1)
+	p := b.Add(core.Pop, 1, 0, e1, e2) // back is 2, not 1
+	b.So(e1, p)
+	requireOK(t, CheckDeque(b.Graph(), LevelHB))
+	requireRule(t, CheckDeque(b.Graph(), LevelAbsHB), "ABS-STATE")
+}
+
+func TestSeqDequeSemantics(t *testing.T) {
+	st := SeqDeque{}.Init()
+	apply := func(k core.Kind, v int64, want bool) {
+		t.Helper()
+		next, ok := st.Apply(&core.Event{Kind: k, Val: v}, true)
+		if ok != want {
+			t.Fatalf("Apply(%v,%d) = %v, want %v (state %s)", k, v, ok, want, st.Key())
+		}
+		if ok {
+			st = next
+		}
+	}
+	apply(core.EmpSteal, 0, true)
+	apply(core.Push, 1, true)
+	apply(core.Push, 2, true)
+	apply(core.Steal, 2, false) // steal takes the front
+	apply(core.Steal, 1, true)
+	apply(core.Pop, 2, true) // owner takes the back
+	apply(core.EmpPop, 0, true)
+}

@@ -1,0 +1,90 @@
+package spec
+
+import (
+	"testing"
+
+	"compass/internal/core"
+	"compass/internal/view"
+)
+
+// fig1BadGraph is the behaviour the Fig. 1 client must exclude, as an
+// abstract event graph: two enqueues ordered by lhb, one consumed, and an
+// empty dequeue that happens-after both (through the external flag).
+func fig1BadGraph() *core.Graph {
+	b := core.NewGraphBuilder("q")
+	e1 := b.Add(core.Enq, 41, 0)
+	e2 := b.Add(core.Enq, 42, 0, e1)
+	d := b.Add(core.Deq, 41, 0, e1)
+	b.So(e1, d)
+	b.Add(core.EmpDeq, 0, 0, e1, e2) // the right thread's empty dequeue
+	return b.Graph()
+}
+
+func TestSoAbsCannotExcludeFig1Behaviour(t *testing.T) {
+	g := fig1BadGraph()
+	// The Cosmo-style fragment is satisfied: views transfer, the abstract
+	// state is constructible, and empty dequeues are unconstrained.
+	requireOK(t, CheckQueueSoAbs(g))
+	// The LAT_hb^abs/LAT_hb style excludes it via QUEUE-EMPDEQ.
+	requireRule(t, CheckQueue(g, LevelHB), "QUEUE-EMPDEQ")
+}
+
+func TestSoAbsStillChecksMatchingAndState(t *testing.T) {
+	b := core.NewGraphBuilder("q")
+	e := b.Add(core.Enq, 1, 0)
+	d := b.Add(core.Deq, 99, 0, e)
+	b.So(e, d)
+	requireRule(t, CheckQueueSoAbs(b.Graph()), "QUEUE-MATCHES")
+
+	b2 := core.NewGraphBuilder("q")
+	b2.Add(core.Enq, 1, 0)
+	e2 := b2.Add(core.Enq, 2, 0)
+	d2 := b2.Add(core.Deq, 2, 0, e2)
+	b2.So(e2, d2) // dequeues 2 while 1 is at the front of the commit order
+	requireRule(t, CheckQueueSoAbs(b2.Graph()), "ABS-STATE")
+}
+
+func TestSPSCValid(t *testing.T) {
+	b := core.NewGraphBuilder("q")
+	e1 := b.Add(core.Enq, 1, 0)
+	e2 := b.Add(core.Enq, 2, 0, e1)
+	d1 := b.Add(core.Deq, 1, 0, e1)
+	d2 := b.Add(core.Deq, 2, 0, e2, d1)
+	b.So(e1, d1)
+	b.So(e2, d2)
+	// Mark producer/consumer threads.
+	b.Graph().Event(e1).Thread = 1
+	b.Graph().Event(e2).Thread = 1
+	b.Graph().Event(d1).Thread = 2
+	b.Graph().Event(d2).Thread = 2
+	requireOK(t, CheckQueueSPSC(b.Graph()))
+}
+
+func TestSPSCOrderViolation(t *testing.T) {
+	// Consumer takes the second enqueue first: strict SPSC FIFO violated
+	// even though the general (weak) FIFO conditions cannot be evaluated
+	// without lhb between the enqueues.
+	b := core.NewGraphBuilder("q")
+	e1 := b.Add(core.Enq, 1, 0)
+	e2 := b.Add(core.Enq, 2, 0, e1)
+	d1 := b.Add(core.Deq, 2, 0, e2)
+	d2 := b.Add(core.Deq, 1, 0, e1, d1)
+	b.So(e2, d1)
+	b.So(e1, d2)
+	for _, id := range []struct {
+		id view.EventID
+		th int
+	}{{e1, 1}, {e2, 1}, {d1, 2}, {d2, 2}} {
+		b.Graph().Event(id.id).Thread = id.th
+	}
+	requireRule(t, CheckQueueSPSC(b.Graph()), "SPSC-ORDER")
+}
+
+func TestSPSCMultipleProducersRejected(t *testing.T) {
+	b := core.NewGraphBuilder("q")
+	e1 := b.Add(core.Enq, 1, 0)
+	e2 := b.Add(core.Enq, 2, 0)
+	b.Graph().Event(e1).Thread = 1
+	b.Graph().Event(e2).Thread = 3
+	requireRule(t, CheckQueueSPSC(b.Graph()), "SPSC-SINGLE-PRODUCER")
+}

@@ -1,0 +1,91 @@
+package spec
+
+import (
+	"compass/internal/core"
+	"compass/internal/view"
+)
+
+// CheckExchanger checks ExchangerConsistent (§4.2, Fig. 5) over the graph:
+//
+//   - EX-KINDS: only Exchange events.
+//   - EX-SYM: so is symmetric and relates each successful exchange to
+//     exactly one partner; no self-matches; failed exchanges (v2 = ⊥) are
+//     unmatched.
+//   - EX-MATCHES: matched exchanges swapped their values
+//     (a received what b offered and vice versa).
+//   - EX-ATOMIC-PAIR: a matched pair commits atomically together — the two
+//     events are adjacent in the commit order, so no other commit can
+//     observe the intermediate state between the helpee's and the helper's
+//     commit (the helping discipline of §4.2).
+//   - EX-OVERLAP: the beginning of each exchange call happens before the
+//     end of its match (the paper's footnote 7 on hb between matched
+//     exchanges).
+//
+// The exchanger has a single spec level (LAT_hb); abstract-state and
+// history levels do not apply because exchangers have no useful sequential
+// behaviours (§1.1).
+func CheckExchanger(g *core.Graph) Result {
+	res := Result{Level: LevelHB}
+	checkLogviewCommitClosed(g, &res)
+	idx := commitIndex(g)
+
+	partner := map[view.EventID][]view.EventID{}
+	for _, p := range g.So() {
+		a, b := p[0], p[1]
+		ea, eb := g.Event(a), g.Event(b)
+		if ea.Kind != core.Exchange || eb.Kind != core.Exchange {
+			res.addf("EX-KINDS", "so edge (%v, %v) not between exchanges", ea, eb)
+			continue
+		}
+		if a == b {
+			res.addf("EX-SYM", "%v matched with itself", ea)
+			continue
+		}
+		partner[a] = append(partner[a], b)
+	}
+	// Symmetry and uniqueness.
+	for a, bs := range partner {
+		if len(bs) > 1 {
+			res.addf("EX-SYM", "%v matched with %d partners", g.Event(a), len(bs))
+			continue
+		}
+		b := bs[0]
+		back, ok := partner[b]
+		if !ok || len(back) != 1 || back[0] != a {
+			res.addf("EX-SYM", "so edge (%v, %v) has no symmetric counterpart", g.Event(a), g.Event(b))
+		}
+	}
+	for _, e := range g.Events() {
+		if e.Kind != core.Exchange {
+			res.addf("EX-KINDS", "foreign event %v in exchanger graph", e)
+			continue
+		}
+		bs, matched := partner[e.ID]
+		if e.Val2 == core.ExFail {
+			if matched {
+				res.addf("EX-SYM", "failed exchange %v is matched", e)
+			}
+			continue
+		}
+		if !matched {
+			res.addf("EX-SYM", "successful exchange %v has no partner", e)
+			continue
+		}
+		b := g.Event(bs[0])
+		if e.Val2 != b.Val || b.Val2 != e.Val {
+			res.addf("EX-MATCHES", "values not swapped between %v and %v", e, b)
+		}
+		// Atomic pair commit: adjacent in commit order.
+		da := idx[e.ID] - idx[b.ID]
+		if da != 1 && da != -1 {
+			res.addf("EX-ATOMIC-PAIR",
+				"matched exchanges %v and %v commit %d positions apart (must be adjacent)",
+				e, b, da)
+		}
+		// Call overlap: each call begins before the other's commit.
+		if e.StartStep > b.CommitStep || b.StartStep > e.CommitStep {
+			res.addf("EX-OVERLAP", "matched exchanges %v and %v do not overlap in time", e, b)
+		}
+	}
+	return res
+}

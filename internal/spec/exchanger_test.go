@@ -1,0 +1,108 @@
+package spec
+
+import (
+	"testing"
+
+	"compass/internal/core"
+)
+
+func TestExchangerValidPair(t *testing.T) {
+	b := core.NewGraphBuilder("x")
+	a := b.Add(core.Exchange, 10, 20)
+	c := b.Add(core.Exchange, 20, 10, a)
+	b.So(a, c)
+	b.So(c, a)
+	b.SetSteps(a, 1, 5)
+	b.SetSteps(c, 2, 5)
+	requireOK(t, CheckExchanger(b.Graph()))
+}
+
+func TestExchangerFailedUnmatchedOK(t *testing.T) {
+	b := core.NewGraphBuilder("x")
+	b.Add(core.Exchange, 10, core.ExFail)
+	requireOK(t, CheckExchanger(b.Graph()))
+}
+
+func TestExchangerSuccessWithoutPartner(t *testing.T) {
+	b := core.NewGraphBuilder("x")
+	b.Add(core.Exchange, 10, 20)
+	requireRule(t, CheckExchanger(b.Graph()), "EX-SYM")
+}
+
+func TestExchangerAsymmetricSo(t *testing.T) {
+	b := core.NewGraphBuilder("x")
+	a := b.Add(core.Exchange, 10, 20)
+	c := b.Add(core.Exchange, 20, 10, a)
+	b.So(a, c) // missing the reverse edge
+	requireRule(t, CheckExchanger(b.Graph()), "EX-SYM")
+}
+
+func TestExchangerSelfMatch(t *testing.T) {
+	b := core.NewGraphBuilder("x")
+	a := b.Add(core.Exchange, 10, 10)
+	b.So(a, a)
+	requireRule(t, CheckExchanger(b.Graph()), "EX-SYM")
+}
+
+func TestExchangerValuesNotSwapped(t *testing.T) {
+	b := core.NewGraphBuilder("x")
+	a := b.Add(core.Exchange, 10, 99)
+	c := b.Add(core.Exchange, 20, 10, a)
+	b.So(a, c)
+	b.So(c, a)
+	requireRule(t, CheckExchanger(b.Graph()), "EX-MATCHES")
+}
+
+func TestExchangerNonAdjacentCommits(t *testing.T) {
+	// A third commit between the pair's commits breaks pair atomicity.
+	b := core.NewGraphBuilder("x")
+	a := b.Add(core.Exchange, 10, 20)
+	b.Add(core.Exchange, 5, core.ExFail)
+	c := b.Add(core.Exchange, 20, 10, a)
+	b.So(a, c)
+	b.So(c, a)
+	requireRule(t, CheckExchanger(b.Graph()), "EX-ATOMIC-PAIR")
+}
+
+func TestExchangerNoOverlap(t *testing.T) {
+	b := core.NewGraphBuilder("x")
+	a := b.Add(core.Exchange, 10, 20)
+	c := b.Add(core.Exchange, 20, 10, a)
+	b.So(a, c)
+	b.So(c, a)
+	b.SetSteps(a, 1, 2)
+	b.SetSteps(c, 10, 11) // c begins after a's commit... and a commits before c starts
+	requireRule(t, CheckExchanger(b.Graph()), "EX-OVERLAP")
+}
+
+func TestExchangerFailedButMatched(t *testing.T) {
+	b := core.NewGraphBuilder("x")
+	a := b.Add(core.Exchange, 10, core.ExFail)
+	c := b.Add(core.Exchange, 20, 10, a)
+	b.So(a, c)
+	b.So(c, a)
+	requireRule(t, CheckExchanger(b.Graph()), "EX-SYM")
+}
+
+func TestExchangerForeignKind(t *testing.T) {
+	b := core.NewGraphBuilder("x")
+	b.Add(core.Push, 1, 0)
+	requireRule(t, CheckExchanger(b.Graph()), "EX-KINDS")
+}
+
+func TestExchangerTwoPairs(t *testing.T) {
+	b := core.NewGraphBuilder("x")
+	a := b.Add(core.Exchange, 1, 2)
+	c := b.Add(core.Exchange, 2, 1, a)
+	d := b.Add(core.Exchange, 3, 4)
+	e := b.Add(core.Exchange, 4, 3, d)
+	b.So(a, c)
+	b.So(c, a)
+	b.So(d, e)
+	b.So(e, d)
+	b.SetSteps(a, 1, 2)
+	b.SetSteps(c, 1, 2)
+	b.SetSteps(d, 3, 4)
+	b.SetSteps(e, 3, 4)
+	requireOK(t, CheckExchanger(b.Graph()))
+}

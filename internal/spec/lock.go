@@ -1,0 +1,57 @@
+package spec
+
+import (
+	"compass/internal/core"
+)
+
+// CheckLock checks LockConsistent over a lock's event graph:
+//
+//   - LOCK-KINDS: only LockAcq/LockRel events.
+//   - LOCK-ALTERNATION: the commit order strictly alternates acquire,
+//     release, acquire, release, ... starting with an acquire — mutual
+//     exclusion means two acquires never commit without a release in
+//     between.
+//   - LOCK-OWNER: each release is performed by the thread that performed
+//     the preceding acquire.
+//   - LOCK-SO: every acquire after the first is synchronized-with the
+//     immediately preceding release (so edge), with the usual lhb and
+//     view-transfer obligations (the critical section's effects are
+//     published to the next holder).
+func CheckLock(g *core.Graph) Result {
+	res := Result{Level: LevelHB}
+	checkLogviewCommitClosed(g, &res)
+	checkSoImpliesLhbAndViews(g, &res)
+	events := g.Events()
+	_, consToProd := matchOf(g)
+	for i, e := range events {
+		switch e.Kind {
+		case core.LockAcq:
+			if i%2 != 0 {
+				res.addf("LOCK-ALTERNATION", "commit #%d %v: expected a release", i, e)
+			}
+			if i == 0 {
+				continue
+			}
+			prev := events[i-1]
+			rel, ok := consToProd[e.ID]
+			if !ok {
+				res.addf("LOCK-SO", "%v acquired without synchronizing with a release", e)
+			} else if prev.Kind == core.LockRel && rel != prev.ID {
+				res.addf("LOCK-SO", "%v synchronized with %v, not the preceding release %v",
+					e, g.Event(rel), prev)
+			}
+		case core.LockRel:
+			if i%2 != 1 {
+				res.addf("LOCK-ALTERNATION", "commit #%d %v: expected an acquire", i, e)
+				continue
+			}
+			if prev := events[i-1]; prev.Kind == core.LockAcq && prev.Thread != e.Thread {
+				res.addf("LOCK-OWNER", "%v released by thread %d but acquired by thread %d",
+					e, e.Thread, prev.Thread)
+			}
+		default:
+			res.addf("LOCK-KINDS", "foreign event %v in lock graph", e)
+		}
+	}
+	return res
+}

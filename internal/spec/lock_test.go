@@ -1,0 +1,51 @@
+package spec
+
+import (
+	"testing"
+
+	"compass/internal/core"
+)
+
+func TestLockValid(t *testing.T) {
+	b := core.NewGraphBuilder("lk")
+	a1 := b.Add(core.LockAcq, 0, 0)
+	r1 := b.Add(core.LockRel, 0, 0, a1)
+	a2 := b.Add(core.LockAcq, 0, 0, r1)
+	r2 := b.Add(core.LockRel, 0, 0, a2)
+	b.So(r1, a2)
+	b.Graph().Event(a1).Thread = 1
+	b.Graph().Event(r1).Thread = 1
+	b.Graph().Event(a2).Thread = 2
+	b.Graph().Event(r2).Thread = 2
+	requireOK(t, CheckLock(b.Graph()))
+}
+
+func TestLockDoubleAcquire(t *testing.T) {
+	b := core.NewGraphBuilder("lk")
+	b.Add(core.LockAcq, 0, 0)
+	b.Add(core.LockAcq, 0, 0) // mutual exclusion violated
+	requireRule(t, CheckLock(b.Graph()), "LOCK-ALTERNATION")
+}
+
+func TestLockUnsynchronizedAcquire(t *testing.T) {
+	b := core.NewGraphBuilder("lk")
+	a1 := b.Add(core.LockAcq, 0, 0)
+	b.Add(core.LockRel, 0, 0, a1)
+	b.Add(core.LockAcq, 0, 0) // no so edge from the release
+	requireRule(t, CheckLock(b.Graph()), "LOCK-SO")
+}
+
+func TestLockWrongOwner(t *testing.T) {
+	b := core.NewGraphBuilder("lk")
+	a1 := b.Add(core.LockAcq, 0, 0)
+	r1 := b.Add(core.LockRel, 0, 0, a1)
+	b.Graph().Event(a1).Thread = 1
+	b.Graph().Event(r1).Thread = 2
+	requireRule(t, CheckLock(b.Graph()), "LOCK-OWNER")
+}
+
+func TestLockForeignKind(t *testing.T) {
+	b := core.NewGraphBuilder("lk")
+	b.Add(core.Enq, 1, 0)
+	requireRule(t, CheckLock(b.Graph()), "LOCK-KINDS")
+}

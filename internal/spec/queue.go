@@ -1,0 +1,158 @@
+package spec
+
+import (
+	"compass/internal/core"
+)
+
+// CheckQueue checks the queue consistency conditions of Fig. 2 against the
+// graph at the given spec level. All levels include the graph-based
+// LAT_hb conditions (well-formedness, QUEUE-MATCHES, QUEUE-FIFO,
+// QUEUE-EMPDEQ, so ⇒ lhb + view transfer); LevelAbsHB adds the
+// abstract-state replay; LevelHist the linearizable-history search;
+// LevelSC the strict sequential replay of the commit order.
+func CheckQueue(g *core.Graph, level Level) Result {
+	return checkQueueWith(g, level, true)
+}
+
+// CheckQueueWeakEmpty is CheckQueue without the QUEUE-EMPDEQ condition —
+// the spec satisfied by queues whose empty dequeues are only best-effort,
+// such as the bounded MPMC ring, where a dequeue can observe a slot whose
+// enqueuer has claimed but not yet published it (see queue.Ring).
+func CheckQueueWeakEmpty(g *core.Graph, level Level) Result {
+	return checkQueueWith(g, level, false)
+}
+
+func checkQueueWith(g *core.Graph, level Level, empDeq bool) Result {
+	res := Result{Level: level}
+	checkQueueWellFormed(g, &res)
+	checkLogviewCommitClosed(g, &res)
+	checkSoImpliesLhbAndViews(g, &res)
+	checkQueueFIFO(g, &res)
+	if empDeq {
+		checkQueueEmpDeq(g, &res)
+	}
+	switch level {
+	case LevelAbsHB:
+		ReplayCommitOrder(g, SeqQueue{}, false, &res)
+	case LevelHist:
+		CheckHist(g, SeqQueue{}, 0, &res)
+	case LevelSC:
+		ReplayCommitOrder(g, SeqQueue{}, true, &res)
+	}
+	return res
+}
+
+// checkQueueWellFormed checks the structural conditions: only queue event
+// kinds; so relates an enqueue to a successful dequeue; every successful
+// dequeue is matched exactly once (QUEUE-MATCHED); every enqueue is
+// dequeued at most once (QUEUE-UNIQ); matched values agree
+// (QUEUE-MATCHES); empty dequeues are unmatched.
+func checkQueueWellFormed(g *core.Graph, res *Result) {
+	for _, e := range g.Events() {
+		switch e.Kind {
+		case core.Enq, core.Deq, core.EmpDeq:
+		default:
+			res.addf("QUEUE-KINDS", "foreign event %v in queue graph", e)
+		}
+	}
+	seenCons := map[int64]int{} // consumer id -> in-degree
+	for _, p := range g.So() {
+		e, d := g.Event(p[0]), g.Event(p[1])
+		if e.Kind != core.Enq || d.Kind != core.Deq {
+			res.addf("QUEUE-SO-SHAPE", "so edge (%v, %v) is not Enq→Deq", e, d)
+			continue
+		}
+		if e.Val != d.Val {
+			res.addf("QUEUE-MATCHES", "dequeue %v returned a value different from its enqueue %v", d, e)
+		}
+		seenCons[int64(d.ID)]++
+	}
+	prodDeg := map[int64]int{}
+	for _, p := range g.So() {
+		prodDeg[int64(p[0])]++
+	}
+	for id, n := range prodDeg {
+		if n > 1 {
+			res.addf("QUEUE-UNIQ", "enqueue e%d dequeued %d times", id, n)
+		}
+	}
+	for _, d := range g.Events() {
+		switch d.Kind {
+		case core.Deq:
+			if seenCons[int64(d.ID)] == 0 {
+				res.addf("QUEUE-MATCHED", "successful dequeue %v has no matching enqueue", d)
+			} else if seenCons[int64(d.ID)] > 1 {
+				res.addf("QUEUE-MATCHED", "dequeue %v matched %d times", d, seenCons[int64(d.ID)])
+			}
+		case core.EmpDeq:
+			if len(g.SoTo(d.ID))+len(g.SoFrom(d.ID)) != 0 {
+				res.addf("QUEUE-SO-SHAPE", "empty dequeue %v participates in so", d)
+			}
+		}
+	}
+}
+
+// checkQueueFIFO checks QUEUE-FIFO (Fig. 2): for every matched pair
+// (e, d) ∈ so and every other enqueue e' with e' lhb e, e' must already
+// have been dequeued by some d' at d's commit point, and d must not
+// happen-before d'.
+func checkQueueFIFO(g *core.Graph, res *Result) {
+	idx := commitIndex(g)
+	prodToCons, _ := matchOf(g)
+	var enqs []*core.Event
+	for _, e := range g.Events() {
+		if e.Kind == core.Enq {
+			enqs = append(enqs, e)
+		}
+	}
+	for _, p := range g.So() {
+		e, d := p[0], p[1]
+		if g.Event(e).Kind != core.Enq {
+			continue
+		}
+		for _, ep := range enqs {
+			if ep.ID == e || !g.Lhb(ep.ID, e) {
+				continue
+			}
+			dp, ok := prodToCons[ep.ID]
+			if !ok {
+				res.addf("QUEUE-FIFO",
+					"%v happens-before %v, which was dequeued by %v, but %v was never dequeued",
+					ep, g.Event(e), g.Event(d), ep)
+				continue
+			}
+			if idx[dp] > idx[d] {
+				res.addf("QUEUE-FIFO",
+					"%v happens-before %v but its dequeue %v commits after %v",
+					ep, g.Event(e), g.Event(dp), g.Event(d))
+			}
+			if g.Lhb(d, dp) {
+				res.addf("QUEUE-FIFO", "dequeue %v happens-before %v, violating FIFO",
+					g.Event(d), g.Event(dp))
+			}
+		}
+	}
+}
+
+// checkQueueEmpDeq checks QUEUE-EMPDEQ (Fig. 2): for every empty dequeue
+// d, there is no enqueue that happens-before d but had not been dequeued
+// at d's commit point.
+func checkQueueEmpDeq(g *core.Graph, res *Result) {
+	idx := commitIndex(g)
+	prodToCons, _ := matchOf(g)
+	for _, d := range g.Events() {
+		if d.Kind != core.EmpDeq {
+			continue
+		}
+		for _, e := range g.Events() {
+			if e.Kind != core.Enq || !g.Lhb(e.ID, d.ID) {
+				continue
+			}
+			dp, ok := prodToCons[e.ID]
+			if !ok || idx[dp] > idx[d.ID] {
+				res.addf("QUEUE-EMPDEQ",
+					"%v happens-before empty dequeue %v but was not dequeued by then", e, d)
+			}
+		}
+	}
+}

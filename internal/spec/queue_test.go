@@ -1,0 +1,225 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"compass/internal/core"
+)
+
+// hasViolation reports whether the result contains a violation of rule.
+func hasViolation(r Result, rule string) bool {
+	for _, v := range r.Violations {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func requireOK(t *testing.T, r Result) {
+	t.Helper()
+	if !r.OK() {
+		var lines []string
+		for _, v := range r.Violations {
+			lines = append(lines, v.String())
+		}
+		t.Fatalf("check failed at %v:\n%s", r.Level, strings.Join(lines, "\n"))
+	}
+}
+
+func requireRule(t *testing.T, r Result, rule string) {
+	t.Helper()
+	if !hasViolation(r, rule) {
+		t.Fatalf("expected violation of %s, got %v", rule, r.Violations)
+	}
+}
+
+// validQueueGraph: e0=Enq(1), e1=Enq(2) (after e0), d2=Deq(1), d3=Deq(2),
+// d4=EmpDeq observing everything.
+func validQueueGraph() *core.Graph {
+	b := core.NewGraphBuilder("q")
+	e0 := b.Add(core.Enq, 1, 0)
+	e1 := b.Add(core.Enq, 2, 0, e0)
+	d2 := b.Add(core.Deq, 1, 0, e0)
+	d3 := b.Add(core.Deq, 2, 0, e1, d2)
+	b.Add(core.EmpDeq, 0, 0, e0, e1, d2, d3)
+	b.So(e0, d2)
+	b.So(e1, d3)
+	return b.Graph()
+}
+
+func TestQueueValidAllLevels(t *testing.T) {
+	g := validQueueGraph()
+	for _, lvl := range Levels {
+		requireOK(t, CheckQueue(g, lvl))
+	}
+}
+
+func TestQueueEmptyGraphValid(t *testing.T) {
+	g := core.NewGraphBuilder("q").Graph()
+	for _, lvl := range Levels {
+		requireOK(t, CheckQueue(g, lvl))
+	}
+}
+
+func TestQueueMatchesViolation(t *testing.T) {
+	b := core.NewGraphBuilder("q")
+	e := b.Add(core.Enq, 1, 0)
+	d := b.Add(core.Deq, 99, 0, e)
+	b.So(e, d)
+	requireRule(t, CheckQueue(b.Graph(), LevelHB), "QUEUE-MATCHES")
+}
+
+func TestQueueUnmatchedDeqViolation(t *testing.T) {
+	b := core.NewGraphBuilder("q")
+	b.Add(core.Deq, 1, 0)
+	requireRule(t, CheckQueue(b.Graph(), LevelHB), "QUEUE-MATCHED")
+}
+
+func TestQueueDoubleDequeueViolation(t *testing.T) {
+	b := core.NewGraphBuilder("q")
+	e := b.Add(core.Enq, 1, 0)
+	d1 := b.Add(core.Deq, 1, 0, e)
+	d2 := b.Add(core.Deq, 1, 0, e)
+	b.So(e, d1)
+	b.So(e, d2)
+	requireRule(t, CheckQueue(b.Graph(), LevelHB), "QUEUE-UNIQ")
+}
+
+func TestQueueSoShapeViolation(t *testing.T) {
+	b := core.NewGraphBuilder("q")
+	e := b.Add(core.Enq, 1, 0)
+	d := b.Add(core.EmpDeq, 0, 0, e)
+	b.So(e, d) // so must target a successful dequeue
+	requireRule(t, CheckQueue(b.Graph(), LevelHB), "QUEUE-SO-SHAPE")
+}
+
+func TestQueueFIFOUnmatchedEarlierEnqueue(t *testing.T) {
+	// e0 happens-before e1; e1 is dequeued but e0 never is → FIFO violated.
+	b := core.NewGraphBuilder("q")
+	e0 := b.Add(core.Enq, 1, 0)
+	e1 := b.Add(core.Enq, 2, 0, e0)
+	d := b.Add(core.Deq, 2, 0, e1)
+	b.So(e1, d)
+	requireRule(t, CheckQueue(b.Graph(), LevelHB), "QUEUE-FIFO")
+}
+
+func TestQueueFIFOLateDequeueOfEarlierEnqueue(t *testing.T) {
+	// e0 lhb e1; d2 dequeues e1 first, d3 dequeues e0 after → FIFO violated
+	// (e0's dequeue commits after e1's).
+	b := core.NewGraphBuilder("q")
+	e0 := b.Add(core.Enq, 1, 0)
+	e1 := b.Add(core.Enq, 2, 0, e0)
+	d2 := b.Add(core.Deq, 2, 0, e1)
+	d3 := b.Add(core.Deq, 1, 0, e0)
+	b.So(e1, d2)
+	b.So(e0, d3)
+	requireRule(t, CheckQueue(b.Graph(), LevelHB), "QUEUE-FIFO")
+}
+
+func TestQueueFIFOAllowsUnorderedEnqueues(t *testing.T) {
+	// e0 and e1 unordered in lhb: dequeuing in either order is fine.
+	b := core.NewGraphBuilder("q")
+	e0 := b.Add(core.Enq, 1, 0)
+	e1 := b.Add(core.Enq, 2, 0)
+	d2 := b.Add(core.Deq, 2, 0, e1)
+	d3 := b.Add(core.Deq, 1, 0, e0)
+	b.So(e1, d2)
+	b.So(e0, d3)
+	requireOK(t, CheckQueue(b.Graph(), LevelHB))
+}
+
+func TestQueueEmpDeqViolation(t *testing.T) {
+	// An enqueue happens-before the empty dequeue but is never dequeued.
+	b := core.NewGraphBuilder("q")
+	e := b.Add(core.Enq, 1, 0)
+	b.Add(core.EmpDeq, 0, 0, e)
+	requireRule(t, CheckQueue(b.Graph(), LevelHB), "QUEUE-EMPDEQ")
+}
+
+func TestQueueEmpDeqDequeuedLaterStillViolates(t *testing.T) {
+	// The enqueue is dequeued, but only after the empty dequeue committed.
+	b := core.NewGraphBuilder("q")
+	e := b.Add(core.Enq, 1, 0)
+	b.Add(core.EmpDeq, 0, 0, e)
+	d := b.Add(core.Deq, 1, 0, e)
+	b.So(e, d)
+	requireRule(t, CheckQueue(b.Graph(), LevelHB), "QUEUE-EMPDEQ")
+}
+
+func TestQueueEmpDeqInvisibleEnqueueAllowed(t *testing.T) {
+	// The enqueue does NOT happen-before the empty dequeue: a weak dequeue
+	// may miss it (the RMC-realistic behaviour of §2.3).
+	b := core.NewGraphBuilder("q")
+	b.Add(core.Enq, 1, 0)
+	b.Add(core.EmpDeq, 0, 0)
+	requireOK(t, CheckQueue(b.Graph(), LevelHB))
+}
+
+func TestQueueAbsLevelRejectsNonFIFOCommitOrder(t *testing.T) {
+	// Unordered enqueues dequeued out of commit order: fine at LevelHB,
+	// rejected at LevelAbsHB (abstract state not constructible at commits).
+	b := core.NewGraphBuilder("q")
+	e0 := b.Add(core.Enq, 1, 0)
+	e1 := b.Add(core.Enq, 2, 0)
+	d2 := b.Add(core.Deq, 2, 0, e1)
+	d3 := b.Add(core.Deq, 1, 0, e0)
+	b.So(e1, d2)
+	b.So(e0, d3)
+	requireOK(t, CheckQueue(b.Graph(), LevelHB))
+	requireRule(t, CheckQueue(b.Graph(), LevelAbsHB), "ABS-STATE")
+}
+
+func TestQueueSCRejectsStaleEmptyHistAccepts(t *testing.T) {
+	// EmpDeq commits while the queue is non-empty, but the enqueue is not
+	// lhb-ordered before it: LevelHist finds a linearization placing the
+	// empty dequeue first; LevelSC rejects.
+	b := core.NewGraphBuilder("q")
+	e := b.Add(core.Enq, 1, 0)
+	b.Add(core.EmpDeq, 0, 0) // no lhb from e
+	d := b.Add(core.Deq, 1, 0, e)
+	b.So(e, d)
+	requireOK(t, CheckQueue(b.Graph(), LevelHist))
+	requireRule(t, CheckQueue(b.Graph(), LevelSC), "SC-STATE")
+}
+
+func TestQueueHistRejectsImpossibleHistory(t *testing.T) {
+	// EmpDeq lhb-after an undequeued enqueue cannot be linearized (and also
+	// violates EMPDEQ).
+	b := core.NewGraphBuilder("q")
+	e := b.Add(core.Enq, 1, 0)
+	b.Add(core.EmpDeq, 0, 0, e)
+	r := CheckQueue(b.Graph(), LevelHist)
+	if r.OK() {
+		t.Fatal("expected failure")
+	}
+	requireRule(t, r, "HIST-LINEARIZABLE")
+}
+
+func TestQueueLhbOrderViolation(t *testing.T) {
+	// An event whose logical view contains a later-committed event breaks
+	// logical atomicity (LHB-ORDER).
+	b := core.NewGraphBuilder("q")
+	e := b.Add(core.Enq, 1, 0)
+	d := b.Add(core.Deq, 1, 0, e)
+	b.So(e, d)
+	b.AddLhb(d, e) // e claims to have observed d, which commits later
+	requireRule(t, CheckQueue(b.Graph(), LevelHB), "LHB-ORDER")
+}
+
+func TestQueueForeignKind(t *testing.T) {
+	b := core.NewGraphBuilder("q")
+	b.Add(core.Push, 1, 0)
+	requireRule(t, CheckQueue(b.Graph(), LevelHB), "QUEUE-KINDS")
+}
+
+func TestLevelString(t *testing.T) {
+	for lvl, want := range map[Level]string{
+		LevelHB: "LAT_hb", LevelAbsHB: "LAT_hb^abs", LevelHist: "LAT_hb^hist", LevelSC: "SC",
+	} {
+		if lvl.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", lvl, lvl.String(), want)
+		}
+	}
+}

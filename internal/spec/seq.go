@@ -1,0 +1,198 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"compass/internal/core"
+	"compass/internal/view"
+)
+
+// SeqObject gives the sequential semantics (the paper's interp, Fig. 4)
+// against which histories are interpreted.
+type SeqObject interface {
+	Name() string
+	Init() SeqState
+}
+
+// SeqState is one abstract state of a sequential object.
+type SeqState interface {
+	// Apply interprets one event against the state. strict additionally
+	// validates read-only operations (an empty dequeue/pop is legal only
+	// if the state is truly empty). It returns the successor state and
+	// whether the event was legal.
+	Apply(e *core.Event, strict bool) (SeqState, bool)
+	// Key returns a canonical encoding of the state (for memoization).
+	Key() string
+}
+
+// SeqQueue is the sequential FIFO queue semantics.
+type SeqQueue struct{}
+
+// Name implements SeqObject.
+func (SeqQueue) Name() string { return "queue" }
+
+// Init implements SeqObject.
+func (SeqQueue) Init() SeqState { return queueState(nil) }
+
+type queueState []int64
+
+func (s queueState) Apply(e *core.Event, strict bool) (SeqState, bool) {
+	switch e.Kind {
+	case core.Enq:
+		return append(s[:len(s):len(s)], e.Val), true
+	case core.Deq:
+		if len(s) == 0 || s[0] != e.Val {
+			return s, false
+		}
+		return s[1:], true
+	case core.EmpDeq:
+		return s, !strict || len(s) == 0
+	}
+	return s, false
+}
+
+func (s queueState) Key() string { return keyOf([]int64(s)) }
+
+// SeqStack is the sequential LIFO stack semantics (the paper's interp in
+// Fig. 4: a push adds to the head, a pop removes the head, an empty pop
+// happens only on the empty stack).
+type SeqStack struct{}
+
+// Name implements SeqObject.
+func (SeqStack) Name() string { return "stack" }
+
+// Init implements SeqObject.
+func (SeqStack) Init() SeqState { return stackState(nil) }
+
+type stackState []int64 // top is the last element
+
+func (s stackState) Apply(e *core.Event, strict bool) (SeqState, bool) {
+	switch e.Kind {
+	case core.Push:
+		return append(s[:len(s):len(s)], e.Val), true
+	case core.Pop:
+		if len(s) == 0 || s[len(s)-1] != e.Val {
+			return s, false
+		}
+		return s[:len(s)-1], true
+	case core.EmpPop:
+		return s, !strict || len(s) == 0
+	}
+	return s, false
+}
+
+func (s stackState) Key() string { return keyOf([]int64(s)) }
+
+func keyOf(vs []int64) string {
+	var b strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// ReplayCommitOrder interprets the graph's total commit order against the
+// sequential semantics. With strict=false this is the LAT_hb^abs check:
+// the abstract state must be constructible at every commit point, i.e.
+// every successful operation transforms the state as the spec's
+// postcondition describes (read-only operations are unconstrained). With
+// strict=true it is the SC-level check of §2.2, where e.g. an empty
+// dequeue may only commit on a truly empty abstract state.
+func ReplayCommitOrder(g *core.Graph, obj SeqObject, strict bool, res *Result) {
+	rule := "ABS-STATE"
+	if strict {
+		rule = "SC-STATE"
+	}
+	st := obj.Init()
+	var pos int
+	for _, e := range g.Events() {
+		next, ok := st.Apply(e, strict)
+		if !ok {
+			res.addf(rule, "commit #%d %v is inconsistent with abstract %s state [%s]",
+				pos, e, obj.Name(), st.Key())
+			return
+		}
+		st = next
+		pos++
+	}
+}
+
+// Linearizable searches for a total order to of the committed events that
+// (a) extends lhb (H.lhb ⊆ to) and (b) is a valid strict sequential
+// history (interp(to, vs), including read-only operations). This is the
+// LAT_hb^hist obligation of §3.3 (HIST-HB-STACK-LINEARIZABLE).
+//
+// The search is exponential in the worst case; maxEvents bounds the
+// instance size (0 means 26). Returns (found, unknown): unknown is set if
+// the instance exceeds the bound.
+func Linearizable(g *core.Graph, obj SeqObject, maxEvents int) (bool, bool) {
+	if maxEvents <= 0 {
+		maxEvents = 26
+	}
+	events := g.Events()
+	n := len(events)
+	if n > maxEvents || n > 62 {
+		return false, true
+	}
+	// preds[i] = bitmask of events that must precede event i (lhb).
+	pos := map[view.EventID]int{}
+	for i, e := range events {
+		pos[e.ID] = i
+	}
+	preds := make([]uint64, n)
+	for i, e := range events {
+		for _, p := range e.LogView.Events() {
+			if j, ok := pos[p]; ok {
+				preds[i] |= 1 << uint(j)
+			}
+		}
+	}
+	full := uint64(1)<<uint(n) - 1
+	failed := map[string]bool{}
+	var dfs func(mask uint64, st SeqState) bool
+	dfs = func(mask uint64, st SeqState) bool {
+		if mask == full {
+			return true
+		}
+		key := fmt.Sprintf("%x|%s", mask, st.Key())
+		if failed[key] {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if mask&bit != 0 || preds[i]&^mask != 0 {
+				continue
+			}
+			if next, ok := st.Apply(events[i], true); ok {
+				if dfs(mask|bit, next) {
+					return true
+				}
+			}
+		}
+		failed[key] = true
+		return false
+	}
+	return dfs(0, obj.Init()), false
+}
+
+// CheckHist runs the LAT_hb^hist obligation, with a fast path: if the
+// commit order itself is already a strict sequential history it is the
+// witness to; otherwise the full search runs.
+func CheckHist(g *core.Graph, obj SeqObject, maxEvents int, res *Result) {
+	var probe Result
+	ReplayCommitOrder(g, obj, true, &probe)
+	if len(probe.Violations) == 0 {
+		return // commit order is itself a valid linearization
+	}
+	ok, unknown := Linearizable(g, obj, maxEvents)
+	if unknown {
+		res.Unknown = true
+		return
+	}
+	if !ok {
+		res.addf("HIST-LINEARIZABLE",
+			"no total order to ⊇ lhb interprets as a sequential %s history (%d events)",
+			obj.Name(), len(g.Events()))
+	}
+}

@@ -1,0 +1,258 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"compass/internal/core"
+	"compass/internal/view"
+)
+
+func TestSeqQueueSemantics(t *testing.T) {
+	st := SeqQueue{}.Init()
+	apply := func(k core.Kind, v int64, strict, want bool) {
+		t.Helper()
+		next, ok := st.Apply(&core.Event{Kind: k, Val: v}, strict)
+		if ok != want {
+			t.Fatalf("Apply(%v,%d) ok=%v want %v (state %s)", k, v, ok, want, st.Key())
+		}
+		if ok {
+			st = next
+		}
+	}
+	apply(core.EmpDeq, 0, true, true) // empty queue: strict empty dequeue OK
+	apply(core.Enq, 1, true, true)
+	apply(core.Enq, 2, true, true)
+	apply(core.EmpDeq, 0, true, false) // strict: queue not empty
+	apply(core.EmpDeq, 0, false, true) // non-strict: unconstrained
+	apply(core.Deq, 2, true, false)    // not the front
+	apply(core.Deq, 1, true, true)
+	apply(core.Deq, 2, true, true)
+	apply(core.Deq, 3, true, false) // empty
+}
+
+func TestSeqStackSemantics(t *testing.T) {
+	st := SeqStack{}.Init()
+	apply := func(k core.Kind, v int64, strict, want bool) {
+		t.Helper()
+		next, ok := st.Apply(&core.Event{Kind: k, Val: v}, strict)
+		if ok != want {
+			t.Fatalf("Apply(%v,%d) ok=%v want %v (state %s)", k, v, ok, want, st.Key())
+		}
+		if ok {
+			st = next
+		}
+	}
+	apply(core.Push, 1, true, true)
+	apply(core.Push, 2, true, true)
+	apply(core.Pop, 1, true, false) // not the top
+	apply(core.Pop, 2, true, true)
+	apply(core.EmpPop, 0, true, false)
+	apply(core.Pop, 1, true, true)
+	apply(core.EmpPop, 0, true, true)
+}
+
+func TestSeqStateImmutability(t *testing.T) {
+	s0 := SeqQueue{}.Init()
+	s1, _ := s0.Apply(&core.Event{Kind: core.Enq, Val: 1}, true)
+	s2a, _ := s1.Apply(&core.Event{Kind: core.Enq, Val: 2}, true)
+	s2b, _ := s1.Apply(&core.Event{Kind: core.Enq, Val: 3}, true)
+	if s2a.Key() == s2b.Key() {
+		t.Fatalf("states aliased: %s vs %s", s2a.Key(), s2b.Key())
+	}
+	if s0.Key() != "" {
+		t.Fatalf("initial state mutated: %s", s0.Key())
+	}
+}
+
+// bruteLinearizable enumerates all permutations respecting lhb and checks
+// strict sequential validity — an oracle for Linearizable on tiny graphs.
+func bruteLinearizable(g *core.Graph, obj SeqObject) bool {
+	events := g.Events()
+	n := len(events)
+	used := make([]bool, n)
+	pos := map[view.EventID]int{}
+	for i, e := range events {
+		pos[e.ID] = i
+	}
+	var rec func(k int, st SeqState) bool
+	rec = func(k int, st SeqState) bool {
+		if k == n {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			ok := true
+			for _, p := range events[i].LogView.Events() {
+				if j, exists := pos[p]; exists && !used[j] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			next, legal := st.Apply(events[i], true)
+			if !legal {
+				continue
+			}
+			used[i] = true
+			if rec(k+1, next) {
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(0, obj.Init())
+}
+
+// randomQueueGraph builds a random (possibly inconsistent) small queue
+// graph for differential testing of the linearizability checkers.
+func randomQueueGraph(r *rand.Rand) *core.Graph {
+	b := core.NewGraphBuilder("q")
+	var enqs []view.EventID
+	var all []view.EventID
+	n := 2 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		// random lhb predecessors among existing events
+		var lhb []view.EventID
+		for _, e := range all {
+			if r.Intn(3) == 0 {
+				lhb = append(lhb, e)
+			}
+		}
+		switch r.Intn(3) {
+		case 0:
+			id := b.Add(core.Enq, int64(100+i), 0, lhb...)
+			enqs = append(enqs, id)
+			all = append(all, id)
+		case 1:
+			if len(enqs) > 0 {
+				k := r.Intn(len(enqs))
+				e := enqs[k]
+				enqs = append(enqs[:k], enqs[k+1:]...)
+				id := b.Add(core.Deq, b.Graph().Event(e).Val, 0, append(lhb, e)...)
+				b.So(e, id)
+				all = append(all, id)
+			}
+		case 2:
+			id := b.Add(core.EmpDeq, 0, 0, lhb...)
+			all = append(all, id)
+		}
+	}
+	return b.Graph()
+}
+
+func TestLinearizableMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	agree, found := 0, 0
+	for i := 0; i < 300; i++ {
+		g := randomQueueGraph(r)
+		got, unknown := Linearizable(g, SeqQueue{}, 0)
+		if unknown {
+			t.Fatalf("unexpected unknown on %d events", len(g.Events()))
+		}
+		want := bruteLinearizable(g, SeqQueue{})
+		if got != want {
+			t.Fatalf("disagreement on graph:\n%s\nsearch=%v brute=%v", g, got, want)
+		}
+		agree++
+		if got {
+			found++
+		}
+	}
+	if found == 0 || found == agree {
+		t.Fatalf("degenerate test corpus: %d/%d linearizable", found, agree)
+	}
+}
+
+// randomStackGraph builds a random (possibly inconsistent) small stack
+// graph for differential testing.
+func randomStackGraph(r *rand.Rand) *core.Graph {
+	b := core.NewGraphBuilder("s")
+	var live []view.EventID // pushed, not yet popped (any may be popped)
+	var all []view.EventID
+	n := 2 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		var lhb []view.EventID
+		for _, e := range all {
+			if r.Intn(3) == 0 {
+				lhb = append(lhb, e)
+			}
+		}
+		switch r.Intn(3) {
+		case 0:
+			id := b.Add(core.Push, int64(100+i), 0, lhb...)
+			live = append(live, id)
+			all = append(all, id)
+		case 1:
+			if len(live) > 0 {
+				k := r.Intn(len(live))
+				e := live[k]
+				live = append(live[:k], live[k+1:]...)
+				id := b.Add(core.Pop, b.Graph().Event(e).Val, 0, append(lhb, e)...)
+				b.So(e, id)
+				all = append(all, id)
+			}
+		case 2:
+			id := b.Add(core.EmpPop, 0, 0, lhb...)
+			all = append(all, id)
+		}
+	}
+	return b.Graph()
+}
+
+func TestStackLinearizableMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	found, total := 0, 0
+	for i := 0; i < 300; i++ {
+		g := randomStackGraph(r)
+		got, unknown := Linearizable(g, SeqStack{}, 0)
+		if unknown {
+			t.Fatalf("unexpected unknown on %d events", len(g.Events()))
+		}
+		want := bruteLinearizable(g, SeqStack{})
+		if got != want {
+			t.Fatalf("disagreement on graph:\n%s\nsearch=%v brute=%v", g, got, want)
+		}
+		total++
+		if got {
+			found++
+		}
+	}
+	if found == 0 || found == total {
+		t.Fatalf("degenerate test corpus: %d/%d linearizable", found, total)
+	}
+}
+
+func TestLinearizableUnknownOnHugeGraph(t *testing.T) {
+	b := core.NewGraphBuilder("q")
+	for i := 0; i < 70; i++ {
+		b.Add(core.Enq, int64(i), 0)
+	}
+	_, unknown := Linearizable(b.Graph(), SeqQueue{}, 0)
+	if !unknown {
+		t.Fatal("expected unknown beyond the event bound")
+	}
+	var res Result
+	CheckHist(b.Graph(), SeqQueue{}, 10, &res)
+	// 70 enqueues replay fine in commit order, so the fast path decides it.
+	if res.Unknown || len(res.Violations) != 0 {
+		t.Fatalf("fast path should have decided: %+v", res)
+	}
+}
+
+func TestReplayCommitOrderViolationDetail(t *testing.T) {
+	b := core.NewGraphBuilder("q")
+	e := b.Add(core.Enq, 1, 0)
+	d := b.Add(core.Deq, 2, 0, e)
+	b.So(e, d)
+	var res Result
+	ReplayCommitOrder(b.Graph(), SeqQueue{}, false, &res)
+	if len(res.Violations) != 1 || res.Violations[0].Rule != "ABS-STATE" {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+}

@@ -1,0 +1,161 @@
+// Package spec implements the COMPASS specification styles as executable
+// consistency checkers over event graphs (§3 of the paper):
+//
+//   - LAT_hb (graph specs, §3.2): per-library consistency conditions over
+//     the event graph — MATCHES, FIFO/LIFO, EMPDEQ/EMPPOP — stated against
+//     the local-happens-before relation lhb, plus the view-transfer content
+//     of the so relation (the LAT_so^abs / Cosmo part).
+//   - LAT_hb^abs (abstract-state specs, §3.1): additionally, the total
+//     commit order must interpret successful operations against the
+//     sequential abstract state (a dequeue takes the head of vs at its
+//     commit point).
+//   - LAT_hb^hist (linearizable-history specs, §3.3): additionally there
+//     must exist a total order to ⊇ lhb that is a valid *sequential*
+//     history including the read-only operations (an empty pop happens
+//     only when the stack is truly empty in to).
+//   - SC (§2.2 reference point): the commit order itself must be a valid
+//     sequential history including read-only operations.
+//
+// A proof in the paper says "every execution's graph satisfies C"; here
+// the checkers evaluate C on every explored execution and report detailed
+// violations.
+package spec
+
+import (
+	"fmt"
+
+	"compass/internal/core"
+	"compass/internal/view"
+)
+
+// Level identifies a specification style, from weakest to strongest.
+type Level uint8
+
+const (
+	// LevelHB is the LAT_hb graph-based style (§3.2): satisfiable by the
+	// weakest implementations (e.g. the relaxed Herlihy-Wing queue).
+	LevelHB Level = iota
+	// LevelAbsHB is the LAT_hb^abs style (§3.1): abstract state must be
+	// constructible at commit points.
+	LevelAbsHB
+	// LevelHist is the LAT_hb^hist style (§3.3): a linearization to ⊇ lhb
+	// must exist that also validates read-only operations.
+	LevelHist
+	// LevelSC is the SC logical-atomicity spec (§2.2): the commit order
+	// itself is a valid sequential history (empty dequeues happen only on
+	// truly empty state at the commit point).
+	LevelSC
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelHB:
+		return "LAT_hb"
+	case LevelAbsHB:
+		return "LAT_hb^abs"
+	case LevelHist:
+		return "LAT_hb^hist"
+	case LevelSC:
+		return "SC"
+	}
+	return fmt.Sprintf("Level(%d)", uint8(l))
+}
+
+// Levels lists all levels from weakest to strongest.
+var Levels = []Level{LevelHB, LevelAbsHB, LevelHist, LevelSC}
+
+// Violation is one failed consistency condition.
+type Violation struct {
+	Rule   string // e.g. "QUEUE-FIFO"
+	Detail string
+}
+
+func (v Violation) String() string { return v.Rule + ": " + v.Detail }
+
+// Result is the verdict of checking one graph at one level.
+type Result struct {
+	Level      Level
+	Violations []Violation
+	// Unknown is set when the checker could not decide (e.g. the
+	// linearizability search exceeded its budget).
+	Unknown bool
+}
+
+// OK reports whether the check passed definitively.
+func (r Result) OK() bool { return len(r.Violations) == 0 && !r.Unknown }
+
+func (r *Result) addf(rule, format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+}
+
+// commitIndex returns a map from event ID to its position in the commit
+// order.
+func commitIndex(g *core.Graph) map[view.EventID]int {
+	idx := make(map[view.EventID]int, len(g.CommitOrder))
+	for i, id := range g.CommitOrder {
+		idx[id] = i
+	}
+	return idx
+}
+
+// matchOf returns, for producer→consumer libraries (queues, stacks), the
+// unique so-successor of each producer event and the unique so-predecessor
+// of each consumer event; well-formedness of the shape is checked
+// separately.
+func matchOf(g *core.Graph) (prodToCons, consToProd map[view.EventID]view.EventID) {
+	prodToCons = map[view.EventID]view.EventID{}
+	consToProd = map[view.EventID]view.EventID{}
+	for _, p := range g.So() {
+		prodToCons[p[0]] = p[1]
+		consToProd[p[1]] = p[0]
+	}
+	return
+}
+
+// checkSoImpliesLhbAndViews checks, for asymmetric so edges (e, d), the
+// two facts every COMPASS spec exposes about a matched pair: the pair is
+// in lhb (the consumer's logical view contains the producer), and the
+// physical view released by the producer at its commit was acquired by the
+// consumer (the LAT_so^abs / Cosmo view-transfer content, §2.3).
+func checkSoImpliesLhbAndViews(g *core.Graph, res *Result) {
+	for _, p := range g.So() {
+		e, d := p[0], p[1]
+		if e == d {
+			continue // symmetric exchanger self-pairs are checked elsewhere
+		}
+		ev, dv := g.Event(e), g.Event(d)
+		if ev.Kind == core.Exchange {
+			continue // exchanger so is symmetric; handled by CheckExchanger
+		}
+		if !g.Lhb(e, d) {
+			res.addf("SO-LHB", "%v matched with %v but not in its logical view", ev, dv)
+		}
+		if !ev.PhysView.Leq(dv.PhysView) {
+			res.addf("SO-VIEW", "physical view of %v not transferred to %v", ev, dv)
+		}
+	}
+}
+
+// checkLogviewCommitClosed verifies the structural soundness invariant of
+// the recorder: an event's logical view contains only events that
+// committed strictly earlier, i.e. lhb ⊆ commit order. This is what makes
+// the commit order a legitimate linearization candidate (logical
+// atomicity).
+func checkLogviewCommitClosed(g *core.Graph, res *Result) {
+	idx := commitIndex(g)
+	for _, d := range g.Events() {
+		for _, e := range d.LogView.Events() {
+			if !g.Owns(e) {
+				continue // another library's event observed through the clock
+			}
+			ie, ok := idx[e]
+			if !ok {
+				res.addf("LHB-COMMITTED", "%v has uncommitted event e%d in its logical view", d, e)
+				continue
+			}
+			if ie >= idx[d.ID] {
+				res.addf("LHB-ORDER", "%v has e%d in its logical view but commits before it", d, e)
+			}
+		}
+	}
+}

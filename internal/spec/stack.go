@@ -1,0 +1,134 @@
+package spec
+
+import (
+	"compass/internal/core"
+)
+
+// CheckStack checks the stack consistency conditions at the given level.
+// The LAT_hb conditions mirror the queue's with FIFO replaced by LIFO
+// (§4.1: "the key difference is the change from FIFO to LIFO in
+// consistency"); LevelHist is the Fig. 4 linearizable-history obligation.
+func CheckStack(g *core.Graph, level Level) Result {
+	res := Result{Level: level}
+	checkStackWellFormed(g, &res)
+	checkLogviewCommitClosed(g, &res)
+	checkSoImpliesLhbAndViews(g, &res)
+	checkStackLIFO(g, &res)
+	checkStackEmpPop(g, &res)
+	switch level {
+	case LevelAbsHB:
+		ReplayCommitOrder(g, SeqStack{}, false, &res)
+	case LevelHist:
+		CheckHist(g, SeqStack{}, 0, &res)
+	case LevelSC:
+		ReplayCommitOrder(g, SeqStack{}, true, &res)
+	}
+	return res
+}
+
+// checkStackWellFormed checks kinds, so shape Push→Pop, unique matching in
+// both directions, value agreement, and unmatched empty pops.
+func checkStackWellFormed(g *core.Graph, res *Result) {
+	for _, e := range g.Events() {
+		switch e.Kind {
+		case core.Push, core.Pop, core.EmpPop:
+		default:
+			res.addf("STACK-KINDS", "foreign event %v in stack graph", e)
+		}
+	}
+	consDeg := map[int64]int{}
+	prodDeg := map[int64]int{}
+	for _, p := range g.So() {
+		e, d := g.Event(p[0]), g.Event(p[1])
+		if e.Kind != core.Push || d.Kind != core.Pop {
+			res.addf("STACK-SO-SHAPE", "so edge (%v, %v) is not Push→Pop", e, d)
+			continue
+		}
+		if e.Val != d.Val {
+			res.addf("STACK-MATCHES", "pop %v returned a value different from its push %v", d, e)
+		}
+		consDeg[int64(d.ID)]++
+		prodDeg[int64(p[0])]++
+	}
+	for id, n := range prodDeg {
+		if n > 1 {
+			res.addf("STACK-UNIQ", "push e%d popped %d times", id, n)
+		}
+	}
+	for _, d := range g.Events() {
+		switch d.Kind {
+		case core.Pop:
+			if consDeg[int64(d.ID)] != 1 {
+				res.addf("STACK-MATCHED", "successful pop %v matched %d times", d, consDeg[int64(d.ID)])
+			}
+		case core.EmpPop:
+			if len(g.SoTo(d.ID))+len(g.SoFrom(d.ID)) != 0 {
+				res.addf("STACK-SO-SHAPE", "empty pop %v participates in so", d)
+			}
+		}
+	}
+}
+
+// checkStackLIFO checks the graph LIFO condition: for every matched pair
+// (e1, d1) ∈ so and every other push e2 with e1 lhb e2 lhb d1 (e2 was
+// pushed on top of e1 and was visible to d1), e2 must already have been
+// popped at d1's commit by some d2 that d1 does not happen-before.
+func checkStackLIFO(g *core.Graph, res *Result) {
+	idx := commitIndex(g)
+	prodToCons, _ := matchOf(g)
+	var pushes []*core.Event
+	for _, e := range g.Events() {
+		if e.Kind == core.Push {
+			pushes = append(pushes, e)
+		}
+	}
+	for _, p := range g.So() {
+		e1, d1 := p[0], p[1]
+		if g.Event(e1).Kind != core.Push {
+			continue
+		}
+		for _, e2 := range pushes {
+			if e2.ID == e1 || !g.Lhb(e1, e2.ID) || !g.Lhb(e2.ID, d1) {
+				continue
+			}
+			d2, ok := prodToCons[e2.ID]
+			if !ok {
+				res.addf("STACK-LIFO",
+					"%v pushed above %v and visible to pop %v, but never popped",
+					e2, g.Event(e1), g.Event(d1))
+				continue
+			}
+			if idx[d2] > idx[d1] {
+				res.addf("STACK-LIFO",
+					"%v pushed above %v but its pop %v commits after %v",
+					e2, g.Event(e1), g.Event(d2), g.Event(d1))
+			}
+			if g.Lhb(d1, d2) {
+				res.addf("STACK-LIFO", "pop %v happens-before %v, violating LIFO",
+					g.Event(d1), g.Event(d2))
+			}
+		}
+	}
+}
+
+// checkStackEmpPop checks STACK-EMPPOP: no push that happens-before an
+// empty pop may still be unpopped at the empty pop's commit.
+func checkStackEmpPop(g *core.Graph, res *Result) {
+	idx := commitIndex(g)
+	prodToCons, _ := matchOf(g)
+	for _, d := range g.Events() {
+		if d.Kind != core.EmpPop {
+			continue
+		}
+		for _, e := range g.Events() {
+			if e.Kind != core.Push || !g.Lhb(e.ID, d.ID) {
+				continue
+			}
+			dp, ok := prodToCons[e.ID]
+			if !ok || idx[dp] > idx[d.ID] {
+				res.addf("STACK-EMPPOP",
+					"%v happens-before empty pop %v but was not popped by then", e, d)
+			}
+		}
+	}
+}

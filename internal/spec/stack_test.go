@@ -1,0 +1,123 @@
+package spec
+
+import (
+	"testing"
+
+	"compass/internal/core"
+)
+
+func validStackGraph() *core.Graph {
+	// push 1, push 2 (ordered), pop 2, pop 1, empty pop.
+	b := core.NewGraphBuilder("s")
+	e0 := b.Add(core.Push, 1, 0)
+	e1 := b.Add(core.Push, 2, 0, e0)
+	d2 := b.Add(core.Pop, 2, 0, e1)
+	d3 := b.Add(core.Pop, 1, 0, e0, d2)
+	b.Add(core.EmpPop, 0, 0, e0, e1, d2, d3)
+	b.So(e1, d2)
+	b.So(e0, d3)
+	return b.Graph()
+}
+
+func TestStackValidAllLevels(t *testing.T) {
+	g := validStackGraph()
+	for _, lvl := range Levels {
+		requireOK(t, CheckStack(g, lvl))
+	}
+}
+
+func TestStackMatchesViolation(t *testing.T) {
+	b := core.NewGraphBuilder("s")
+	e := b.Add(core.Push, 1, 0)
+	d := b.Add(core.Pop, 2, 0, e)
+	b.So(e, d)
+	requireRule(t, CheckStack(b.Graph(), LevelHB), "STACK-MATCHES")
+}
+
+func TestStackLIFOViolationNeverPopped(t *testing.T) {
+	// push 1, push 2 on top (lhb), pop sees both but returns 1 while 2 is
+	// still on the stack → LIFO violated.
+	b := core.NewGraphBuilder("s")
+	e0 := b.Add(core.Push, 1, 0)
+	e1 := b.Add(core.Push, 2, 0, e0)
+	d := b.Add(core.Pop, 1, 0, e0, e1)
+	b.So(e0, d)
+	requireRule(t, CheckStack(b.Graph(), LevelHB), "STACK-LIFO")
+}
+
+func TestStackLIFOViolationPoppedLater(t *testing.T) {
+	// Same, but 2 is popped after d committed.
+	b := core.NewGraphBuilder("s")
+	e0 := b.Add(core.Push, 1, 0)
+	e1 := b.Add(core.Push, 2, 0, e0)
+	d := b.Add(core.Pop, 1, 0, e0, e1)
+	d2 := b.Add(core.Pop, 2, 0, e1)
+	b.So(e0, d)
+	b.So(e1, d2)
+	requireRule(t, CheckStack(b.Graph(), LevelHB), "STACK-LIFO")
+}
+
+func TestStackLIFOInvisibleTopAllowed(t *testing.T) {
+	// push 2 is NOT lhb-visible to the pop of 1: a weak stack may miss it.
+	b := core.NewGraphBuilder("s")
+	e0 := b.Add(core.Push, 1, 0)
+	e1 := b.Add(core.Push, 2, 0, e0)
+	d := b.Add(core.Pop, 1, 0, e0) // does not see e1
+	d2 := b.Add(core.Pop, 2, 0, e1)
+	b.So(e0, d)
+	b.So(e1, d2)
+	requireOK(t, CheckStack(b.Graph(), LevelHB))
+}
+
+func TestStackEmpPopViolation(t *testing.T) {
+	b := core.NewGraphBuilder("s")
+	e := b.Add(core.Push, 1, 0)
+	b.Add(core.EmpPop, 0, 0, e)
+	requireRule(t, CheckStack(b.Graph(), LevelHB), "STACK-EMPPOP")
+}
+
+func TestStackEmpPopInvisiblePushAllowed(t *testing.T) {
+	b := core.NewGraphBuilder("s")
+	b.Add(core.Push, 1, 0)
+	b.Add(core.EmpPop, 0, 0)
+	requireOK(t, CheckStack(b.Graph(), LevelHB))
+}
+
+func TestStackUnmatchedPop(t *testing.T) {
+	b := core.NewGraphBuilder("s")
+	b.Add(core.Pop, 1, 0)
+	requireRule(t, CheckStack(b.Graph(), LevelHB), "STACK-MATCHED")
+}
+
+func TestStackHistStaleEmptyPopAccepted(t *testing.T) {
+	// The Treiber phenomenon of §3.3: an empty pop commits while the stack
+	// is non-empty (stale head read), but since the push is not lhb-before
+	// it, the history linearizes with the empty pop first.
+	b := core.NewGraphBuilder("s")
+	e := b.Add(core.Push, 1, 0)
+	b.Add(core.EmpPop, 0, 0)
+	d := b.Add(core.Pop, 1, 0, e)
+	b.So(e, d)
+	requireOK(t, CheckStack(b.Graph(), LevelHist))
+	requireRule(t, CheckStack(b.Graph(), LevelSC), "SC-STATE")
+}
+
+func TestStackAbsLevel(t *testing.T) {
+	// Pop must take the top of the abstract state at its commit: popping 1
+	// while 2 is on top fails LevelAbsHB even when lhb permits it.
+	b := core.NewGraphBuilder("s")
+	e0 := b.Add(core.Push, 1, 0)
+	e1 := b.Add(core.Push, 2, 0)
+	d := b.Add(core.Pop, 1, 0, e0)
+	d2 := b.Add(core.Pop, 2, 0, e1)
+	b.So(e0, d)
+	b.So(e1, d2)
+	requireOK(t, CheckStack(b.Graph(), LevelHB))
+	requireRule(t, CheckStack(b.Graph(), LevelAbsHB), "ABS-STATE")
+}
+
+func TestStackForeignKind(t *testing.T) {
+	b := core.NewGraphBuilder("s")
+	b.Add(core.Enq, 1, 0)
+	requireRule(t, CheckStack(b.Graph(), LevelHB), "STACK-KINDS")
+}

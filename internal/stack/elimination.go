@@ -1,0 +1,145 @@
+package stack
+
+import (
+	"compass/internal/core"
+	"compass/internal/exchanger"
+	"compass/internal/machine"
+	"compass/internal/view"
+)
+
+// Sentinel is the value a pop offers on the exchanger (the paper's
+// SENTINEL). It is distinct from ⊥ and from every stack value (which must
+// be positive).
+const Sentinel int64 = -1
+
+// ElimStack is the elimination stack of §4.1: a base Treiber stack
+// composed with an exchanger, with no additional atomic instructions.
+//
+//	try_push(s, v) ::= if try_push'(s.base, v) then true
+//	                   else exchange(s.ex, v) == SENTINEL
+//	try_pop(s)     ::= let v = try_pop'(s.base) in
+//	                   if v != FAIL_RACE then v
+//	                   else let v' = exchange(s.ex, SENTINEL) in
+//	                        if v' ∉ {SENTINEL, ⊥} then v' else FAIL_RACE
+//
+// The verification structure of the paper becomes executable event
+// mirroring: every base-stack operation is simulated by an ElimStack event
+// committed atomically with the base commit (via the base stack's extras
+// hook for pushes, and adjacent commits for pops), and a successful
+// exchange between a value and a SENTINEL is simulated by an ElimStack
+// push immediately followed by the matching pop, both committed by the
+// exchange's helper at its commit point — so the elimination is atomic and
+// no concurrent operation can observe the intermediate state (the property
+// §4.2's intermediate-state discussion demands). Other exchange matches
+// (push-push, pop-pop) are ignored by the simulation.
+type ElimStack struct {
+	base *Treiber
+	ex   *exchanger.Exchanger
+	rec  *core.Recorder
+	// baseToES maps base push events to their mirrored ElimStack events,
+	// for wiring the mirrored pop's so edge. Only the scheduled thread
+	// mutates it.
+	baseToES map[view.EventID]view.EventID
+	// Patience bounds exchange attempts per elimination try (default 3).
+	Patience int
+}
+
+// NewElim allocates an elimination stack (base Treiber + exchanger).
+func NewElim(th *machine.Thread, name string) *ElimStack {
+	return &ElimStack{
+		base:     NewTreiber(th, name+".base"),
+		ex:       exchanger.New(th, name+".ex"),
+		rec:      core.NewRecorder(name),
+		baseToES: map[view.EventID]view.EventID{},
+		Patience: 3,
+	}
+}
+
+// Recorder implements Stack (the ElimStack's own event graph).
+func (s *ElimStack) Recorder() *core.Recorder { return s.rec }
+
+// Base exposes the base stack's recorder (for compositional checking).
+func (s *ElimStack) Base() *Treiber { return s.base }
+
+// Exchanger exposes the exchanger (for compositional checking).
+func (s *ElimStack) Exchanger() *exchanger.Exchanger { return s.ex }
+
+// onMatch is the exchange helper's callback: if the matched pair is a
+// value-SENTINEL pair, commit the mirrored ElimStack push and pop — at the
+// helper's commit point, atomically.
+func (s *ElimStack) onMatch(th *machine.Thread, helpee, helper view.EventID, helpeeVal, helperVal int64) {
+	var pushVal int64
+	switch {
+	case helpeeVal != Sentinel && helperVal == Sentinel:
+		pushVal = helpeeVal
+	case helpeeVal == Sentinel && helperVal != Sentinel:
+		pushVal = helperVal
+	default:
+		return // push-push or pop-pop match: ignored by the simulation
+	}
+	esPush := s.rec.CommitNew(th, core.Push, pushVal)
+	esPop := s.rec.CommitNew(th, core.Pop, pushVal)
+	s.rec.AddSo(esPush, esPop)
+}
+
+// TryPush makes one elimination-stack push attempt.
+func (s *ElimStack) TryPush(th *machine.Thread, v int64) bool {
+	if v <= 0 {
+		th.Failf("elimstack: values must be positive, got %d", v)
+	}
+	esID := s.rec.Begin(th, core.Push, v)
+	baseID, ok := s.base.TryPush(th, v, core.Pending{Rec: s.rec, ID: esID})
+	if ok {
+		s.baseToES[baseID] = esID
+		return true
+	}
+	// Contention: try to eliminate against a concurrent pop. The mirrored
+	// events of a successful elimination are committed by the exchange
+	// helper; the pre-begun esID stays pending and is discarded.
+	return s.ex.ExchangeMatch(th, v, s.Patience, s.onMatch) == Sentinel
+}
+
+// TryPop makes one elimination-stack pop attempt.
+func (s *ElimStack) TryPop(th *machine.Thread) (int64, PopStatus) {
+	v, matched, st := s.base.TryPop(th)
+	switch st {
+	case PopOK:
+		// Mirror atomically: the base pop committed at its CAS and no
+		// machine step has happened since.
+		esPop := s.rec.CommitNew(th, core.Pop, v)
+		if esPush, ok := s.baseToES[matched]; ok {
+			s.rec.AddSo(esPush, esPop)
+		}
+		return v, PopOK
+	case PopEmpty:
+		s.rec.CommitNew(th, core.EmpPop, 0)
+		return 0, PopEmpty
+	}
+	// FAIL_RACE: try to eliminate against a concurrent push.
+	r := s.ex.ExchangeMatch(th, Sentinel, s.Patience, s.onMatch)
+	if r != core.ExFail && r != Sentinel {
+		return r, PopOK
+	}
+	return 0, PopRace
+}
+
+// Push implements Stack, retrying until an attempt succeeds.
+func (s *ElimStack) Push(th *machine.Thread, v int64) {
+	for !s.TryPush(th, v) {
+		th.Yield()
+	}
+}
+
+// Pop implements Stack, retrying lost races.
+func (s *ElimStack) Pop(th *machine.Thread) (int64, bool) {
+	for {
+		v, st := s.TryPop(th)
+		switch st {
+		case PopOK:
+			return v, true
+		case PopEmpty:
+			return 0, false
+		}
+		th.Yield()
+	}
+}

@@ -1,0 +1,162 @@
+package stack
+
+import (
+	"compass/internal/core"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// TreiberHP is a Treiber stack with safe memory reclamation via hazard
+// pointers [55] — the paper's other named future-work target (§6: "safe
+// memory reclamation schemes for lock-free data structures"). Popped nodes
+// are eventually freed (the simulator flags any later access as
+// use-after-free), and readers protect the node they are about to
+// dereference by publishing it in a per-thread hazard slot:
+//
+//	h := head;  hp[me] := h;  SC fence;  if head != h retry;  ...deref h...
+//
+// A reclaimer scans the hazard slots (after its own SC fence) and frees
+// only unprotected nodes; the SC fence pairing guarantees that either the
+// scanner sees the reader's hazard, or the reader's re-validation sees the
+// unlink and retries — so no freed node is ever dereferenced.
+//
+// NewTreiberEagerFree is the ablation without protection: the winner of a
+// pop frees the node immediately, and concurrent readers of the same node
+// hit use-after-free (caught by the machine).
+type TreiberHP struct {
+	head view.Loc
+	hp   []view.Loc // hazard slots, indexed by thread ID
+	nt   nodeTable
+	rec  *core.Recorder
+
+	retired []int64 // unlinked, awaiting reclamation (scheduler-serialized)
+	freed   int
+	useHP   bool
+}
+
+// NewTreiberHP allocates a reclaiming Treiber stack with hazard slots for
+// thread IDs 0..maxThreads (workers are 1..N).
+func NewTreiberHP(th *machine.Thread, name string, maxThreads int) *TreiberHP {
+	s := &TreiberHP{
+		head:  th.Alloc(name+".head", 0),
+		rec:   core.NewRecorder(name),
+		useHP: true,
+	}
+	s.hp = make([]view.Loc, maxThreads+1)
+	for i := range s.hp {
+		s.hp[i] = th.Alloc(name+".hp", 0)
+	}
+	return s
+}
+
+// NewTreiberEagerFree allocates the ablation variant that frees popped
+// nodes immediately, without hazard protection.
+func NewTreiberEagerFree(th *machine.Thread, name string) *TreiberHP {
+	return &TreiberHP{head: th.Alloc(name+".head", 0), rec: core.NewRecorder(name)}
+}
+
+// Recorder implements Stack.
+func (s *TreiberHP) Recorder() *core.Recorder { return s.rec }
+
+// FreedNodes reports how many nodes have been reclaimed so far.
+func (s *TreiberHP) FreedNodes() int { return s.freed }
+
+// RetiredNodes reports how many nodes await reclamation.
+func (s *TreiberHP) RetiredNodes() int { return len(s.retired) }
+
+// Push implements Stack (same protocol as the plain Treiber stack).
+func (s *TreiberHP) Push(th *machine.Thread, v int64) {
+	id := s.rec.Begin(th, core.Push, v)
+	n := s.nt.alloc(th, "hps.node", v, int64(id))
+	for {
+		h := th.Read(s.head, memory.Rlx)
+		th.Write(s.nt.at(n).next, h, memory.NA)
+		s.rec.Arm(th, id)
+		if _, ok := th.CAS(s.head, h, n, memory.Rlx, memory.Rel); ok {
+			s.rec.Commit(th, id)
+			return
+		}
+		s.rec.Disarm(th, id)
+		th.Yield()
+	}
+}
+
+// Pop implements Stack: hazard-protect the head node, dereference it,
+// unlink it, then retire it for reclamation.
+func (s *TreiberHP) Pop(th *machine.Thread) (int64, bool) {
+	var slot view.Loc
+	if s.useHP {
+		slot = s.hp[th.ID()]
+	}
+	for {
+		h := th.Read(s.head, memory.Acq)
+		if h == 0 {
+			s.rec.CommitNew(th, core.EmpPop, 0)
+			return 0, false
+		}
+		if s.useHP {
+			th.Write(slot, h, memory.Rel)
+			th.FenceSC()
+			if th.Read(s.head, memory.Acq) != h {
+				th.Write(slot, 0, memory.Rlx)
+				th.Yield()
+				continue
+			}
+		}
+		n := s.nt.at(h)
+		next := th.Read(n.next, memory.NA)
+		v := th.Read(n.val, memory.NA)
+		eid := view.EventID(th.Read(n.eid, memory.NA))
+		if _, ok := th.CAS(s.head, h, next, memory.Acq, memory.Rlx); ok {
+			d := s.rec.CommitNew(th, core.Pop, v)
+			s.rec.AddSo(eid, d)
+			if s.useHP {
+				th.Write(slot, 0, memory.Rlx)
+				s.retire(th, h)
+			} else {
+				s.freeNode(th, h) // ablation: immediate, unprotected free
+			}
+			return v, true
+		}
+		if s.useHP {
+			th.Write(slot, 0, memory.Rlx)
+		}
+		th.Yield()
+	}
+}
+
+// retire queues the unlinked node and reclaims everything unprotected.
+// The scan spans machine steps, so concurrent retirers could otherwise
+// interleave on the shared retired list and double-free: each scanner
+// first *claims* the whole list (between steps, while it runs
+// exclusively), scans its private batch, and hands survivors back.
+func (s *TreiberHP) retire(th *machine.Thread, h int64) {
+	mine := append(s.retired, h)
+	s.retired = nil
+	// Scan: SC fence, then read every hazard slot; free the claimed nodes
+	// no reader protects.
+	th.FenceSC()
+	hazards := map[int64]bool{}
+	for _, slot := range s.hp {
+		if p := th.Read(slot, memory.Acq); p != 0 {
+			hazards[p] = true
+		}
+	}
+	for _, node := range mine {
+		if hazards[node] {
+			s.retired = append(s.retired, node)
+		} else {
+			s.freeNode(th, node)
+		}
+	}
+}
+
+// freeNode deallocates the node's cells.
+func (s *TreiberHP) freeNode(th *machine.Thread, h int64) {
+	n := s.nt.at(h)
+	th.Free(n.val)
+	th.Free(n.eid)
+	th.Free(n.next)
+	s.freed++
+}

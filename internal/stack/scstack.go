@@ -1,0 +1,75 @@
+package stack
+
+import (
+	"compass/internal/core"
+	"compass/internal/lock"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// SCStack is the coarse-grained lock-based baseline: all operations run
+// under a spin lock, so the commit order equals the critical-section order
+// and the stack satisfies the strongest (SC) spec — an empty pop commits
+// only on a truly empty abstract state.
+type SCStack struct {
+	lk   *lock.SpinLock
+	buf  []view.Loc
+	eids []view.Loc
+	top  view.Loc // stack size (non-atomic, lock-protected)
+	rec  *core.Recorder
+}
+
+// NewSC allocates a lock-based bounded stack; cap bounds the maximum
+// concurrent depth.
+func NewSC(th *machine.Thread, name string, cap int) *SCStack {
+	s := &SCStack{
+		lk:  lock.New(th, name+".lock"),
+		top: th.Alloc(name+".top", 0),
+		rec: core.NewRecorder(name),
+	}
+	s.buf = make([]view.Loc, cap)
+	s.eids = make([]view.Loc, cap)
+	for i := 0; i < cap; i++ {
+		s.buf[i] = th.Alloc(name+".buf", 0)
+		s.eids[i] = th.Alloc(name+".eid", -1)
+	}
+	return s
+}
+
+// Recorder implements Stack.
+func (s *SCStack) Recorder() *core.Recorder { return s.rec }
+
+// Push implements Stack.
+func (s *SCStack) Push(th *machine.Thread, v int64) {
+	s.lk.Lock(th)
+	t := th.Read(s.top, memory.NA)
+	if int(t) >= len(s.buf) {
+		th.Failf("scstack: capacity %d exceeded", len(s.buf))
+	}
+	id := s.rec.Begin(th, core.Push, v)
+	th.Write(s.buf[t], v, memory.NA)
+	th.Write(s.eids[t], int64(id), memory.NA)
+	s.rec.Arm(th, id)
+	th.Write(s.top, t+1, memory.NA) // commit point: the top bump
+	s.rec.Commit(th, id)
+	s.lk.Unlock(th)
+}
+
+// Pop implements Stack. Under the lock, emptiness is exact.
+func (s *SCStack) Pop(th *machine.Thread) (int64, bool) {
+	s.lk.Lock(th)
+	t := th.Read(s.top, memory.NA)
+	if t == 0 {
+		s.rec.CommitNew(th, core.EmpPop, 0)
+		s.lk.Unlock(th)
+		return 0, false
+	}
+	v := th.Read(s.buf[t-1], memory.NA)
+	eid := th.Read(s.eids[t-1], memory.NA)
+	th.Write(s.top, t-1, memory.NA) // commit point: the top bump
+	d := s.rec.CommitNew(th, core.Pop, v)
+	s.rec.AddSo(view.EventID(eid), d)
+	s.lk.Unlock(th)
+	return v, true
+}

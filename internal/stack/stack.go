@@ -1,0 +1,80 @@
+// Package stack provides the paper's stack implementations on the
+// simulated ORC11 memory:
+//
+//   - Treiber: the relaxed Treiber stack [70] (release CAS pushes, acquire
+//     CAS pops), verified in the paper against the LAT_hb^hist specs
+//     (§3.3) — its commit (CAS) order on the head is the total order the
+//     linearization is built from.
+//   - SCStack: a coarse-grained lock-based baseline satisfying the SC spec.
+//   - ElimStack: the elimination stack of Hendler, Shavit and Yerushalmi
+//     [32], composed from a base Treiber stack and an exchanger with no
+//     additional atomic instructions, exactly as in §4.1. Its events are
+//     mirrored onto the base stack's commit points and onto the
+//     exchanger's atomic pair commits.
+package stack
+
+import (
+	"compass/internal/core"
+	"compass/internal/machine"
+	"compass/internal/view"
+)
+
+// PopStatus is the outcome of a single pop attempt.
+type PopStatus uint8
+
+const (
+	// PopOK: an element was popped.
+	PopOK PopStatus = iota
+	// PopEmpty: the popper saw an empty stack (possibly stale, §3.3).
+	PopEmpty
+	// PopRace: the attempt lost a CAS race (FAIL_RACE in the paper).
+	PopRace
+)
+
+func (s PopStatus) String() string {
+	switch s {
+	case PopOK:
+		return "ok"
+	case PopEmpty:
+		return "empty"
+	case PopRace:
+		return "race"
+	}
+	return "popstatus(?)"
+}
+
+// Stack is the common interface of the stack implementations. Values must
+// be positive (negative values are reserved for the elimination sentinel).
+type Stack interface {
+	// Push inserts v, retrying contention until it succeeds.
+	Push(th *machine.Thread, v int64)
+	// Pop removes the most recent element, retrying contention; false
+	// means the popper saw an empty stack.
+	Pop(th *machine.Thread) (int64, bool)
+	// Recorder exposes the event graph recorder.
+	Recorder() *core.Recorder
+}
+
+// nodeCells is the layout of one stack node: immutable value/event-ID/next
+// cells, all non-atomic, published by the release CAS on the head.
+type nodeCells struct {
+	val  view.Loc
+	eid  view.Loc
+	next view.Loc
+}
+
+type nodeTable struct {
+	nodes []nodeCells
+}
+
+func (nt *nodeTable) alloc(th *machine.Thread, name string, v, eid int64) int64 {
+	n := nodeCells{
+		val:  th.Alloc(name+".val", v),
+		eid:  th.Alloc(name+".eid", eid),
+		next: th.Alloc(name+".next", 0),
+	}
+	nt.nodes = append(nt.nodes, n)
+	return int64(len(nt.nodes))
+}
+
+func (nt *nodeTable) at(h int64) nodeCells { return nt.nodes[h-1] }

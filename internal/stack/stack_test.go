@@ -1,0 +1,201 @@
+package stack_test
+
+import (
+	"testing"
+
+	"compass/internal/check"
+	"compass/internal/core"
+	"compass/internal/machine"
+	"compass/internal/spec"
+	"compass/internal/stack"
+)
+
+func treiberFactory(th *machine.Thread) stack.Stack { return stack.NewTreiber(th, "trb") }
+func scFactory(th *machine.Thread) stack.Stack      { return stack.NewSC(th, "scs", 64) }
+func elimFactory(th *machine.Thread) stack.Stack    { return stack.NewElim(th, "es") }
+
+func requirePass(t *testing.T, rep *check.Report) {
+	t.Helper()
+	if !rep.Passed() {
+		t.Fatalf("%s", rep)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("no execution completed: %s", rep)
+	}
+}
+
+func requireFailureFound(t *testing.T, rep *check.Report) {
+	t.Helper()
+	if rep.Passed() {
+		t.Fatalf("expected violations, none found: %s", rep)
+	}
+}
+
+// --- Treiber stack: the paper verifies it at LAT_hb^hist (§3.3). ---
+
+func TestTreiberHB(t *testing.T) {
+	requirePass(t, check.Run("trb/hb",
+		check.StackMixed(treiberFactory, spec.LevelHB, 2, 3, 2, 4), check.Options{Executions: 300}))
+}
+
+func TestTreiberHist(t *testing.T) {
+	requirePass(t, check.Run("trb/hist",
+		check.StackMixed(treiberFactory, spec.LevelHist, 2, 2, 2, 3), check.Options{Executions: 300}))
+}
+
+func TestTreiberHistHighContention(t *testing.T) {
+	requirePass(t, check.Run("trb/hist-hot",
+		check.StackPingPong(treiberFactory, spec.LevelHist, 2, 2),
+		check.Options{Executions: 300, StaleBias: 0.6}))
+}
+
+func TestTreiberAbsHB(t *testing.T) {
+	// The Treiber stack's commit order interprets successful operations
+	// against the abstract state (pop takes the top at its CAS).
+	requirePass(t, check.Run("trb/abs",
+		check.StackMixed(treiberFactory, spec.LevelAbsHB, 2, 3, 2, 4), check.Options{Executions: 300}))
+}
+
+func TestTreiberFailsSCLevel(t *testing.T) {
+	// §3.3: "at the commit point of an empty pop, the spec does not say
+	// that the stack is necessarily empty" — a stale empty pop breaks the
+	// SC-level spec while LAT_hb^hist still holds.
+	requireFailureFound(t, check.Run("trb/sc",
+		check.StackMixed(treiberFactory, spec.LevelSC, 2, 3, 2, 4),
+		check.Options{Executions: 600, StaleBias: 0.7}))
+}
+
+func TestTreiberBuggyRelaxedPushCaught(t *testing.T) {
+	f := func(th *machine.Thread) stack.Stack { return stack.NewTreiberBuggyRelaxedPush(th, "trb") }
+	requireFailureFound(t, check.Run("trb-buggy-push",
+		check.StackMixed(f, spec.LevelHB, 2, 3, 2, 4),
+		check.Options{Executions: 600, StaleBias: 0.6}))
+}
+
+func TestTreiberBuggyRelaxedPopCaught(t *testing.T) {
+	f := func(th *machine.Thread) stack.Stack { return stack.NewTreiberBuggyRelaxedPop(th, "trb") }
+	requireFailureFound(t, check.Run("trb-buggy-pop",
+		check.StackMixed(f, spec.LevelHB, 2, 3, 2, 4),
+		check.Options{Executions: 600, StaleBias: 0.6}))
+}
+
+// --- SC stack baseline. ---
+
+func TestSCStackAllLevels(t *testing.T) {
+	for _, lvl := range spec.Levels {
+		requirePass(t, check.Run("scs/"+lvl.String(),
+			check.StackMixed(scFactory, lvl, 2, 3, 2, 4), check.Options{Executions: 150}))
+	}
+}
+
+// --- Elimination stack (§4.1): same specs as the base stack. ---
+
+func TestElimStackHB(t *testing.T) {
+	requirePass(t, check.Run("es/hb",
+		check.StackMixed(elimFactory, spec.LevelHB, 2, 3, 2, 4), check.Options{Executions: 300}))
+}
+
+func TestElimStackComposedHB(t *testing.T) {
+	requirePass(t, check.Run("es/composed",
+		check.ElimStackComposed(spec.LevelHB, 2, 2),
+		check.Options{Executions: 400, StaleBias: 0.5}))
+}
+
+func TestElimStackHist(t *testing.T) {
+	// §4.1 conjectures the ES inherits stronger specs from its base; with
+	// a Treiber base the ES graph is checked at LAT_hb^hist.
+	requirePass(t, check.Run("es/hist",
+		check.ElimStackComposed(spec.LevelHist, 2, 2),
+		check.Options{Executions: 300, StaleBias: 0.5}))
+}
+
+func TestElimStackEliminationHappens(t *testing.T) {
+	// At least some executions must actually eliminate (exchange-matched
+	// push/pop pairs), otherwise the composition is untested.
+	eliminations := 0
+	for seed := int64(1); seed <= 100; seed++ {
+		var s *stack.ElimStack
+		var ws []func(*machine.Thread)
+		for p := 0; p < 3; p++ {
+			p := p
+			ws = append(ws, func(th *machine.Thread) {
+				for i := 0; i < 2; i++ {
+					s.Push(th, int64(100*(p+1)+i+1))
+					s.Pop(th)
+				}
+			})
+		}
+		prog := machine.Program{
+			Setup:   func(th *machine.Thread) { s = stack.NewElim(th, "es") },
+			Workers: ws,
+		}
+		res := (&machine.Runner{}).Run(prog, machine.NewRandomBiased(seed, 0.5))
+		if res.Status != machine.OK {
+			continue
+		}
+		for _, e := range s.Exchanger().Recorder().Graph().Events() {
+			if e.Val2 != core.ExFail {
+				eliminations++
+			}
+		}
+	}
+	if eliminations == 0 {
+		t.Fatal("no elimination ever happened across 100 executions")
+	}
+	t.Logf("eliminations observed: %d", eliminations)
+}
+
+func TestElimStackSentinelValueRejected(t *testing.T) {
+	prog := machine.Program{
+		Workers: []func(*machine.Thread){func(th *machine.Thread) {
+			s := stack.NewElim(th, "es")
+			s.Push(th, -5)
+		}},
+	}
+	res := (&machine.Runner{}).Run(prog, machine.NewRandom(1))
+	if res.Status != machine.Failed {
+		t.Fatalf("status = %v, want Failed", res.Status)
+	}
+}
+
+func TestPopStatusString(t *testing.T) {
+	for s, want := range map[stack.PopStatus]string{
+		stack.PopOK: "ok", stack.PopEmpty: "empty", stack.PopRace: "race",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestTreiberSequentialLIFO(t *testing.T) {
+	build := func() check.Checked {
+		var s stack.Stack
+		return check.Checked{
+			Prog: machine.Program{
+				Setup: func(th *machine.Thread) { s = treiberFactory(th) },
+				Workers: []func(*machine.Thread){func(th *machine.Thread) {
+					if _, ok := s.Pop(th); ok {
+						th.Failf("pop from empty succeeded")
+					}
+					s.Push(th, 1)
+					s.Push(th, 2)
+					if v, ok := s.Pop(th); !ok || v != 2 {
+						th.Failf("pop = %d,%v; want 2", v, ok)
+					}
+					s.Push(th, 3)
+					if v, ok := s.Pop(th); !ok || v != 3 {
+						th.Failf("pop = %d,%v; want 3", v, ok)
+					}
+					if v, ok := s.Pop(th); !ok || v != 1 {
+						th.Failf("pop = %d,%v; want 1", v, ok)
+					}
+				}},
+			},
+			Check: func() ([]spec.Violation, int) {
+				return check.Collect(spec.CheckStack(s.Recorder().Graph(), spec.LevelSC))
+			},
+		}
+	}
+	requirePass(t, check.Run("trb/seq", build, check.Options{Executions: 20}))
+}

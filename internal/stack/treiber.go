@@ -1,0 +1,124 @@
+package stack
+
+import (
+	"compass/internal/core"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// Treiber is the relaxed Treiber stack: pushes publish with a release CAS
+// on the head (the push's commit point), successful pops use an acquire
+// CAS (the pop's commit point), so lhb edges exist only between matching
+// push-pop pairs (§3.3). The head CAS order is the modification order com
+// that, joined with lhb, yields the linearization of the LAT_hb^hist spec
+// — executably, the commit order itself.
+type Treiber struct {
+	head view.Loc
+	nt   nodeTable
+	rec  *core.Recorder
+
+	pushMode memory.Mode // write mode of the push CAS (Rel; buggy: Rlx)
+	popMode  memory.Mode // read mode of the pop's head read/CAS (Acq; buggy: Rlx)
+}
+
+// NewTreiber allocates a Treiber stack with the paper's access modes.
+func NewTreiber(th *machine.Thread, name string) *Treiber {
+	return &Treiber{head: th.Alloc(name+".head", 0), rec: core.NewRecorder(name),
+		pushMode: memory.Rel, popMode: memory.Acq}
+}
+
+// NewTreiberBuggyRelaxedPush is the ablation variant whose push CAS is
+// relaxed: node contents are not published, so pops race on them.
+func NewTreiberBuggyRelaxedPush(th *machine.Thread, name string) *Treiber {
+	return &Treiber{head: th.Alloc(name+".head", 0), rec: core.NewRecorder(name),
+		pushMode: memory.Rlx, popMode: memory.Acq}
+}
+
+// NewTreiberBuggyRelaxedPop is the ablation variant whose pop side is
+// relaxed: the popper does not acquire the push it consumes.
+func NewTreiberBuggyRelaxedPop(th *machine.Thread, name string) *Treiber {
+	return &Treiber{head: th.Alloc(name+".head", 0), rec: core.NewRecorder(name),
+		pushMode: memory.Rel, popMode: memory.Rlx}
+}
+
+// Recorder implements Stack.
+func (s *Treiber) Recorder() *core.Recorder { return s.rec }
+
+// TryPush makes one push attempt (the paper's try_push'): it returns the
+// push's event ID and true on success; on a lost CAS it returns false and
+// commits nothing. Extra pending events are armed with the push and
+// committed atomically right after it — the elimination stack mirrors its
+// push events through this hook (§4.1).
+func (s *Treiber) TryPush(th *machine.Thread, v int64, extras ...core.Pending) (view.EventID, bool) {
+	id := s.rec.Begin(th, core.Push, v)
+	n := s.nt.alloc(th, "stk.node", v, int64(id))
+	return id, s.pushAttempt(th, id, n, extras)
+}
+
+// pushAttempt performs one CAS attempt for a prepared node.
+func (s *Treiber) pushAttempt(th *machine.Thread, id view.EventID, n int64, extras []core.Pending) bool {
+	h := th.Read(s.head, memory.Rlx)
+	th.Write(s.nt.at(n).next, h, memory.NA)
+	s.rec.Arm(th, id)
+	for _, x := range extras {
+		x.Rec.Arm(th, x.ID)
+	}
+	if _, ok := th.CAS(s.head, h, n, memory.Rlx, s.pushMode); ok {
+		s.rec.Commit(th, id) // commit point: the head CAS
+		for _, x := range extras {
+			x.Rec.Commit(th, x.ID)
+		}
+		return true
+	}
+	s.rec.Disarm(th, id)
+	for _, x := range extras {
+		x.Rec.Disarm(th, x.ID)
+	}
+	return false
+}
+
+// Push implements Stack, retrying until the CAS succeeds.
+func (s *Treiber) Push(th *machine.Thread, v int64) {
+	id := s.rec.Begin(th, core.Push, v)
+	n := s.nt.alloc(th, "stk.node", v, int64(id))
+	for !s.pushAttempt(th, id, n, nil) {
+		th.Yield()
+	}
+}
+
+// TryPop makes one pop attempt (the paper's try_pop'). On success it
+// returns the value and the matched push's event ID; PopEmpty means the
+// popper read a null head (committing an empty pop event); PopRace means
+// a lost CAS (FAIL_RACE — no event committed).
+func (s *Treiber) TryPop(th *machine.Thread) (int64, view.EventID, PopStatus) {
+	h := th.Read(s.head, s.popMode)
+	if h == 0 {
+		s.rec.CommitNew(th, core.EmpPop, 0) // commit point: the head read
+		return 0, view.NoEvent, PopEmpty
+	}
+	n := s.nt.at(h)
+	next := th.Read(n.next, memory.NA)
+	v := th.Read(n.val, memory.NA)
+	eid := view.EventID(th.Read(n.eid, memory.NA))
+	if _, ok := th.CAS(s.head, h, next, s.popMode, memory.Rlx); ok {
+		d := s.rec.CommitNew(th, core.Pop, v) // commit point: the head CAS
+		s.rec.AddSo(eid, d)
+		return v, eid, PopOK
+	}
+	return 0, view.NoEvent, PopRace
+}
+
+// Pop implements Stack, retrying lost races.
+func (s *Treiber) Pop(th *machine.Thread) (int64, bool) {
+	for {
+		v, _, st := s.TryPop(th)
+		switch st {
+		case PopOK:
+			return v, true
+		case PopEmpty:
+			return 0, false
+		}
+		th.Yield()
+	}
+}

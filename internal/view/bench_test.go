@@ -1,0 +1,62 @@
+package view
+
+import "testing"
+
+func benchView(n int) View {
+	v := New()
+	for i := 0; i < n; i++ {
+		v.Set(Loc(i), Time(i+1))
+	}
+	return v
+}
+
+func BenchmarkViewJoinInto16(b *testing.B) {
+	a := benchView(16)
+	c := benchView(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.JoinInto(c)
+	}
+}
+
+func BenchmarkViewClone16(b *testing.B) {
+	v := benchView(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.Clone()
+	}
+}
+
+func BenchmarkViewLeq16(b *testing.B) {
+	a := benchView(16)
+	c := benchView(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Leq(c)
+	}
+}
+
+func BenchmarkLogViewJoin32(b *testing.B) {
+	a := NewLog()
+	c := NewLog()
+	for i := 0; i < 32; i++ {
+		a.Add(MakeEventID(1, i))
+		c.Add(MakeEventID(2, i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.JoinInto(c)
+	}
+}
+
+func BenchmarkClockJoin(b *testing.B) {
+	a := Clock{V: benchView(8), L: NewLog()}
+	c := Clock{V: benchView(8), L: NewLog()}
+	for i := 0; i < 8; i++ {
+		c.L.Add(MakeEventID(1, i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.JoinInto(c)
+	}
+}

@@ -1,0 +1,272 @@
+// Package view implements the view lattices that form the backbone of the
+// COMPASS framework: physical views (maps from memory locations to
+// timestamps, §2.3 of the paper) and logical views (sets of library event
+// identifiers, §3.1). Both are join-semilattices; threads carry a current
+// view that only grows, and synchronization is modelled as transferring
+// (joining) views between threads through memory messages.
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Loc identifies a memory location in the simulated ORC11 machine.
+// Locations are allocated densely starting from 0.
+type Loc int32
+
+// Time is a per-location timestamp: an index into the modification order
+// (the totally ordered sequence of writes) of a single location. Timestamp
+// 0 means "has not observed any write to this location"; the initializing
+// write of every allocated location has timestamp 1.
+type Time int32
+
+// EventID identifies a library event (an enqueue, a dequeue, a push, ...).
+// Because logical views flow through thread clocks that are shared by all
+// library objects a thread uses, IDs must be globally unique: an ID
+// composes the owning object's tag with a dense per-object local index.
+// The sentinel NoEvent denotes the absence of an event.
+type EventID int64
+
+// NoEvent is the sentinel "no such event" identifier.
+const NoEvent EventID = -1
+
+// eventIDLocalBits is the width of the local-index part of an EventID.
+const eventIDLocalBits = 32
+
+// MakeEventID composes an object tag and a local event index.
+func MakeEventID(obj int64, local int) EventID {
+	return EventID(obj<<eventIDLocalBits | int64(local))
+}
+
+// Local returns the per-object event index.
+func (e EventID) Local() int { return int(int64(e) & (1<<eventIDLocalBits - 1)) }
+
+// Object returns the owning object's tag.
+func (e EventID) Object() int64 { return int64(e) >> eventIDLocalBits }
+
+// View is a physical view: a finite map from locations to timestamps,
+// recording, for each location, the latest write the owner has observed.
+// The zero value (nil map semantics are avoided; use New) is not ready for
+// use; views handed out by New, Clone and Join are independent.
+//
+// Views form a join-semilattice under pointwise maximum, with pointwise ≤
+// as the partial order (the paper's ⊑).
+type View struct {
+	m map[Loc]Time
+}
+
+// New returns an empty view (bottom of the lattice).
+func New() View { return View{m: map[Loc]Time{}} }
+
+// Get returns the timestamp recorded for l, or 0 if l is unobserved.
+func (v View) Get(l Loc) Time {
+	if v.m == nil {
+		return 0
+	}
+	return v.m[l]
+}
+
+// Set records timestamp t for location l, keeping the maximum of the
+// existing entry and t (views only grow).
+func (v View) Set(l Loc, t Time) {
+	if cur, ok := v.m[l]; !ok || t > cur {
+		v.m[l] = t
+	}
+}
+
+// Len reports the number of locations with a nonzero entry.
+func (v View) Len() int { return len(v.m) }
+
+// Clone returns an independent copy of v.
+func (v View) Clone() View {
+	c := View{m: make(map[Loc]Time, len(v.m))}
+	for l, t := range v.m {
+		c.m[l] = t
+	}
+	return c
+}
+
+// JoinInto joins o into v in place: v := v ⊔ o.
+func (v View) JoinInto(o View) {
+	for l, t := range o.m {
+		if cur, ok := v.m[l]; !ok || t > cur {
+			v.m[l] = t
+		}
+	}
+}
+
+// Join returns a fresh view v ⊔ o, leaving both operands untouched.
+func (v View) Join(o View) View {
+	c := v.Clone()
+	c.JoinInto(o)
+	return c
+}
+
+// Leq reports whether v ⊑ o, i.e. pointwise v(l) ≤ o(l).
+func (v View) Leq(o View) bool {
+	for l, t := range v.m {
+		if t > o.Get(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and o record exactly the same observations.
+func (v View) Equal(o View) bool { return v.Leq(o) && o.Leq(v) }
+
+// String renders the view as {l0@t0, l1@t1, ...} in location order.
+func (v View) String() string {
+	locs := make([]Loc, 0, len(v.m))
+	for l := range v.m {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range locs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "l%d@%d", l, v.m[l])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// LogView is a logical view: a finite set of library event identifiers.
+// An event e being in the logical view of an event d means e happens-before
+// d in the library's local happens-before relation (lhb, §3.1). Logical
+// views ride on physical views: they are attached to memory messages and
+// joined on acquire reads exactly like physical views.
+//
+// LogViews form a join-semilattice under set union, ordered by inclusion.
+type LogView struct {
+	m map[EventID]struct{}
+}
+
+// NewLog returns an empty logical view.
+func NewLog() LogView { return LogView{m: map[EventID]struct{}{}} }
+
+// Has reports whether event e is in the logical view.
+func (lv LogView) Has(e EventID) bool {
+	if lv.m == nil {
+		return false
+	}
+	_, ok := lv.m[e]
+	return ok
+}
+
+// Add inserts event e into the logical view.
+func (lv LogView) Add(e EventID) { lv.m[e] = struct{}{} }
+
+// Remove deletes event e from the logical view (used to disarm an event
+// whose publishing instruction failed and has therefore leaked nowhere).
+func (lv LogView) Remove(e EventID) { delete(lv.m, e) }
+
+// Len reports the number of events in the logical view.
+func (lv LogView) Len() int { return len(lv.m) }
+
+// Clone returns an independent copy of lv.
+func (lv LogView) Clone() LogView {
+	c := LogView{m: make(map[EventID]struct{}, len(lv.m))}
+	for e := range lv.m {
+		c.m[e] = struct{}{}
+	}
+	return c
+}
+
+// JoinInto unions o into lv in place.
+func (lv LogView) JoinInto(o LogView) {
+	for e := range o.m {
+		lv.m[e] = struct{}{}
+	}
+}
+
+// Join returns a fresh logical view lv ∪ o.
+func (lv LogView) Join(o LogView) LogView {
+	c := lv.Clone()
+	c.JoinInto(o)
+	return c
+}
+
+// Subset reports whether lv ⊆ o.
+func (lv LogView) Subset(o LogView) bool {
+	for e := range lv.m {
+		if !o.Has(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether lv and o contain exactly the same events.
+func (lv LogView) Equal(o LogView) bool { return lv.Subset(o) && o.Subset(lv) }
+
+// Events returns the member event IDs in ascending order.
+func (lv LogView) Events() []EventID {
+	es := make([]EventID, 0, len(lv.m))
+	for e := range lv.m {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+	return es
+}
+
+// String renders the logical view as {o1:e0, o2:e3, ...} in event order,
+// where o is the owning object's tag and e the per-object event index.
+func (lv LogView) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range lv.Events() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if e.Object() != 0 {
+			fmt.Fprintf(&b, "o%d:e%d", e.Object(), e.Local())
+		} else {
+			fmt.Fprintf(&b, "e%d", e.Local())
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Clock bundles a physical view with a logical view. Every memory message
+// carries a clock, and every thread carries clocks (current, acquire,
+// per-location release, release-fence); synchronization transfers both
+// components at once. This realizes the paper's observation that "logical
+// views ride on physical views": the logical view of a library operation is
+// propagated through exactly the same release/acquire channels as the
+// physical view.
+type Clock struct {
+	V View
+	L LogView
+}
+
+// NewClock returns an empty clock (bottom of the product lattice).
+func NewClock() Clock { return Clock{V: New(), L: NewLog()} }
+
+// Clone returns an independent copy of c.
+func (c Clock) Clone() Clock { return Clock{V: c.V.Clone(), L: c.L.Clone()} }
+
+// JoinInto joins o into c in place.
+func (c Clock) JoinInto(o Clock) {
+	c.V.JoinInto(o.V)
+	c.L.JoinInto(o.L)
+}
+
+// Join returns a fresh clock c ⊔ o.
+func (c Clock) Join(o Clock) Clock {
+	n := c.Clone()
+	n.JoinInto(o)
+	return n
+}
+
+// Leq reports whether c ⊑ o in the product order.
+func (c Clock) Leq(o Clock) bool { return c.V.Leq(o.V) && c.L.Subset(o.L) }
+
+// String renders the clock as V;L.
+func (c Clock) String() string { return c.V.String() + ";" + c.L.String() }
