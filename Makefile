@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is the gate for every change: the
+# harness and explorer are concurrent, so the race detector is mandatory.
+
+GO ?= go
+
+.PHONY: check build vet test race bench benchreport
+
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick benchmark pass over the tier-1 set (see cmd/benchreport).
+bench:
+	$(GO) test -run '^$$' -bench 'ViewClone16|ReleaseWrite|T1EffortTable|ExhaustiveMP' -benchmem . ./internal/view ./internal/memory
+
+# Full tier-1 snapshot written to BENCH_<date>.json.
+benchreport:
+	$(GO) run ./cmd/benchreport

@@ -1,0 +1,157 @@
+// Command benchreport runs the tier-1 benchmark set with -benchmem and
+// writes the parsed results to BENCH_<date>.json in the repository root,
+// seeding the performance trajectory: each entry records ns/op, B/op, and
+// allocs/op per benchmark, plus the environment, so successive snapshots
+// are diffable.
+//
+//	go run ./cmd/benchreport                    # write BENCH_<today>.json
+//	go run ./cmd/benchreport -out results.json
+//	go run ./cmd/benchreport -bench 'ViewClone|ReleaseWrite' -benchtime 100x
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// tierOnePackages is the benchmark set tracked across snapshots: the
+// view-lattice and memory-subsystem microbenchmarks plus the end-to-end
+// harness benchmarks at the repository root.
+var tierOnePackages = []string{".", "./internal/view", "./internal/memory", "./internal/spec"}
+
+// tierOneBenchmarks is the default -bench regex: the stable cross-snapshot
+// set. The root package's per-figure experiment benchmarks run a whole
+// experiment per iteration and are deliberately excluded from the default;
+// pass -bench explicitly to include them.
+const tierOneBenchmarks = "^(" + tierOneBenchNames + ")$"
+
+const tierOneBenchNames = "BenchmarkViewJoinInto16|BenchmarkViewClone16|BenchmarkViewLeq16|" +
+	"BenchmarkLogViewJoin32|BenchmarkClockJoin|" +
+	"BenchmarkReleaseWrite|BenchmarkAcquireRead|BenchmarkCAS|BenchmarkFenceSC|" +
+	"BenchmarkMessagePassingRoundTrip|" +
+	"BenchmarkCheckQueueHB32|BenchmarkCheckQueueAbs32|BenchmarkReplayCommitOrder128|" +
+	"BenchmarkLinearizableSearch|" +
+	"BenchmarkMachineSteps|BenchmarkT1EffortTable|BenchmarkExhaustiveMP|" +
+	"BenchmarkMSQueueVerifiedExecution|BenchmarkHWQueueVerifiedExecution|" +
+	"BenchmarkTreiberVerifiedExecution"
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the file format of BENCH_<date>.json.
+type Report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOARCH     string   `json:"goarch"`
+	GOOS       string   `json:"goos"`
+	NumCPU     int      `json:"num_cpu"`
+	BenchTime  string   `json:"benchtime"`
+	BenchRegex string   `json:"bench_regex"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", tierOneBenchmarks, "benchmark name regex passed to -bench")
+	benchtime := flag.String("benchtime", "", "passed to -benchtime (e.g. 100x, 0.5s); empty = go default")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	flag.Parse()
+
+	rep := &Report{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOOS:       runtime.GOOS,
+		NumCPU:     runtime.NumCPU(),
+		BenchTime:  *benchtime,
+		BenchRegex: *bench,
+	}
+
+	for _, pkg := range tierOnePackages {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", pkg}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: go %s\n", strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, parse(pkg, buf.Bytes())...)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", rep.Date)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(rep.Results))
+}
+
+// parse extracts benchmark lines of the form
+//
+//	BenchmarkName-8   1234   5678 ns/op   90 B/op   1 allocs/op
+//
+// from go test output.
+func parse(pkg string, out []byte) []Result {
+	var rs []Result
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		iters, err1 := strconv.ParseInt(f[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		r := Result{Name: name, Package: pkg, Iterations: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(f); i += 2 {
+			n, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				r.BytesPerOp = n
+			case "allocs/op":
+				r.AllocsPerOp = n
+			}
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}

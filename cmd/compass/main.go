@@ -65,7 +65,8 @@ func main() {
 	specName := flag.String("spec", "hb", "spec style: hb, abs, hist, sc")
 	execs := flag.Int("n", 300, "number of random executions")
 	seed := flag.Int64("seed", 1, "first scheduler seed")
-	stale := flag.Float64("stale", 0.5, "stale-read bias in [0,1]")
+	stale := flag.Float64("stale", 0.5, "stale-read bias in [0,1] (0 = always read latest)")
+	workers := flag.Int("workers", 0, "parallel harness workers (0 = GOMAXPROCS)")
 	producers := flag.Int("producers", 2, "producer/pusher threads")
 	perProducer := flag.Int("ops", 3, "operations per producer")
 	consumers := flag.Int("consumers", 2, "consumer/popper threads")
@@ -90,6 +91,16 @@ func main() {
 	}
 	opts := compass.CheckOptions{
 		Executions: *execs, Seed: *seed, StaleBias: *stale, KeepGoing: *keepGoing,
+		Workers: *workers,
+	}
+	// The harness treats the zero value of Seed/StaleBias as "use the
+	// default"; map the user's explicit zeros to the sentinels so
+	// -seed 0 and -stale 0 mean what they say.
+	if *seed == 0 {
+		opts.Seed = compass.SeedZero
+	}
+	if *stale == 0 {
+		opts.StaleBias = compass.BiasZero
 	}
 
 	var build func() compass.Checked
@@ -141,7 +152,11 @@ func main() {
 	}
 
 	if *explain >= 0 {
-		status, trace, viols := compass.ExplainChecked(build, *explain, *stale, 0)
+		bias := *stale
+		if bias == 0 {
+			bias = compass.BiasZero
+		}
+		status, trace, viols := compass.ExplainChecked(build, *explain, bias, 0)
 		fmt.Printf("%s — seed %d replays as %v\n\n", name, *explain, status)
 		for i, line := range trace {
 			fmt.Printf("%4d  %s\n", i, line)
@@ -157,7 +172,9 @@ func main() {
 
 	var rep *compass.Report
 	if *exhaustive {
-		rep = compass.RunExhaustive(name, build, 500000, 5000)
+		rep = compass.RunExhaustiveOpts(name, build, compass.CheckOptions{
+			MaxRuns: 500000, Budget: 5000, KeepGoing: *keepGoing, Workers: *workers,
+		})
 	} else {
 		rep = compass.RunChecked(name, build, opts)
 	}

@@ -20,10 +20,13 @@ func main() {
 	execs := flag.Int("n", 300, "executions per experiment cell")
 	seed := flag.Int64("seed", 1, "first scheduler seed")
 	stale := flag.Float64("stale", 0.5, "stale-read bias in [0,1]")
+	workers := flag.Int("workers", 0, "parallel harness workers per run (0 = GOMAXPROCS)")
 	only := flag.String("only", "", "comma-separated experiment ids (F1,F1B,F2,F3,F4,F5,E1,E2,T1,T2,L1,A1,X1,W1,W2,M1)")
 	flag.Parse()
 
-	cfg := experiments.Config{Executions: *execs, Seed: *seed, StaleBias: *stale, Out: os.Stdout}
+	cfg := experiments.Config{
+		Executions: *execs, Seed: *seed, StaleBias: *stale, Workers: *workers, Out: os.Stdout,
+	}
 
 	byID := map[string]func(experiments.Config) experiments.Summary{
 		"L1":  experiments.L1Litmus,

@@ -19,6 +19,7 @@ import (
 func main() {
 	name := flag.String("test", "", "run only the named test (e.g. MP+rel+acq, SB, LB)")
 	maxRuns := flag.Int("max-runs", 400000, "exploration bound per test")
+	workers := flag.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	failed := false
@@ -28,7 +29,7 @@ func main() {
 			continue
 		}
 		ran++
-		res := compass.RunLitmus(t, *maxRuns)
+		res := compass.RunLitmusWorkers(t, *maxRuns, *workers)
 		fmt.Println(res)
 		fmt.Println()
 		if !res.OK() {

@@ -298,7 +298,17 @@ type (
 	ExchangerFactory = check.ExchangerFactory
 )
 
-// RunChecked runs a workload under the harness.
+// Sentinel option values for CheckOptions fields whose zero value selects
+// a default: SeedZero requests the literal seed 0, BiasZero a stale-read
+// bias of exactly 0 (SC-like per-location reads).
+const (
+	SeedZero = check.SeedZero
+	BiasZero = check.BiasZero
+)
+
+// RunChecked runs a workload under the harness, fanning executions across
+// CheckOptions.Workers workers (default GOMAXPROCS) with a report that is
+// bit-identical to a sequential run.
 func RunChecked(name string, build func() Checked, opt CheckOptions) *Report {
 	return check.Run(name, build, opt)
 }
@@ -309,6 +319,13 @@ func RunChecked(name string, build func() Checked, opt CheckOptions) *Report {
 // instance.
 func RunExhaustive(name string, build func() Checked, maxRuns, budget int) *Report {
 	return check.Exhaustive(name, build, maxRuns, budget)
+}
+
+// RunExhaustiveOpts is RunExhaustive driven by CheckOptions: MaxRuns and
+// Budget bound the exploration, MaxFailures/KeepGoing control the early
+// stop, and Workers parallelizes the decision-tree search.
+func RunExhaustiveOpts(name string, build func() Checked, opt CheckOptions) *Report {
+	return check.ExhaustiveOpt(name, build, opt)
 }
 
 // ExplainChecked replays one seed of a workload with per-step tracing,
@@ -401,5 +418,11 @@ type (
 // LitmusSuite returns the ORC11 validation litmus tests.
 func LitmusSuite() []LitmusTest { return litmus.Suite() }
 
-// RunLitmus explores a litmus test exhaustively.
+// RunLitmus explores a litmus test exhaustively across GOMAXPROCS workers.
 func RunLitmus(t LitmusTest, maxRuns int) *LitmusResult { return litmus.Run(t, maxRuns) }
+
+// RunLitmusWorkers is RunLitmus with an explicit worker count
+// (0 = GOMAXPROCS, 1 = sequential).
+func RunLitmusWorkers(t LitmusTest, maxRuns, workers int) *LitmusResult {
+	return litmus.RunWorkers(t, maxRuns, workers)
+}

@@ -9,7 +9,11 @@ package check
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"compass/internal/machine"
 	"compass/internal/spec"
@@ -25,22 +29,46 @@ type Checked struct {
 	Check func() (violations []spec.Violation, unknown int)
 }
 
+// Sentinels for option values whose natural encoding collides with the
+// zero value of Options (which selects defaults). Pass these to request
+// the literal value 0.
+const (
+	// SeedZero requests the actual seed 0. Options.Seed's zero value
+	// selects the default seed 1, so seed 0 needs an explicit sentinel.
+	SeedZero int64 = math.MinInt64
+	// BiasZero requests a stale-read bias of exactly 0: every read
+	// returns the latest message, SC-like per location. Any negative
+	// StaleBias normalizes to 0; Options.StaleBias's zero value selects
+	// the default 0.4.
+	BiasZero float64 = -1
+)
+
 // Options configures a harness run.
 type Options struct {
 	// Executions is the number of random executions (default 200).
 	Executions int
-	// Seed is the first seed; execution i uses Seed+i (default 1).
+	// Seed is the first seed; execution i uses Seed+i (default 1; pass
+	// SeedZero for the literal seed 0).
 	Seed int64
 	// Budget caps machine steps per execution (default 100000).
 	Budget int
 	// StaleBias is the probability of deliberately stale reads (default
 	// 0.4); higher values explore weaker behaviours more aggressively.
+	// Pass BiasZero (or any negative value) for a bias of exactly 0.
 	StaleBias float64
 	// MaxFailures stops the run early after this many failing executions
 	// (default 5).
 	MaxFailures int
 	// KeepGoing disables the early stop.
 	KeepGoing bool
+	// Workers is the number of parallel harness workers (default
+	// GOMAXPROCS; 1 = sequential). The report is identical either way:
+	// executions are still seeded Seed..Seed+Executions-1 and merged in
+	// seed order, including the early-stop point.
+	Workers int
+	// MaxRuns caps the number of executions explored by ExhaustiveOpt
+	// (default 200000). Run ignores it.
+	MaxRuns int
 }
 
 func (o Options) withDefaults() Options {
@@ -49,12 +77,22 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	} else if o.Seed == SeedZero {
+		o.Seed = 0
 	}
 	if o.StaleBias == 0 {
 		o.StaleBias = 0.4
+	} else if o.StaleBias < 0 {
+		o.StaleBias = 0
 	}
 	if o.MaxFailures == 0 {
 		o.MaxFailures = 5
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 200000
 	}
 	return o
 }
@@ -124,10 +162,30 @@ func (r *Report) String() string {
 	return b.String()
 }
 
+// execOutcome is the fully evaluated result of one seeded execution,
+// buffered by the parallel harness for the in-order merge.
+type execOutcome struct {
+	status     machine.Status
+	err        error
+	steps      int
+	violations []spec.Violation
+	unknown    int
+	done       bool
+}
+
 // Run executes build()'s programs Executions times under seeded random
-// strategies, checking each OK execution.
+// strategies, checking each OK execution. Executions fan out across
+// opt.Workers workers; the report is a deterministic function of the
+// options alone — bit-identical to a sequential (Workers: 1) run.
 func Run(name string, build func() Checked, opt Options) *Report {
 	opt = opt.withDefaults()
+	if opt.Workers == 1 {
+		return runSequential(name, build, opt)
+	}
+	return runParallel(name, build, opt)
+}
+
+func runSequential(name string, build func() Checked, opt Options) *Report {
 	rep := &Report{Name: name, Executions: opt.Executions}
 	runner := &machine.Runner{Budget: opt.Budget}
 	for i := 0; i < opt.Executions; i++ {
@@ -157,46 +215,167 @@ func Run(name string, build func() Checked, opt Options) *Report {
 	return rep
 }
 
+// runParallel distributes executions over a worker pool and then merges
+// the buffered outcomes in seed order, replaying the sequential loop's
+// exact accounting — including where it would have stopped early.
+//
+// Determinism argument: workers claim execution indices from an atomic
+// counter, so the set of executed indices is always a contiguous prefix
+// [0, K). The stop flag is raised only after at least MaxFailures
+// failures have completed, all of which lie inside the prefix, so K is
+// at least the index at which the sequential loop stops. The merge then
+// walks outcomes in index order applying the sequential stop rule,
+// discarding whatever overshoot the workers produced past it.
+func runParallel(name string, build func() Checked, opt Options) *Report {
+	outcomes := make([]execOutcome, opt.Executions)
+	var next, failures, stop int64
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runner := &machine.Runner{Budget: opt.Budget}
+			for {
+				if atomic.LoadInt64(&stop) != 0 {
+					return
+				}
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= int64(opt.Executions) {
+					return
+				}
+				seed := opt.Seed + i
+				c := build()
+				res := runner.Run(c.Prog, machine.NewRandomBiased(seed, opt.StaleBias))
+				out := execOutcome{status: res.Status, err: res.Err, steps: res.Steps, done: true}
+				if res.Status == machine.OK {
+					out.violations, out.unknown = c.Check()
+				}
+				outcomes[i] = out
+				failed := res.Status == machine.Racy || res.Status == machine.Failed ||
+					(res.Status == machine.OK && len(out.violations) > 0)
+				if failed && !opt.KeepGoing &&
+					atomic.AddInt64(&failures, 1) >= int64(opt.MaxFailures) {
+					atomic.StoreInt64(&stop, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &Report{Name: name, Executions: opt.Executions}
+	for i := 0; i < opt.Executions; i++ {
+		out := outcomes[i]
+		if !out.done {
+			break
+		}
+		seed := opt.Seed + int64(i)
+		rep.Steps += out.steps
+		switch out.status {
+		case machine.Budget:
+			rep.Discarded++
+			continue
+		case machine.Racy, machine.Failed:
+			rep.Failures = append(rep.Failures, Failure{Seed: seed, Status: out.status, Err: out.err})
+		case machine.OK:
+			rep.Unknown += out.unknown
+			if len(out.violations) == 0 {
+				rep.OK++
+			} else {
+				rep.Failures = append(rep.Failures, Failure{Seed: seed, Status: out.status, Violations: out.violations})
+			}
+		}
+		if !opt.KeepGoing && len(rep.Failures) >= opt.MaxFailures {
+			break
+		}
+	}
+	return rep
+}
+
 // Exhaustive explores every execution of the workload (all interleavings
 // and all read choices) up to maxRuns, checking each one. When the
 // returned report has Complete set, a pass is a *proof* for the bounded
 // instance — the executable analogue of the paper's per-implementation
-// theorems, on a finite workload.
+// theorems, on a finite workload. It is ExhaustiveOpt with the default
+// failure policy (stop after 5 failures).
 func Exhaustive(name string, build func() Checked, maxRuns, budget int) *Report {
+	return ExhaustiveOpt(name, build, Options{MaxRuns: maxRuns, Budget: budget})
+}
+
+// ExhaustiveOpt is Exhaustive driven by Options: MaxRuns and Budget bound
+// the exploration, MaxFailures/KeepGoing control the early stop exactly as
+// in Run, and Workers fans the decision-tree subtrees across a worker
+// pool (the tree partitioning is machine.ExploreParallel's). The counts
+// in a Complete report are a deterministic function of the workload
+// regardless of Workers; with an early stop the explored subset — but
+// never the verdict's soundness — may vary. Exhaustive executions have
+// no seed, so Failures carry Seed -1.
+func ExhaustiveOpt(name string, build func() Checked, opt Options) *Report {
+	opt = opt.withDefaults()
 	rep := &Report{Name: name, Exhaustive: true}
-	var cur Checked
-	res := machine.Explore(func() machine.Program {
-		cur = build()
-		return cur.Prog
-	}, machine.ExploreOpts{MaxRuns: maxRuns, Budget: budget}, func(r *machine.Result) bool {
-		rep.Executions++
-		rep.Steps += r.Steps
-		switch r.Status {
-		case machine.Budget:
-			rep.Discarded++
-		case machine.Racy, machine.Failed:
-			rep.Failures = append(rep.Failures, Failure{Seed: -1, Status: r.Status, Err: r.Err})
-		case machine.OK:
-			viols, unknown := cur.Check()
-			rep.Unknown += unknown
-			if len(viols) == 0 {
-				rep.OK++
-			} else {
-				rep.Failures = append(rep.Failures, Failure{Seed: -1, Status: r.Status, Violations: viols})
+	var mu sync.Mutex
+	var failures int64
+	res := machine.ExploreParallel(
+		machine.ExploreOpts{MaxRuns: opt.MaxRuns, Budget: opt.Budget, Workers: opt.Workers},
+		func() (func() machine.Program, func(*machine.Result) bool) {
+			var cur Checked
+			buildProg := func() machine.Program {
+				cur = build()
+				return cur.Prog
 			}
-		}
-		return len(rep.Failures) < 5
-	})
+			visit := func(r *machine.Result) bool {
+				var f *Failure
+				var viols []spec.Violation
+				unknown := 0
+				if r.Status == machine.OK {
+					// Run the spec checkers outside the merge lock; they
+					// only touch this worker's recorders.
+					viols, unknown = cur.Check()
+				}
+				switch r.Status {
+				case machine.Racy, machine.Failed:
+					f = &Failure{Seed: -1, Status: r.Status, Err: r.Err}
+				case machine.OK:
+					if len(viols) > 0 {
+						f = &Failure{Seed: -1, Status: r.Status, Violations: viols}
+					}
+				}
+				mu.Lock()
+				rep.Executions++
+				rep.Steps += r.Steps
+				switch r.Status {
+				case machine.Budget:
+					rep.Discarded++
+				case machine.OK:
+					rep.Unknown += unknown
+					if f == nil {
+						rep.OK++
+					}
+				}
+				if f != nil {
+					rep.Failures = append(rep.Failures, *f)
+				}
+				mu.Unlock()
+				if f != nil && !opt.KeepGoing {
+					return atomic.AddInt64(&failures, 1) < int64(opt.MaxFailures)
+				}
+				return true
+			}
+			return buildProg, visit
+		})
 	rep.Complete = res.Complete
 	return rep
 }
 
 // Explain replays the execution with the given seed under tracing and
 // returns the per-step operation log together with the violations found —
-// for diagnosing a Failure reported by Run.
+// for diagnosing a Failure reported by Run. staleBias follows the Options
+// convention: 0 selects the default 0.4; pass BiasZero (or any negative
+// value) to replay with a bias of exactly 0.
 func Explain(build func() Checked, seed int64, staleBias float64, budget int) (machine.Status, []string, []spec.Violation) {
 	if staleBias == 0 {
 		staleBias = 0.4
+	} else if staleBias < 0 {
+		staleBias = 0
 	}
 	c := build()
 	res := (&machine.Runner{Budget: budget, Trace: true}).Run(c.Prog, machine.NewRandomBiased(seed, staleBias))

@@ -1,0 +1,157 @@
+package check_test
+
+import (
+	"reflect"
+	"testing"
+
+	"compass/internal/check"
+	"compass/internal/machine"
+	"compass/internal/queue"
+	"compass/internal/spec"
+)
+
+// reportKey projects a Report onto everything the determinism contract
+// covers: counts, steps, and the exact failure seed sequence.
+func reportKey(r *check.Report) map[string]interface{} {
+	seeds := []int64{}
+	for _, f := range r.Failures {
+		seeds = append(seeds, f.Seed)
+	}
+	return map[string]interface{}{
+		"executions": r.Executions,
+		"ok":         r.OK,
+		"discarded":  r.Discarded,
+		"unknown":    r.Unknown,
+		"steps":      r.Steps,
+		"seeds":      seeds,
+	}
+}
+
+func requireSameReport(t *testing.T, name string, seq, par *check.Report) {
+	t.Helper()
+	sk, pk := reportKey(seq), reportKey(par)
+	if !reflect.DeepEqual(sk, pk) {
+		t.Fatalf("%s: parallel report diverged from sequential:\n  seq: %v\n  par: %v", name, sk, pk)
+	}
+}
+
+// TestRunParallelDeterministic asserts check.Run with Workers: 8 produces
+// the same Report as Workers: 1 on a passing workload.
+func TestRunParallelDeterministic(t *testing.T) {
+	msFactory := func(th *machine.Thread) queue.Queue { return queue.NewMS(th, "q") }
+	build := check.QueueMixed(msFactory, spec.LevelHB, 2, 2, 2, 3)
+	opts := check.Options{Executions: 120, StaleBias: 0.5}
+	seq := check.Run("par/seq", build, optsWithWorkers(opts, 1))
+	par := check.Run("par/par", build, optsWithWorkers(opts, 8))
+	requireSameReport(t, "ms-mixed", seq, par)
+	if seq.OK == 0 {
+		t.Fatalf("workload vacuous: no OK executions")
+	}
+}
+
+// TestRunParallelDeterministicFailing asserts the early-stop point — and
+// therefore the failure seed set — is replicated exactly on a workload
+// with spec violations (Herlihy-Wing against the too-strong SC spec).
+func TestRunParallelDeterministicFailing(t *testing.T) {
+	hwFactory := func(th *machine.Thread) queue.Queue { return queue.NewHW(th, "q", 64) }
+	build := check.QueueMixed(hwFactory, spec.LevelSC, 2, 3, 2, 4)
+	opts := check.Options{Executions: 400, StaleBias: 0.7, MaxFailures: 3}
+	seq := check.Run("parfail/seq", build, optsWithWorkers(opts, 1))
+	par := check.Run("parfail/par", build, optsWithWorkers(opts, 8))
+	requireSameReport(t, "hw-sc", seq, par)
+	if len(seq.Failures) == 0 {
+		t.Fatalf("expected failures from hw against SC spec")
+	}
+	// KeepGoing must also agree, exercising the no-early-stop merge.
+	opts.KeepGoing = true
+	opts.Executions = 150
+	seq = check.Run("parfail/seq-kg", build, optsWithWorkers(opts, 1))
+	par = check.Run("parfail/par-kg", build, optsWithWorkers(opts, 8))
+	requireSameReport(t, "hw-sc-keepgoing", seq, par)
+}
+
+func optsWithWorkers(o check.Options, w int) check.Options {
+	o.Workers = w
+	return o
+}
+
+// TestExhaustiveOptParallelComplete asserts a complete parallel
+// exploration reproduces the sequential explorer's counts exactly.
+func TestExhaustiveOptParallelComplete(t *testing.T) {
+	hwFactory := func(th *machine.Thread) queue.Queue { return queue.NewHW(th, "q", 8) }
+	build := check.QueueMixed(hwFactory, spec.LevelHB, 1, 1, 1, 1)
+	opts := check.Options{MaxRuns: 300000, Budget: 3000}
+	seq := check.ExhaustiveOpt("exh/seq", build, optsWithWorkers(opts, 1))
+	par := check.ExhaustiveOpt("exh/par", build, optsWithWorkers(opts, 4))
+	if !seq.Complete || !par.Complete {
+		t.Fatalf("exploration incomplete: seq %v, par %v", seq.Complete, par.Complete)
+	}
+	if seq.Executions != par.Executions || seq.OK != par.OK ||
+		seq.Discarded != par.Discarded || seq.Unknown != par.Unknown ||
+		seq.Steps != par.Steps {
+		t.Fatalf("parallel exhaustive diverged:\n  seq: %+v\n  par: %+v", seq, par)
+	}
+	if len(seq.Failures) != 0 || len(par.Failures) != 0 {
+		t.Fatalf("unexpected failures: seq %d, par %d", len(seq.Failures), len(par.Failures))
+	}
+}
+
+// TestExhaustiveOptHonorsMaxFailures pins the satellite fix: the explorer
+// stops at Options.MaxFailures instead of the old hardcoded 5, and
+// KeepGoing disables the stop entirely.
+func TestExhaustiveOptHonorsMaxFailures(t *testing.T) {
+	hwFactory := func(th *machine.Thread) queue.Queue { return queue.NewHW(th, "q", 8) }
+	// Herlihy-Wing fails LevelSC on many interleavings of even a tiny
+	// workload, so a low MaxFailures stops almost immediately.
+	build := check.QueueMixed(hwFactory, spec.LevelSC, 2, 1, 1, 2)
+	limited := check.ExhaustiveOpt("exh/limited", build,
+		optsWithWorkers(check.Options{MaxRuns: 200000, Budget: 3000, MaxFailures: 2}, 1))
+	if len(limited.Failures) != 2 {
+		t.Fatalf("MaxFailures: 2 not honored: %d failures", len(limited.Failures))
+	}
+	keep := check.ExhaustiveOpt("exh/keepgoing", build,
+		optsWithWorkers(check.Options{MaxRuns: 200000, Budget: 3000, KeepGoing: true}, 1))
+	if !keep.Complete {
+		t.Fatalf("KeepGoing exploration should run to completion")
+	}
+	if len(keep.Failures) <= 2 {
+		t.Fatalf("KeepGoing should surface more failures than the cap, got %d", len(keep.Failures))
+	}
+}
+
+// TestOptionSentinels pins the zero-value fix: Seed: 0 / StaleBias: 0
+// still select the defaults, while the sentinels request the literal
+// zeros. Bias 0 forces every read to the latest message, so a
+// message-passing workload behaves sequentially-consistently and passes
+// even at a relaxed level that would otherwise race.
+func TestOptionSentinels(t *testing.T) {
+	msFactory := func(th *machine.Thread) queue.Queue { return queue.NewMS(th, "q") }
+	build := check.QueueMixed(msFactory, spec.LevelHB, 1, 2, 1, 2)
+
+	// SeedZero and the default seed 1 explore different schedules, so the
+	// step totals should differ; identical totals would mean the sentinel
+	// was mistaken for the default.
+	def := check.Run("seed/default", build, check.Options{Executions: 60, Workers: 1})
+	zero := check.Run("seed/zero", build, check.Options{Executions: 60, Seed: check.SeedZero, Workers: 1})
+	one := check.Run("seed/one", build, check.Options{Executions: 60, Seed: 1, Workers: 1})
+	if def.Steps != one.Steps {
+		t.Fatalf("Seed: 0 should default to seed 1 (steps %d vs %d)", def.Steps, one.Steps)
+	}
+	if zero.Steps == def.Steps {
+		t.Fatalf("SeedZero appears to have been treated as the default seed")
+	}
+
+	// BiasZero: replaying any single seed with bias 0 must take the
+	// latest-read path every time, i.e. be deterministic in outcome and
+	// identical to an explicit near-zero bias replay.
+	a := check.Run("bias/zero", build, check.Options{Executions: 40, StaleBias: check.BiasZero, Workers: 1})
+	b := check.Run("bias/tiny", build, check.Options{Executions: 40, StaleBias: 1e-12, Workers: 1})
+	if a.Steps != b.Steps || a.OK != b.OK {
+		t.Fatalf("BiasZero run diverged from bias≈0 run: %d/%d steps, %d/%d ok",
+			a.Steps, b.Steps, a.OK, b.OK)
+	}
+	c := check.Run("bias/default", build, check.Options{Executions: 40, Workers: 1})
+	if a.Steps == c.Steps {
+		t.Fatalf("BiasZero appears to have been treated as the default bias")
+	}
+}

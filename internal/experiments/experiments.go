@@ -25,6 +25,9 @@ type Config struct {
 	Seed int64
 	// StaleBias is the stale-read probability (default 0.5).
 	StaleBias float64
+	// Workers is the number of parallel harness workers per run
+	// (default GOMAXPROCS).
+	Workers int
 	// Out receives the rendered tables (must be non-nil).
 	Out io.Writer
 }
@@ -43,7 +46,10 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) opts() check.Options {
-	return check.Options{Executions: c.Executions, Seed: c.Seed, StaleBias: c.StaleBias, KeepGoing: false}
+	return check.Options{
+		Executions: c.Executions, Seed: c.Seed, StaleBias: c.StaleBias,
+		Workers: c.Workers, KeepGoing: false,
+	}
 }
 
 func (c Config) printf(format string, args ...interface{}) {

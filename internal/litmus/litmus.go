@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"compass/internal/machine"
 	"compass/internal/memory"
@@ -89,15 +90,29 @@ func outcomeKey(o map[string]int64) string {
 }
 
 // Run explores the test exhaustively (bounded by maxRuns) and evaluates
-// its expectations.
-func Run(t Test, maxRuns int) *Result {
+// its expectations, fanning the exploration across GOMAXPROCS workers.
+func Run(t Test, maxRuns int) *Result { return RunWorkers(t, maxRuns, 0) }
+
+// RunWorkers is Run with an explicit worker count (0 = GOMAXPROCS,
+// 1 = sequential). The outcome histogram is a deterministic function of
+// the test regardless of worker count: the parallel explorer visits
+// exactly the executions the sequential one does.
+func RunWorkers(t Test, maxRuns, workers int) *Result {
 	res := &Result{Test: t, Outcomes: map[string]int{}}
-	er := machine.Explore(t.Build, machine.ExploreOpts{MaxRuns: maxRuns}, func(r *machine.Result) bool {
-		if r.Status == machine.OK {
-			res.Outcomes[outcomeKey(r.Outcome)]++
-		}
-		return true
-	})
+	var mu sync.Mutex
+	er := machine.ExploreParallel(
+		machine.ExploreOpts{MaxRuns: maxRuns, Workers: workers},
+		func() (func() machine.Program, func(*machine.Result) bool) {
+			return t.Build, func(r *machine.Result) bool {
+				if r.Status == machine.OK {
+					key := outcomeKey(r.Outcome)
+					mu.Lock()
+					res.Outcomes[key]++
+					mu.Unlock()
+				}
+				return true
+			}
+		})
 	res.Runs = er.Runs
 	res.Complete = er.Complete
 	for _, f := range t.Forbidden {

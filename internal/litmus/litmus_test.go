@@ -50,3 +50,27 @@ func TestRequiredDetection(t *testing.T) {
 		t.Fatalf("harness failed to flag a missing required outcome: %s", res)
 	}
 }
+
+// TestRunWorkersMatchesSequential asserts parallel exhaustive exploration
+// visits exactly the executions the sequential explorer does: same run
+// count, same Complete verdict, same outcome histogram, for every test in
+// the suite.
+func TestRunWorkersMatchesSequential(t *testing.T) {
+	for _, lt := range Suite() {
+		seq := RunWorkers(lt, 400000, 1)
+		par := RunWorkers(lt, 400000, 4)
+		if seq.Runs != par.Runs || seq.Complete != par.Complete {
+			t.Errorf("%s: runs/complete diverged: seq %d/%v, par %d/%v",
+				lt.Name, seq.Runs, seq.Complete, par.Runs, par.Complete)
+		}
+		if len(seq.Outcomes) != len(par.Outcomes) {
+			t.Errorf("%s: outcome sets diverged: %v vs %v", lt.Name, seq.Outcomes, par.Outcomes)
+			continue
+		}
+		for k, n := range seq.Outcomes {
+			if par.Outcomes[k] != n {
+				t.Errorf("%s: outcome %q: seq %d, par %d", lt.Name, k, n, par.Outcomes[k])
+			}
+		}
+	}
+}

@@ -413,15 +413,32 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 			case evSpawn:
 				states[0] = blocked
 				for i := 1; i <= nw; i++ {
-					states[i] = computing
-					w := workers[i-1]
-					w.tv = mainTV.Fork(i)
-					go runBody(w, prog.Workers[i-1], false)
+					// Fork the views now (main is blocked and won't move),
+					// but start the goroutines one at a time below: the
+					// segment of a worker body before its first machine
+					// operation runs unscheduled, so a simultaneous start
+					// would race on the shared recorder.
+					workers[i-1].tv = mainTV.Fork(i)
 				}
 				if nw == 0 {
 					states[0] = parked // will be resumed below
 				}
 			}
+			continue
+		}
+		// Start the next unstarted worker, serially in thread order: it
+		// computes alone until its first park, preserving the
+		// one-thread-at-a-time invariant without adding decision points.
+		if startedNext := func() bool {
+			for i := 1; i <= nw; i++ {
+				if states[i] == unstarted && states[0] == blocked {
+					states[i] = computing
+					go runBody(workers[i-1], prog.Workers[i-1], false)
+					return true
+				}
+			}
+			return false
+		}(); startedNext {
 			continue
 		}
 		// All threads parked/blocked/done. If workers are all done and main

@@ -2,6 +2,8 @@ package machine
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // RandomStrategy resolves all nondeterminism with a seeded PRNG, making
@@ -90,6 +92,11 @@ type ExploreOpts struct {
 	// MaxDepth caps the decision depth that is branched on; decisions
 	// beyond it take the default branch only (0 = unlimited).
 	MaxDepth int
+	// Workers is the number of parallel exploration workers used by
+	// ExploreParallel (default GOMAXPROCS; 1 = sequential). Explore
+	// ignores it: a single shared build/visit pair cannot be run
+	// concurrently.
+	Workers int
 }
 
 // ExploreResult summarizes an exploration.
@@ -139,6 +146,142 @@ func Explore(build func() Program, opts ExploreOpts, visit func(*Result) bool) E
 			traceDecision{N: trace[i].N, Pick: trace[i].Pick + 1})
 	}
 	return res
+}
+
+// ExploreParallel explores the decision tree like Explore, but with
+// opts.Workers workers running disjoint subtrees concurrently.
+//
+// The tree is partitioned by prefix splitting: every completed execution
+// enumerates the unexplored sibling branches along its own decision trace
+// (each as an explicit pinned prefix) and pushes them onto a shared LIFO
+// frontier; a pinned prefix is never backtracked into, so every leaf of
+// the tree is executed exactly once and the total run count — and
+// therefore the Complete verdict — is identical to the sequential
+// explorer's. Complete is true only when the frontier drained with no
+// worker stopped and the run bound unexhausted, i.e. exactly when the
+// bounded program's executions were all explored.
+//
+// newWorker is invoked once per worker and must return a fresh
+// (build, visit) pair; each pair is used serially by its own worker, so
+// visit may safely accumulate into worker-local state, but pairs run
+// concurrently with each other — shared state needs the caller's own
+// synchronization. A visit returning false stops the whole exploration,
+// though results already in flight on other workers are still visited.
+func ExploreParallel(opts ExploreOpts, newWorker func() (build func() Program, visit func(*Result) bool)) ExploreResult {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		build, visit := newWorker()
+		return Explore(build, opts, visit)
+	}
+	maxRuns := opts.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 200000
+	}
+	e := &parallelExplorer{opts: opts, maxRuns: maxRuns, frontier: [][]traceDecision{nil}}
+	e.cond = sync.NewCond(&e.mu)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			build, visit := newWorker()
+			e.worker(build, visit)
+		}()
+	}
+	wg.Wait()
+	return ExploreResult{Runs: e.runs, Complete: !e.stopped && !e.bounded && len(e.frontier) == 0}
+}
+
+// parallelExplorer is the shared state of one ExploreParallel call.
+type parallelExplorer struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	frontier [][]traceDecision // unexplored subtree prefixes (LIFO)
+	inflight int               // workers currently running a prefix
+	runs     int
+	maxRuns  int
+	stopped  bool // a visit returned false
+	bounded  bool // maxRuns hit with work remaining
+	opts     ExploreOpts
+}
+
+// next claims the deepest unexplored prefix, blocking while the frontier
+// is empty but runs are still in flight (they may push new prefixes).
+func (e *parallelExplorer) next() ([]traceDecision, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.stopped {
+			return nil, false
+		}
+		if n := len(e.frontier); n > 0 {
+			if e.runs >= e.maxRuns {
+				e.bounded = true
+				return nil, false
+			}
+			prefix := e.frontier[n-1]
+			e.frontier = e.frontier[:n-1]
+			e.inflight++
+			e.runs++
+			return prefix, true
+		}
+		if e.inflight == 0 {
+			return nil, false
+		}
+		e.cond.Wait()
+	}
+}
+
+// done publishes the children of a completed run and wakes waiting workers.
+func (e *parallelExplorer) done(children [][]traceDecision, keep bool) {
+	e.mu.Lock()
+	e.frontier = append(e.frontier, children...)
+	e.inflight--
+	if !keep {
+		e.stopped = true
+	}
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+func (e *parallelExplorer) worker(build func() Program, visit func(*Result) bool) {
+	runner := &Runner{Budget: e.opts.Budget}
+	for {
+		prefix, ok := e.next()
+		if !ok {
+			return
+		}
+		strat := &TraceStrategy{prefix: prefix}
+		r := runner.Run(build(), strat)
+		keep := visit(r)
+		var children [][]traceDecision
+		if keep {
+			// Unexplored branches of this trace: for every decision at or
+			// below the pinned prefix, each untaken pick becomes a new
+			// pinned prefix. Pushed shallow-to-deep so the LIFO frontier
+			// pops deepest-first, mirroring the sequential DFS order.
+			trace := strat.Trace
+			top := len(trace) - 1
+			if e.opts.MaxDepth > 0 && top >= e.opts.MaxDepth {
+				top = e.opts.MaxDepth - 1
+			}
+			for i := len(prefix); i <= top; i++ {
+				for p := trace[i].Pick + 1; p < trace[i].N; p++ {
+					child := make([]traceDecision, i+1)
+					copy(child, trace[:i])
+					child[i] = traceDecision{N: trace[i].N, Pick: p}
+					children = append(children, child)
+				}
+			}
+		}
+		e.done(children, keep)
+		if !keep {
+			return
+		}
+	}
 }
 
 // RunRandom executes the program n times with seeds seed, seed+1, ...,

@@ -223,7 +223,8 @@ func (tv *ThreadView) JoinClock(c view.Clock) {
 func (m *Memory) Alloc(tv *ThreadView, name string, init int64) view.Loc {
 	l := view.Loc(len(m.locs))
 	m.step++
-	clk := tv.Cur.Clone()
+	clk := view.NewClockCap(int(l) + 1)
+	clk.JoinInto(tv.Cur)
 	clk.V.Set(l, 1)
 	m.locs = append(m.locs, &location{
 		name: name,
@@ -314,15 +315,29 @@ func (m *Memory) Write(tv *ThreadView, l view.Loc, v int64, mode Mode) error {
 		tv.Acq.V.Set(l, t)
 		return nil
 	}
-	base := view.NewClock()
+	rl, hasRL := tv.RelLoc[l]
+	w := int(l) + 1
+	if hasRL && rl.V.Width() > w {
+		w = rl.V.Width()
+	}
+	if tv.FRel.V.Width() > w {
+		w = tv.FRel.V.Width()
+	}
+	if mode.releases() && tv.Cur.V.Width() > w {
+		w = tv.Cur.V.Width()
+	}
+	base := view.NewClockCap(w) // one allocation covers every join below
 	base.V.Set(l, t)
-	if rl, ok := tv.RelLoc[l]; ok {
+	if hasRL {
 		base.JoinInto(rl)
 	}
 	base.JoinInto(tv.FRel)
 	if mode.releases() {
 		base.JoinInto(tv.Cur)
-		tv.RelLoc[l] = base.Clone()
+		// The release clock may share storage with the message clock:
+		// neither is ever mutated once published (Disarm only removes IDs
+		// armed after this write, which neither clock can contain).
+		tv.RelLoc[l] = base
 	}
 	loc.hist = append(loc.hist, Message{T: t, Val: v, Clk: base, Writer: tv.ID, Step: m.step})
 	tv.Cur.V.Set(l, t)
@@ -396,16 +411,30 @@ func (m *Memory) Update(tv *ThreadView, l view.Loc, f UpdateFunc, readMode, writ
 		return old, false
 	}
 	t := loc.maxT() + 1
-	base := view.NewClock()
+	rl, hasRL := tv.RelLoc[l]
+	w := int(l) + 1
+	if msg.Clk.V.Width() > w {
+		w = msg.Clk.V.Width()
+	}
+	if hasRL && rl.V.Width() > w {
+		w = rl.V.Width()
+	}
+	if tv.FRel.V.Width() > w {
+		w = tv.FRel.V.Width()
+	}
+	if writeMode.releases() && tv.Cur.V.Width() > w {
+		w = tv.Cur.V.Width()
+	}
+	base := view.NewClockCap(w)
 	base.V.Set(l, t)
 	base.JoinInto(msg.Clk) // release sequence through RMW
-	if rl, ok := tv.RelLoc[l]; ok {
+	if hasRL {
 		base.JoinInto(rl)
 	}
 	base.JoinInto(tv.FRel)
 	if writeMode.releases() {
 		base.JoinInto(tv.Cur)
-		tv.RelLoc[l] = base.Clone()
+		tv.RelLoc[l] = base // shared with the message clock; see Write
 	}
 	loc.hist = append(loc.hist, Message{T: t, Val: nv, Clk: base, Writer: tv.ID, Step: m.step, IsRMW: true})
 	tv.Cur.V.Set(l, t)

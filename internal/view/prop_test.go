@@ -1,0 +1,211 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refView is the map-based reference model the slice-backed View is
+// checked against: the representation the package used before the dense
+// vector-clock encoding.
+type refView map[Loc]Time
+
+func (r refView) Get(l Loc) Time { return r[l] }
+
+func (r refView) Set(l Loc, t Time) {
+	if t > r[l] {
+		r[l] = t
+	}
+}
+
+func (r refView) Clone() refView {
+	c := make(refView, len(r))
+	for l, t := range r {
+		c[l] = t
+	}
+	return c
+}
+
+func (r refView) JoinInto(o refView) {
+	for l, t := range o {
+		if t > r[l] {
+			r[l] = t
+		}
+	}
+}
+
+func (r refView) Leq(o refView) bool {
+	for l, t := range r {
+		if t > o[l] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r refView) Len() int {
+	n := 0
+	for _, t := range r {
+		if t != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+const propLocs = 12 // dense location space exercised by the generators
+
+// agree asserts the View and its reference model record exactly the same
+// observations.
+func agree(t *testing.T, step string, v View, r refView) {
+	t.Helper()
+	for l := Loc(0); l < propLocs+2; l++ {
+		if v.Get(l) != r.Get(l) {
+			t.Fatalf("%s: location l%d: View has %d, reference has %d (view %v)",
+				step, l, v.Get(l), r.Get(l), v)
+		}
+	}
+	if v.Len() != r.Len() {
+		t.Fatalf("%s: Len: View %d, reference %d", step, v.Len(), r.Len())
+	}
+}
+
+// randPair generates a random (View, refView) pair recording the same
+// observations.
+func randPair(rng *rand.Rand) (View, refView) {
+	v, r := New(), refView{}
+	for n := rng.Intn(propLocs); n > 0; n-- {
+		l, t := Loc(rng.Intn(propLocs)), Time(rng.Intn(6))
+		v.Set(l, t)
+		r.Set(l, t)
+	}
+	return v, r
+}
+
+// TestViewMatchesReferenceModel drives random op sequences through the
+// slice-backed View and the map-based model in lockstep.
+func TestViewMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		v, r := New(), refView{}
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(4) {
+			case 0: // Set
+				l, tm := Loc(rng.Intn(propLocs)), Time(rng.Intn(6))
+				v.Set(l, tm)
+				r.Set(l, tm)
+			case 1: // JoinInto a random other view
+				o, or := randPair(rng)
+				v.JoinInto(o)
+				r.JoinInto(or)
+			case 2: // Clone both; mutate the clone; original must not move
+				c, cr := v.Clone(), r.Clone()
+				l, tm := Loc(rng.Intn(propLocs)), Time(1+rng.Intn(6))
+				c.Set(l, tm)
+				cr.Set(l, tm)
+				agree(t, "clone", c, cr)
+			case 3: // Join is fresh and leaves operands untouched
+				o, or := randPair(rng)
+				j := v.Join(o)
+				jr := r.Clone()
+				jr.JoinInto(or)
+				agree(t, "join", j, jr)
+				agree(t, "join operand", o, or)
+			}
+			agree(t, "step", v, r)
+		}
+	}
+}
+
+// TestViewLeqMatchesReference checks the partial order against the model
+// on random pairs, including pairs built to be comparable.
+func TestViewLeqMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 500; trial++ {
+		a, ar := randPair(rng)
+		b, br := randPair(rng)
+		if got, want := a.Leq(b), ar.Leq(br); got != want {
+			t.Fatalf("Leq(%v, %v) = %v, reference says %v", a, b, got, want)
+		}
+		// A view is always below its join with anything.
+		j := a.Join(b)
+		if !a.Leq(j) || !b.Leq(j) {
+			t.Fatalf("operand not below join: %v, %v vs %v", a, b, j)
+		}
+	}
+}
+
+// TestViewLatticeLaws checks the join-semilattice laws on random views:
+// idempotence, commutativity, associativity, identity, and the
+// characterization a ⊑ b ⇔ a ⊔ b = b.
+func TestViewLatticeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		a, _ := randPair(rng)
+		b, _ := randPair(rng)
+		c, _ := randPair(rng)
+		if !a.Join(a).Equal(a) {
+			t.Fatalf("idempotence: %v", a)
+		}
+		if !a.Join(b).Equal(b.Join(a)) {
+			t.Fatalf("commutativity: %v, %v", a, b)
+		}
+		if !a.Join(b).Join(c).Equal(a.Join(b.Join(c))) {
+			t.Fatalf("associativity: %v, %v, %v", a, b, c)
+		}
+		if !a.Join(New()).Equal(a) {
+			t.Fatalf("bottom identity: %v", a)
+		}
+		if a.Leq(b) != a.Join(b).Equal(b) {
+			t.Fatalf("order/join characterization: %v, %v", a, b)
+		}
+	}
+}
+
+// TestViewCloneIndependent pins the ownership contract: a clone never
+// shares storage with its origin, in either mutation direction.
+func TestViewCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		v, r := randPair(rng)
+		c := v.Clone()
+		v.Set(Loc(rng.Intn(propLocs)), Time(1+rng.Intn(9)))
+		agree(t, "clone after origin mutation", c, r)
+		v2, r2 := randPair(rng)
+		c2 := v2.Clone()
+		c2.Set(Loc(rng.Intn(propLocs)), Time(1+rng.Intn(9)))
+		agree(t, "origin after clone mutation", v2, r2)
+	}
+}
+
+// TestViewZeroTailSemantics pins the invariants of the dense encoding:
+// trailing zero storage is invisible to Get/Len/Leq/Equal/String.
+func TestViewZeroTailSemantics(t *testing.T) {
+	a := View{ts: []Time{0, 0, 5}}
+	bWide := View{ts: []Time{0, 0, 5, 0, 0, 0}} // same observations, wider storage
+	if !a.Equal(bWide) || !bWide.Equal(a) {
+		t.Fatalf("trailing zeros broke Equal: %v vs %v", a, bWide)
+	}
+	if got := bWide.String(); got != "{l2@5}" {
+		t.Fatalf("String leaked zero entries: %q", got)
+	}
+	if !a.Leq(bWide) || !bWide.Leq(a) {
+		t.Fatalf("trailing zeros broke Leq")
+	}
+	if a.Len() != 1 || bWide.Len() != 1 {
+		t.Fatalf("Len counted zero entries: %d, %d", a.Len(), bWide.Len())
+	}
+	var zero View
+	if zero.Get(3) != 0 || zero.Len() != 0 || !zero.Leq(a) {
+		t.Fatalf("zero view misbehaves")
+	}
+	if a.Get(100) != 0 {
+		t.Fatalf("out-of-span Get should be 0")
+	}
+	// Set of timestamp 0 beyond the span must not allocate a span.
+	var z View
+	z.Set(50, 0)
+	if z.Width() != 0 {
+		t.Fatalf("Set(l, 0) widened an empty view to %d", z.Width())
+	}
+}

@@ -48,66 +48,149 @@ func (e EventID) Object() int64 { return int64(e) >> eventIDLocalBits }
 
 // View is a physical view: a finite map from locations to timestamps,
 // recording, for each location, the latest write the owner has observed.
-// The zero value (nil map semantics are avoided; use New) is not ready for
-// use; views handed out by New, Clone and Join are independent.
+//
+// Because locations are allocated densely from 0, the map is represented
+// as a growable dense slice indexed by location (timestamp 0 = unobserved),
+// so Get/Set/JoinInto/Leq are index and loop operations and Clone is a
+// single allocation — the vector-clock representation model checkers rely
+// on for throughput. The zero value is the empty view (bottom) and is
+// ready for use; views handed out by Clone and Join are independent.
+//
+// Mutating methods (Set, JoinInto) use pointer receivers because growing
+// the slice reassigns it; call them on the canonical owner of a view, and
+// use Clone when an independent copy is needed (a plain struct copy shares
+// storage with the original until one of them grows).
 //
 // Views form a join-semilattice under pointwise maximum, with pointwise ≤
 // as the partial order (the paper's ⊑).
 type View struct {
-	m map[Loc]Time
+	ts []Time // ts[l] is the timestamp for location l; trailing zeros allowed
 }
 
 // New returns an empty view (bottom of the lattice).
-func New() View { return View{m: map[Loc]Time{}} }
+func New() View { return View{} }
+
+// NewCap returns an empty view with room for locs locations pre-allocated,
+// so hot paths that immediately Set/JoinInto within that span do not
+// reallocate.
+func NewCap(locs int) View {
+	if locs <= 0 {
+		return View{}
+	}
+	return View{ts: make([]Time, 0, locs)}
+}
 
 // Get returns the timestamp recorded for l, or 0 if l is unobserved.
 func (v View) Get(l Loc) Time {
-	if v.m == nil {
+	if int(l) >= len(v.ts) {
 		return 0
 	}
-	return v.m[l]
+	return v.ts[l]
+}
+
+// grow extends the dense span of v to at least n locations.
+func (v *View) grow(n int) {
+	if n <= len(v.ts) {
+		return
+	}
+	if n <= cap(v.ts) {
+		v.ts = v.ts[:n]
+		return
+	}
+	c := 2 * cap(v.ts)
+	if c < n {
+		c = n
+	}
+	if c < 8 {
+		c = 8
+	}
+	ns := make([]Time, n, c)
+	copy(ns, v.ts)
+	v.ts = ns
 }
 
 // Set records timestamp t for location l, keeping the maximum of the
 // existing entry and t (views only grow).
-func (v View) Set(l Loc, t Time) {
-	if cur, ok := v.m[l]; !ok || t > cur {
-		v.m[l] = t
+func (v *View) Set(l Loc, t Time) {
+	if int(l) < len(v.ts) {
+		if t > v.ts[l] {
+			v.ts[l] = t
+		}
+		return
 	}
+	if t == 0 {
+		return
+	}
+	v.grow(int(l) + 1)
+	v.ts[l] = t
 }
 
 // Len reports the number of locations with a nonzero entry.
-func (v View) Len() int { return len(v.m) }
+func (v View) Len() int {
+	n := 0
+	for _, t := range v.ts {
+		if t != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Width reports the dense span of the view: one past the largest location
+// it has storage for (zero entries included). Used to pre-size joins.
+func (v View) Width() int { return len(v.ts) }
 
 // Clone returns an independent copy of v.
 func (v View) Clone() View {
-	c := View{m: make(map[Loc]Time, len(v.m))}
-	for l, t := range v.m {
-		c.m[l] = t
+	if len(v.ts) == 0 {
+		return View{}
 	}
-	return c
+	ts := make([]Time, len(v.ts))
+	copy(ts, v.ts)
+	return View{ts: ts}
 }
 
 // JoinInto joins o into v in place: v := v ⊔ o.
-func (v View) JoinInto(o View) {
-	for l, t := range o.m {
-		if cur, ok := v.m[l]; !ok || t > cur {
-			v.m[l] = t
+func (v *View) JoinInto(o View) {
+	v.grow(len(o.ts))
+	ts := v.ts
+	for l, t := range o.ts {
+		if t > ts[l] {
+			ts[l] = t
 		}
 	}
 }
 
 // Join returns a fresh view v ⊔ o, leaving both operands untouched.
 func (v View) Join(o View) View {
-	c := v.Clone()
+	n := len(v.ts)
+	if len(o.ts) > n {
+		n = len(o.ts)
+	}
+	if n == 0 {
+		return View{}
+	}
+	ts := make([]Time, n)
+	copy(ts, v.ts)
+	c := View{ts: ts}
 	c.JoinInto(o)
 	return c
 }
 
 // Leq reports whether v ⊑ o, i.e. pointwise v(l) ≤ o(l).
 func (v View) Leq(o View) bool {
-	for l, t := range v.m {
-		if t > o.Get(l) {
+	ts, ots := v.ts, o.ts
+	n := len(ts)
+	if len(ots) < n {
+		n = len(ots)
+	}
+	for l := 0; l < n; l++ {
+		if ts[l] > ots[l] {
+			return false
+		}
+	}
+	for l := n; l < len(ts); l++ {
+		if ts[l] != 0 {
 			return false
 		}
 	}
@@ -119,18 +202,18 @@ func (v View) Equal(o View) bool { return v.Leq(o) && o.Leq(v) }
 
 // String renders the view as {l0@t0, l1@t1, ...} in location order.
 func (v View) String() string {
-	locs := make([]Loc, 0, len(v.m))
-	for l := range v.m {
-		locs = append(locs, l)
-	}
-	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, l := range locs {
-		if i > 0 {
+	first := true
+	for l, t := range v.ts {
+		if t == 0 {
+			continue
+		}
+		if !first {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "l%d@%d", l, v.m[l])
+		first = false
+		fmt.Fprintf(&b, "l%d@%d", l, t)
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -142,25 +225,33 @@ func (v View) String() string {
 // views ride on physical views: they are attached to memory messages and
 // joined on acquire reads exactly like physical views.
 //
+// The zero value is the empty logical view, ready for use; the backing set
+// is allocated lazily on the first Add/JoinInto, so the (very common)
+// empty logical views carried by memory messages cost nothing. As with
+// View, mutating methods use pointer receivers; use Clone for independent
+// copies.
+//
 // LogViews form a join-semilattice under set union, ordered by inclusion.
 type LogView struct {
 	m map[EventID]struct{}
 }
 
 // NewLog returns an empty logical view.
-func NewLog() LogView { return LogView{m: map[EventID]struct{}{}} }
+func NewLog() LogView { return LogView{} }
 
 // Has reports whether event e is in the logical view.
 func (lv LogView) Has(e EventID) bool {
-	if lv.m == nil {
-		return false
-	}
 	_, ok := lv.m[e]
 	return ok
 }
 
 // Add inserts event e into the logical view.
-func (lv LogView) Add(e EventID) { lv.m[e] = struct{}{} }
+func (lv *LogView) Add(e EventID) {
+	if lv.m == nil {
+		lv.m = make(map[EventID]struct{}, 4)
+	}
+	lv.m[e] = struct{}{}
+}
 
 // Remove deletes event e from the logical view (used to disarm an event
 // whose publishing instruction failed and has therefore leaked nowhere).
@@ -171,6 +262,9 @@ func (lv LogView) Len() int { return len(lv.m) }
 
 // Clone returns an independent copy of lv.
 func (lv LogView) Clone() LogView {
+	if len(lv.m) == 0 {
+		return LogView{}
+	}
 	c := LogView{m: make(map[EventID]struct{}, len(lv.m))}
 	for e := range lv.m {
 		c.m[e] = struct{}{}
@@ -179,7 +273,13 @@ func (lv LogView) Clone() LogView {
 }
 
 // JoinInto unions o into lv in place.
-func (lv LogView) JoinInto(o LogView) {
+func (lv *LogView) JoinInto(o LogView) {
+	if len(o.m) == 0 {
+		return
+	}
+	if lv.m == nil {
+		lv.m = make(map[EventID]struct{}, len(o.m))
+	}
 	for e := range o.m {
 		lv.m[e] = struct{}{}
 	}
@@ -194,6 +294,9 @@ func (lv LogView) Join(o LogView) LogView {
 
 // Subset reports whether lv ⊆ o.
 func (lv LogView) Subset(o LogView) bool {
+	if len(lv.m) > len(o.m) {
+		return false
+	}
 	for e := range lv.m {
 		if !o.Has(e) {
 			return false
@@ -241,19 +344,25 @@ func (lv LogView) String() string {
 // views ride on physical views": the logical view of a library operation is
 // propagated through exactly the same release/acquire channels as the
 // physical view.
+//
+// The zero value is the bottom clock, ready for use.
 type Clock struct {
 	V View
 	L LogView
 }
 
 // NewClock returns an empty clock (bottom of the product lattice).
-func NewClock() Clock { return Clock{V: New(), L: NewLog()} }
+func NewClock() Clock { return Clock{} }
+
+// NewClockCap returns an empty clock whose physical view has room for locs
+// locations pre-allocated (see NewCap).
+func NewClockCap(locs int) Clock { return Clock{V: NewCap(locs)} }
 
 // Clone returns an independent copy of c.
 func (c Clock) Clone() Clock { return Clock{V: c.V.Clone(), L: c.L.Clone()} }
 
 // JoinInto joins o into c in place.
-func (c Clock) JoinInto(o Clock) {
+func (c *Clock) JoinInto(o Clock) {
 	c.V.JoinInto(o.V)
 	c.L.JoinInto(o.L)
 }
