@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench benchreport
+.PHONY: check build vet test race bench benchreport fuzz fuzznative golden
 
 check: vet build race
 
@@ -18,6 +18,26 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Differential fuzzing smoke: a clean sweep over all libraries must stay
+# silent, and a seeded mutant must be caught and shrunk. Longer campaigns:
+# `go run ./cmd/fuzz -duration 5m` (see README and DESIGN.md §7).
+fuzz:
+	$(GO) run ./cmd/fuzz -duration 10s -q
+	$(GO) run ./cmd/fuzz -lib treiber -mutate relaxed-push -expect-failure -q
+
+# Native Go fuzz targets, short deterministic pass over the seed corpus
+# plus a bounded fuzzing run each.
+FUZZTIME ?= 30s
+fuzznative:
+	$(GO) test -fuzz FuzzViewOps -fuzztime $(FUZZTIME) ./internal/view
+	$(GO) test -fuzz FuzzMemorySteps -fuzztime $(FUZZTIME) ./internal/memory
+
+# Golden litmus corpus: verify the reachable-outcome sets; regenerate
+# deliberately with `make golden UPDATE=-update` after an intentional
+# memory-model change.
+golden:
+	$(GO) test ./internal/litmus -run TestGoldenLitmusCorpus $(UPDATE)
 
 # Quick benchmark pass over the tier-1 set (see cmd/benchreport).
 bench:

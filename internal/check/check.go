@@ -27,6 +27,28 @@ type Checked struct {
 	// returns the spec violations found in the execution's event graphs,
 	// plus the number of checks that could not be decided.
 	Check func() (violations []spec.Violation, unknown int)
+	// Oracle optionally cross-checks the same execution against an
+	// independent reference model (e.g. SCOracle refinement of the observed
+	// history); its violations and unknowns are merged with Check's. The
+	// differential-fuzzing harness sets it so every execution is judged by
+	// both the per-library spec and the sequential oracle.
+	Oracle func() (violations []spec.Violation, unknown int)
+}
+
+// Evaluate runs the spec check and the oracle (when present) on the
+// completed execution and merges their verdicts.
+func (c *Checked) Evaluate() ([]spec.Violation, int) {
+	var viols []spec.Violation
+	unknown := 0
+	if c.Check != nil {
+		viols, unknown = c.Check()
+	}
+	if c.Oracle != nil {
+		ov, ou := c.Oracle()
+		viols = append(viols, ov...)
+		unknown += ou
+	}
+	return viols, unknown
 }
 
 // Sentinels for option values whose natural encoding collides with the
@@ -200,7 +222,7 @@ func runSequential(name string, build func() Checked, opt Options) *Report {
 		case machine.Racy, machine.Failed:
 			rep.Failures = append(rep.Failures, Failure{Seed: seed, Status: res.Status, Err: res.Err})
 		case machine.OK:
-			viols, unknown := c.Check()
+			viols, unknown := c.Evaluate()
 			rep.Unknown += unknown
 			if len(viols) == 0 {
 				rep.OK++
@@ -248,7 +270,7 @@ func runParallel(name string, build func() Checked, opt Options) *Report {
 				res := runner.Run(c.Prog, machine.NewRandomBiased(seed, opt.StaleBias))
 				out := execOutcome{status: res.Status, err: res.Err, steps: res.Steps, done: true}
 				if res.Status == machine.OK {
-					out.violations, out.unknown = c.Check()
+					out.violations, out.unknown = c.Evaluate()
 				}
 				outcomes[i] = out
 				failed := res.Status == machine.Racy || res.Status == machine.Failed ||
@@ -329,7 +351,7 @@ func ExhaustiveOpt(name string, build func() Checked, opt Options) *Report {
 				if r.Status == machine.OK {
 					// Run the spec checkers outside the merge lock; they
 					// only touch this worker's recorders.
-					viols, unknown = cur.Check()
+					viols, unknown = cur.Evaluate()
 				}
 				switch r.Status {
 				case machine.Racy, machine.Failed:
@@ -381,7 +403,7 @@ func Explain(build func() Checked, seed int64, staleBias float64, budget int) (m
 	res := (&machine.Runner{Budget: budget, Trace: true}).Run(c.Prog, machine.NewRandomBiased(seed, staleBias))
 	var viols []spec.Violation
 	if res.Status == machine.OK {
-		viols, _ = c.Check()
+		viols, _ = c.Evaluate()
 	}
 	return res.Status, res.Trace, viols
 }

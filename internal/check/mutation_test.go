@@ -1,0 +1,76 @@
+package check_test
+
+import (
+	"testing"
+
+	"compass/internal/check"
+	"compass/internal/deque"
+	"compass/internal/exchanger"
+	"compass/internal/machine"
+	"compass/internal/queue"
+	"compass/internal/spec"
+	"compass/internal/stack"
+)
+
+// Mutation smoke tests: each library ships a deliberately weakened variant
+// (one release/acquire dropped to relaxed, or the Chase-Lev SC fence
+// removed), and the harness must flag every one of them. These are the
+// soundness counterpart to the clean-library tests — a checker that passes
+// the buggy variants is vacuous. Skipped in -short mode; the fuzz CI stage
+// covers the same mutants through cmd/fuzz.
+
+// mutationOpts is the shared detection envelope: enough seeded executions
+// with an aggressive stale-read bias that every known mutant is reliably
+// observed, stopping at the first failing execution.
+var mutationOpts = check.Options{Executions: 2000, StaleBias: 0.6, MaxFailures: 1}
+
+func runMutant(t *testing.T, name string, build func() check.Checked, opt check.Options) {
+	t.Helper()
+	rep := check.Run(name, build, opt)
+	if rep.Passed() {
+		t.Fatalf("weakened %s not detected: %s", name, rep)
+	}
+	t.Logf("detected after %d executions: %s", rep.Executions, rep.Failures[0])
+}
+
+func TestMutationMSQueueRelaxedLink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation campaign")
+	}
+	f := func(th *machine.Thread) queue.Queue { return queue.NewMSBuggyRelaxedLink(th, "q") }
+	runMutant(t, "mutant/ms-relaxed-link",
+		check.QueueMixed(f, spec.LevelHB, 2, 3, 2, 4), mutationOpts)
+}
+
+func TestMutationTreiberRelaxedPush(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation campaign")
+	}
+	f := func(th *machine.Thread) stack.Stack { return stack.NewTreiberBuggyRelaxedPush(th, "s") }
+	runMutant(t, "mutant/treiber-relaxed-push",
+		check.StackMixed(f, spec.LevelHB, 2, 3, 2, 4), mutationOpts)
+}
+
+func TestMutationExchangerRelaxedOffer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation campaign")
+	}
+	f := func(th *machine.Thread) *exchanger.Exchanger { return exchanger.NewBuggyRelaxedOffer(th, "x") }
+	runMutant(t, "mutant/exchanger-relaxed-offer",
+		check.ExchangerPairs(f, 2, 8), mutationOpts)
+}
+
+func TestMutationDequeNoSCFence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation campaign")
+	}
+	// The missing SC fence needs a steal/take race on the same element, which
+	// only a small fraction of schedules set up; give this one a deeper
+	// envelope and the stronger stale bias it was calibrated with.
+	f := func(th *machine.Thread) *deque.Deque { return deque.NewBuggyNoSCFence(th, "d", 16) }
+	opt := mutationOpts
+	opt.Executions = 4000
+	opt.StaleBias = 0.7
+	runMutant(t, "mutant/deque-no-sc-fence",
+		check.DequeWorkStealing(f, spec.LevelHB, 4, 2, 3), opt)
+}

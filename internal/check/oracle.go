@@ -1,0 +1,78 @@
+package check
+
+import (
+	"compass/internal/core"
+	"compass/internal/spec"
+	"compass/internal/view"
+)
+
+// readOnly reports whether the event is a read-only (failing) operation:
+// an empty dequeue/pop/steal or a failed exchange. These are exactly the
+// operations the weaker spec levels leave unconstrained, so the SC oracle
+// can be asked to ignore them.
+func readOnly(e *core.Event) bool {
+	switch e.Kind {
+	case core.EmpDeq, core.EmpPop, core.EmpSteal:
+		return true
+	case core.Exchange:
+		return e.Val2 == core.ExFail
+	}
+	return false
+}
+
+// restrictGraph returns a copy of g containing only the events for which
+// keep returns true, in commit order, with lhb restricted to the kept
+// events (transitively closed through GraphBuilder). so edges are not
+// copied: the oracle consumes only events and lhb.
+func restrictGraph(g *core.Graph, keep func(*core.Event) bool) *core.Graph {
+	b := core.NewGraphBuilder(g.Name)
+	old2new := map[view.EventID]view.EventID{}
+	for _, e := range g.Events() {
+		if !keep(e) {
+			continue
+		}
+		var lhb []view.EventID
+		for _, p := range e.LogView.Events() {
+			if n, ok := old2new[p]; ok {
+				lhb = append(lhb, n)
+			}
+		}
+		old2new[e.ID] = b.Add(e.Kind, e.Val, e.Val2, lhb...)
+	}
+	return b.Graph()
+}
+
+// SCOracle is the sequentially-consistent reference oracle: it checks that
+// the observed history of g refines the sequential object obj, i.e. that
+// some total order extending lhb interprets as a valid sequential history
+// (linearizability of the observed history). This is a library-agnostic
+// cross-check, independent of the per-library consistency conditions: a
+// lost element, a duplicated element, or a value conjured from nowhere
+// fails the oracle even if a structural checker would have missed it.
+//
+// With includeReadOnly=false the failing (read-only) operations — empty
+// dequeues/pops/steals, failed exchanges — are dropped before the search,
+// matching the weaker spec levels under which stale emptiness is legal
+// (e.g. the Herlihy-Wing queue at LAT_hb). With includeReadOnly=true the
+// oracle is the full LAT_hb^hist-strength obligation.
+//
+// Returns the violations found and the number of undecided checks (the
+// linearizability search exceeding maxEvents reports unknown, not failure).
+func SCOracle(g *core.Graph, obj spec.SeqObject, maxEvents int, includeReadOnly bool) ([]spec.Violation, int) {
+	h := g
+	if !includeReadOnly {
+		h = restrictGraph(g, func(e *core.Event) bool { return !readOnly(e) })
+	}
+	ok, unknown := spec.Linearizable(h, obj, maxEvents)
+	if unknown {
+		return nil, 1
+	}
+	if !ok {
+		return []spec.Violation{{
+			Rule: "SC-ORACLE",
+			Detail: "observed history does not refine the sequential " + obj.Name() +
+				" oracle: no total order ⊇ lhb is a valid sequential history",
+		}}, 0
+	}
+	return nil, 0
+}

@@ -1,0 +1,60 @@
+package check
+
+import (
+	"testing"
+
+	"compass/internal/core"
+	"compass/internal/spec"
+)
+
+func TestSCOraclePassesValidHistory(t *testing.T) {
+	b := core.NewGraphBuilder("q")
+	e1 := b.Add(core.Enq, 1, 0)
+	e2 := b.Add(core.Enq, 2, 0, e1)
+	b.Add(core.Deq, 1, 0, e1)
+	b.Add(core.Deq, 2, 0, e2)
+	viols, unknown := SCOracle(b.Graph(), spec.SeqQueue{}, 0, true)
+	if len(viols) != 0 || unknown != 0 {
+		t.Fatalf("valid history rejected: %v (unknown %d)", viols, unknown)
+	}
+}
+
+func TestSCOracleCatchesDuplicatedElement(t *testing.T) {
+	// The take/steal-race shape: one push consumed twice. No linearization
+	// of {Enq(1), Deq(1), Deq(1)} exists.
+	b := core.NewGraphBuilder("q")
+	e1 := b.Add(core.Enq, 1, 0)
+	b.Add(core.Deq, 1, 0, e1)
+	b.Add(core.Deq, 1, 0, e1)
+	viols, _ := SCOracle(b.Graph(), spec.SeqQueue{}, 0, true)
+	if len(viols) == 0 {
+		t.Fatal("duplicated consumption not caught by the oracle")
+	}
+}
+
+func TestSCOracleReadOnlyFiltering(t *testing.T) {
+	// Enq(1) ⊏ Deq(ε) ⊏ Deq(1) in lhb: every linearization runs the empty
+	// dequeue on a nonempty queue — inconsistent under the strict oracle,
+	// but legal once read-only events are dropped (weak-emptiness levels).
+	b := core.NewGraphBuilder("q")
+	e1 := b.Add(core.Enq, 1, 0)
+	emp := b.Add(core.EmpDeq, 0, 0, e1)
+	b.Add(core.Deq, 1, 0, e1, emp)
+	if viols, _ := SCOracle(b.Graph(), spec.SeqQueue{}, 0, true); len(viols) == 0 {
+		t.Fatal("strict oracle must reject a stale empty dequeue after its enqueue (in lhb)")
+	}
+	if viols, _ := SCOracle(b.Graph(), spec.SeqQueue{}, 0, false); len(viols) != 0 {
+		t.Fatalf("read-only-filtered oracle must accept: %v", viols)
+	}
+}
+
+func TestSCOracleUnknownOnOversizedInstance(t *testing.T) {
+	b := core.NewGraphBuilder("q")
+	for i := 0; i < 8; i++ {
+		b.Add(core.Enq, int64(i+1), 0)
+	}
+	viols, unknown := SCOracle(b.Graph(), spec.SeqQueue{}, 4, true)
+	if len(viols) != 0 || unknown != 1 {
+		t.Fatalf("oversized instance: viols=%v unknown=%d, want none/1", viols, unknown)
+	}
+}

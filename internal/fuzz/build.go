@@ -1,0 +1,276 @@
+package fuzz
+
+import (
+	"compass/internal/check"
+	"compass/internal/core"
+	"compass/internal/deque"
+	"compass/internal/exchanger"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/queue"
+	"compass/internal/spec"
+	"compass/internal/stack"
+	"compass/internal/view"
+)
+
+// oracleMaxEvents bounds the SC-oracle linearizability search; bigger
+// histories report unknown instead of burning exponential time. Generated
+// programs stay well under this.
+const oracleMaxEvents = 20
+
+// ringCap sizes the bounded structures (HW queue, Chase-Lev deque) — far
+// above any generated program's op count, so capacity never interferes.
+const ringCap = 64
+
+// Instance is a runnable, checkable instantiation of a Program: a fresh
+// machine.Program (fresh library object, locations, recorders) plus the
+// spec and SC-oracle evaluation over the graphs it commits. Instances are
+// single-use — build a new one for every execution.
+type Instance struct {
+	Checked check.Checked
+	// Graphs returns the library event graph(s) committed by the run (the
+	// elimination stack contributes three); nil for lib "none".
+	Graphs func() []*core.Graph
+}
+
+// libOps are the per-library interpretations of the four library op kinds.
+// Build fills them so the worker interpreter is library-agnostic; the
+// normalization documented on the Op kinds lives here.
+type libOps struct {
+	produce  func(th *machine.Thread, t int, op Op)
+	consume  func(th *machine.Thread, t int, op Op)
+	steal    func(th *machine.Thread, t int, op Op)
+	exchange func(th *machine.Thread, t int, op Op)
+}
+
+func patience(op Op) int {
+	p := int(op.Arg)
+	if p < 0 {
+		p = 0
+	}
+	if p > 4 {
+		p = 4
+	}
+	return p
+}
+
+// Build instantiates the program. The returned instance's Checked carries
+// all three cross-checks: the library's structural spec at a level its
+// correct implementation provably satisfies, the SC refinement oracle over
+// the observed history, and — via the machine itself plus the inline
+// coherence assertions in the raw-op interpreter — race/UB-freedom and
+// per-location monotonicity. Any violation on an unmutated program is a
+// bug in the machine or a library; on a mutated program it is the injected
+// bug resurfacing.
+func Build(p Program) (*Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	inst := &Instance{}
+	var (
+		locs []view.Loc // shared raw atomic locations
+		priv []view.Loc // one private non-atomic cell per thread
+		ops  libOps
+	)
+
+	// Per-library state, populated by setup; the checks read the recorders
+	// after the run through these same pointers.
+	var (
+		ms *queue.MSQueue
+		hw *queue.HWQueue
+		tr *stack.Treiber
+		es *stack.ElimStack
+		ex *exchanger.Exchanger
+		dq *deque.Deque
+	)
+
+	noop := func(th *machine.Thread, t int, op Op) { th.Yield() }
+
+	var setupLib func(th *machine.Thread)
+	switch p.Lib {
+	case "none":
+		ops = libOps{produce: noop, consume: noop, steal: noop, exchange: noop}
+		setupLib = func(th *machine.Thread) {}
+	case "msqueue":
+		setupLib = func(th *machine.Thread) { ms = newMSQueue(th, p.Mutant) }
+		enq := func(th *machine.Thread, t int, op Op) { ms.Enqueue(th, op.Val) }
+		deq := func(th *machine.Thread, t int, op Op) { ms.TryDequeue(th) }
+		ops = libOps{produce: enq, consume: deq, steal: deq, exchange: deq}
+		inst.Graphs = func() []*core.Graph { return []*core.Graph{ms.Recorder().Graph()} }
+		inst.Checked.Check = func() ([]spec.Violation, int) {
+			return check.Collect(spec.CheckQueue(ms.Recorder().Graph(), spec.LevelAbsHB))
+		}
+		inst.Checked.Oracle = func() ([]spec.Violation, int) {
+			return check.SCOracle(ms.Recorder().Graph(), spec.SeqQueue{}, oracleMaxEvents, false)
+		}
+	case "hwqueue":
+		setupLib = func(th *machine.Thread) { hw = newHWQueue(th, p.Mutant, ringCap) }
+		enq := func(th *machine.Thread, t int, op Op) { hw.Enqueue(th, op.Val) }
+		deq := func(th *machine.Thread, t int, op Op) { hw.TryDequeue(th) }
+		ops = libOps{produce: enq, consume: deq, steal: deq, exchange: deq}
+		inst.Graphs = func() []*core.Graph { return []*core.Graph{hw.Recorder().Graph()} }
+		inst.Checked.Check = func() ([]spec.Violation, int) {
+			return check.Collect(spec.CheckQueue(hw.Recorder().Graph(), spec.LevelHB))
+		}
+		inst.Checked.Oracle = func() ([]spec.Violation, int) {
+			return check.SCOracle(hw.Recorder().Graph(), spec.SeqQueue{}, oracleMaxEvents, false)
+		}
+	case "treiber":
+		setupLib = func(th *machine.Thread) { tr = newTreiber(th, p.Mutant) }
+		push := func(th *machine.Thread, t int, op Op) { tr.Push(th, op.Val) }
+		pop := func(th *machine.Thread, t int, op Op) { tr.Pop(th) }
+		ops = libOps{produce: push, consume: pop, steal: pop, exchange: pop}
+		inst.Graphs = func() []*core.Graph { return []*core.Graph{tr.Recorder().Graph()} }
+		inst.Checked.Check = func() ([]spec.Violation, int) {
+			return check.Collect(spec.CheckStack(tr.Recorder().Graph(), spec.LevelHB))
+		}
+		inst.Checked.Oracle = func() ([]spec.Violation, int) {
+			return check.SCOracle(tr.Recorder().Graph(), spec.SeqStack{}, oracleMaxEvents, true)
+		}
+	case "elimstack":
+		setupLib = func(th *machine.Thread) { es = stack.NewElim(th, "es") }
+		push := func(th *machine.Thread, t int, op Op) { es.Push(th, op.Val) }
+		pop := func(th *machine.Thread, t int, op Op) { es.Pop(th) }
+		ops = libOps{produce: push, consume: pop, steal: pop, exchange: pop}
+		inst.Graphs = func() []*core.Graph {
+			return []*core.Graph{
+				es.Recorder().Graph(),
+				es.Base().Recorder().Graph(),
+				es.Exchanger().Recorder().Graph(),
+			}
+		}
+		inst.Checked.Check = func() ([]spec.Violation, int) {
+			// The compositional obligation of §4.1: the ES graph at the
+			// stack spec, plus the component specs it relies on.
+			return check.Collect(
+				spec.CheckStack(es.Recorder().Graph(), spec.LevelHB),
+				spec.CheckStack(es.Base().Recorder().Graph(), spec.LevelHB),
+				spec.CheckExchanger(es.Exchanger().Recorder().Graph()),
+			)
+		}
+		inst.Checked.Oracle = func() ([]spec.Violation, int) {
+			return check.SCOracle(es.Recorder().Graph(), spec.SeqStack{}, oracleMaxEvents, true)
+		}
+	case "exchanger":
+		setupLib = func(th *machine.Thread) { ex = newExchanger(th, p.Mutant) }
+		xch := func(th *machine.Thread, t int, op Op) { ex.Exchange(th, op.Val, patience(op)) }
+		// Consumes have no value to offer; give them a scheduling point.
+		ops = libOps{produce: xch, consume: noop, steal: noop, exchange: xch}
+		inst.Graphs = func() []*core.Graph { return []*core.Graph{ex.Recorder().Graph()} }
+		inst.Checked.Check = func() ([]spec.Violation, int) {
+			return check.Collect(spec.CheckExchanger(ex.Recorder().Graph()))
+		}
+	case "deque":
+		setupLib = func(th *machine.Thread) { dq = newDeque(th, p.Mutant, ringCap) }
+		// Worker 0 owns the deque; its steals degrade to takes, and every
+		// other thread's owner ops degrade to steals.
+		ops = libOps{
+			produce: func(th *machine.Thread, t int, op Op) {
+				if t == 0 {
+					dq.PushBottom(th, op.Val)
+				} else {
+					dq.Steal(th)
+				}
+			},
+			consume: func(th *machine.Thread, t int, op Op) {
+				if t == 0 {
+					dq.TakeBottom(th)
+				} else {
+					dq.Steal(th)
+				}
+			},
+		}
+		ops.steal = ops.consume
+		ops.exchange = ops.consume
+		inst.Graphs = func() []*core.Graph { return []*core.Graph{dq.Recorder().Graph()} }
+		inst.Checked.Check = func() ([]spec.Violation, int) {
+			return check.Collect(spec.CheckDeque(dq.Recorder().Graph(), spec.LevelHB))
+		}
+		inst.Checked.Oracle = func() ([]spec.Violation, int) {
+			return check.SCOracle(dq.Recorder().Graph(), spec.SeqDeque{}, oracleMaxEvents, false)
+		}
+	}
+
+	workers := make([]func(*machine.Thread), len(p.Threads))
+	for t := range p.Threads {
+		t := t
+		thOps := p.Threads[t]
+		workers[t] = func(th *machine.Thread) {
+			// lastTS[l] is the coherence frontier: the thread's view of raw
+			// location l after its latest access. The machine maintains Cur
+			// monotonically, so a backwards step here is a machine bug.
+			lastTS := make([]view.Time, len(locs))
+			coherent := func(l int) {
+				ts := th.TV().Cur.V.Get(locs[l])
+				if ts < lastTS[l] {
+					th.Failf("coherence violated: T%d view of raw loc %d went backwards (%d < %d)",
+						t, l, ts, lastTS[l])
+				}
+				lastTS[l] = ts
+			}
+			for _, op := range thOps {
+				switch op.Kind {
+				case OpProduce:
+					ops.produce(th, t, op)
+				case OpConsume:
+					ops.consume(th, t, op)
+				case OpSteal:
+					ops.steal(th, t, op)
+				case OpExchange:
+					ops.exchange(th, t, op)
+				case OpRead:
+					m, _ := readMode(op.RMode)
+					th.Read(locs[op.Loc], m)
+					coherent(op.Loc)
+				case OpWrite:
+					m, _ := writeMode(op.WMode)
+					th.Write(locs[op.Loc], op.Val, m)
+					coherent(op.Loc)
+				case OpCAS:
+					rm, _ := readMode(op.RMode)
+					wm, _ := writeMode(op.WMode)
+					th.CAS(locs[op.Loc], op.Arg, op.Val, rm, wm)
+					coherent(op.Loc)
+				case OpFAA:
+					rm, _ := readMode(op.RMode)
+					wm, _ := writeMode(op.WMode)
+					th.FetchAdd(locs[op.Loc], op.Val, rm, wm)
+					coherent(op.Loc)
+				case OpFenceAcq:
+					th.Fence(true, false)
+				case OpFenceRel:
+					th.Fence(false, true)
+				case OpFenceSC:
+					th.FenceSC()
+				case OpNA:
+					// The private cell is only ever touched by this thread,
+					// so non-atomic accesses are race-free by construction
+					// and the read-back must see the write.
+					th.Write(priv[t], op.Val, memory.NA)
+					if got := th.Read(priv[t], memory.NA); got != op.Val {
+						th.Failf("non-atomic read-back: wrote %d, read %d", op.Val, got)
+					}
+				case OpYield:
+					th.Yield()
+				}
+			}
+		}
+	}
+
+	inst.Checked.Prog = machine.Program{
+		Name: "fuzz-" + p.Lib,
+		Setup: func(th *machine.Thread) {
+			setupLib(th)
+			locs = make([]view.Loc, p.Locs)
+			for i := range locs {
+				locs[i] = th.Alloc("raw", 0)
+			}
+			priv = make([]view.Loc, len(p.Threads))
+			for i := range priv {
+				priv[i] = th.Alloc("priv", 0)
+			}
+		},
+		Workers: workers,
+	}
+	return inst, nil
+}

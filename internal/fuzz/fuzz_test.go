@@ -1,0 +1,185 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"compass/internal/machine"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := Generate(rand.New(rand.NewSource(seed)), GenConfig{})
+		b := Generate(rand.New(rand.NewSource(seed)), GenConfig{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid program: %v", seed, err)
+		}
+	}
+}
+
+func TestProgramJSONRoundTrip(t *testing.T) {
+	p := Generate(rand.New(rand.NewSource(7)), GenConfig{})
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("round trip changed program:\n%v\n%v", p, q)
+	}
+}
+
+// TestCleanOnCorrectLibraries is the no-false-positives guarantee: a
+// campaign over the unmutated libraries must find nothing.
+func TestCleanOnCorrectLibraries(t *testing.T) {
+	rep, err := Fuzz(Config{
+		Seed:           1,
+		Programs:       12,
+		Execs:          60,
+		ExhaustiveRuns: 150,
+		MaxFailures:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("false positive on %s (mutant %q): %s err=%s viols=%v",
+			f.Program.Lib, f.Program.Mutant, f.Key, f.Err, f.Violations)
+	}
+	t.Logf("programs=%d execs=%d unknown=%d", rep.Programs, rep.Execs, rep.Unknown)
+}
+
+// TestArtifactBundle runs a short mutated campaign with an artifact dir
+// and validates the bundle: the JSON schedule replays to the same failure
+// class, and the reproducer + DOT renderings exist.
+func TestArtifactBundle(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := Fuzz(Config{
+		Seed:        42,
+		Programs:    20,
+		Execs:       150,
+		ArtifactDir: dir,
+		Gen:         GenConfig{Libs: []string{"treiber"}, Mutant: "relaxed-push", LibBias: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Artifacts) == 0 {
+		t.Fatal("campaign wrote no artifacts")
+	}
+	bundle := rep.Artifacts[0]
+	data, err := os.ReadFile(filepath.Join(bundle, "failure.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Failure
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("failure.json does not parse: %v", err)
+	}
+	g, err := Replay(f.Program, f.Decisions, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == nil || g.Key != f.Key {
+		t.Fatalf("saved schedule replays to %+v, want failure class %s", g, f.Key)
+	}
+	repro, err := os.ReadFile(filepath.Join(bundle, "repro_test.go.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fuzz.ParseProgram", "machine.UnmarshalDecisions", "fuzz.Replay", f.Key} {
+		if !strings.Contains(string(repro), want) {
+			t.Errorf("reproducer missing %q", want)
+		}
+	}
+	dot, err := os.ReadFile(filepath.Join(bundle, "graph-0.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dot), "digraph") {
+		t.Error("graph-0.dot is not a DOT rendering")
+	}
+}
+
+// TestDecisionJSONStability pins the artifact schedule encoding.
+func TestDecisionJSONStability(t *testing.T) {
+	data, err := machine.MarshalDecisions([]machine.Decision{{N: 3, Pick: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(data), `[{"n":3,"pick":1}]`; got != want {
+		t.Fatalf("decision encoding drifted: %s, want %s", got, want)
+	}
+}
+
+// mutantCampaigns pins generation per mutant; tuned against the known
+// detection envelopes from the check package's ablation tests.
+var mutantCampaigns = []struct {
+	lib, mutant string
+	cfg         Config
+}{
+	{"msqueue", "relaxed-link", Config{Programs: 40, Execs: 250, ExhaustiveRuns: 200}},
+	{"treiber", "relaxed-push", Config{Programs: 40, Execs: 250, ExhaustiveRuns: 200}},
+	{"exchanger", "relaxed-offer", Config{Programs: 40, Execs: 300, ExhaustiveRuns: 200}},
+	{"deque", "no-sc-fence", Config{Programs: 60, Execs: 500, ExhaustiveRuns: 300, StaleBias: 0.7}},
+}
+
+// TestMutantsDetectedAndShrunk is the acceptance criterion: every seeded
+// mutation is found within a bounded run, and its shrunk reproducer
+// replays deterministically to the same failure with ≤4 threads and ≤16
+// decisions.
+func TestMutantsDetectedAndShrunk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation campaigns are long")
+	}
+	for _, mc := range mutantCampaigns {
+		mc := mc
+		t.Run(mc.lib+"/"+mc.mutant, func(t *testing.T) {
+			t.Parallel()
+			cfg := mc.cfg
+			cfg.Seed = 42
+			cfg.Gen = GenConfig{Libs: []string{mc.lib}, Mutant: mc.mutant, LibBias: 0.9, MaxOpsPerThread: 6}
+			start := time.Now()
+			rep, err := Fuzz(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Failures) == 0 {
+				t.Fatalf("mutant not detected in %d programs / %d execs (%v)",
+					rep.Programs, rep.Execs, time.Since(start))
+			}
+			f := rep.Failures[0]
+			t.Logf("detected %s after %d programs / %d execs in %v; shrunk to %d threads, %d ops, %d decisions",
+				f.Key, rep.Programs, rep.Execs, time.Since(start),
+				f.Program.NumThreads(), f.Program.NumOps(), len(f.Decisions))
+			if n := f.Program.NumThreads(); n > 4 {
+				t.Errorf("shrunk program has %d threads, want ≤4", n)
+			}
+			if n := len(f.Decisions); n > 16 {
+				t.Errorf("shrunk schedule has %d decisions, want ≤16", n)
+			}
+			// The reproducer must be deterministic: two replays, same class.
+			for i := 0; i < 2; i++ {
+				g, err := Replay(f.Program, f.Decisions, 50000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g == nil || g.Key != f.Key {
+					t.Fatalf("replay %d: got %+v, want failure class %s", i, g, f.Key)
+				}
+			}
+		})
+	}
+}

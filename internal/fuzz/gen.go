@@ -1,0 +1,121 @@
+package fuzz
+
+import (
+	"math/rand"
+)
+
+// GenConfig shapes program generation.
+type GenConfig struct {
+	// Libs are the candidate libraries; one is drawn per program. Default:
+	// every registered library except "none".
+	Libs []string
+	// Mutant injects a known spec violation into every generated program.
+	// It must be valid for each candidate lib (in practice: pin Libs to the
+	// one library the mutant belongs to).
+	Mutant string
+	// MaxThreads caps worker threads (default 4, min 2 — a single thread
+	// cannot exhibit a weak-memory bug).
+	MaxThreads int
+	// MaxOpsPerThread caps each thread's op count (default 5).
+	MaxOpsPerThread int
+	// RawLocs is the number of shared raw atomic locations (default 2).
+	RawLocs int
+	// LibBias is the probability that an op targets the library rather
+	// than a raw location or fence (default 0.55).
+	LibBias float64
+}
+
+func (c GenConfig) norm() GenConfig {
+	if len(c.Libs) == 0 {
+		for _, l := range Libs() {
+			if l != "none" {
+				c.Libs = append(c.Libs, l)
+			}
+		}
+	}
+	if c.MaxThreads < 2 {
+		c.MaxThreads = 4
+	}
+	if c.MaxOpsPerThread < 1 {
+		c.MaxOpsPerThread = 5
+	}
+	if c.RawLocs <= 0 {
+		c.RawLocs = 2
+	}
+	if c.LibBias <= 0 {
+		c.LibBias = 0.55
+	}
+	return c
+}
+
+// Generate synthesizes one random client program. Generation is a pure
+// function of the PRNG stream, so a seeded rng reproduces the program.
+// Produced/exchanged values follow the 1000*(thread+1)+index+1 convention
+// of the check workloads and are unique program-wide.
+func Generate(rng *rand.Rand, cfg GenConfig) Program {
+	cfg = cfg.norm()
+	lib := cfg.Libs[rng.Intn(len(cfg.Libs))]
+	p := Program{
+		Lib:    lib,
+		Mutant: cfg.Mutant,
+		Locs:   cfg.RawLocs,
+	}
+	threads := 2 + rng.Intn(cfg.MaxThreads-1)
+	for t := 0; t < threads; t++ {
+		n := 1 + rng.Intn(cfg.MaxOpsPerThread)
+		ops := make([]Op, 0, n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < cfg.LibBias {
+				ops = append(ops, genLibOp(rng, t, i))
+			} else {
+				ops = append(ops, genRawOp(rng, cfg))
+			}
+		}
+		p.Threads = append(p.Threads, ops)
+	}
+	return p
+}
+
+func genLibOp(rng *rand.Rand, t, i int) Op {
+	val := int64(1000*(t+1) + i + 1)
+	switch r := rng.Float64(); {
+	case r < 0.40:
+		return Op{Kind: OpProduce, Val: val}
+	case r < 0.75:
+		return Op{Kind: OpConsume}
+	case r < 0.90:
+		return Op{Kind: OpSteal}
+	default:
+		return Op{Kind: OpExchange, Val: val, Arg: int64(1 + rng.Intn(3))}
+	}
+}
+
+var rawReadModes = []string{"rlx", "acq"}
+var rawWriteModes = []string{"rlx", "rel"}
+
+func genRawOp(rng *rand.Rand, cfg GenConfig) Op {
+	loc := rng.Intn(cfg.RawLocs)
+	val := int64(1 + rng.Intn(8))
+	switch r := rng.Float64(); {
+	case r < 0.25:
+		return Op{Kind: OpRead, Loc: loc, RMode: rawReadModes[rng.Intn(2)]}
+	case r < 0.50:
+		return Op{Kind: OpWrite, Loc: loc, Val: val, WMode: rawWriteModes[rng.Intn(2)]}
+	case r < 0.60:
+		return Op{Kind: OpCAS, Loc: loc, Val: val, Arg: int64(rng.Intn(4)),
+			RMode: rawReadModes[rng.Intn(2)], WMode: rawWriteModes[rng.Intn(2)]}
+	case r < 0.70:
+		return Op{Kind: OpFAA, Loc: loc, Val: val,
+			RMode: rawReadModes[rng.Intn(2)], WMode: rawWriteModes[rng.Intn(2)]}
+	case r < 0.78:
+		return Op{Kind: OpFenceAcq}
+	case r < 0.86:
+		return Op{Kind: OpFenceRel}
+	case r < 0.90:
+		return Op{Kind: OpFenceSC}
+	case r < 0.96:
+		return Op{Kind: OpNA, Val: val}
+	default:
+		return Op{Kind: OpYield}
+	}
+}

@@ -1,0 +1,100 @@
+package fuzz
+
+import (
+	"sort"
+
+	"compass/internal/deque"
+	"compass/internal/exchanger"
+	"compass/internal/machine"
+	"compass/internal/queue"
+	"compass/internal/stack"
+)
+
+// libInfo is the static registry entry for one library under test: the
+// mutants that can be injected into it, and whether the SC oracle may keep
+// read-only (failing) operations. Strict oracles are only sound for
+// libraries proven at LAT_hb^hist — the Treiber and elimination stacks;
+// the queues and the deque legally admit stale emptiness, so their oracles
+// drop failing operations before the linearizability search.
+type libInfo struct {
+	mutants      []string
+	strictOracle bool
+}
+
+// libs registers the libraries the fuzzer can target. "none" generates
+// raw-access-only programs that differentially test the machine itself.
+var libs = map[string]libInfo{
+	"none":      {},
+	"msqueue":   {mutants: []string{"relaxed-link", "relaxed-read"}},
+	"hwqueue":   {mutants: []string{"relaxed-slot", "relaxed-scan"}},
+	"treiber":   {mutants: []string{"relaxed-push", "relaxed-pop"}, strictOracle: true},
+	"elimstack": {strictOracle: true},
+	"exchanger": {mutants: []string{"relaxed-offer", "relaxed-response"}},
+	"deque":     {mutants: []string{"no-sc-fence"}},
+}
+
+// Libs returns the registered library names, sorted.
+func Libs() []string {
+	out := make([]string, 0, len(libs))
+	for name := range libs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MutantsOf returns the injectable known-bug mutations for a library; the
+// empty string (no mutation) is always legal and not listed.
+func MutantsOf(lib string) []string {
+	return append([]string(nil), libs[lib].mutants...)
+}
+
+// The per-library constructors dispatch on the mutant name. An unknown
+// mutant cannot reach these: Validate rejects it first.
+
+func newMSQueue(th *machine.Thread, mutant string) *queue.MSQueue {
+	switch mutant {
+	case "relaxed-link":
+		return queue.NewMSBuggyRelaxedLink(th, "q")
+	case "relaxed-read":
+		return queue.NewMSBuggyRelaxedRead(th, "q")
+	}
+	return queue.NewMS(th, "q")
+}
+
+func newHWQueue(th *machine.Thread, mutant string, cap int) *queue.HWQueue {
+	switch mutant {
+	case "relaxed-slot":
+		return queue.NewHWBuggyRelaxedSlot(th, "q", cap)
+	case "relaxed-scan":
+		return queue.NewHWBuggyRelaxedScan(th, "q", cap)
+	}
+	return queue.NewHW(th, "q", cap)
+}
+
+func newTreiber(th *machine.Thread, mutant string) *stack.Treiber {
+	switch mutant {
+	case "relaxed-push":
+		return stack.NewTreiberBuggyRelaxedPush(th, "s")
+	case "relaxed-pop":
+		return stack.NewTreiberBuggyRelaxedPop(th, "s")
+	}
+	return stack.NewTreiber(th, "s")
+}
+
+func newExchanger(th *machine.Thread, mutant string) *exchanger.Exchanger {
+	switch mutant {
+	case "relaxed-offer":
+		return exchanger.NewBuggyRelaxedOffer(th, "x")
+	case "relaxed-response":
+		return exchanger.NewBuggyRelaxedResponse(th, "x")
+	}
+	return exchanger.New(th, "x")
+}
+
+func newDeque(th *machine.Thread, mutant string, cap int) *deque.Deque {
+	if mutant == "no-sc-fence" {
+		return deque.NewBuggyNoSCFence(th, "d", cap)
+	}
+	return deque.New(th, "d", cap)
+}

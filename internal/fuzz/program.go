@@ -1,0 +1,192 @@
+// Package fuzz is the differential-fuzzing and counterexample-shrinking
+// layer: it synthesizes random client programs over the library APIs plus
+// raw atomic accesses, runs them under seeded-random and bounded-exhaustive
+// exploration, and cross-checks every execution three ways — per-library
+// spec conformance, SC-oracle refinement of the observed history, and
+// internal machine invariants (coherence, race/UB freedom). Failures are
+// delta-debugged down to a minimal program and decision sequence and saved
+// as replayable artifacts (JSON schedule, generated Go test, DOT graphs).
+//
+// The package follows the refinement-testing framing of Dalvandi & Dongol
+// ("Verifying C11-Style Weak Memory Libraries via Refinement"): an
+// implementation is differentially tested against both its event-graph
+// spec and a sequentially consistent reference oracle, and mutation modes
+// (known spec violations such as a dropped release on the Treiber push)
+// prove the fuzzer finds real bugs rather than vacuously passing.
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"compass/internal/memory"
+)
+
+// Op kinds. Library operations are normalized per library (see Build): on
+// a queue/stack, "steal" and "exchange" degrade to "consume"; on an
+// exchanger every library op is an exchange; on a deque, owner operations
+// from non-owner threads degrade to steals. Normalization keeps every
+// syntactically well-formed program semantically well-formed, so the
+// shrinker can drop threads and ops freely.
+const (
+	OpProduce  = "produce"   // Enqueue / Push / PushBottom (owner) / Exchange
+	OpConsume  = "consume"   // TryDequeue / Pop / TakeBottom (owner)
+	OpSteal    = "steal"     // deque Steal; queue/stack: consume
+	OpExchange = "exchange"  // exchanger Exchange; queue/stack: consume
+	OpRead     = "read"      // raw atomic load of shared location Loc (RMode: rlx|acq)
+	OpWrite    = "write"     // raw atomic store Val to Loc (WMode: rlx|rel)
+	OpCAS      = "cas"       // raw CAS(Loc, Arg → Val)
+	OpFAA      = "faa"       // raw FetchAdd(Loc, Val)
+	OpFenceAcq = "fence_acq" // acquire fence
+	OpFenceRel = "fence_rel" // release fence
+	OpFenceSC  = "fence_sc"  // SC fence
+	OpNA       = "na"        // non-atomic write+read of the thread's private cell
+	OpYield    = "yield"     // pure scheduling point
+)
+
+// Op is one instruction of a generated client program.
+type Op struct {
+	Kind string `json:"kind"`
+	// Loc indexes the program's shared raw locations (raw ops only).
+	Loc int `json:"loc,omitempty"`
+	// Val is the produced/written value (produce, exchange, write, cas new
+	// value, faa delta).
+	Val int64 `json:"val,omitempty"`
+	// Arg is the op-specific extra: CAS expected value, exchange patience.
+	Arg int64 `json:"arg,omitempty"`
+	// RMode/WMode are raw access modes ("rlx", "acq" / "rlx", "rel");
+	// empty means relaxed.
+	RMode string `json:"rmode,omitempty"`
+	WMode string `json:"wmode,omitempty"`
+}
+
+// Program is a serializable randomly generated client program: a library
+// instance (possibly with an injected mutation) shared by Threads, each
+// thread a straight-line sequence of ops over the library API, raw shared
+// atomics, fences, and a private non-atomic cell.
+type Program struct {
+	// Lib selects the library under test: "msqueue", "hwqueue", "treiber",
+	// "elimstack", "exchanger", "deque", or "none" (raw accesses only —
+	// differential testing of the machine itself).
+	Lib string `json:"lib"`
+	// Mutant optionally injects a known spec violation (see Mutants).
+	Mutant string `json:"mutant,omitempty"`
+	// Locs is the number of shared raw atomic locations.
+	Locs int `json:"locs"`
+	// Threads holds one op sequence per worker thread.
+	Threads [][]Op `json:"threads"`
+}
+
+// NumThreads returns the worker thread count.
+func (p *Program) NumThreads() int { return len(p.Threads) }
+
+// NumOps returns the total op count across threads.
+func (p *Program) NumOps() int {
+	n := 0
+	for _, t := range p.Threads {
+		n += len(t)
+	}
+	return n
+}
+
+// MarshalJSON-friendly round trips are part of the artifact contract.
+func (p *Program) String() string {
+	data, _ := json.Marshal(p)
+	return string(data)
+}
+
+// ParseProgram decodes a Program from its JSON encoding.
+func ParseProgram(data []byte) (Program, error) {
+	var p Program
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Program{}, err
+	}
+	return p, p.Validate()
+}
+
+// readMode parses an op's RMode ("" = relaxed). Raw shared accesses are
+// atomic by construction — non-atomics are confined to the per-thread
+// private cell — so any Racy verdict signals a machine or library bug,
+// never generator noise.
+func readMode(s string) (memory.Mode, error) {
+	switch s {
+	case "", "rlx":
+		return memory.Rlx, nil
+	case "acq":
+		return memory.Acq, nil
+	}
+	return 0, fmt.Errorf("bad read mode %q", s)
+}
+
+func writeMode(s string) (memory.Mode, error) {
+	switch s {
+	case "", "rlx":
+		return memory.Rlx, nil
+	case "rel":
+		return memory.Rel, nil
+	}
+	return 0, fmt.Errorf("bad write mode %q", s)
+}
+
+// Validate checks the program's static well-formedness: known lib and
+// mutant, in-range raw locations, legal access modes, and positive values
+// for produced elements (0 and negatives are reserved sentinels in the
+// library encodings).
+func (p *Program) Validate() error {
+	info, ok := libs[p.Lib]
+	if !ok {
+		return fmt.Errorf("unknown lib %q", p.Lib)
+	}
+	if p.Mutant != "" {
+		found := false
+		for _, m := range info.mutants {
+			if m == p.Mutant {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("lib %q has no mutant %q (have %v)", p.Lib, p.Mutant, info.mutants)
+		}
+	}
+	if p.Locs < 0 || p.Locs > 16 {
+		return fmt.Errorf("locs = %d out of range [0,16]", p.Locs)
+	}
+	if len(p.Threads) == 0 || len(p.Threads) > 8 {
+		return fmt.Errorf("%d threads out of range [1,8]", len(p.Threads))
+	}
+	for t, ops := range p.Threads {
+		for i, op := range ops {
+			switch op.Kind {
+			case OpProduce, OpExchange:
+				if op.Val <= 0 {
+					return fmt.Errorf("T%d op %d: %s value %d must be positive", t, i, op.Kind, op.Val)
+				}
+			case OpConsume, OpSteal, OpFenceAcq, OpFenceRel, OpFenceSC, OpNA, OpYield:
+			case OpRead:
+				if _, err := readMode(op.RMode); err != nil {
+					return fmt.Errorf("T%d op %d: %v", t, i, err)
+				}
+			case OpWrite:
+				if _, err := writeMode(op.WMode); err != nil {
+					return fmt.Errorf("T%d op %d: %v", t, i, err)
+				}
+			case OpCAS, OpFAA:
+				if _, err := readMode(op.RMode); err != nil {
+					return fmt.Errorf("T%d op %d: %v", t, i, err)
+				}
+				if _, err := writeMode(op.WMode); err != nil {
+					return fmt.Errorf("T%d op %d: %v", t, i, err)
+				}
+			default:
+				return fmt.Errorf("T%d op %d: unknown kind %q", t, i, op.Kind)
+			}
+			switch op.Kind {
+			case OpRead, OpWrite, OpCAS, OpFAA:
+				if op.Loc < 0 || op.Loc >= p.Locs {
+					return fmt.Errorf("T%d op %d: loc %d out of range [0,%d)", t, i, op.Loc, p.Locs)
+				}
+			}
+		}
+	}
+	return nil
+}

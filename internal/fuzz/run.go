@@ -1,0 +1,287 @@
+package fuzz
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"compass/internal/machine"
+	"compass/internal/spec"
+)
+
+// Failure is one discovered counterexample: a program plus the decision
+// sequence that drives the machine into the failing execution, with the
+// verdict that condemned it. Program + Decisions fully determine the
+// execution, so a Failure replays byte-for-byte via Replay.
+type Failure struct {
+	Program   Program            `json:"program"`
+	Decisions []machine.Decision `json:"decisions"`
+	Status    string             `json:"status"`
+	Err       string             `json:"err,omitempty"`
+	Violations []spec.Violation  `json:"violations,omitempty"`
+	// Key is the failure class (status + sorted violation rules); the
+	// shrinker preserves it, and campaign deduplication buckets on it.
+	Key string `json:"key"`
+	// Shrunk records whether the minimizer ran to a fixpoint.
+	Shrunk bool `json:"shrunk"`
+}
+
+// failureKey classifies a failing execution so that shrinking can insist
+// on reproducing the *same* bug and the campaign can deduplicate. Volatile
+// detail (error text, event IDs) is excluded.
+func failureKey(status machine.Status, viols []spec.Violation) string {
+	rules := map[string]bool{}
+	for _, v := range viols {
+		rules[v.Rule] = true
+	}
+	sorted := make([]string, 0, len(rules))
+	for r := range rules {
+		sorted = append(sorted, r)
+	}
+	sort.Strings(sorted)
+	return status.String() + "|" + strings.Join(sorted, ",")
+}
+
+// judge evaluates one completed execution against all three cross-checks.
+// It returns nil for a clean run; budget exhaustion is a discard (the
+// schedule spun, nothing to conclude), counted by the caller via unknown.
+func judge(p Program, inst *Instance, r *machine.Result, trace []machine.Decision) (*Failure, int) {
+	switch r.Status {
+	case machine.Budget:
+		return nil, 0
+	case machine.Racy, machine.Failed:
+		errText := ""
+		if r.Err != nil {
+			errText = r.Err.Error()
+		}
+		return &Failure{
+			Program:   p,
+			Decisions: trace,
+			Status:    r.Status.String(),
+			Err:       errText,
+			Key:       failureKey(r.Status, nil),
+		}, 0
+	}
+	viols, unknown := inst.Checked.Evaluate()
+	if len(viols) == 0 {
+		return nil, unknown
+	}
+	return &Failure{
+		Program:    p,
+		Decisions:  trace,
+		Status:     r.Status.String(),
+		Violations: viols,
+		Key:        failureKey(r.Status, viols),
+	}, unknown
+}
+
+// Replay rebuilds the program and re-runs it under the exact decision
+// sequence, returning the failure it reproduces (nil if the execution is
+// clean — e.g. after a bad shrink candidate). This is the function the
+// emitted reproducer artifacts call.
+func Replay(p Program, ds []machine.Decision, budget int) (*Failure, error) {
+	inst, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	runner := &machine.Runner{Budget: budget}
+	strat := machine.ReplayStrategy(ds)
+	r := runner.Run(inst.Checked.Prog, strat)
+	f, _ := judge(p, inst, r, strat.Trace)
+	return f, nil
+}
+
+// explore enumerates the program's executions depth-first (the same
+// backtracking scheme as machine.Explore, rebuilt here so each run's
+// decision trace is captured for counterexample artifacts), returning the
+// first failure, the number of runs, whether the tree was exhausted, and
+// the unknown-verdict count.
+func explore(p Program, maxRuns, budget int) (*Failure, int, bool, int) {
+	runner := &machine.Runner{Budget: budget}
+	var prefix []machine.Decision
+	runs, unknowns := 0, 0
+	for runs < maxRuns {
+		inst, err := Build(p)
+		if err != nil {
+			return nil, runs, false, unknowns
+		}
+		strat := machine.ReplayStrategy(prefix)
+		r := runner.Run(inst.Checked.Prog, strat)
+		runs++
+		f, unk := judge(p, inst, r, strat.Trace)
+		unknowns += unk
+		if f != nil {
+			return f, runs, false, unknowns
+		}
+		trace := strat.Trace
+		i := len(trace) - 1
+		for ; i >= 0; i-- {
+			if trace[i].Pick+1 < trace[i].N {
+				break
+			}
+		}
+		if i < 0 {
+			return nil, runs, true, unknowns
+		}
+		prefix = append(append([]machine.Decision{}, trace[:i]...),
+			machine.Decision{N: trace[i].N, Pick: trace[i].Pick + 1})
+	}
+	return nil, runs, false, unknowns
+}
+
+// Config parameterizes a fuzzing campaign.
+type Config struct {
+	// Seed makes the whole campaign deterministic: program generation and
+	// every random execution derive from it.
+	Seed int64
+	// Programs bounds the number of generated programs (default 50; with
+	// Duration set, whichever limit is hit first stops the campaign).
+	Programs int
+	// Duration bounds wall-clock time (0 = no time bound).
+	Duration time.Duration
+	// Execs is the number of seeded-random executions per program
+	// (default 200).
+	Execs int
+	// StaleBias is the random strategy's stale-read bias (default 0.6 —
+	// aggressive weak behaviors).
+	StaleBias float64
+	// Budget caps machine steps per execution (default 50000).
+	Budget int
+	// ExhaustiveRuns additionally explores up to this many executions of
+	// each program bounded-exhaustively (0 disables; small programs complete
+	// the proof within a few hundred runs).
+	ExhaustiveRuns int
+	// MaxFailures stops the campaign once this many distinct failure
+	// classes were found (default 1).
+	MaxFailures int
+	// NoShrink skips counterexample minimization.
+	NoShrink bool
+	// Gen shapes program generation.
+	Gen GenConfig
+	// ArtifactDir, when set, receives one artifact bundle per distinct
+	// failure (JSON schedule, Go reproducer, DOT event graphs).
+	ArtifactDir string
+	// Log, when set, receives campaign progress lines.
+	Log io.Writer
+}
+
+func (c Config) norm() Config {
+	if c.Programs <= 0 {
+		c.Programs = 50
+		if c.Duration > 0 {
+			c.Programs = 1 << 30 // duration-bound campaigns: no program cap
+		}
+	}
+	if c.Execs <= 0 {
+		c.Execs = 200
+	}
+	if c.StaleBias <= 0 {
+		c.StaleBias = 0.6
+	}
+	if c.Budget <= 0 {
+		c.Budget = 50000
+	}
+	if c.MaxFailures <= 0 {
+		c.MaxFailures = 1
+	}
+	return c
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	Programs int
+	Execs    int
+	// Unknown counts undecided spec/oracle verdicts (budget-bounded
+	// linearizability searches), not failures.
+	Unknown  int
+	Failures []*Failure // one per distinct failure class, shrunk
+	// Artifacts lists the artifact directories written (parallel to
+	// Failures when ArtifactDir was set).
+	Artifacts []string
+}
+
+func logf(w io.Writer, format string, args ...interface{}) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}
+
+// Fuzz runs a campaign: generate a program, hammer it with seeded-random
+// schedules (recording every decision), then sweep it bounded-exhaustively;
+// the first execution to fail any cross-check becomes a counterexample,
+// which is shrunk to a minimal program + decision sequence and optionally
+// written out as a replayable artifact bundle.
+func Fuzz(cfg Config) (*Report, error) {
+	cfg = cfg.norm()
+	rep := &Report{}
+	seen := map[string]bool{}
+	start := time.Now()
+	for i := 0; i < cfg.Programs; i++ {
+		if cfg.Duration > 0 && time.Since(start) >= cfg.Duration {
+			break
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		p := Generate(rng, cfg.Gen)
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("generated invalid program: %v", err)
+		}
+		rep.Programs++
+		f := fuzzProgram(cfg, rep, p, cfg.Seed+int64(i)*1_000_003)
+		if f == nil || seen[f.Key] {
+			continue
+		}
+		seen[f.Key] = true
+		logf(cfg.Log, "program %d (%s): FAILURE %s (%d threads, %d ops, %d decisions)",
+			i, p.Lib, f.Key, f.Program.NumThreads(), f.Program.NumOps(), len(f.Decisions))
+		if !cfg.NoShrink {
+			f = Shrink(f, cfg.Budget, cfg.Log)
+			logf(cfg.Log, "  shrunk to %d threads, %d ops, %d decisions",
+				f.Program.NumThreads(), f.Program.NumOps(), len(f.Decisions))
+		}
+		rep.Failures = append(rep.Failures, f)
+		if cfg.ArtifactDir != "" {
+			dir, err := WriteArtifacts(cfg.ArtifactDir, f, cfg.Budget)
+			if err != nil {
+				return rep, fmt.Errorf("writing artifacts: %v", err)
+			}
+			rep.Artifacts = append(rep.Artifacts, dir)
+			logf(cfg.Log, "  artifacts: %s", dir)
+		}
+		if len(rep.Failures) >= cfg.MaxFailures {
+			break
+		}
+	}
+	return rep, nil
+}
+
+// fuzzProgram runs both exploration phases on one program and returns its
+// first failure (or nil).
+func fuzzProgram(cfg Config, rep *Report, p Program, seed int64) *Failure {
+	runner := &machine.Runner{Budget: cfg.Budget}
+	for j := 0; j < cfg.Execs; j++ {
+		inst, err := Build(p)
+		if err != nil {
+			return nil
+		}
+		strat := machine.Record(machine.NewRandomBiased(seed+int64(j), cfg.StaleBias))
+		r := runner.Run(inst.Checked.Prog, strat)
+		rep.Execs++
+		f, unk := judge(p, inst, r, strat.Trace)
+		rep.Unknown += unk
+		if f != nil {
+			return f
+		}
+	}
+	if cfg.ExhaustiveRuns > 0 {
+		f, runs, _, unk := explore(p, cfg.ExhaustiveRuns, cfg.Budget)
+		rep.Execs += runs
+		rep.Unknown += unk
+		if f != nil {
+			return f
+		}
+	}
+	return nil
+}

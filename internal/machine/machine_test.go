@@ -395,3 +395,53 @@ func TestWorkersSeeSetupState(t *testing.T) {
 		t.Fatalf("status = %v err = %v", r.Status, r.Err)
 	}
 }
+
+func TestRecordedReplaysIdentically(t *testing.T) {
+	// A run under any strategy, recorded, must replay byte-for-byte under
+	// ReplayStrategy: same outcome and same decision sequence.
+	build := func() Program {
+		var x, y view.Loc
+		return Program{
+			Setup: func(th *Thread) {
+				x = th.Alloc("x", 0)
+				y = th.Alloc("y", 0)
+			},
+			Workers: []func(*Thread){
+				func(th *Thread) {
+					th.Write(x, 1, memory.Rlx)
+					th.Write(y, 1, memory.Rel)
+				},
+				func(th *Thread) {
+					th.Report("f", th.Read(y, memory.Acq))
+					th.Report("d", th.Read(x, memory.Rlx))
+				},
+			},
+		}
+	}
+	runner := &Runner{}
+	for seed := int64(0); seed < 30; seed++ {
+		rec := Record(NewRandomBiased(seed, 0.7))
+		r1 := runner.Run(build(), rec)
+
+		data, err := MarshalDecisions(rec.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := UnmarshalDecisions(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds) != len(rec.Trace) {
+			t.Fatalf("JSON round trip lost decisions: %d != %d", len(ds), len(rec.Trace))
+		}
+
+		replay := ReplayStrategy(ds)
+		r2 := runner.Run(build(), replay)
+		if r1.Status != r2.Status || fmt.Sprint(r1.Outcome) != fmt.Sprint(r2.Outcome) {
+			t.Fatalf("seed %d: replay diverged: %v/%v vs %v/%v", seed, r1.Status, r1.Outcome, r2.Status, r2.Outcome)
+		}
+		if fmt.Sprint(replay.Trace) != fmt.Sprint(rec.Trace) {
+			t.Fatalf("seed %d: replayed decisions differ:\n%v\n%v", seed, replay.Trace, rec.Trace)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"encoding/json"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -43,23 +44,50 @@ func (s *RandomStrategy) Choose(n int) int {
 	return n - 1
 }
 
+// Decision is one resolved nondeterministic choice: a thread pick or a
+// read-message pick with N alternatives, of which Pick (0-based) was
+// taken. An execution is a deterministic function of the program and its
+// decision sequence, so a []Decision is a complete, serializable
+// counterexample schedule: any harness (check, litmus, fuzz) can save the
+// sequence and replay it byte-for-byte via ReplayStrategy.
+type Decision struct {
+	N    int `json:"n"` // number of alternatives at this decision point
+	Pick int `json:"pick"`
+}
+
+// MarshalDecisions encodes a decision sequence as JSON.
+func MarshalDecisions(ds []Decision) ([]byte, error) { return json.Marshal(ds) }
+
+// UnmarshalDecisions decodes a decision sequence encoded by
+// MarshalDecisions.
+func UnmarshalDecisions(data []byte) ([]Decision, error) {
+	var ds []Decision
+	err := json.Unmarshal(data, &ds)
+	return ds, err
+}
+
 // TraceStrategy replays an explicit decision sequence; decisions beyond
 // the recorded prefix default to 0 (first runnable thread, oldest visible
 // message). It also records every decision it makes, so a prefix can be
 // extended — this is the engine of the exhaustive explorer.
 type TraceStrategy struct {
-	prefix []traceDecision
+	prefix []Decision
 	pos    int
 	// Trace is the full decision sequence of the current run.
-	Trace []traceDecision
+	Trace []Decision
 	// DefaultLast makes out-of-prefix read choices pick the latest message
 	// instead of the oldest.
 	DefaultLast bool
 }
 
-type traceDecision struct {
-	N    int // number of alternatives at this decision point
-	Pick int
+// ReplayStrategy returns a strategy that replays the given decision
+// sequence exactly; decisions beyond it take the default branch (pick 0).
+// The sequence is not aliased, so a saved artifact can be replayed many
+// times.
+func ReplayStrategy(ds []Decision) *TraceStrategy {
+	prefix := make([]Decision, len(ds))
+	copy(prefix, ds)
+	return &TraceStrategy{prefix: prefix}
 }
 
 func (s *TraceStrategy) next(n int) int {
@@ -73,7 +101,7 @@ func (s *TraceStrategy) next(n int) int {
 		pick = n - 1
 	}
 	s.pos++
-	s.Trace = append(s.Trace, traceDecision{N: n, Pick: pick})
+	s.Trace = append(s.Trace, Decision{N: n, Pick: pick})
 	return pick
 }
 
@@ -118,7 +146,7 @@ func Explore(build func() Program, opts ExploreOpts, visit func(*Result) bool) E
 		maxRuns = 200000
 	}
 	runner := &Runner{Budget: opts.Budget}
-	var prefix []traceDecision
+	var prefix []Decision
 	res := ExploreResult{}
 	for res.Runs < maxRuns {
 		strat := &TraceStrategy{prefix: prefix}
@@ -142,8 +170,8 @@ func Explore(build func() Program, opts ExploreOpts, visit func(*Result) bool) E
 			res.Complete = true
 			return res
 		}
-		prefix = append(append([]traceDecision{}, trace[:i]...),
-			traceDecision{N: trace[i].N, Pick: trace[i].Pick + 1})
+		prefix = append(append([]Decision{}, trace[:i]...),
+			Decision{N: trace[i].N, Pick: trace[i].Pick + 1})
 	}
 	return res
 }
@@ -180,7 +208,7 @@ func ExploreParallel(opts ExploreOpts, newWorker func() (build func() Program, v
 	if maxRuns <= 0 {
 		maxRuns = 200000
 	}
-	e := &parallelExplorer{opts: opts, maxRuns: maxRuns, frontier: [][]traceDecision{nil}}
+	e := &parallelExplorer{opts: opts, maxRuns: maxRuns, frontier: [][]Decision{nil}}
 	e.cond = sync.NewCond(&e.mu)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -199,7 +227,7 @@ func ExploreParallel(opts ExploreOpts, newWorker func() (build func() Program, v
 type parallelExplorer struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	frontier [][]traceDecision // unexplored subtree prefixes (LIFO)
+	frontier [][]Decision // unexplored subtree prefixes (LIFO)
 	inflight int               // workers currently running a prefix
 	runs     int
 	maxRuns  int
@@ -210,7 +238,7 @@ type parallelExplorer struct {
 
 // next claims the deepest unexplored prefix, blocking while the frontier
 // is empty but runs are still in flight (they may push new prefixes).
-func (e *parallelExplorer) next() ([]traceDecision, bool) {
+func (e *parallelExplorer) next() ([]Decision, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for {
@@ -236,7 +264,7 @@ func (e *parallelExplorer) next() ([]traceDecision, bool) {
 }
 
 // done publishes the children of a completed run and wakes waiting workers.
-func (e *parallelExplorer) done(children [][]traceDecision, keep bool) {
+func (e *parallelExplorer) done(children [][]Decision, keep bool) {
 	e.mu.Lock()
 	e.frontier = append(e.frontier, children...)
 	e.inflight--
@@ -257,7 +285,7 @@ func (e *parallelExplorer) worker(build func() Program, visit func(*Result) bool
 		strat := &TraceStrategy{prefix: prefix}
 		r := runner.Run(build(), strat)
 		keep := visit(r)
-		var children [][]traceDecision
+		var children [][]Decision
 		if keep {
 			// Unexplored branches of this trace: for every decision at or
 			// below the pinned prefix, each untaken pick becomes a new
@@ -270,9 +298,9 @@ func (e *parallelExplorer) worker(build func() Program, visit func(*Result) bool
 			}
 			for i := len(prefix); i <= top; i++ {
 				for p := trace[i].Pick + 1; p < trace[i].N; p++ {
-					child := make([]traceDecision, i+1)
+					child := make([]Decision, i+1)
 					copy(child, trace[:i])
-					child[i] = traceDecision{N: trace[i].N, Pick: p}
+					child[i] = Decision{N: trace[i].N, Pick: p}
 					children = append(children, child)
 				}
 			}
@@ -282,6 +310,33 @@ func (e *parallelExplorer) worker(build func() Program, visit func(*Result) bool
 			return
 		}
 	}
+}
+
+// Recorded wraps an arbitrary strategy and records every decision it
+// resolves. A failing run under any strategy (e.g. a seeded RandomStrategy)
+// can then be replayed byte-for-byte — and shrunk decision by decision —
+// via ReplayStrategy(rec.Trace), independent of the original seed.
+type Recorded struct {
+	Inner Strategy
+	// Trace is the decision sequence of the current run.
+	Trace []Decision
+}
+
+// Record returns a recording wrapper around inner.
+func Record(inner Strategy) *Recorded { return &Recorded{Inner: inner} }
+
+// PickThread delegates to the inner strategy and records the decision.
+func (s *Recorded) PickThread(runnable []int) int {
+	p := s.Inner.PickThread(runnable)
+	s.Trace = append(s.Trace, Decision{N: len(runnable), Pick: p})
+	return p
+}
+
+// Choose delegates to the inner strategy and records the decision.
+func (s *Recorded) Choose(n int) int {
+	p := s.Inner.Choose(n)
+	s.Trace = append(s.Trace, Decision{N: n, Pick: p})
+	return p
 }
 
 // RunRandom executes the program n times with seeds seed, seed+1, ...,

@@ -1,0 +1,118 @@
+package memory
+
+import (
+	"testing"
+
+	"compass/internal/view"
+)
+
+// byteChooser resolves read nondeterminism from the fuzz input itself, so
+// the corpus explores stale-read choices as well as op sequences.
+type byteChooser struct {
+	data []byte
+	pos  int
+}
+
+func (c *byteChooser) Choose(n int) int {
+	if c.pos >= len(c.data) {
+		return n - 1
+	}
+	b := c.data[c.pos]
+	c.pos++
+	return int(b) % n
+}
+
+// FuzzMemorySteps drives random atomic traffic from two threads over two
+// shared locations and checks the machine's core coherence invariants
+// after every step:
+//
+//   - per-location read coherence: a thread's view of a location never goes
+//     backwards, so successive reads never observe older messages
+//   - Cur ⊑ Acq (the acquire clock dominates the current clock)
+//   - reads only return values some write actually put at that location
+//   - the location history stays contiguous (MaxTime == len(History))
+func FuzzMemorySteps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{2, 9, 0, 0, 3, 9, 1, 0, 0, 0, 1, 1, 5, 0, 4, 9})
+	f.Add([]byte{2, 1, 0, 0, 2, 3, 0, 1, 0, 0, 0, 1, 3, 7, 1, 1, 1, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := New()
+		tvs := []*ThreadView{NewThreadView(0), NewThreadView(1)}
+		setup := NewThreadView(99)
+		locs := []view.Loc{
+			m.Alloc(setup, "x", 0),
+			m.Alloc(setup, "y", 0),
+		}
+		// Threads start having observed the initial writes, as machine
+		// threads do after Setup.
+		for _, tv := range tvs {
+			tv.JoinClock(setup.Cur)
+		}
+		// written[l] is the set of values ever stored at l.
+		written := []map[int64]bool{{0: true}, {0: true}}
+		// seen[tid][l] is the thread's coherence frontier for l.
+		seen := [2][2]view.Time{}
+		ch := &byteChooser{data: data}
+
+		invariants := func(tid int, l int) {
+			tv := tvs[tid]
+			if ts := tv.Cur.V.Get(locs[l]); ts < seen[tid][l] {
+				t.Fatalf("T%d view of loc %d went backwards: %d < %d", tid, l, ts, seen[tid][l])
+			} else {
+				seen[tid][l] = ts
+			}
+			if !tv.Cur.Leq(tv.Acq) {
+				t.Fatalf("T%d: invariant Cur ⊑ Acq violated: cur=%v acq=%v", tid, tv.Cur, tv.Acq)
+			}
+			if int(m.MaxTime(locs[l])) != len(m.History(locs[l])) {
+				t.Fatalf("loc %d history not contiguous: MaxTime=%d, %d messages",
+					l, m.MaxTime(locs[l]), len(m.History(locs[l])))
+			}
+		}
+
+		for i := 0; i+3 < len(data); i += 4 {
+			op := data[i] % 7
+			tid := int(data[i+1]) % 2
+			l := int(data[i+2]) % 2
+			val := int64(data[i+3]%16) + 1
+			tv := tvs[tid]
+			switch op {
+			case 0, 1: // relaxed / acquire read
+				mode := Rlx
+				if op == 1 {
+					mode = Acq
+				}
+				v, err := m.Read(tv, locs[l], mode, ch)
+				if err != nil {
+					t.Fatalf("atomic read errored: %v", err)
+				}
+				if !written[l][v] {
+					t.Fatalf("T%d read %d from loc %d, which was never written there", tid, v, l)
+				}
+			case 2, 3: // relaxed / release write
+				mode := Rlx
+				if op == 3 {
+					mode = Rel
+				}
+				if err := m.Write(tv, locs[l], val, mode); err != nil {
+					t.Fatalf("atomic write errored: %v", err)
+				}
+				written[l][val] = true
+			case 4: // CAS (its read side obeys coherence too)
+				old, ok := m.CAS(tv, locs[l], int64(data[i+3]%4), val, Acq, Rel)
+				if !written[l][old] {
+					t.Fatalf("T%d CAS read %d from loc %d, which was never written there", tid, old, l)
+				}
+				if ok {
+					written[l][val] = true
+				}
+			case 5:
+				m.Fence(tv, data[i+3]%2 == 0, data[i+3]%3 == 0)
+			case 6:
+				m.FenceSC(tv)
+			}
+			invariants(tid, l)
+		}
+	})
+}

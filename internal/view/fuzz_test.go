@@ -1,0 +1,77 @@
+package view
+
+import (
+	"testing"
+)
+
+// fuzzViewLocs bounds the location space so collisions (and therefore
+// interesting joins) are common.
+const fuzzViewLocs = 6
+
+// FuzzViewOps drives byte-string-derived Set/JoinInto/Join/Clone sequences
+// over a small pool of views against the map reference model from
+// prop_test.go, checking the lattice laws the memory subsystem relies on:
+// pointwise max semantics, Leq as the pointwise order, join as a least
+// upper bound (commutative, idempotent, an upper bound of both operands),
+// and clone independence. The seeded-PRNG property tests cover typical
+// distributions; the fuzzer hunts the adversarial op orders they miss.
+func FuzzViewOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 5})
+	f.Add([]byte{0, 0, 1, 5, 0, 1, 1, 9, 1, 0, 1, 0})
+	f.Add([]byte{0, 2, 3, 200, 2, 2, 0, 0, 3, 1, 2, 0, 0, 1, 5, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const pool = 3
+		views := make([]View, pool)
+		refs := make([]refView, pool)
+		for i := range refs {
+			refs[i] = refView{}
+		}
+		for i := 0; i+3 < len(data); i += 4 {
+			op := data[i] % 4
+			x := int(data[i+1]) % pool
+			y := int(data[i+2]) % pool
+			l := Loc(data[i+2]) % fuzzViewLocs
+			ts := Time(data[i+3])
+			switch op {
+			case 0: // Set keeps the max: views only grow.
+				views[x].Set(l, ts)
+				refs[x].Set(l, ts)
+			case 1: // JoinInto mutates the target only.
+				views[x].JoinInto(views[y])
+				refs[x].JoinInto(refs[y])
+				agree(t, "JoinInto operand", views[y], refs[y])
+			case 2: // Join is a fresh lub, operands untouched.
+				j := views[x].Join(views[y])
+				jr := refs[x].Clone()
+				jr.JoinInto(refs[y])
+				agree(t, "Join result", j, jr)
+				agree(t, "Join left operand", views[x], refs[x])
+				agree(t, "Join right operand", views[y], refs[y])
+				if !views[x].Leq(j) || !views[y].Leq(j) {
+					t.Fatalf("join %v of %v and %v is not an upper bound", j, views[x], views[y])
+				}
+				if !j.Equal(views[y].Join(views[x])) {
+					t.Fatalf("join not commutative: %v vs %v", j, views[y].Join(views[x]))
+				}
+				if !views[x].Join(views[x]).Equal(views[x]) {
+					t.Fatalf("join not idempotent on %v", views[x])
+				}
+			case 3: // Clone is independent of the original.
+				c := views[x].Clone()
+				orig := refs[x].Clone()
+				c.Set(l, ts+1)
+				agree(t, "Clone original after mutation", views[x], orig)
+			}
+			// Cross-view order agreement with the reference on every step.
+			for a := 0; a < pool; a++ {
+				agree(t, "pool", views[a], refs[a])
+				for b := 0; b < pool; b++ {
+					if got, want := views[a].Leq(views[b]), refs[a].Leq(refs[b]); got != want {
+						t.Fatalf("Leq(%v, %v) = %v, reference %v", views[a], views[b], got, want)
+					}
+				}
+			}
+		}
+	})
+}
