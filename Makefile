@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench benchreport fuzz fuzznative golden
+.PHONY: check build vet test race bench benchreport fuzz fuzznative golden telemetry
 
 check: vet build race
 
@@ -38,6 +38,12 @@ fuzznative:
 # memory-model change.
 golden:
 	$(GO) test ./internal/litmus -run TestGoldenLitmusCorpus $(UPDATE)
+
+# Telemetry artifact smoke: emit stats + Chrome trace from a litmus run
+# and validate both against their schemas (what CI's telemetry job does).
+telemetry:
+	$(GO) run ./cmd/litmus -test SB -stats /tmp/compass_sb.json -trace-out /tmp/compass_sb.trace.json
+	$(GO) run ./cmd/statcheck -snapshot /tmp/compass_sb.json -trace /tmp/compass_sb.trace.json
 
 # Quick benchmark pass over the tier-1 set (see cmd/benchreport).
 bench:

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"compass"
+	"compass/internal/cli"
 )
 
 func qf(name string) compass.QueueFactory {
@@ -75,7 +76,11 @@ func main() {
 	list := flag.Bool("list", false, "list available workloads and exit")
 	explain := flag.Int64("explain", -1, "replay this seed with a per-step trace instead of running the harness")
 	exhaustive := flag.Bool("exhaustive", false, "explore all executions (small workloads only)")
+	statsOut := flag.String("stats", "", "write a telemetry JSON snapshot of the run to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of a representative execution to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+	cli.StartPprof(*pprofAddr)
 
 	if *list {
 		fmt.Println("libraries:  msqueue hwqueue scqueue ringqueue treiber scstack elimstack exchanger")
@@ -92,6 +97,11 @@ func main() {
 	opts := compass.CheckOptions{
 		Executions: *execs, Seed: *seed, StaleBias: *stale, KeepGoing: *keepGoing,
 		Workers: *workers,
+	}
+	var stats *compass.Telemetry
+	if *statsOut != "" {
+		stats = compass.NewTelemetry()
+		opts.Stats = stats
 	}
 	// The harness treats the zero value of Seed/StaleBias as "use the
 	// default"; map the user's explicit zeros to the sentinels so
@@ -174,11 +184,31 @@ func main() {
 	if *exhaustive {
 		rep = compass.RunExhaustiveOpts(name, build, compass.CheckOptions{
 			MaxRuns: 500000, Budget: 5000, KeepGoing: *keepGoing, Workers: *workers,
+			Stats: stats,
 		})
 	} else {
 		rep = compass.RunChecked(name, build, opts)
 	}
 	fmt.Println(rep)
+	if *statsOut != "" {
+		if err := cli.WriteStatsFile(*statsOut, stats); err != nil {
+			fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *traceOut != "" {
+		// A representative execution: the first failing seed when the run
+		// found one, otherwise the run's base seed.
+		traceSeed := *seed
+		if len(rep.Failures) > 0 {
+			traceSeed = rep.Failures[0].Seed
+		}
+		res, _ := compass.TraceCheckedExecution(build, traceSeed, opts.StaleBias, opts.Budget)
+		if err := cli.WriteTraceFile(*traceOut, name, res); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if !rep.Passed() {
 		os.Exit(1)
 	}

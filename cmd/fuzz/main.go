@@ -22,7 +22,10 @@ import (
 	"strings"
 	"time"
 
+	"compass/internal/check"
+	"compass/internal/cli"
 	"compass/internal/fuzz"
+	"compass/internal/telemetry"
 )
 
 func main() {
@@ -42,8 +45,13 @@ func main() {
 		expectFail  = flag.Bool("expect-failure", false, "invert the verdict: exit 0 only if a failure is found")
 		list        = flag.Bool("list", false, "list libraries and their mutants")
 		quiet       = flag.Bool("q", false, "suppress progress output")
+		statsOut    = flag.String("stats", "", "write a telemetry JSON snapshot of the campaign to this file")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace of a representative execution to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		progress    = flag.Duration("progress", 5*time.Second, "interval between campaign progress lines (0 = off)")
 	)
 	flag.Parse()
+	cli.StartPprof(*pprofAddr)
 
 	if *list {
 		for _, l := range fuzz.Libs() {
@@ -68,8 +76,20 @@ func main() {
 		NoShrink:       *noShrink,
 		ArtifactDir:    *artifactDir,
 	}
+	// The config treats StaleBias 0 as "use the default"; map the user's
+	// explicit -stale 0 to the sentinel so it means a bias of exactly 0.
+	if *stale == 0 {
+		cfg.StaleBias = check.BiasZero
+	}
+	if *statsOut != "" || *traceOut != "" {
+		cfg.Stats = telemetry.New()
+	}
 	if !*quiet {
 		cfg.Log = os.Stderr
+		if *progress > 0 {
+			cfg.Progress = os.Stderr
+			cfg.ProgressEvery = *progress
+		}
 	}
 	if *lib != "" {
 		cfg.Gen.Libs = []string{*lib}
@@ -92,8 +112,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
 		os.Exit(2)
 	}
-	fmt.Printf("fuzz: %d programs, %d executions, %d unknown verdicts, %d failure classes in %v\n",
-		rep.Programs, rep.Execs, rep.Unknown, len(rep.Failures), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("fuzz: %d programs, %d executions (%d discarded), %d unknown verdicts, %d failure classes in %v\n",
+		rep.Programs, rep.Execs, rep.Discarded, rep.Unknown, len(rep.Failures), time.Since(start).Round(time.Millisecond))
+	if *statsOut != "" {
+		if err := cli.WriteStatsFile(*statsOut, cfg.Stats); err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: stats: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *traceOut != "" {
+		res, name, err := fuzz.TraceExecution(cfg, rep)
+		if err == nil {
+			err = cli.WriteTraceFile(*traceOut, name, res)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: trace-out: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	for i, f := range rep.Failures {
 		fmt.Printf("failure %d: %s on %s", i+1, f.Key, f.Program.Lib)
 		if f.Program.Mutant != "" {

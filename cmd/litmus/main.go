@@ -5,6 +5,7 @@
 //
 //	go run ./cmd/litmus            # the whole suite
 //	go run ./cmd/litmus -test SB   # one test
+//	go run ./cmd/litmus -test SB -stats sb.json -trace-out sb.trace.json
 package main
 
 import (
@@ -14,14 +15,23 @@ import (
 	"strings"
 
 	"compass"
+	"compass/internal/cli"
 )
 
 func main() {
 	name := flag.String("test", "", "run only the named test (e.g. MP+rel+acq, SB, LB)")
 	maxRuns := flag.Int("max-runs", 400000, "exploration bound per test")
 	workers := flag.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS)")
+	statsOut := flag.String("stats", "", "write a telemetry JSON snapshot of the exploration to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of the first test's default schedule to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+	cli.StartPprof(*pprofAddr)
 
+	var stats *compass.Telemetry
+	if *statsOut != "" {
+		stats = compass.NewTelemetry()
+	}
 	failed := false
 	ran := 0
 	for _, t := range compass.LitmusSuite() {
@@ -29,11 +39,18 @@ func main() {
 			continue
 		}
 		ran++
-		res := compass.RunLitmusWorkers(t, *maxRuns, *workers)
+		res := compass.RunLitmusStats(t, *maxRuns, *workers, stats)
 		fmt.Println(res)
 		fmt.Println()
 		if !res.OK() {
 			failed = true
+		}
+		if ran == 1 && *traceOut != "" {
+			r := compass.TraceLitmus(t)
+			if err := cli.WriteTraceFile(*traceOut, t.Name, r); err != nil {
+				fmt.Fprintf(os.Stderr, "litmus: trace-out: %v\n", err)
+				os.Exit(2)
+			}
 		}
 	}
 	if ran == 0 {
@@ -42,6 +59,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %s\n", t.Name)
 		}
 		os.Exit(2)
+	}
+	if *statsOut != "" {
+		if err := cli.WriteStatsFile(*statsOut, stats); err != nil {
+			fmt.Fprintf(os.Stderr, "litmus: stats: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if failed {
 		os.Exit(1)

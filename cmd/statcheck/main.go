@@ -1,0 +1,50 @@
+// Command statcheck validates telemetry artifacts emitted by the other
+// front ends: JSON snapshots (-stats output) against the snapshot schema
+// and Chrome trace files (-trace-out output) against the trace_event
+// format. CI runs it on the files a litmus invocation writes.
+//
+//	go run ./cmd/statcheck -snapshot sb.json -trace sb.trace.json
+//
+// Exit status: 0 when every given file validates, 1 otherwise, 2 on usage
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compass"
+)
+
+func main() {
+	snapshot := flag.String("snapshot", "", "telemetry JSON snapshot to validate")
+	trace := flag.String("trace", "", "Chrome trace_event file to validate")
+	flag.Parse()
+
+	if *snapshot == "" && *trace == "" {
+		fmt.Fprintln(os.Stderr, "statcheck: give -snapshot and/or -trace")
+		os.Exit(2)
+	}
+	failed := false
+	check := func(path, kind string, validate func([]byte) error) {
+		if path == "" {
+			return
+		}
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = validate(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "statcheck: %s: %v\n", kind, err)
+			failed = true
+			return
+		}
+		fmt.Printf("statcheck: %s %s OK\n", kind, path)
+	}
+	check(*snapshot, "snapshot", compass.ValidateTelemetryJSON)
+	check(*trace, "trace", compass.ValidateChromeTraceJSON)
+	if failed {
+		os.Exit(1)
+	}
+}

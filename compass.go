@@ -50,6 +50,7 @@ import (
 	"compass/internal/queue"
 	"compass/internal/spec"
 	"compass/internal/stack"
+	"compass/internal/telemetry"
 	"compass/internal/view"
 )
 
@@ -406,6 +407,50 @@ func ResourceExchangeClient(f ExchangerFactory) func() Checked {
 	return check.ResourceExchange(f)
 }
 
+// --- Telemetry. ---
+
+type (
+	// Telemetry is a set of lock-free exploration counters; pass one via
+	// CheckOptions.Stats (or the Stats variants below) to instrument a run.
+	Telemetry = telemetry.Stats
+	// TelemetrySnapshot is a point-in-time copy of a Telemetry, ready for
+	// JSON export.
+	TelemetrySnapshot = telemetry.Snapshot
+	// ChromeTrace is a Chrome trace_event container (chrome://tracing,
+	// Perfetto).
+	ChromeTrace = telemetry.ChromeTrace
+	// ChromeTraceEvent is one event in a ChromeTrace.
+	ChromeTraceEvent = telemetry.TraceEvent
+	// StepEvent is one structured machine step of a traced execution.
+	StepEvent = machine.StepEvent
+)
+
+// NewTelemetry returns an empty telemetry sink.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// NewChromeTrace returns an empty Chrome trace container.
+func NewChromeTrace() *ChromeTrace { return telemetry.NewChromeTrace() }
+
+// ChromeTraceOfResult renders a traced execution (Runner.Trace on) as
+// Chrome trace events, deterministic in the machine-step timeline.
+func ChromeTraceOfResult(pid int, name string, r *ExecResult) []ChromeTraceEvent {
+	return machine.ChromeTraceEvents(pid, name, r)
+}
+
+// TraceCheckedExecution replays one seed of a workload with step-event
+// recording — the structured sibling of ExplainChecked, for trace export.
+func TraceCheckedExecution(build func() Checked, seed int64, staleBias float64, budget int) (*ExecResult, []Violation) {
+	return check.TraceChecked(build, seed, staleBias, budget)
+}
+
+// ValidateTelemetryJSON checks that data is a well-formed telemetry
+// snapshot as written by Telemetry.WriteJSON.
+func ValidateTelemetryJSON(data []byte) error { return telemetry.ValidateSnapshotJSON(data) }
+
+// ValidateChromeTraceJSON checks that data is a well-formed trace_event
+// file as written by ChromeTrace.WriteJSON.
+func ValidateChromeTraceJSON(data []byte) error { return telemetry.ValidateChromeTraceJSON(data) }
+
 // --- Litmus suite. ---
 
 type (
@@ -426,3 +471,13 @@ func RunLitmus(t LitmusTest, maxRuns int) *LitmusResult { return litmus.Run(t, m
 func RunLitmusWorkers(t LitmusTest, maxRuns, workers int) *LitmusResult {
 	return litmus.RunWorkers(t, maxRuns, workers)
 }
+
+// RunLitmusStats is RunLitmusWorkers with a telemetry sink shared across
+// calls (nil disables recording).
+func RunLitmusStats(t LitmusTest, maxRuns, workers int, stats *Telemetry) *LitmusResult {
+	return litmus.RunWorkersStats(t, maxRuns, workers, stats)
+}
+
+// TraceLitmus replays a litmus test's default schedule with step-event
+// recording, for Chrome trace export.
+func TraceLitmus(t LitmusTest) *ExecResult { return litmus.TraceTest(t) }

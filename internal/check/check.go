@@ -17,6 +17,7 @@ import (
 
 	"compass/internal/machine"
 	"compass/internal/spec"
+	"compass/internal/telemetry"
 )
 
 // Checked is one runnable, checkable instance of a workload: a fresh
@@ -91,32 +92,84 @@ type Options struct {
 	// MaxRuns caps the number of executions explored by ExhaustiveOpt
 	// (default 200000). Run ignores it.
 	MaxRuns int
+	// Stats, when non-nil, receives telemetry for the run: one ExecDone
+	// per execution that the Report accounts for (so its exec counters
+	// always equal the Report's totals, even when parallel workers
+	// overshoot an early stop) plus step-level machine counters. The
+	// final Report carries a Snapshot of it.
+	Stats *telemetry.Stats
 }
 
+// Default option values, shared with the other harness front ends so a
+// zero value means the same thing everywhere.
+const (
+	DefaultExecutions = 200
+	DefaultSeed       = int64(1)
+	DefaultBudget     = 100000
+	DefaultStaleBias  = 0.4
+	DefaultMaxFails   = 5
+	DefaultMaxRuns    = 200000
+)
+
+// NormalizeStaleBias maps the harness encoding of a stale-read bias onto
+// its effective value: 0 (the zero value of an options struct) selects
+// def, any negative value (BiasZero) selects exactly 0, and everything
+// else is taken literally. Both check.Options and fuzz.Config route
+// their bias handling through this helper so that StaleBias: 0 and
+// StaleBias: BiasZero mean the same thing in every package.
+func NormalizeStaleBias(bias, def float64) float64 {
+	if bias == 0 {
+		return def
+	}
+	if bias < 0 {
+		return 0
+	}
+	return bias
+}
+
+// NormalizeSeed maps the Options seed encoding onto its effective value:
+// 0 selects def, SeedZero selects the literal seed 0.
+func NormalizeSeed(seed, def int64) int64 {
+	if seed == 0 {
+		return def
+	}
+	if seed == SeedZero {
+		return 0
+	}
+	return seed
+}
+
+// withDefaults is the single place option normalization happens: every
+// entry point (Run, ExhaustiveOpt, Explain) and every runner they build
+// goes through it, so a zero-value Options means the documented defaults
+// on all paths.
 func (o Options) withDefaults() Options {
 	if o.Executions == 0 {
-		o.Executions = 200
+		o.Executions = DefaultExecutions
 	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	} else if o.Seed == SeedZero {
-		o.Seed = 0
+	o.Seed = NormalizeSeed(o.Seed, DefaultSeed)
+	if o.Budget <= 0 {
+		o.Budget = DefaultBudget
 	}
-	if o.StaleBias == 0 {
-		o.StaleBias = 0.4
-	} else if o.StaleBias < 0 {
-		o.StaleBias = 0
-	}
+	o.StaleBias = NormalizeStaleBias(o.StaleBias, DefaultStaleBias)
 	if o.MaxFailures == 0 {
-		o.MaxFailures = 5
+		o.MaxFailures = DefaultMaxFails
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.MaxRuns <= 0 {
-		o.MaxRuns = 200000
+		o.MaxRuns = DefaultMaxRuns
 	}
 	return o
+}
+
+// runner builds the machine runner for a normalized Options. All runner
+// construction in this package goes through here so budget and telemetry
+// plumbing cannot drift between the sequential, parallel, and replay
+// paths.
+func (o Options) runner(trace bool) *machine.Runner {
+	return &machine.Runner{Budget: o.Budget, Trace: trace, Stats: o.Stats}
 }
 
 // Failure records one failing execution with its replay seed.
@@ -153,6 +206,11 @@ type Report struct {
 	// is a proof for the instance rather than statistical evidence.
 	Exhaustive bool
 	Complete   bool
+	// Stats is a telemetry snapshot taken when the run finished; nil
+	// unless Options.Stats was set. Its exec counters equal this report's
+	// totals when the Stats was fresh for this run (a shared Stats
+	// accumulates across runs).
+	Stats *telemetry.Snapshot
 }
 
 // Passed reports whether no execution failed (discarded and unknown
@@ -208,13 +266,15 @@ func Run(name string, build func() Checked, opt Options) *Report {
 }
 
 func runSequential(name string, build func() Checked, opt Options) *Report {
-	rep := &Report{Name: name, Executions: opt.Executions}
-	runner := &machine.Runner{Budget: opt.Budget}
+	rep := &Report{Name: name}
+	runner := opt.runner(false)
 	for i := 0; i < opt.Executions; i++ {
 		seed := opt.Seed + int64(i)
 		c := build()
 		res := runner.Run(c.Prog, machine.NewRandomBiased(seed, opt.StaleBias))
+		rep.Executions++
 		rep.Steps += res.Steps
+		opt.Stats.ExecDone(uint8(res.Status), res.Steps)
 		switch res.Status {
 		case machine.Budget:
 			rep.Discarded++
@@ -234,7 +294,16 @@ func runSequential(name string, build func() Checked, opt Options) *Report {
 			break
 		}
 	}
-	return rep
+	return rep.attachStats(opt)
+}
+
+// attachStats snapshots the run's telemetry into the report.
+func (r *Report) attachStats(opt Options) *Report {
+	if opt.Stats != nil {
+		snap := opt.Stats.Snapshot()
+		r.Stats = &snap
+	}
+	return r
 }
 
 // runParallel distributes executions over a worker pool and then merges
@@ -256,7 +325,7 @@ func runParallel(name string, build func() Checked, opt Options) *Report {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runner := &machine.Runner{Budget: opt.Budget}
+			runner := opt.runner(false)
 			for {
 				if atomic.LoadInt64(&stop) != 0 {
 					return
@@ -284,14 +353,21 @@ func runParallel(name string, build func() Checked, opt Options) *Report {
 	}
 	wg.Wait()
 
-	rep := &Report{Name: name, Executions: opt.Executions}
+	rep := &Report{Name: name}
 	for i := 0; i < opt.Executions; i++ {
 		out := outcomes[i]
 		if !out.done {
 			break
 		}
 		seed := opt.Seed + int64(i)
+		// Executions counts what the report accounts for, not what the
+		// workers ran: outcomes past the sequential stop point (or never
+		// claimed) are excluded, and ExecDone is recorded here — not in
+		// the workers — so telemetry exec totals always equal the
+		// report's.
+		rep.Executions++
 		rep.Steps += out.steps
+		opt.Stats.ExecDone(uint8(out.status), out.steps)
 		switch out.status {
 		case machine.Budget:
 			rep.Discarded++
@@ -310,7 +386,7 @@ func runParallel(name string, build func() Checked, opt Options) *Report {
 			break
 		}
 	}
-	return rep
+	return rep.attachStats(opt)
 }
 
 // Exhaustive explores every execution of the workload (all interleavings
@@ -337,7 +413,7 @@ func ExhaustiveOpt(name string, build func() Checked, opt Options) *Report {
 	var mu sync.Mutex
 	var failures int64
 	res := machine.ExploreParallel(
-		machine.ExploreOpts{MaxRuns: opt.MaxRuns, Budget: opt.Budget, Workers: opt.Workers},
+		machine.ExploreOpts{MaxRuns: opt.MaxRuns, Budget: opt.Budget, Workers: opt.Workers, Stats: opt.Stats},
 		func() (func() machine.Program, func(*machine.Result) bool) {
 			var cur Checked
 			buildProg := func() machine.Program {
@@ -385,7 +461,7 @@ func ExhaustiveOpt(name string, build func() Checked, opt Options) *Report {
 			return buildProg, visit
 		})
 	rep.Complete = res.Complete
-	return rep
+	return rep.attachStats(opt)
 }
 
 // Explain replays the execution with the given seed under tracing and
@@ -394,18 +470,30 @@ func ExhaustiveOpt(name string, build func() Checked, opt Options) *Report {
 // convention: 0 selects the default 0.4; pass BiasZero (or any negative
 // value) to replay with a bias of exactly 0.
 func Explain(build func() Checked, seed int64, staleBias float64, budget int) (machine.Status, []string, []spec.Violation) {
-	if staleBias == 0 {
-		staleBias = 0.4
-	} else if staleBias < 0 {
-		staleBias = 0
-	}
+	opt := Options{StaleBias: staleBias, Budget: budget}.withDefaults()
 	c := build()
-	res := (&machine.Runner{Budget: budget, Trace: true}).Run(c.Prog, machine.NewRandomBiased(seed, staleBias))
+	res := opt.runner(true).Run(c.Prog, machine.NewRandomBiased(seed, opt.StaleBias))
 	var viols []spec.Violation
 	if res.Status == machine.OK {
 		viols, _ = c.Evaluate()
 	}
-	return res.Status, res.Trace, viols
+	return res.Status, res.Trace(), viols
+}
+
+// TraceChecked is the structured sibling of Explain: it replays the
+// execution with the given seed under step-event recording and returns the
+// machine result (Events populated, ready for Chrome trace export)
+// together with the violations found. staleBias follows the Options
+// convention (0 selects the default, BiasZero means exactly 0).
+func TraceChecked(build func() Checked, seed int64, staleBias float64, budget int) (*machine.Result, []spec.Violation) {
+	opt := Options{StaleBias: staleBias, Budget: budget}.withDefaults()
+	c := build()
+	res := opt.runner(true).Run(c.Prog, machine.NewRandomBiased(seed, opt.StaleBias))
+	var viols []spec.Violation
+	if res.Status == machine.OK {
+		viols, _ = c.Evaluate()
+	}
+	return res, viols
 }
 
 // Collect merges several spec results into the (violations, unknown) pair

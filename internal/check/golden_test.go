@@ -1,0 +1,64 @@
+package check_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compass/internal/check"
+	"compass/internal/machine"
+	"compass/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestExhaustiveEmitsValidArtifacts is the acceptance path for the check
+// harness: an exhaustive run with telemetry on must produce a snapshot
+// that round-trips through the JSON schema validator, and a representative
+// traced replay must export a valid — and byte-stable — Chrome trace.
+func TestExhaustiveEmitsValidArtifacts(t *testing.T) {
+	stats := telemetry.New()
+	rep := check.ExhaustiveOpt("racy-reads", racyReads, check.Options{Stats: stats})
+	if !rep.Complete {
+		t.Fatalf("tiny workload should be fully explored: %s", rep)
+	}
+	var snap bytes.Buffer
+	if err := stats.WriteJSON(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateSnapshotJSON(snap.Bytes()); err != nil {
+		t.Fatalf("snapshot does not validate: %v", err)
+	}
+
+	res, _ := check.TraceChecked(racyReads, 3, check.BiasZero, 0)
+	if len(res.Events) == 0 {
+		t.Fatal("traced replay recorded no step events")
+	}
+	tr := telemetry.NewChromeTrace()
+	tr.Append(machine.ChromeTraceEvents(0, "racy-reads seed 3", res)...)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateChromeTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	golden := filepath.Join("testdata", "chrome_check.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace drifted from golden (run with -update to regenerate):\n%s", buf.Bytes())
+	}
+}

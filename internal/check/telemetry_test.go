@@ -1,0 +1,156 @@
+package check_test
+
+import (
+	"testing"
+
+	"compass/internal/check"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/telemetry"
+	"compass/internal/view"
+)
+
+// racyReads builds a workload with genuine read-choice points: one
+// worker writes x relaxed while another reads it relaxed, so the reader
+// frequently sees two visible messages.
+func racyReads() check.Checked {
+	var x view.Loc
+	return check.Checked{
+		Prog: machine.Program{
+			Setup: func(th *machine.Thread) { x = th.Alloc("x", 0) },
+			Workers: []func(*machine.Thread){
+				func(th *machine.Thread) { th.Write(x, 1, memory.Rlx) },
+				func(th *machine.Thread) { th.Report("r", th.Read(x, memory.Rlx)) },
+			},
+		},
+	}
+}
+
+func TestZeroValueOptionsSelectDefaults(t *testing.T) {
+	// Regression for the options plumbing: a zero-value Options must get
+	// every documented default on every path (the budget default used to
+	// be applied by machine.Runner rather than withDefaults, so paths
+	// that bypassed the runner saw a different value).
+	rep := check.Run("defaults", racyReads, check.Options{})
+	if rep.Executions != check.DefaultExecutions || !rep.Passed() {
+		t.Fatalf("zero-value options: %s", rep)
+	}
+	if rep.Discarded != 0 {
+		t.Fatalf("default budget should never discard this workload: %s", rep)
+	}
+}
+
+func TestNormalizeHelpers(t *testing.T) {
+	cases := []struct{ in, def, want float64 }{
+		{0, 0.4, 0.4},
+		{0, 0.6, 0.6},
+		{check.BiasZero, 0.4, 0},
+		{-7, 0.6, 0},
+		{0.25, 0.4, 0.25},
+	}
+	for _, c := range cases {
+		if got := check.NormalizeStaleBias(c.in, c.def); got != c.want {
+			t.Errorf("NormalizeStaleBias(%v, %v) = %v, want %v", c.in, c.def, got, c.want)
+		}
+	}
+	if check.NormalizeSeed(0, 1) != 1 || check.NormalizeSeed(check.SeedZero, 1) != 0 ||
+		check.NormalizeSeed(42, 1) != 42 {
+		t.Fatal("NormalizeSeed")
+	}
+}
+
+func TestBiasZeroDisablesStaleReads(t *testing.T) {
+	// StaleBias semantics, observed through telemetry: BiasZero must
+	// yield exactly zero stale reads while the default bias exercises
+	// them, on a workload that demonstrably has read-choice points.
+	sc := telemetry.New()
+	check.Run("bias-zero", racyReads, check.Options{Executions: 100, StaleBias: check.BiasZero, Stats: sc})
+	scSnap := sc.Snapshot()
+	if scSnap.Machine.ReadChoices == 0 {
+		t.Fatal("workload produced no read-choice points; test is vacuous")
+	}
+	if scSnap.Machine.StaleReads != 0 {
+		t.Fatalf("BiasZero produced %d stale reads", scSnap.Machine.StaleReads)
+	}
+
+	def := telemetry.New()
+	check.Run("bias-default", racyReads, check.Options{Executions: 100, Stats: def})
+	if snap := def.Snapshot(); snap.Machine.StaleReads == 0 {
+		t.Fatalf("default bias produced no stale reads over %d choices", snap.Machine.ReadChoices)
+	}
+}
+
+func TestStatsAgreeWithReportTotals(t *testing.T) {
+	// The satellite-2 invariant: telemetry exec counters must equal the
+	// Report's totals on every path, including parallel runs where
+	// workers overshoot the early stop, and budget-discarded executions.
+	spin := func() check.Checked {
+		return check.Checked{Prog: machine.Program{Workers: []func(*machine.Thread){
+			func(th *machine.Thread) {
+				for {
+					th.Yield()
+				}
+			},
+		}}}
+	}
+	for _, workers := range []int{1, 4} {
+		stats := telemetry.New()
+		rep := check.Run("spin", spin, check.Options{Executions: 10, Budget: 50, Workers: workers, Stats: stats})
+		snap := stats.Snapshot()
+		if snap.Machine.Execs != int64(rep.Executions) {
+			t.Fatalf("workers=%d: %d execs counted, report says %d", workers, snap.Machine.Execs, rep.Executions)
+		}
+		if snap.Machine.ExecsByStatus["budget"] != int64(rep.Discarded) {
+			t.Fatalf("workers=%d: %d budget execs counted, report discarded %d",
+				workers, snap.Machine.ExecsByStatus["budget"], rep.Discarded)
+		}
+		if snap.Machine.Steps != int64(rep.Steps) {
+			t.Fatalf("workers=%d: %d steps counted, report says %d", workers, snap.Machine.Steps, rep.Steps)
+		}
+		if rep.Stats == nil || rep.Stats.Machine.Execs != snap.Machine.Execs {
+			t.Fatalf("workers=%d: report did not carry the snapshot", workers)
+		}
+	}
+}
+
+func TestStatsAgreeOnParallelEarlyStop(t *testing.T) {
+	boom := func() check.Checked {
+		return check.Checked{Prog: machine.Program{Workers: []func(*machine.Thread){
+			func(th *machine.Thread) { th.Failf("always") },
+		}}}
+	}
+	for _, workers := range []int{1, 8} {
+		stats := telemetry.New()
+		rep := check.Run("boom", boom, check.Options{Executions: 100, MaxFailures: 3, Workers: workers, Stats: stats})
+		if len(rep.Failures) != 3 {
+			t.Fatalf("workers=%d: failures = %d", workers, len(rep.Failures))
+		}
+		// Executions reflects what was accounted, not the configured 100.
+		if rep.Executions != 3 {
+			t.Fatalf("workers=%d: executions = %d, want 3 (early stop)", workers, rep.Executions)
+		}
+		snap := stats.Snapshot()
+		if snap.Machine.Execs != int64(rep.Executions) {
+			t.Fatalf("workers=%d: telemetry %d execs != report %d (overshoot leaked)",
+				workers, snap.Machine.Execs, rep.Executions)
+		}
+	}
+}
+
+func TestExhaustiveStatsAgreeWithReport(t *testing.T) {
+	stats := telemetry.New()
+	rep := check.ExhaustiveOpt("sb", racyReads, check.Options{Stats: stats})
+	if !rep.Complete {
+		t.Fatalf("tiny workload should be fully explored: %s", rep)
+	}
+	snap := stats.Snapshot()
+	if snap.Machine.Execs != int64(rep.Executions) {
+		t.Fatalf("telemetry %d execs != report %d", snap.Machine.Execs, rep.Executions)
+	}
+	if snap.Machine.Steps != int64(rep.Steps) {
+		t.Fatalf("telemetry %d steps != report %d", snap.Machine.Steps, rep.Steps)
+	}
+	if snap.Explore.Prefixes != int64(rep.Executions) {
+		t.Fatalf("prefixes %d != executions %d", snap.Explore.Prefixes, rep.Executions)
+	}
+}

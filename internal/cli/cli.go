@@ -1,0 +1,58 @@
+// Package cli holds the telemetry plumbing shared by the command-line
+// front ends (cmd/compass, cmd/fuzz, cmd/litmus): snapshot and Chrome
+// trace file export, and the opt-in pprof listener. Keeping it in one
+// place means the three binaries cannot drift in how they spell the
+// -stats/-trace-out/-pprof behaviour.
+package cli
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on the default mux, served only when -pprof is set
+	"os"
+
+	"compass/internal/machine"
+	"compass/internal/telemetry"
+)
+
+// StartPprof serves net/http/pprof on addr in the background. Empty addr
+// disables it (the default: no listener is ever opened unless asked for).
+func StartPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+		}
+	}()
+}
+
+// WriteStatsFile writes a telemetry snapshot of stats as JSON to path.
+func WriteStatsFile(path string, stats *telemetry.Stats) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := stats.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteTraceFile writes a Chrome trace_event file for one recorded
+// execution (Runner.Trace must have been on so r.Events is populated).
+func WriteTraceFile(path, name string, r *machine.Result) error {
+	tr := telemetry.NewChromeTrace()
+	tr.Append(machine.ChromeTraceEvents(0, name, r)...)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

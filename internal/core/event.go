@@ -149,6 +149,13 @@ func NewGraph(name string) *Graph {
 // Tag returns the graph's globally unique object tag.
 func (g *Graph) Tag() int64 { return g.tag }
 
+// ResetTagsForTesting resets the global tag counter. EventIDs (and values
+// derived from them, like eid cells visible in step traces) embed the
+// tag, so tests that golden-compare traced executions call this to be
+// independent of how many graphs earlier tests created. Only safe when
+// no graph from before the reset is still in use.
+func ResetTagsForTesting() { atomic.StoreInt64(&graphTag, 0) }
+
 // Owns reports whether the event ID belongs to this graph's object.
 func (g *Graph) Owns(id view.EventID) bool { return id.Object() == g.tag }
 

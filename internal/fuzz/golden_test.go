@@ -1,0 +1,80 @@
+package fuzz
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compass/internal/core"
+	"compass/internal/machine"
+	"compass/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestCampaignEmitsValidArtifacts is the acceptance path for the fuzzer:
+// a campaign with telemetry on must produce a snapshot that validates
+// against the JSON schema, and the representative traced execution must
+// export a valid — and byte-stable — Chrome trace.
+func TestCampaignEmitsValidArtifacts(t *testing.T) {
+	cfg := Config{
+		Seed:     42,
+		Programs: 20,
+		Execs:    150,
+		Stats:    telemetry.New(),
+		Gen:      GenConfig{Libs: []string{"treiber"}, Mutant: "relaxed-push", LibBias: 0.9},
+	}
+	rep, err := Fuzz(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatal("mutated campaign found nothing; trace would not cover the failure path")
+	}
+	var snap bytes.Buffer
+	if err := cfg.Stats.WriteJSON(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateSnapshotJSON(snap.Bytes()); err != nil {
+		t.Fatalf("snapshot does not validate: %v", err)
+	}
+
+	// EventID-derived values in the trace (eid cells) embed the global
+	// graph tag; pin it so the golden bytes don't depend on how many
+	// graphs earlier tests created.
+	core.ResetTagsForTesting()
+	res, name, err := TraceExecution(cfg, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("traced replay recorded no step events")
+	}
+	tr := telemetry.NewChromeTrace()
+	tr.Append(machine.ChromeTraceEvents(0, name, res)...)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateChromeTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	golden := filepath.Join("testdata", "chrome_fuzz.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace drifted from golden (run with -update to regenerate):\n%s", buf.Bytes())
+	}
+}

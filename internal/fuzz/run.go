@@ -8,8 +8,10 @@ import (
 	"strings"
 	"time"
 
+	"compass/internal/check"
 	"compass/internal/machine"
 	"compass/internal/spec"
+	"compass/internal/telemetry"
 )
 
 // Failure is one discovered counterexample: a program plus the decision
@@ -27,6 +29,12 @@ type Failure struct {
 	Key string `json:"key"`
 	// Shrunk records whether the minimizer ran to a fixpoint.
 	Shrunk bool `json:"shrunk"`
+	// GenSeed and ExecSeed record the derived seeds that generated the
+	// program and drove the failing execution (provenance; replay itself
+	// needs only Decisions). ExecSeed is 0 for failures found by the
+	// exhaustive phase, which is seedless.
+	GenSeed  int64 `json:"gen_seed,omitempty"`
+	ExecSeed int64 `json:"exec_seed,omitempty"`
 }
 
 // failureKey classifies a failing execution so that shrinking can insist
@@ -98,23 +106,28 @@ func Replay(p Program, ds []machine.Decision, budget int) (*Failure, error) {
 // backtracking scheme as machine.Explore, rebuilt here so each run's
 // decision trace is captured for counterexample artifacts), returning the
 // first failure, the number of runs, whether the tree was exhausted, and
-// the unknown-verdict count.
-func explore(p Program, maxRuns, budget int) (*Failure, int, bool, int) {
-	runner := &machine.Runner{Budget: budget}
+// the unknown-verdict and discarded counts. stats (nil disables)
+// receives one ExecDone/FuzzExec per run.
+func explore(p Program, maxRuns, budget int, stats *telemetry.Stats) (f *Failure, runs int, complete bool, unknowns, discards int) {
+	runner := &machine.Runner{Budget: budget, Stats: stats}
 	var prefix []machine.Decision
-	runs, unknowns := 0, 0
 	for runs < maxRuns {
 		inst, err := Build(p)
 		if err != nil {
-			return nil, runs, false, unknowns
+			return nil, runs, false, unknowns, discards
 		}
 		strat := machine.ReplayStrategy(prefix)
 		r := runner.Run(inst.Checked.Prog, strat)
 		runs++
+		if r.Status == machine.Budget {
+			discards++
+		}
+		stats.ExecDone(uint8(r.Status), r.Steps)
+		stats.FuzzExec(r.Status == machine.Budget)
 		f, unk := judge(p, inst, r, strat.Trace)
 		unknowns += unk
 		if f != nil {
-			return f, runs, false, unknowns
+			return f, runs, false, unknowns, discards
 		}
 		trace := strat.Trace
 		i := len(trace) - 1
@@ -124,12 +137,12 @@ func explore(p Program, maxRuns, budget int) (*Failure, int, bool, int) {
 			}
 		}
 		if i < 0 {
-			return nil, runs, true, unknowns
+			return nil, runs, true, unknowns, discards
 		}
 		prefix = append(append([]machine.Decision{}, trace[:i]...),
 			machine.Decision{N: trace[i].N, Pick: trace[i].Pick + 1})
 	}
-	return nil, runs, false, unknowns
+	return nil, runs, false, unknowns, discards
 }
 
 // Config parameterizes a fuzzing campaign.
@@ -145,8 +158,10 @@ type Config struct {
 	// Execs is the number of seeded-random executions per program
 	// (default 200).
 	Execs int
-	// StaleBias is the random strategy's stale-read bias (default 0.6 —
-	// aggressive weak behaviors).
+	// StaleBias is the random strategy's stale-read bias. It follows the
+	// same convention as check.Options.StaleBias: the zero value selects
+	// the default (0.6 here — aggressive weak behaviors), and
+	// check.BiasZero (or any negative value) selects exactly 0.
 	StaleBias float64
 	// Budget caps machine steps per execution (default 50000).
 	Budget int
@@ -166,7 +181,20 @@ type Config struct {
 	ArtifactDir string
 	// Log, when set, receives campaign progress lines.
 	Log io.Writer
+	// Stats, when non-nil, receives campaign telemetry: program/exec/
+	// failure/shrink/artifact counters plus the machine-level counters of
+	// every campaign execution (shrink replays count only as shrink
+	// attempts). The final Report carries a Snapshot of it.
+	Stats *telemetry.Stats
+	// Progress, when set, receives a periodic one-line campaign summary
+	// (programs, execs, rate, failures) every ProgressEvery.
+	Progress io.Writer
+	// ProgressEvery is the progress-line interval (default 5s).
+	ProgressEvery time.Duration
 }
+
+// DefaultStaleBias is the campaign default stale-read bias.
+const DefaultStaleBias = 0.6
 
 func (c Config) norm() Config {
 	if c.Programs <= 0 {
@@ -178,14 +206,15 @@ func (c Config) norm() Config {
 	if c.Execs <= 0 {
 		c.Execs = 200
 	}
-	if c.StaleBias <= 0 {
-		c.StaleBias = 0.6
-	}
+	c.StaleBias = check.NormalizeStaleBias(c.StaleBias, DefaultStaleBias)
 	if c.Budget <= 0 {
 		c.Budget = 50000
 	}
 	if c.MaxFailures <= 0 {
 		c.MaxFailures = 1
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 5 * time.Second
 	}
 	return c
 }
@@ -194,6 +223,9 @@ func (c Config) norm() Config {
 type Report struct {
 	Programs int
 	Execs    int
+	// Discarded counts budget-exhausted executions (consistent with the
+	// check harness's "discarded" accounting: neither pass nor fail).
+	Discarded int
 	// Unknown counts undecided spec/oracle verdicts (budget-bounded
 	// linearizability searches), not failures.
 	Unknown  int
@@ -201,6 +233,9 @@ type Report struct {
 	// Artifacts lists the artifact directories written (parallel to
 	// Failures when ArtifactDir was set).
 	Artifacts []string
+	// Stats is a telemetry snapshot taken when the campaign finished; nil
+	// unless Config.Stats or Config.Progress was set.
+	Stats *telemetry.Snapshot
 }
 
 func logf(w io.Writer, format string, args ...interface{}) {
@@ -216,28 +251,46 @@ func logf(w io.Writer, format string, args ...interface{}) {
 // written out as a replayable artifact bundle.
 func Fuzz(cfg Config) (*Report, error) {
 	cfg = cfg.norm()
+	if cfg.Stats == nil && cfg.Progress != nil {
+		// Progress lines read the counters, so recording must be on.
+		cfg.Stats = telemetry.New()
+	}
 	rep := &Report{}
 	seen := map[string]bool{}
 	start := time.Now()
+	stopProgress := telemetry.StartProgress(cfg.Progress, cfg.ProgressEvery, func() string {
+		snap := cfg.Stats.Snapshot()
+		return fmt.Sprintf("fuzz: %d programs, %d execs (%s, %d discarded), %d failures, %d shrink attempts",
+			snap.Fuzz.Programs, snap.Fuzz.Execs, telemetry.Rate(snap.Fuzz.Execs, time.Since(start)),
+			snap.Fuzz.Discarded, snap.Fuzz.Failures, snap.Fuzz.ShrinkAttempts)
+	})
+	defer stopProgress()
 	for i := 0; i < cfg.Programs; i++ {
 		if cfg.Duration > 0 && time.Since(start) >= cfg.Duration {
 			break
 		}
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		// Both per-program seed streams are splitmix64-derived: plain
+		// arithmetic derivation (seed + i*prime) let campaigns with nearby
+		// seeds replay overlapping execution streams.
+		genSeed := deriveSeed(cfg.Seed, streamGen, int64(i))
+		rng := rand.New(rand.NewSource(genSeed))
 		p := Generate(rng, cfg.Gen)
 		if err := p.Validate(); err != nil {
 			return nil, fmt.Errorf("generated invalid program: %v", err)
 		}
 		rep.Programs++
-		f := fuzzProgram(cfg, rep, p, cfg.Seed+int64(i)*1_000_003)
+		cfg.Stats.FuzzProgram()
+		f := fuzzProgram(cfg, rep, p, deriveSeed(cfg.Seed, streamExec, int64(i)))
 		if f == nil || seen[f.Key] {
 			continue
 		}
+		f.GenSeed = genSeed
 		seen[f.Key] = true
+		cfg.Stats.FuzzFailure()
 		logf(cfg.Log, "program %d (%s): FAILURE %s (%d threads, %d ops, %d decisions)",
 			i, p.Lib, f.Key, f.Program.NumThreads(), f.Program.NumOps(), len(f.Decisions))
 		if !cfg.NoShrink {
-			f = Shrink(f, cfg.Budget, cfg.Log)
+			f = ShrinkStats(f, cfg.Budget, cfg.Log, cfg.Stats)
 			logf(cfg.Log, "  shrunk to %d threads, %d ops, %d decisions",
 				f.Program.NumThreads(), f.Program.NumOps(), len(f.Decisions))
 		}
@@ -248,37 +301,52 @@ func Fuzz(cfg Config) (*Report, error) {
 				return rep, fmt.Errorf("writing artifacts: %v", err)
 			}
 			rep.Artifacts = append(rep.Artifacts, dir)
+			cfg.Stats.FuzzArtifact()
 			logf(cfg.Log, "  artifacts: %s", dir)
 		}
 		if len(rep.Failures) >= cfg.MaxFailures {
 			break
 		}
 	}
+	if cfg.Stats != nil {
+		snap := cfg.Stats.Snapshot()
+		rep.Stats = &snap
+	}
 	return rep, nil
 }
 
 // fuzzProgram runs both exploration phases on one program and returns its
-// first failure (or nil).
-func fuzzProgram(cfg Config, rep *Report, p Program, seed int64) *Failure {
-	runner := &machine.Runner{Budget: cfg.Budget}
+// first failure (or nil). execBase seeds the random phase: execution j
+// runs under deriveSeed(execBase, streamStep, j), which the returned
+// failure records as ExecSeed.
+func fuzzProgram(cfg Config, rep *Report, p Program, execBase int64) *Failure {
+	runner := &machine.Runner{Budget: cfg.Budget, Stats: cfg.Stats}
 	for j := 0; j < cfg.Execs; j++ {
 		inst, err := Build(p)
 		if err != nil {
 			return nil
 		}
-		strat := machine.Record(machine.NewRandomBiased(seed+int64(j), cfg.StaleBias))
+		execSeed := deriveSeed(execBase, streamStep, int64(j))
+		strat := machine.Record(machine.NewRandomBiased(execSeed, cfg.StaleBias))
 		r := runner.Run(inst.Checked.Prog, strat)
 		rep.Execs++
+		if r.Status == machine.Budget {
+			rep.Discarded++
+		}
+		cfg.Stats.ExecDone(uint8(r.Status), r.Steps)
+		cfg.Stats.FuzzExec(r.Status == machine.Budget)
 		f, unk := judge(p, inst, r, strat.Trace)
 		rep.Unknown += unk
 		if f != nil {
+			f.ExecSeed = execSeed
 			return f
 		}
 	}
 	if cfg.ExhaustiveRuns > 0 {
-		f, runs, _, unk := explore(p, cfg.ExhaustiveRuns, cfg.Budget)
+		f, runs, _, unk, disc := explore(p, cfg.ExhaustiveRuns, cfg.Budget, cfg.Stats)
 		rep.Execs += runs
 		rep.Unknown += unk
+		rep.Discarded += disc
 		if f != nil {
 			return f
 		}

@@ -1,0 +1,30 @@
+package fuzz
+
+// Stream tags separating the independent seed streams derived from one
+// campaign seed. Any distinct constants work; these spell out the stream
+// names in ASCII for debuggability of dumped seeds.
+const (
+	streamGen  uint64 = 0x67656e2d70726f67 // "gen-prog": program generation
+	streamExec uint64 = 0x657865632d736571 // "exec-seq": per-program execution base
+	streamStep uint64 = 0x657865632d6f6e65 // "exec-one": per-execution seed
+)
+
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood 2014): a
+// bijective avalanche mix in which every input bit affects every output
+// bit. math/rand does not scramble nearby seeds, so deriving campaign
+// seed streams by plain arithmetic (the old cfg.Seed + i*7919 scheme)
+// made campaigns with nearby seeds replay overlapping execution streams;
+// mixing through splitmix64 makes the streams statistically disjoint.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// deriveSeed derives the i-th seed of the given stream from a base seed.
+// The derivation is pure, so any recorded derived seed (Failure.GenSeed,
+// Failure.ExecSeed) replays without knowing the campaign structure.
+func deriveSeed(base int64, stream uint64, i int64) int64 {
+	return int64(splitmix64(splitmix64(uint64(base)^stream) + uint64(i)))
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"compass/internal/machine"
+	"compass/internal/telemetry"
 )
 
 // shrinkBudget caps the replays one Shrink call may spend; minimization is
@@ -20,6 +21,7 @@ type shrinker struct {
 	budget  int // machine steps per replay
 	replays int
 	log     io.Writer
+	stats   *telemetry.Stats // shrink-attempt telemetry (nil disables)
 }
 
 func (s *shrinker) spent() bool { return s.replays >= shrinkBudget }
@@ -34,8 +36,10 @@ func (s *shrinker) attempt(p Program, ds []machine.Decision) *Failure {
 	s.replays++
 	f, err := Replay(p, ds, s.budget)
 	if err != nil || f == nil || f.Key != s.key {
+		s.stats.FuzzShrink(false)
 		return nil
 	}
+	s.stats.FuzzShrink(true)
 	return f
 }
 
@@ -65,7 +69,7 @@ func (s *shrinker) rediscover(p Program) *Failure {
 	if remaining > 600 {
 		remaining = 600
 	}
-	f, runs, _, _ := explore(p, remaining, s.budget)
+	f, runs, _, _, _ := explore(p, remaining, s.budget, nil)
 	s.replays += runs
 	if f != nil && f.Key == s.key {
 		return f
@@ -122,7 +126,14 @@ func dropOp(p Program, t, i int) Program {
 // to the same failure class, so the result is as trustworthy as the
 // original counterexample and far easier to read.
 func Shrink(f *Failure, budget int, log io.Writer) *Failure {
-	s := &shrinker{key: f.Key, budget: budget, log: log}
+	return ShrinkStats(f, budget, log, nil)
+}
+
+// ShrinkStats is Shrink with a telemetry sink: every candidate replay is
+// recorded as a shrink attempt, accepted when it reproduced the failure
+// class (nil stats disables recording).
+func ShrinkStats(f *Failure, budget int, log io.Writer, stats *telemetry.Stats) *Failure {
+	s := &shrinker{key: f.Key, budget: budget, log: log, stats: stats}
 	cur := f
 	for round := 0; round < 8; round++ {
 		changed := false

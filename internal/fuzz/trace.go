@@ -1,0 +1,38 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"compass/internal/machine"
+)
+
+// TraceExecution replays one representative execution of a finished
+// campaign with step-event recording, for Chrome trace export: the first
+// failure's minimized schedule when the campaign found one, otherwise the
+// first execution of the first generated program. Both replays derive
+// every seed from cfg, so the exported trace is deterministic for a fixed
+// (cfg, rep) pair and therefore golden-testable.
+func TraceExecution(cfg Config, rep *Report) (*machine.Result, string, error) {
+	cfg = cfg.norm()
+	if rep != nil && len(rep.Failures) > 0 {
+		f := rep.Failures[0]
+		inst, err := Build(f.Program)
+		if err != nil {
+			return nil, "", fmt.Errorf("trace: rebuild failure: %w", err)
+		}
+		r := (&machine.Runner{Budget: cfg.Budget, Trace: true}).
+			Run(inst.Checked.Prog, machine.ReplayStrategy(f.Decisions))
+		return r, "failure " + f.Key, nil
+	}
+	genSeed := deriveSeed(cfg.Seed, streamGen, 0)
+	p := Generate(rand.New(rand.NewSource(genSeed)), cfg.Gen)
+	inst, err := Build(p)
+	if err != nil {
+		return nil, "", fmt.Errorf("trace: build program 0: %w", err)
+	}
+	execSeed := deriveSeed(deriveSeed(cfg.Seed, streamExec, 0), streamStep, 0)
+	r := (&machine.Runner{Budget: cfg.Budget, Trace: true}).
+		Run(inst.Checked.Prog, machine.NewRandomBiased(execSeed, cfg.StaleBias))
+	return r, fmt.Sprintf("%s program 0 exec 0", p.Lib), nil
+}

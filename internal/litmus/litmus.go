@@ -17,6 +17,7 @@ import (
 
 	"compass/internal/machine"
 	"compass/internal/memory"
+	"compass/internal/telemetry"
 	"compass/internal/view"
 )
 
@@ -40,6 +41,10 @@ type Result struct {
 	Runs     int
 	Complete bool
 	Outcomes map[string]int
+	// Discarded counts budget-exhausted executions; they contribute no
+	// outcome and are consistent with the check harness's "discarded"
+	// accounting.
+	Discarded int
 	// ForbiddenSeen lists forbidden outcomes that were observed.
 	ForbiddenSeen []string
 	// RequiredMissing lists required outcomes never observed.
@@ -63,6 +68,9 @@ func (r *Result) String() string {
 	sort.Strings(keys)
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-16s %s  %d executions (complete=%v)", r.Test.Name, verdict, r.Runs, r.Complete)
+	if r.Discarded > 0 {
+		fmt.Fprintf(&b, " %d discarded", r.Discarded)
+	}
 	for _, k := range keys {
 		fmt.Fprintf(&b, "\n    %-28s %6d", k, r.Outcomes[k])
 	}
@@ -98,16 +106,30 @@ func Run(t Test, maxRuns int) *Result { return RunWorkers(t, maxRuns, 0) }
 // the test regardless of worker count: the parallel explorer visits
 // exactly the executions the sequential one does.
 func RunWorkers(t Test, maxRuns, workers int) *Result {
+	return RunWorkersStats(t, maxRuns, workers, nil)
+}
+
+// RunWorkersStats is RunWorkers with a telemetry sink: the exploration's
+// exec/step/prefix counters are recorded into stats (nil disables). The
+// exec counters equal Runs and the "budget" status count equals
+// Discarded — litmus accounts budget-exhausted executions the same way
+// the check harness does.
+func RunWorkersStats(t Test, maxRuns, workers int, stats *telemetry.Stats) *Result {
 	res := &Result{Test: t, Outcomes: map[string]int{}}
 	var mu sync.Mutex
 	er := machine.ExploreParallel(
-		machine.ExploreOpts{MaxRuns: maxRuns, Workers: workers},
+		machine.ExploreOpts{MaxRuns: maxRuns, Workers: workers, Stats: stats},
 		func() (func() machine.Program, func(*machine.Result) bool) {
 			return t.Build, func(r *machine.Result) bool {
-				if r.Status == machine.OK {
+				switch r.Status {
+				case machine.OK:
 					key := outcomeKey(r.Outcome)
 					mu.Lock()
 					res.Outcomes[key]++
+					mu.Unlock()
+				case machine.Budget:
+					mu.Lock()
+					res.Discarded++
 					mu.Unlock()
 				}
 				return true
@@ -126,6 +148,15 @@ func RunWorkers(t Test, maxRuns, workers int) *Result {
 		}
 	}
 	return res
+}
+
+// TraceTest replays the test's default schedule (every decision takes
+// branch 0, the one serial exploration visits first) with step-event
+// recording, for Chrome trace export. The replay is deterministic, so the
+// exported trace is golden-testable.
+func TraceTest(t Test) *machine.Result {
+	strat := machine.ReplayStrategy(nil)
+	return (&machine.Runner{Trace: true}).Run(t.Build(), strat)
 }
 
 // twoLoc allocates the standard two shared locations.

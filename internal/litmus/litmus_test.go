@@ -2,6 +2,9 @@ package litmus
 
 import (
 	"testing"
+
+	"compass/internal/machine"
+	"compass/internal/telemetry"
 )
 
 func TestSuiteAllPass(t *testing.T) {
@@ -72,5 +75,45 @@ func TestRunWorkersMatchesSequential(t *testing.T) {
 				t.Errorf("%s: outcome %q: seq %d, par %d", lt.Name, k, n, par.Outcomes[k])
 			}
 		}
+	}
+}
+
+// TestRunWorkersStatsAgree asserts the telemetry exec counters equal the
+// litmus result's accounting, including budget-discarded executions.
+func TestRunWorkersStatsAgree(t *testing.T) {
+	stats := telemetry.New()
+	res := RunWorkersStats(Suite()[0], 400000, 4, stats)
+	if !res.OK() {
+		t.Fatalf("%s", res)
+	}
+	snap := stats.Snapshot()
+	if snap.Machine.Execs != int64(res.Runs) {
+		t.Fatalf("telemetry %d execs != %d runs", snap.Machine.Execs, res.Runs)
+	}
+	if snap.Machine.ExecsByStatus["budget"] != int64(res.Discarded) {
+		t.Fatalf("telemetry %d budget != %d discarded", snap.Machine.ExecsByStatus["budget"], res.Discarded)
+	}
+
+	// A spinning test under a tiny budget: every execution is discarded,
+	// and telemetry agrees.
+	spin := Test{Name: "spin", Build: func() machine.Program {
+		return machine.Program{Workers: []func(*machine.Thread){
+			func(th *machine.Thread) {
+				for {
+					th.Yield()
+				}
+			},
+		}}
+	}}
+	stats = telemetry.New()
+	res = RunWorkersStats(spin, 0, 1, stats)
+	// Budget is the machine default here, so force discards via MaxDepth-free
+	// exploration with the default budget: the spin loop exhausts it.
+	if res.Discarded == 0 || res.Discarded != res.Runs {
+		t.Fatalf("spin test: %d discarded of %d runs", res.Discarded, res.Runs)
+	}
+	snap = stats.Snapshot()
+	if snap.Machine.ExecsByStatus["budget"] != int64(res.Discarded) {
+		t.Fatalf("telemetry %d budget != %d discarded", snap.Machine.ExecsByStatus["budget"], res.Discarded)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"compass/internal/memory"
+	"compass/internal/telemetry"
 	"compass/internal/view"
 )
 
@@ -67,8 +68,22 @@ type Result struct {
 	Mem     *memory.Memory
 	Steps   int
 	Outcome map[string]int64 // values reported by Thread.Report
-	// Trace is the per-step operation log (only when Runner.Trace is set).
-	Trace []string
+	// Events is the typed per-step operation log (only when Runner.Trace
+	// is set). Use Trace() for the legacy string rendering.
+	Events []StepEvent
+}
+
+// Trace renders the recorded events as the legacy human-readable
+// per-step lines (one string per traced operation).
+func (r *Result) Trace() []string {
+	if len(r.Events) == 0 {
+		return nil
+	}
+	out := make([]string, len(r.Events))
+	for i, e := range r.Events {
+		out[i] = e.String()
+	}
+	return out
 }
 
 // Strategy resolves scheduling and read nondeterminism. Implementations
@@ -128,19 +143,25 @@ func (t *Thread) step() {
 func (t *Thread) Alloc(name string, init int64) view.Loc {
 	t.step()
 	l := t.mc.mem.Alloc(t.tv, name, init)
-	t.mc.tracef("T%d  alloc   %s (l%d) := %d", t.id, name, l, init)
+	if t.mc.tracing {
+		t.mc.record(StepEvent{Thread: t.id, Kind: StepAlloc, Loc: l, LocName: name, Val: init})
+	}
 	return l
 }
 
 // Read loads from l with the given access mode.
 func (t *Thread) Read(l view.Loc, mode memory.Mode) int64 {
 	t.step()
-	v, err := t.mc.mem.Read(t.tv, l, mode, t.mc.chooser())
+	v, err := t.mc.mem.Read(t.tv, l, mode, &t.mc.reads)
 	if err != nil {
-		t.mc.tracef("T%d  RACE    read_%v %s", t.id, mode, t.mc.mem.Name(l))
+		if t.mc.tracing {
+			t.mc.record(StepEvent{Thread: t.id, Kind: StepRead, Loc: l, LocName: t.mc.mem.Name(l), RMode: mode, Race: true})
+		}
 		panic(abort{status: Racy, err: err})
 	}
-	t.mc.tracef("T%d  read    %s =%v= %d", t.id, t.mc.mem.Name(l), mode, v)
+	if t.mc.tracing {
+		t.mc.record(StepEvent{Thread: t.id, Kind: StepRead, Loc: l, LocName: t.mc.mem.Name(l), RMode: mode, Val: v})
+	}
 	return v
 }
 
@@ -148,10 +169,14 @@ func (t *Thread) Read(l view.Loc, mode memory.Mode) int64 {
 func (t *Thread) Write(l view.Loc, v int64, mode memory.Mode) {
 	t.step()
 	if err := t.mc.mem.Write(t.tv, l, v, mode); err != nil {
-		t.mc.tracef("T%d  RACE    write_%v %s", t.id, mode, t.mc.mem.Name(l))
+		if t.mc.tracing {
+			t.mc.record(StepEvent{Thread: t.id, Kind: StepWrite, Loc: l, LocName: t.mc.mem.Name(l), WMode: mode, Race: true})
+		}
 		panic(abort{status: Racy, err: err})
 	}
-	t.mc.tracef("T%d  write   %s :=%v= %d", t.id, t.mc.mem.Name(l), mode, v)
+	if t.mc.tracing {
+		t.mc.record(StepEvent{Thread: t.id, Kind: StepWrite, Loc: l, LocName: t.mc.mem.Name(l), WMode: mode, Val: v})
+	}
 }
 
 // Free deallocates a location; any later access by any thread is
@@ -161,14 +186,18 @@ func (t *Thread) Free(l view.Loc) {
 	if err := t.mc.mem.Free(t.tv, l); err != nil {
 		panic(abort{status: Racy, err: err})
 	}
-	t.mc.tracef("T%d  free    %s", t.id, t.mc.mem.Name(l))
+	if t.mc.tracing {
+		t.mc.record(StepEvent{Thread: t.id, Kind: StepFree, Loc: l, LocName: t.mc.mem.Name(l)})
+	}
 }
 
 // Fence issues a fence: acquire, release, or both.
 func (t *Thread) Fence(acquire, release bool) {
 	t.step()
 	t.mc.mem.Fence(t.tv, acquire, release)
-	t.mc.tracef("T%d  fence   acq=%v rel=%v", t.id, acquire, release)
+	if t.mc.tracing {
+		t.mc.record(StepEvent{Thread: t.id, Kind: StepFence, Acquire: acquire, Release: release})
+	}
 }
 
 // FenceSC issues a sequentially consistent fence (totally ordered with all
@@ -176,7 +205,9 @@ func (t *Thread) Fence(acquire, release bool) {
 func (t *Thread) FenceSC() {
 	t.step()
 	t.mc.mem.FenceSC(t.tv)
-	t.mc.tracef("T%d  fence   sc", t.id)
+	if t.mc.tracing {
+		t.mc.record(StepEvent{Thread: t.id, Kind: StepFenceSC})
+	}
 }
 
 // CAS atomically compares-and-swaps l from expected to newv. readMode
@@ -184,7 +215,10 @@ func (t *Thread) FenceSC() {
 func (t *Thread) CAS(l view.Loc, expected, newv int64, readMode, writeMode memory.Mode) (int64, bool) {
 	t.step()
 	old, ok := t.updateChecked(l, func(o int64) (int64, bool) { return newv, o == expected }, readMode, writeMode)
-	t.mc.tracef("T%d  cas     %s %d→%d (read %d, ok=%v)", t.id, t.mc.mem.Name(l), expected, newv, old, ok)
+	if t.mc.tracing {
+		t.mc.record(StepEvent{Thread: t.id, Kind: StepCAS, Loc: l, LocName: t.mc.mem.Name(l),
+			RMode: readMode, WMode: writeMode, Arg: expected, Val: newv, Old: old, OK: ok})
+	}
 	return old, ok
 }
 
@@ -192,7 +226,10 @@ func (t *Thread) CAS(l view.Loc, expected, newv int64, readMode, writeMode memor
 func (t *Thread) FetchAdd(l view.Loc, d int64, readMode, writeMode memory.Mode) int64 {
 	t.step()
 	old, _ := t.updateChecked(l, func(o int64) (int64, bool) { return o + d, true }, readMode, writeMode)
-	t.mc.tracef("T%d  faa     %s += %d (old %d)", t.id, t.mc.mem.Name(l), d, old)
+	if t.mc.tracing {
+		t.mc.record(StepEvent{Thread: t.id, Kind: StepFAA, Loc: l, LocName: t.mc.mem.Name(l),
+			RMode: readMode, WMode: writeMode, Val: d, Old: old})
+	}
 	return old
 }
 
@@ -201,7 +238,10 @@ func (t *Thread) FetchAdd(l view.Loc, d int64, readMode, writeMode memory.Mode) 
 func (t *Thread) Exchange(l view.Loc, v int64, readMode, writeMode memory.Mode) int64 {
 	t.step()
 	old, _ := t.updateChecked(l, func(int64) (int64, bool) { return v, true }, readMode, writeMode)
-	t.mc.tracef("T%d  xchg    %s := %d (old %d)", t.id, t.mc.mem.Name(l), v, old)
+	if t.mc.tracing {
+		t.mc.record(StepEvent{Thread: t.id, Kind: StepXchg, Loc: l, LocName: t.mc.mem.Name(l),
+			RMode: readMode, WMode: writeMode, Val: v, Old: old})
+	}
 	return old
 }
 
@@ -263,32 +303,40 @@ type event struct {
 type controller struct {
 	mem     *memory.Memory
 	strat   Strategy
+	stats   *telemetry.Stats // nil when telemetry is disabled
+	reads   readChooser      // constructed once per run, not per Read
 	events  chan event
 	grants  []chan struct{}
 	kill    chan struct{}
 	steps   int
 	budget  int
 	outcome map[string]int64
-	trace   []string // per-step op log (only when tracing is enabled)
+	trace   []StepEvent // per-step op log (only when tracing is enabled)
 	tracing bool
 }
 
-// tracef appends a formatted line to the execution trace.
-func (c *controller) tracef(format string, args ...interface{}) {
-	if c.tracing {
-		c.trace = append(c.trace, fmt.Sprintf(format, args...))
-	}
+// record appends a typed event to the execution trace, stamping the
+// current step index. Callers must guard with c.tracing so disabled
+// tracing costs nothing.
+func (c *controller) record(e StepEvent) {
+	e.Step = c.steps
+	c.trace = append(c.trace, e)
 }
 
-func (c *controller) chooser() memory.Chooser { return chooserFunc(c.strat.Choose) }
+// readChooser validates the strategy's read choices and records the
+// fanout/staleness telemetry. One value lives on the controller for the
+// whole run so the per-Read chooser lookup allocates nothing.
+type readChooser struct {
+	strat Strategy
+	stats *telemetry.Stats
+}
 
-type chooserFunc func(int) int
-
-func (f chooserFunc) Choose(n int) int {
-	i := f(n)
+func (rc *readChooser) Choose(n int) int {
+	i := rc.strat.Choose(n)
 	if i < 0 || i >= n {
 		panic(fmt.Sprintf("machine: strategy chose %d of %d", i, n))
 	}
+	rc.stats.ReadChoice(n, i)
 	return i
 }
 
@@ -297,9 +345,16 @@ type Runner struct {
 	// Budget is the maximum number of machine steps per execution
 	// (default 100000).
 	Budget int
-	// Trace records a human-readable per-step operation log into the
-	// Result (for diagnosing counterexamples; costs time and memory).
+	// Trace records a typed per-step operation log into the Result (for
+	// diagnosing counterexamples; costs time and memory).
 	Trace bool
+	// Stats, when non-nil, receives step-level telemetry (thread picks,
+	// read-choice fanout, stale reads). Execution-level counters
+	// (ExecDone) are recorded by whichever layer accounts for results —
+	// the explorer or the check harness — so that telemetry totals always
+	// agree with reported totals even when parallel workers overshoot an
+	// early stop. Safe to share one Stats across concurrent Runners.
+	Stats *telemetry.Stats
 }
 
 // Run executes prog under the given strategy and returns the result.
@@ -312,6 +367,8 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 	c := &controller{
 		mem:     memory.New(),
 		strat:   strat,
+		stats:   r.Stats,
+		reads:   readChooser{strat: strat, stats: r.Stats},
 		events:  make(chan event),
 		grants:  make([]chan struct{}, nw+1),
 		kill:    make(chan struct{}),
@@ -387,7 +444,7 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 	}
 	var final *Result
 	finish := func(st Status, err error) {
-		final = &Result{Status: st, Err: err, Mem: c.mem, Steps: c.steps, Outcome: c.outcome, Trace: c.trace}
+		final = &Result{Status: st, Err: err, Mem: c.mem, Steps: c.steps, Outcome: c.outcome, Events: c.trace}
 	}
 
 	for final == nil {
@@ -469,6 +526,7 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 		if len(runnable) > 1 {
 			pick = runnable[strat.PickThread(runnable)]
 		}
+		c.stats.ThreadPick(pick)
 		states[pick] = computing
 		c.grants[pick] <- struct{}{}
 	}

@@ -341,16 +341,16 @@ func TestTraceRecording(t *testing.T) {
 	if r.Status != OK {
 		t.Fatalf("status %v", r.Status)
 	}
-	joined := fmt.Sprint(r.Trace)
+	joined := fmt.Sprint(r.Trace())
 	for _, want := range []string{"alloc", "write", "read", "cas", "faa", "xchg", "fence"} {
-		if !contains(r.Trace, want) {
+		if !contains(r.Trace(), want) {
 			t.Fatalf("trace missing %q:\n%s", want, joined)
 		}
 	}
 	// Without Trace, no log is kept.
 	r = (&Runner{}).Run(prog, NewRandom(1))
-	if len(r.Trace) != 0 {
-		t.Fatalf("trace recorded without Trace option: %v", r.Trace)
+	if len(r.Events) != 0 {
+		t.Fatalf("trace recorded without Trace option: %v", r.Events)
 	}
 }
 

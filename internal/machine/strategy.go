@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"compass/internal/telemetry"
 )
 
 // RandomStrategy resolves all nondeterminism with a seeded PRNG, making
@@ -125,6 +127,13 @@ type ExploreOpts struct {
 	// ignores it: a single shared build/visit pair cannot be run
 	// concurrently.
 	Workers int
+	// Stats, when non-nil, receives exploration telemetry: one ExecDone
+	// per visited execution plus prefix-tree counters (subtree claims,
+	// children pushed, frontier high-water mark, early stops, depth
+	// capping). The same Stats is threaded into every Runner for
+	// step-level counters; it must therefore be safe for concurrent use,
+	// which telemetry.Stats is.
+	Stats *telemetry.Stats
 }
 
 // ExploreResult summarizes an exploration.
@@ -145,14 +154,17 @@ func Explore(build func() Program, opts ExploreOpts, visit func(*Result) bool) E
 	if maxRuns <= 0 {
 		maxRuns = 200000
 	}
-	runner := &Runner{Budget: opts.Budget}
+	runner := &Runner{Budget: opts.Budget, Stats: opts.Stats}
 	var prefix []Decision
 	res := ExploreResult{}
 	for res.Runs < maxRuns {
+		opts.Stats.PrefixClaimed(len(prefix))
 		strat := &TraceStrategy{prefix: prefix}
 		r := runner.Run(build(), strat)
 		res.Runs++
+		opts.Stats.ExecDone(uint8(r.Status), r.Steps)
 		if !visit(r) {
+			opts.Stats.ExploreEarlyStop()
 			return res
 		}
 		// Backtrack: find the deepest decision with an unexplored branch.
@@ -160,6 +172,7 @@ func Explore(build func() Program, opts ExploreOpts, visit func(*Result) bool) E
 		i := len(trace) - 1
 		if opts.MaxDepth > 0 && i >= opts.MaxDepth {
 			i = opts.MaxDepth - 1
+			opts.Stats.ExploreDepthCapped()
 		}
 		for ; i >= 0; i-- {
 			if trace[i].Pick+1 < trace[i].N {
@@ -254,6 +267,7 @@ func (e *parallelExplorer) next() ([]Decision, bool) {
 			e.frontier = e.frontier[:n-1]
 			e.inflight++
 			e.runs++
+			e.opts.Stats.PrefixClaimed(len(prefix))
 			return prefix, true
 		}
 		if e.inflight == 0 {
@@ -267,16 +281,18 @@ func (e *parallelExplorer) next() ([]Decision, bool) {
 func (e *parallelExplorer) done(children [][]Decision, keep bool) {
 	e.mu.Lock()
 	e.frontier = append(e.frontier, children...)
+	e.opts.Stats.ChildrenPushed(len(children), len(e.frontier))
 	e.inflight--
 	if !keep {
 		e.stopped = true
+		e.opts.Stats.ExploreEarlyStop()
 	}
 	e.mu.Unlock()
 	e.cond.Broadcast()
 }
 
 func (e *parallelExplorer) worker(build func() Program, visit func(*Result) bool) {
-	runner := &Runner{Budget: e.opts.Budget}
+	runner := &Runner{Budget: e.opts.Budget, Stats: e.opts.Stats}
 	for {
 		prefix, ok := e.next()
 		if !ok {
@@ -284,6 +300,7 @@ func (e *parallelExplorer) worker(build func() Program, visit func(*Result) bool
 		}
 		strat := &TraceStrategy{prefix: prefix}
 		r := runner.Run(build(), strat)
+		e.opts.Stats.ExecDone(uint8(r.Status), r.Steps)
 		keep := visit(r)
 		var children [][]Decision
 		if keep {
@@ -295,6 +312,7 @@ func (e *parallelExplorer) worker(build func() Program, visit func(*Result) bool
 			top := len(trace) - 1
 			if e.opts.MaxDepth > 0 && top >= e.opts.MaxDepth {
 				top = e.opts.MaxDepth - 1
+				e.opts.Stats.ExploreDepthCapped()
 			}
 			for i := len(prefix); i <= top; i++ {
 				for p := trace[i].Pick + 1; p < trace[i].N; p++ {

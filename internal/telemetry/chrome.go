@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one event in the Chrome trace_event format (the JSON
+// understood by chrome://tracing and Perfetto). Only the fields the
+// exporters use are modelled:
+//
+//   - Ph "X": a complete event spanning [TS, TS+Dur).
+//   - Ph "i": an instant event.
+//   - Ph "M": metadata (thread_name / process_name).
+//
+// Timestamps are in microseconds by convention; the machine exporter
+// uses the deterministic machine-step index instead of wall clock so a
+// replayed schedule exports byte-identical traces (golden-testable).
+type TraceEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	TS   int64                  `json:"ts"`
+	Dur  int64                  `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace_event container (JSON Object
+// Format).
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit,omitempty"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// NewChromeTrace returns an empty trace container.
+func NewChromeTrace() *ChromeTrace {
+	return &ChromeTrace{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
+}
+
+// Append adds events to the trace.
+func (t *ChromeTrace) Append(events ...TraceEvent) {
+	t.TraceEvents = append(t.TraceEvents, events...)
+}
+
+// ProcessName returns a metadata event naming a pid.
+func ProcessName(pid int, name string) TraceEvent {
+	return TraceEvent{Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]interface{}{"name": name}}
+}
+
+// ThreadName returns a metadata event naming a tid within a pid.
+func ThreadName(pid, tid int, name string) TraceEvent {
+	return TraceEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]interface{}{"name": name}}
+}
+
+// WriteJSON writes the trace as indented JSON (encoding/json sorts map
+// keys, so the output is deterministic for deterministic inputs).
+func (t *ChromeTrace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// validTracePhases are the event phases the exporters emit.
+var validTracePhases = map[string]bool{"X": true, "i": true, "M": true}
+
+// ValidateChromeTraceJSON checks that data is a well-formed trace_event
+// file as emitted by WriteJSON: parseable, known phases, non-negative
+// timestamps, and named events. This is the validation CI runs against
+// emitted trace files.
+func ValidateChromeTraceJSON(data []byte) error {
+	var t ChromeTrace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return fmt.Errorf("chrome trace: %w", err)
+	}
+	if t.TraceEvents == nil {
+		return fmt.Errorf("chrome trace: missing traceEvents array")
+	}
+	for i, ev := range t.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("chrome trace: event %d has no name", i)
+		}
+		if !validTracePhases[ev.Ph] {
+			return fmt.Errorf("chrome trace: event %d has unknown phase %q", i, ev.Ph)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			return fmt.Errorf("chrome trace: event %d has negative time", i)
+		}
+		if ev.PID < 0 || ev.TID < 0 {
+			return fmt.Errorf("chrome trace: event %d has negative pid/tid", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// StartProgress emits line() to w every interval until the returned stop
+// function is called (stop flushes one final line and waits for the
+// reporter goroutine to exit). Long exhaustive explorations and fuzz
+// campaigns use it for liveness: the line closure reads atomic Stats
+// counters, so it is safe to call concurrently with the workers.
+//
+// A nil writer or non-positive interval disables reporting; the returned
+// stop is then a no-op.
+func StartProgress(w io.Writer, interval time.Duration, line func() string) (stop func()) {
+	if w == nil || interval <= 0 || line == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(w, line())
+			case <-done:
+				return
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(done)
+		<-exited
+		fmt.Fprintln(w, line())
+	}
+}
+
+// Rate formats n events over elapsed as "N/s" with sub-second elapsed
+// clamped so early progress lines do not print absurd rates.
+func Rate(n int64, elapsed time.Duration) string {
+	if elapsed < time.Millisecond {
+		elapsed = time.Millisecond
+	}
+	return fmt.Sprintf("%.0f/s", float64(n)/elapsed.Seconds())
+}

@@ -1,0 +1,563 @@
+// Package telemetry is the observability substrate of the explorer: cheap
+// atomic counters and power-of-two histograms that every execution layer
+// (machine → check → fuzz → cmd) threads through, plus exporters — a JSON
+// snapshot for dashboards/CI and the Chrome trace_event format for
+// chrome://tracing (see chrome.go).
+//
+// Design constraints, in order:
+//
+//  1. Disabled must be free. Every recording method is nil-safe; a nil
+//     *Stats short-circuits before touching any field, so the machine's
+//     hot path pays one pointer test and zero allocations per step.
+//  2. Enabled must be cheap and shareable. All cells are lock-free
+//     atomics, so the parallel explorer's workers record into one shared
+//     Stats and the merged totals are exactly a serial run's (atomic adds
+//     commute).
+//  3. Deterministic where the execution is. Counters derived from a
+//     deterministic exploration (executions by status, steps, read
+//     choices) are themselves deterministic functions of the options;
+//     only wall-clock-derived rates vary.
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// SnapshotSchema identifies the JSON snapshot layout; bump on breaking
+// changes so downstream consumers (CI validation, dashboards) can reject
+// snapshots they do not understand.
+const SnapshotSchema = "compass/telemetry/v1"
+
+// statusNames mirrors machine.Status.String() for the snapshot's
+// by-status map. telemetry cannot import machine (machine imports
+// telemetry), so the mapping is pinned here and cross-checked by a test
+// in the machine package.
+var statusNames = [...]string{"ok", "racy", "budget", "failed"}
+
+// NumStatuses is the number of execution statuses tracked by ExecDone.
+const NumStatuses = len(statusNames)
+
+// StatusName returns the snapshot key for a status index (the machine
+// package's test asserts it equals machine.Status.String()).
+func StatusName(i uint8) string {
+	if int(i) < len(statusNames) {
+		return statusNames[i]
+	}
+	return fmt.Sprintf("status(%d)", i)
+}
+
+// MaxTrackedThreads bounds the per-thread scheduler-fairness counters;
+// picks of higher thread IDs all land in the last slot.
+const MaxTrackedThreads = 16
+
+// Counter is a lock-free monotonic counter. The zero value is ready to
+// use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a lock-free high-water mark. The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// SetMax raises the gauge to v if v is larger.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current high-water mark.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets covers values up to 2^42 in power-of-two buckets; bucket i
+// holds values v with bits.Len(v) == i, i.e. bucket 0 is v == 0, bucket i
+// is [2^(i-1), 2^i).
+const histBuckets = 43
+
+// Histogram is a lock-free power-of-two histogram with count/sum/max.
+// The zero value is ready to use.
+type Histogram struct {
+	count, sum atomic.Int64
+	max        Gauge
+	buckets    [histBuckets]atomic.Int64
+}
+
+// Observe records one value (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.max.SetMax(v)
+	i := 0
+	for x := v; x > 0; x >>= 1 {
+		i++
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// merge adds o's observations into h.
+func (h *Histogram) merge(o *Histogram) {
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	h.max.SetMax(o.max.Load())
+	for i := range h.buckets {
+		h.buckets[i].Add(o.buckets[i].Load())
+	}
+}
+
+// Bucket is one non-empty histogram bucket: Count values in [Lo, Hi].
+type Bucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the JSON form of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Max     int64    `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := Bucket{Count: n}
+		if i > 0 {
+			b.Lo = int64(1) << (i - 1)
+			b.Hi = int64(1)<<i - 1
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s
+}
+
+// MachineStats are the per-step and per-execution counters recorded by
+// the ORC11 machine and the harnesses driving it.
+type MachineStats struct {
+	// Execs counts executions by machine.Status. Recorded by the layer
+	// that owns result accounting (explorer or harness merge), never by
+	// Runner.Run itself, so totals agree with the harness Report even
+	// when parallel workers overshoot an early stop.
+	Execs [NumStatuses]Counter
+	// Steps is the total machine steps across recorded executions.
+	Steps Counter
+	// StepsPerExec is the distribution of Result.Steps.
+	StepsPerExec Histogram
+	// ReadChoices counts atomic reads that had more than one visible
+	// message (the machine's read-nondeterminism points).
+	ReadChoices Counter
+	// StaleReads counts read choices that picked a non-latest message.
+	StaleReads Counter
+	// ReadFanout is the distribution of candidate counts at read choices.
+	ReadFanout Histogram
+	// ThreadPicks counts scheduler grants per thread ID (fairness);
+	// thread IDs ≥ MaxTrackedThreads share the last slot.
+	ThreadPicks [MaxTrackedThreads]Counter
+}
+
+// ExploreStats instruments the decision-prefix tree of the exhaustive
+// explorers (machine.Explore / machine.ExploreParallel).
+type ExploreStats struct {
+	// Prefixes counts pinned prefixes claimed (one execution each).
+	Prefixes Counter
+	// Children counts unexplored sibling branches pushed onto the
+	// frontier (sequential: backtrack targets).
+	Children Counter
+	// PrefixDepth is the distribution of claimed prefix depths (subtree
+	// pinning depth; deeper prefixes mean smaller subtrees).
+	PrefixDepth Histogram
+	// FrontierPeak is the high-water mark of the parallel frontier.
+	FrontierPeak Gauge
+	// EarlyStops counts explorations cut short by a visit returning
+	// false (their remaining subtree branches are pruned unexplored).
+	EarlyStops Counter
+	// DepthCapped counts executions whose decision tail was truncated by
+	// ExploreOpts.MaxDepth (branches beyond the cap pruned).
+	DepthCapped Counter
+}
+
+// FuzzStats instruments a differential-fuzzing campaign.
+type FuzzStats struct {
+	// Programs counts generated programs.
+	Programs Counter
+	// Execs counts executions across both campaign phases.
+	Execs Counter
+	// Discarded counts budget-exhausted executions.
+	Discarded Counter
+	// Failures counts distinct failure classes found.
+	Failures Counter
+	// ShrinkAttempts counts shrink candidate executions (replays tried
+	// by the minimizer, accepted or not).
+	ShrinkAttempts Counter
+	// ShrinkAccepted counts candidates that reproduced the failure and
+	// were kept.
+	ShrinkAccepted Counter
+	// Artifacts counts artifact bundles written.
+	Artifacts Counter
+}
+
+// Stats is the root of the telemetry tree. The zero value is ready to
+// use; a nil *Stats disables all recording at zero cost.
+type Stats struct {
+	Machine MachineStats
+	Explore ExploreStats
+	Fuzz    FuzzStats
+}
+
+// New returns an empty Stats.
+func New() *Stats { return &Stats{} }
+
+// ExecDone records one completed execution: its status (machine.Status
+// numbering) and step count. Call it from the layer that owns result
+// accounting so counters agree with that layer's report.
+func (s *Stats) ExecDone(status uint8, steps int) {
+	if s == nil {
+		return
+	}
+	if int(status) < NumStatuses {
+		s.Machine.Execs[status].Inc()
+	}
+	s.Machine.Steps.Add(int64(steps))
+	s.Machine.StepsPerExec.Observe(int64(steps))
+}
+
+// ReadChoice records one resolved read-nondeterminism point: n visible
+// candidates of which pick (0-based, n-1 = latest) was chosen.
+func (s *Stats) ReadChoice(n, pick int) {
+	if s == nil {
+		return
+	}
+	s.Machine.ReadChoices.Inc()
+	s.Machine.ReadFanout.Observe(int64(n))
+	if pick != n-1 {
+		s.Machine.StaleReads.Inc()
+	}
+}
+
+// ThreadPick records one scheduler grant to thread tid.
+func (s *Stats) ThreadPick(tid int) {
+	if s == nil {
+		return
+	}
+	if tid >= MaxTrackedThreads {
+		tid = MaxTrackedThreads - 1
+	}
+	s.Machine.ThreadPicks[tid].Inc()
+}
+
+// PrefixClaimed records the explorer claiming one pinned prefix of the
+// given decision depth.
+func (s *Stats) PrefixClaimed(depth int) {
+	if s == nil {
+		return
+	}
+	s.Explore.Prefixes.Inc()
+	s.Explore.PrefixDepth.Observe(int64(depth))
+}
+
+// ChildrenPushed records n sibling branches pushed onto the frontier and
+// the frontier size after the push.
+func (s *Stats) ChildrenPushed(n, frontier int) {
+	if s == nil {
+		return
+	}
+	s.Explore.Children.Add(int64(n))
+	s.Explore.FrontierPeak.SetMax(int64(frontier))
+}
+
+// ExploreEarlyStop records a visit callback aborting the exploration.
+func (s *Stats) ExploreEarlyStop() {
+	if s == nil {
+		return
+	}
+	s.Explore.EarlyStops.Inc()
+}
+
+// ExploreDepthCapped records an execution whose branching was truncated
+// by MaxDepth.
+func (s *Stats) ExploreDepthCapped() {
+	if s == nil {
+		return
+	}
+	s.Explore.DepthCapped.Inc()
+}
+
+// FuzzProgram records one generated campaign program.
+func (s *Stats) FuzzProgram() {
+	if s == nil {
+		return
+	}
+	s.Fuzz.Programs.Inc()
+}
+
+// FuzzExec records one campaign execution; discarded marks budget
+// exhaustion (the schedule spun, nothing was concluded).
+func (s *Stats) FuzzExec(discarded bool) {
+	if s == nil {
+		return
+	}
+	s.Fuzz.Execs.Inc()
+	if discarded {
+		s.Fuzz.Discarded.Inc()
+	}
+}
+
+// FuzzFailure records one distinct failure class found.
+func (s *Stats) FuzzFailure() {
+	if s == nil {
+		return
+	}
+	s.Fuzz.Failures.Inc()
+}
+
+// FuzzShrink records one shrink candidate replay; accepted marks a
+// candidate that reproduced the failure and was kept.
+func (s *Stats) FuzzShrink(accepted bool) {
+	if s == nil {
+		return
+	}
+	s.Fuzz.ShrinkAttempts.Inc()
+	if accepted {
+		s.Fuzz.ShrinkAccepted.Inc()
+	}
+}
+
+// FuzzArtifact records one artifact bundle written.
+func (s *Stats) FuzzArtifact() {
+	if s == nil {
+		return
+	}
+	s.Fuzz.Artifacts.Inc()
+}
+
+// Merge adds o's counts into s (both may be in concurrent use).
+func (s *Stats) Merge(o *Stats) {
+	if s == nil || o == nil {
+		return
+	}
+	m, om := &s.Machine, &o.Machine
+	for i := range m.Execs {
+		m.Execs[i].Add(om.Execs[i].Load())
+	}
+	m.Steps.Add(om.Steps.Load())
+	m.StepsPerExec.merge(&om.StepsPerExec)
+	m.ReadChoices.Add(om.ReadChoices.Load())
+	m.StaleReads.Add(om.StaleReads.Load())
+	m.ReadFanout.merge(&om.ReadFanout)
+	for i := range m.ThreadPicks {
+		m.ThreadPicks[i].Add(om.ThreadPicks[i].Load())
+	}
+	e, oe := &s.Explore, &o.Explore
+	e.Prefixes.Add(oe.Prefixes.Load())
+	e.Children.Add(oe.Children.Load())
+	e.PrefixDepth.merge(&oe.PrefixDepth)
+	e.FrontierPeak.SetMax(oe.FrontierPeak.Load())
+	e.EarlyStops.Add(oe.EarlyStops.Load())
+	e.DepthCapped.Add(oe.DepthCapped.Load())
+	f, of := &s.Fuzz, &o.Fuzz
+	f.Programs.Add(of.Programs.Load())
+	f.Execs.Add(of.Execs.Load())
+	f.Discarded.Add(of.Discarded.Load())
+	f.Failures.Add(of.Failures.Load())
+	f.ShrinkAttempts.Add(of.ShrinkAttempts.Load())
+	f.ShrinkAccepted.Add(of.ShrinkAccepted.Load())
+	f.Artifacts.Add(of.Artifacts.Load())
+}
+
+// MachineSnapshot is the JSON form of MachineStats.
+type MachineSnapshot struct {
+	ExecsByStatus map[string]int64  `json:"execs_by_status"`
+	Execs         int64             `json:"execs"`
+	Steps         int64             `json:"steps"`
+	StepsPerExec  HistogramSnapshot `json:"steps_per_exec"`
+	ReadChoices   int64             `json:"read_choices"`
+	StaleReads    int64             `json:"stale_reads"`
+	StaleRate     float64           `json:"stale_rate"`
+	ReadFanout    HistogramSnapshot `json:"read_fanout"`
+	ThreadPicks   []int64           `json:"thread_picks,omitempty"`
+}
+
+// ExploreSnapshot is the JSON form of ExploreStats.
+type ExploreSnapshot struct {
+	Prefixes     int64             `json:"prefixes"`
+	Children     int64             `json:"children"`
+	PrefixDepth  HistogramSnapshot `json:"prefix_depth"`
+	FrontierPeak int64             `json:"frontier_peak"`
+	EarlyStops   int64             `json:"early_stops"`
+	DepthCapped  int64             `json:"depth_capped"`
+}
+
+// FuzzSnapshot is the JSON form of FuzzStats.
+type FuzzSnapshot struct {
+	Programs       int64 `json:"programs"`
+	Execs          int64 `json:"execs"`
+	Discarded      int64 `json:"discarded"`
+	Failures       int64 `json:"failures"`
+	ShrinkAttempts int64 `json:"shrink_attempts"`
+	ShrinkAccepted int64 `json:"shrink_accepted"`
+	Artifacts      int64 `json:"artifacts"`
+}
+
+// Snapshot is a point-in-time, JSON-serializable copy of a Stats.
+type Snapshot struct {
+	Schema  string          `json:"schema"`
+	Machine MachineSnapshot `json:"machine"`
+	Explore ExploreSnapshot `json:"explore"`
+	Fuzz    FuzzSnapshot    `json:"fuzz"`
+}
+
+// Snapshot copies the current counter values. Safe to call while other
+// goroutines record (each cell is read atomically; the snapshot is a
+// consistent-enough view for reporting, not a linearization point).
+func (s *Stats) Snapshot() Snapshot {
+	snap := Snapshot{Schema: SnapshotSchema}
+	if s == nil {
+		snap.Machine.ExecsByStatus = map[string]int64{}
+		return snap
+	}
+	m := &s.Machine
+	snap.Machine.ExecsByStatus = make(map[string]int64, NumStatuses)
+	for i, name := range statusNames {
+		n := m.Execs[i].Load()
+		snap.Machine.Execs += n
+		if n > 0 {
+			snap.Machine.ExecsByStatus[name] = n
+		}
+	}
+	snap.Machine.Steps = m.Steps.Load()
+	snap.Machine.StepsPerExec = m.StepsPerExec.snapshot()
+	snap.Machine.ReadChoices = m.ReadChoices.Load()
+	snap.Machine.StaleReads = m.StaleReads.Load()
+	if snap.Machine.ReadChoices > 0 {
+		snap.Machine.StaleRate = float64(snap.Machine.StaleReads) / float64(snap.Machine.ReadChoices)
+	}
+	snap.Machine.ReadFanout = m.ReadFanout.snapshot()
+	last := 0
+	for i := range m.ThreadPicks {
+		if m.ThreadPicks[i].Load() > 0 {
+			last = i + 1
+		}
+	}
+	for i := 0; i < last; i++ {
+		snap.Machine.ThreadPicks = append(snap.Machine.ThreadPicks, m.ThreadPicks[i].Load())
+	}
+	e := &s.Explore
+	snap.Explore = ExploreSnapshot{
+		Prefixes:     e.Prefixes.Load(),
+		Children:     e.Children.Load(),
+		PrefixDepth:  e.PrefixDepth.snapshot(),
+		FrontierPeak: e.FrontierPeak.Load(),
+		EarlyStops:   e.EarlyStops.Load(),
+		DepthCapped:  e.DepthCapped.Load(),
+	}
+	f := &s.Fuzz
+	snap.Fuzz = FuzzSnapshot{
+		Programs:       f.Programs.Load(),
+		Execs:          f.Execs.Load(),
+		Discarded:      f.Discarded.Load(),
+		Failures:       f.Failures.Load(),
+		ShrinkAttempts: f.ShrinkAttempts.Load(),
+		ShrinkAccepted: f.ShrinkAccepted.Load(),
+		Artifacts:      f.Artifacts.Load(),
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Stats) WriteJSON(w io.Writer) error {
+	return WriteSnapshotJSON(w, s.Snapshot())
+}
+
+// WriteSnapshotJSON writes a snapshot as indented JSON.
+func WriteSnapshotJSON(w io.Writer, snap Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// ValidateSnapshotJSON checks that data is a well-formed snapshot: known
+// schema, no unknown fields, non-negative counters, and internally
+// consistent totals. This is the validation CI runs against emitted
+// stats files.
+func ValidateSnapshotJSON(data []byte) error {
+	var snap Snapshot
+	if err := strictUnmarshal(data, &snap); err != nil {
+		return fmt.Errorf("telemetry snapshot: %w", err)
+	}
+	if snap.Schema != SnapshotSchema {
+		return fmt.Errorf("telemetry snapshot: schema %q, want %q", snap.Schema, SnapshotSchema)
+	}
+	m := snap.Machine
+	var byStatus int64
+	for name, n := range m.ExecsByStatus {
+		if n < 0 {
+			return fmt.Errorf("telemetry snapshot: negative count for status %q", name)
+		}
+		known := false
+		for _, s := range statusNames {
+			if s == name {
+				known = true
+			}
+		}
+		if !known {
+			return fmt.Errorf("telemetry snapshot: unknown status %q", name)
+		}
+		byStatus += n
+	}
+	if byStatus != m.Execs {
+		return fmt.Errorf("telemetry snapshot: execs_by_status sums to %d, execs is %d", byStatus, m.Execs)
+	}
+	if m.StepsPerExec.Count != m.Execs {
+		return fmt.Errorf("telemetry snapshot: steps_per_exec count %d != execs %d", m.StepsPerExec.Count, m.Execs)
+	}
+	if m.StepsPerExec.Sum != m.Steps {
+		return fmt.Errorf("telemetry snapshot: steps_per_exec sum %d != steps %d", m.StepsPerExec.Sum, m.Steps)
+	}
+	if m.StaleReads > m.ReadChoices {
+		return fmt.Errorf("telemetry snapshot: stale_reads %d > read_choices %d", m.StaleReads, m.ReadChoices)
+	}
+	for _, c := range []int64{m.Steps, m.ReadChoices, m.StaleReads,
+		snap.Explore.Prefixes, snap.Explore.Children, snap.Explore.FrontierPeak,
+		snap.Fuzz.Programs, snap.Fuzz.Execs, snap.Fuzz.Discarded, snap.Fuzz.Failures} {
+		if c < 0 {
+			return fmt.Errorf("telemetry snapshot: negative counter")
+		}
+	}
+	return nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields.
+func strictUnmarshal(data []byte, v interface{}) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
