@@ -1,11 +1,20 @@
 # Developer entry points. `make check` is the gate for every change: the
-# harness and explorer are concurrent, so the race detector is mandatory.
+# harness and explorer are concurrent, so the race detector is mandatory,
+# and the repo's own invariants (determinism, telemetry accounting, option
+# sentinels, runner construction, ordering constants) are compiler-checked
+# by compasslint. CI's lint job runs `make check`, so the flags here and
+# there are identical by construction.
 
 GO ?= go
 
-.PHONY: check build vet test race bench benchreport fuzz fuzznative golden telemetry
+.PHONY: check lint build vet test race bench benchreport fuzz fuzznative golden telemetry
 
-check: vet build race
+check: lint build race
+
+# Static analysis: go vet plus the repo's own analyzer suite (see
+# DESIGN.md §9 and internal/analyzers).
+lint: vet
+	$(GO) run ./cmd/compasslint ./...
 
 build:
 	$(GO) build ./...

@@ -21,6 +21,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"compass"
 )
 
 // tierOnePackages is the benchmark set tracked across snapshots: the
@@ -56,20 +58,93 @@ type Result struct {
 
 // Report is the file format of BENCH_<date>.json.
 type Report struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GOARCH     string   `json:"goarch"`
-	GOOS       string   `json:"goos"`
-	NumCPU     int      `json:"num_cpu"`
-	BenchTime  string   `json:"benchtime"`
-	BenchRegex string   `json:"bench_regex"`
-	Results    []Result `json:"results"`
+	Date       string         `json:"date"`
+	GoVersion  string         `json:"go_version"`
+	GOARCH     string         `json:"goarch"`
+	GOOS       string         `json:"goos"`
+	NumCPU     int            `json:"num_cpu"`
+	BenchTime  string         `json:"benchtime"`
+	BenchRegex string         `json:"bench_regex"`
+	Results    []Result       `json:"results"`
+	Pruning    *PruningReport `json:"pruning,omitempty"`
+}
+
+// PruningReport records footprint-pruning effectiveness: the litmus suite
+// plus the footprint-rich workloads, explored exhaustively once without
+// and once with footprint certificates, with the telemetry counters of
+// each sweep side by side. Outcome histograms are identical by
+// construction (the equivalence test in internal/litmus asserts it); what
+// successive BENCH_*.json snapshots track here is how much per-access
+// work the certificates remove. Classic litmus locations are all
+// cross-thread shared, so the nonzero pruning counters come from the
+// footprint-rich workloads — exactly the split the report is meant to
+// surface.
+type PruningReport struct {
+	Tests    int         `json:"tests"`
+	Unpruned PruningSide `json:"unpruned"`
+	Pruned   PruningSide `json:"pruned"`
+}
+
+// PruningSide is one sweep's telemetry: total executions, read choices
+// offered to the strategy, reads answered from a certificate without
+// window computation, and race checks skipped on certified locations.
+type PruningSide struct {
+	Execs             int64   `json:"execs"`
+	ReadChoices       int64   `json:"read_choices"`
+	PrunedReads       int64   `json:"pruned_reads"`
+	RaceChecksSkipped int64   `json:"race_checks_skipped"`
+	Seconds           float64 `json:"seconds"`
+}
+
+// measurePruning runs the exhaustive litmus suite twice — certificates off,
+// then on — and returns the two telemetry snapshots reduced to the pruning
+// counters. Any test failure aborts: a BENCH file must never record numbers
+// from a sweep whose outcomes were wrong.
+func measurePruning(maxRuns int) (*PruningReport, error) {
+	rep := &PruningReport{}
+	tests := append(compass.LitmusSuite(), compass.LitmusFootprintSuite()...)
+	sweep := func(prune bool) (PruningSide, error) {
+		stats := compass.NewTelemetry()
+		start := time.Now()
+		for _, t := range tests {
+			var fp *compass.Footprint
+			if prune {
+				var err error
+				if fp, err = compass.ExtractFootprint(t.Build); err != nil {
+					return PruningSide{}, fmt.Errorf("%s: footprint extraction: %v", t.Name, err)
+				}
+			}
+			res := compass.RunLitmusFootprint(t, maxRuns, 0, stats, fp)
+			if !res.OK() {
+				return PruningSide{}, fmt.Errorf("%s: exploration failed (prune=%v):\n%s", t.Name, prune, res)
+			}
+		}
+		snap := stats.Snapshot()
+		return PruningSide{
+			Execs:             snap.Machine.Execs,
+			ReadChoices:       snap.Machine.ReadChoices,
+			PrunedReads:       snap.Machine.PrunedReads,
+			RaceChecksSkipped: snap.Machine.RaceChecksSkipped,
+			Seconds:           time.Since(start).Seconds(),
+		}, nil
+	}
+	var err error
+	if rep.Unpruned, err = sweep(false); err != nil {
+		return nil, err
+	}
+	if rep.Pruned, err = sweep(true); err != nil {
+		return nil, err
+	}
+	rep.Tests = len(tests)
+	return rep, nil
 }
 
 func main() {
 	bench := flag.String("bench", tierOneBenchmarks, "benchmark name regex passed to -bench")
 	benchtime := flag.String("benchtime", "", "passed to -benchtime (e.g. 100x, 0.5s); empty = go default")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	pruning := flag.Bool("pruning", true, "measure footprint-pruning effectiveness over the litmus suite")
+	pruneRuns := flag.Int("prune-max-runs", 400000, "exploration bound per litmus test for the pruning measurement")
 	flag.Parse()
 
 	rep := &Report{
@@ -97,6 +172,16 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Results = append(rep.Results, parse(pkg, buf.Bytes())...)
+	}
+
+	if *pruning {
+		fmt.Fprintln(os.Stderr, "benchreport: measuring footprint pruning over the litmus suite")
+		pr, err := measurePruning(*pruneRuns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: pruning: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Pruning = pr
 	}
 
 	path := *out

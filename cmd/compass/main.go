@@ -76,6 +76,7 @@ func main() {
 	list := flag.Bool("list", false, "list available workloads and exit")
 	explain := flag.Int64("explain", -1, "replay this seed with a per-step trace instead of running the harness")
 	exhaustive := flag.Bool("exhaustive", false, "explore all executions (small workloads only)")
+	prune := flag.Bool("prune", false, "extract a footprint certificate from one recording execution and prune race instrumentation and read windows (outcomes are identical)")
 	statsOut := flag.String("stats", "", "write a telemetry JSON snapshot of the run to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of a representative execution to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -95,22 +96,13 @@ func main() {
 		os.Exit(2)
 	}
 	opts := compass.CheckOptions{
-		Executions: *execs, Seed: *seed, StaleBias: *stale, KeepGoing: *keepGoing,
-		Workers: *workers,
+		Executions: *execs, Seed: cli.FlagSeed(*seed), StaleBias: cli.FlagStaleBias(*stale),
+		KeepGoing: *keepGoing, Workers: *workers,
 	}
 	var stats *compass.Telemetry
 	if *statsOut != "" {
 		stats = compass.NewTelemetry()
 		opts.Stats = stats
-	}
-	// The harness treats the zero value of Seed/StaleBias as "use the
-	// default"; map the user's explicit zeros to the sentinels so
-	// -seed 0 and -stale 0 mean what they say.
-	if *seed == 0 {
-		opts.Seed = compass.SeedZero
-	}
-	if *stale == 0 {
-		opts.StaleBias = compass.BiasZero
 	}
 
 	var build func() compass.Checked
@@ -162,11 +154,7 @@ func main() {
 	}
 
 	if *explain >= 0 {
-		bias := *stale
-		if bias == 0 {
-			bias = compass.BiasZero
-		}
-		status, trace, viols := compass.ExplainChecked(build, *explain, bias, 0)
+		status, trace, viols := compass.ExplainChecked(build, *explain, cli.FlagStaleBias(*stale), 0)
 		fmt.Printf("%s — seed %d replays as %v\n\n", name, *explain, status)
 		for i, line := range trace {
 			fmt.Printf("%4d  %s\n", i, line)
@@ -180,11 +168,23 @@ func main() {
 		return
 	}
 
+	var fp *compass.Footprint
+	if *prune {
+		var err error
+		if fp, err = compass.ExtractFootprint(func() compass.Program { return build().Prog }); err != nil {
+			fmt.Fprintf(os.Stderr, "footprint extraction failed, running unpruned: %v\n", err)
+		} else {
+			fp.Name = name
+			fmt.Println(fp)
+		}
+	}
+	opts.Footprint = fp
+
 	var rep *compass.Report
 	if *exhaustive {
 		rep = compass.RunExhaustiveOpts(name, build, compass.CheckOptions{
 			MaxRuns: 500000, Budget: 5000, KeepGoing: *keepGoing, Workers: *workers,
-			Stats: stats,
+			Stats: stats, Footprint: fp,
 		})
 	} else {
 		rep = compass.RunChecked(name, build, opts)

@@ -1,0 +1,62 @@
+// Command compasslint runs the compass static-analysis suite over the
+// given packages (default ./...) and exits nonzero on any finding. It is
+// part of `make check`; see DESIGN.md §9 for the invariants each pass
+// mechanizes.
+//
+// Usage:
+//
+//	compasslint [-list] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"compass/internal/analyzers"
+	"compass/internal/analyzers/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: compasslint [-list] [packages]\n\nRuns the compass analyzer suite (default pattern ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range analyzers.Suite() {
+			doc := e.Analyzer.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Printf("%-12s %s\n", e.Analyzer.Name, doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compasslint:", err)
+		os.Exit(2)
+	}
+	diags, err := analyzers.Check(loader, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compasslint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "compasslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -22,7 +22,6 @@ import (
 	"strings"
 	"time"
 
-	"compass/internal/check"
 	"compass/internal/cli"
 	"compass/internal/fuzz"
 	"compass/internal/telemetry"
@@ -71,15 +70,10 @@ func main() {
 		Execs:          *execs,
 		ExhaustiveRuns: *exhaustive,
 		Budget:         *budget,
-		StaleBias:      *stale,
+		StaleBias:      cli.FlagStaleBias(*stale),
 		MaxFailures:    *maxFailures,
 		NoShrink:       *noShrink,
 		ArtifactDir:    *artifactDir,
-	}
-	// The config treats StaleBias 0 as "use the default"; map the user's
-	// explicit -stale 0 to the sentinel so it means a bias of exactly 0.
-	if *stale == 0 {
-		cfg.StaleBias = check.BiasZero
 	}
 	if *statsOut != "" || *traceOut != "" {
 		cfg.Stats = telemetry.New()

@@ -22,6 +22,7 @@ func main() {
 	name := flag.String("test", "", "run only the named test (e.g. MP+rel+acq, SB, LB)")
 	maxRuns := flag.Int("max-runs", 400000, "exploration bound per test")
 	workers := flag.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS)")
+	prune := flag.Bool("prune", false, "extract a footprint certificate per test and prune race instrumentation and read windows (outcomes are identical)")
 	statsOut := flag.String("stats", "", "write a telemetry JSON snapshot of the exploration to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of the first test's default schedule to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -39,7 +40,17 @@ func main() {
 			continue
 		}
 		ran++
-		res := compass.RunLitmusStats(t, *maxRuns, *workers, stats)
+		var fp *compass.Footprint
+		if *prune {
+			var err error
+			if fp, err = compass.ExtractFootprint(t.Build); err != nil {
+				fmt.Fprintf(os.Stderr, "litmus: %s: footprint extraction failed, exploring unpruned: %v\n", t.Name, err)
+			} else {
+				fp.Name = t.Name
+				fmt.Println(fp)
+			}
+		}
+		res := compass.RunLitmusFootprint(t, *maxRuns, *workers, stats, fp)
 		fmt.Println(res)
 		fmt.Println()
 		if !res.OK() {

@@ -5,6 +5,10 @@
 //
 //	go run ./cmd/statcheck -snapshot sb.json -trace sb.trace.json
 //
+// A snapshot written under a different schema version (say an old
+// compass/telemetry/v0 file) fails with a one-line diagnostic naming both
+// versions, not a pile of unknown-field errors.
+//
 // Exit status: 0 when every given file validates, 1 otherwise, 2 on usage
 // errors.
 package main
@@ -12,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"compass"
@@ -21,10 +26,15 @@ func main() {
 	snapshot := flag.String("snapshot", "", "telemetry JSON snapshot to validate")
 	trace := flag.String("trace", "", "Chrome trace_event file to validate")
 	flag.Parse()
+	os.Exit(run(*snapshot, *trace, os.Stdout, os.Stderr))
+}
 
-	if *snapshot == "" && *trace == "" {
-		fmt.Fprintln(os.Stderr, "statcheck: give -snapshot and/or -trace")
-		os.Exit(2)
+// run validates the given snapshot and/or trace files, reporting one line
+// per file. It returns the process exit code.
+func run(snapshot, trace string, stdout, stderr io.Writer) int {
+	if snapshot == "" && trace == "" {
+		fmt.Fprintln(stderr, "statcheck: give -snapshot and/or -trace")
+		return 2
 	}
 	failed := false
 	check := func(path, kind string, validate func([]byte) error) {
@@ -36,15 +46,16 @@ func main() {
 			err = validate(data)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "statcheck: %s: %v\n", kind, err)
+			fmt.Fprintf(stderr, "statcheck: %s: %v\n", kind, err)
 			failed = true
 			return
 		}
-		fmt.Printf("statcheck: %s %s OK\n", kind, path)
+		fmt.Fprintf(stdout, "statcheck: %s %s OK\n", kind, path)
 	}
-	check(*snapshot, "snapshot", compass.ValidateTelemetryJSON)
-	check(*trace, "trace", compass.ValidateChromeTraceJSON)
+	check(snapshot, "snapshot", compass.ValidateTelemetryJSON)
+	check(trace, "trace", compass.ValidateChromeTraceJSON)
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compass"
+)
+
+// TestSchemaMismatchIsOneLineDiagnostic pins the contract for snapshots
+// from another schema generation: a compass/telemetry/v0 file must fail
+// with exit code 1 and a single diagnostic line naming both the found and
+// the wanted schema version — not a cascade of unknown-field errors from
+// the strict decoder (the v0 fixture deliberately uses a field layout the
+// current schema does not know).
+func TestSchemaMismatchIsOneLineDiagnostic(t *testing.T) {
+	var out, errw strings.Builder
+	code := run(filepath.Join("testdata", "v0_snapshot.json"), "", &out, &errw)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, errw.String())
+	}
+	diag := errw.String()
+	if n := strings.Count(diag, "\n"); n != 1 {
+		t.Fatalf("want exactly one diagnostic line, got %d:\n%s", n, diag)
+	}
+	for _, want := range []string{"compass/telemetry/v0", "compass/telemetry/v1"} {
+		if !strings.Contains(diag, want) {
+			t.Errorf("diagnostic %q does not name %q", diag, want)
+		}
+	}
+	if strings.Contains(diag, "unknown field") {
+		t.Errorf("diagnostic leaked decoder noise instead of the schema mismatch: %q", diag)
+	}
+}
+
+// TestValidSnapshotPasses writes a real snapshot and validates it.
+func TestValidSnapshotPasses(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := compass.NewTelemetry()
+	if err := stats.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	if code := run(path, "", &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "snapshot "+path+" OK") {
+		t.Errorf("stdout %q missing OK line", out.String())
+	}
+}
+
+// TestNoArgsIsUsageError pins the exit-2 contract.
+func TestNoArgsIsUsageError(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run("", "", &out, &errw); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+}
+
+// TestMissingFileFails pins exit 1 on an unreadable path.
+func TestMissingFileFails(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run(filepath.Join(t.TempDir(), "nope.json"), "", &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+}

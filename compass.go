@@ -40,6 +40,7 @@
 package compass
 
 import (
+	"compass/internal/analysis/footprint"
 	"compass/internal/check"
 	"compass/internal/core"
 	"compass/internal/deque"
@@ -463,6 +464,13 @@ type (
 // LitmusSuite returns the ORC11 validation litmus tests.
 func LitmusSuite() []LitmusTest { return litmus.Suite() }
 
+// LitmusFootprintSuite returns the footprint-rich exploration workloads:
+// programs whose locations earn non-trivial certificates (read-only
+// config, thread-exclusive state). They are not part of LitmusSuite —
+// the golden corpus pins that — but share its exploration harness;
+// cmd/benchreport sweeps them to measure pruning effectiveness.
+func LitmusFootprintSuite() []LitmusTest { return litmus.FootprintSuite() }
+
 // RunLitmus explores a litmus test exhaustively across GOMAXPROCS workers.
 func RunLitmus(t LitmusTest, maxRuns int) *LitmusResult { return litmus.Run(t, maxRuns) }
 
@@ -481,3 +489,38 @@ func RunLitmusStats(t LitmusTest, maxRuns, workers int, stats *Telemetry) *Litmu
 // TraceLitmus replays a litmus test's default schedule with step-event
 // recording, for Chrome trace export.
 func TraceLitmus(t LitmusTest) *ExecResult { return litmus.TraceTest(t) }
+
+// --- Footprint certificates (static-ish exploration pruning). ---
+
+type (
+	// Footprint is a location-footprint certificate: a per-location
+	// classification (exclusive / read-only / shared) extracted from one
+	// recording execution and enforced — not trusted — by the machine.
+	// Certified locations skip race instrumentation and read-window
+	// computation without changing any outcome.
+	Footprint = memory.Footprint
+	// LocCert is one location's certificate within a Footprint.
+	LocCert = memory.LocCert
+	// LocClass classifies a location's post-setup access pattern.
+	LocClass = memory.LocClass
+)
+
+// Location certificate classes.
+const (
+	LocShared    = memory.ClassShared
+	LocExclusive = memory.ClassExclusive
+	LocReadOnly  = memory.ClassReadOnly
+)
+
+// ExtractFootprint derives a footprint certificate from one recording
+// execution of the program (see internal/analysis/footprint).
+func ExtractFootprint(build func() Program) (*Footprint, error) {
+	return footprint.Extract(build)
+}
+
+// RunLitmusFootprint is RunLitmusStats with a footprint certificate
+// installed (nil disables pruning). The outcome histogram is identical
+// with or without a valid certificate.
+func RunLitmusFootprint(t LitmusTest, maxRuns, workers int, stats *Telemetry, fp *Footprint) *LitmusResult {
+	return litmus.RunWorkersFootprint(t, maxRuns, workers, stats, fp)
+}

@@ -52,7 +52,7 @@ func main() {
 			Setup:   func(th *compass.Thread) { s = compass.NewElimStack(th, "es") },
 			Workers: workers,
 		}
-		res := (&compass.Runner{}).Run(prog, compass.NewRandomStrategyBiased(seed, 0.5))
+		res := compass.CheckOptions{}.Runner(false).Run(prog, compass.NewRandomStrategyBiased(seed, 0.5))
 		if res.Status != compass.StatusOK {
 			continue
 		}

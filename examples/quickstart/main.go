@@ -36,7 +36,7 @@ func main() {
 		},
 	}
 
-	res := (&compass.Runner{}).Run(prog, compass.NewRandomStrategy(*seed))
+	res := compass.CheckOptions{}.Runner(false).Run(prog, compass.NewRandomStrategy(*seed))
 	fmt.Printf("execution status: %v (%d machine steps)\n", res.Status, res.Steps)
 	for k, v := range res.Outcome {
 		fmt.Printf("  %s = %d\n", k, v)

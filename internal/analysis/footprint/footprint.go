@@ -1,0 +1,192 @@
+// Package footprint extracts location-footprint certificates from
+// concurrent programs by running a small family of recording executions
+// (one deterministic schedule per worker-priority rotation) and
+// classifying every setup-allocated location by its post-setup access
+// pattern across all of them:
+//
+//   - exclusive: touched by exactly one thread after setup (thread-local
+//     scratch state);
+//   - read-only: never written after setup (configuration written once
+//     during setup);
+//   - shared: everything else (no claim; general simulation path).
+//
+// A certificate lets the machine skip race instrumentation on exclusive
+// and read-only locations and answer their reads without scanning the
+// write history or consulting the exploration strategy — provably without
+// changing any execution's outcome (see internal/memory/footprint.go for
+// the argument; the litmus package's equivalence test asserts bit-identical
+// outcome histograms under exhaustive exploration with and without a
+// certificate).
+//
+// Even a family of recorded schedules can under-approximate the program's
+// behaviour (a branch on a read value may hide accesses), so certificates
+// are not trusted: every fast path revalidates its claim and a violation
+// aborts the execution as Failed. Extraction is best-effort static-ish
+// analysis; enforcement makes it sound.
+package footprint
+
+import (
+	"fmt"
+
+	"compass/internal/check"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// rotStrategy is the deterministic recording schedule: always advance the
+// rot-th runnable thread (run-to-completion with a rotated priority) and
+// always read the latest visible message, so spin-free programs terminate
+// quickly. Rotating rot across recordings varies which threads get to run
+// first — exactly the schedule dimension that decides which thread wins a
+// CAS or finds a queue empty, and therefore which accesses exist at all.
+type rotStrategy struct{ rot int }
+
+func (s *rotStrategy) PickThread(runnable []int) int { return s.rot % len(runnable) }
+func (s *rotStrategy) Choose(n int) int              { return n - 1 }
+
+// Extract derives a footprint certificate from a small family of recorded
+// executions of build's program: one deterministic run per worker, each
+// with a different thread-priority rotation. Accessor sets and write
+// counts are unioned across the recordings, so a location is only
+// certified exclusive or read-only when every recorded schedule agrees —
+// a single schedule routinely under-covers (the thread that wins a race
+// in one schedule loses it in another), and under-coverage turns into
+// spurious certificate aborts at verification time.
+//
+// It fails rather than guess when the recordings cannot support a
+// certificate: the program has no workers (the setup/concurrent boundary
+// is invisible in the trace), no worker ever performed a machine
+// operation, a recording did not complete with status OK (spin-wait
+// programs can livelock under run-to-completion priorities), or the
+// recordings disagree about the setup phase (which seal-time validation
+// assumes is schedule-independent).
+func Extract(build func() machine.Program) (*memory.Footprint, error) {
+	name := build().Name
+	nw := len(build().Workers)
+	if nw == 0 {
+		return nil, fmt.Errorf("footprint %s: program has no workers; nothing to certify", name)
+	}
+
+	setupLocs := -1
+	var setupMax []int64
+	var accessors []map[int]bool
+	var writes []int
+	allAtomic := true
+	for rot := 0; rot < nw; rot++ {
+		r := check.Options{}.Runner(true).Run(build(), &rotStrategy{rot: rot})
+		if r.Status != machine.OK {
+			return nil, fmt.Errorf("footprint %s: recording execution (rotation %d) ended %v: %v", name, rot, r.Status, r.Err)
+		}
+		boundary := -1
+		for i, e := range r.Events {
+			if e.Thread != 0 {
+				boundary = i
+				break
+			}
+		}
+		if boundary < 0 {
+			return nil, fmt.Errorf("footprint %s: recording shows no worker activity; the setup boundary is undetectable", name)
+		}
+
+		// Setup phase: count allocations and per-location write
+		// timestamps. Setup is single-threaded and decision-free (its
+		// reads see only its own writes), so the allocation order — and
+		// therefore every location index below — must be identical in
+		// every recording; the machine revalidates this at seal time.
+		locs := 0
+		var max []int64
+		for _, e := range r.Events[:boundary] {
+			switch e.Kind {
+			case machine.StepAlloc:
+				locs++
+				max = append(max, 1)
+			case machine.StepWrite, machine.StepFAA, machine.StepXchg:
+				max[e.Loc]++
+			case machine.StepCAS, machine.StepUpdate:
+				if e.OK {
+					max[e.Loc]++
+				}
+			}
+		}
+		if setupLocs < 0 {
+			setupLocs = locs
+			setupMax = max
+			accessors = make([]map[int]bool, locs)
+			writes = make([]int, locs)
+		} else if locs != setupLocs {
+			return nil, fmt.Errorf("footprint %s: setup allocated %d locations in one recording and %d in another; setup is not schedule-independent", name, setupLocs, locs)
+		} else {
+			for l, t := range max {
+				if setupMax[l] != t {
+					return nil, fmt.Errorf("footprint %s: setup history of loc %d differs between recordings (t=%d vs t=%d)", name, l, setupMax[l], t)
+				}
+			}
+		}
+
+		// Concurrent phase (worker bodies and the main thread's final
+		// phase): union accessor sets and write counts per setup location
+		// into the cross-recording summary. Any RMW counts as a write
+		// even when it does not publish a message (a failed CAS still
+		// takes the RMW path, which the machine validates as a write),
+		// and so does Free.
+		for _, e := range r.Events[boundary:] {
+			switch e.Kind {
+			case machine.StepAlloc:
+				// A worker-phase allocation marks a dynamic data
+				// structure: node initialization and payload reads are
+				// non-atomic and — unlike accesses to setup locations —
+				// which of them run is highly schedule-dependent (a
+				// dequeue that finds the queue empty performs none). The
+				// recorded family cannot support a whole-program
+				// all-atomic claim for such programs, so refuse it rather
+				// than risk a spurious certificate abort.
+				allAtomic = false
+				continue
+			case machine.StepFence, machine.StepFenceSC:
+				continue
+			}
+			// The all-atomic claim covers every post-setup access,
+			// including worker-allocated locations (enforcement does not
+			// consult the per-location table): one NA access anywhere
+			// falsifies it.
+			if (e.Kind == machine.StepRead && e.RMode == memory.NA) ||
+				(e.Kind == machine.StepWrite && e.WMode == memory.NA) {
+				allAtomic = false
+			}
+			if int(e.Loc) >= setupLocs {
+				continue // worker-allocated; schedule-dependent index, never certified
+			}
+			if accessors[e.Loc] == nil {
+				accessors[e.Loc] = map[int]bool{}
+			}
+			accessors[e.Loc][e.Thread] = true
+			switch e.Kind {
+			case machine.StepWrite, machine.StepCAS, machine.StepFAA, machine.StepXchg, machine.StepUpdate, machine.StepFree:
+				writes[e.Loc]++
+			}
+		}
+	}
+
+	fp := &memory.Footprint{Name: name, SetupLocs: setupLocs, Locs: make([]memory.LocCert, setupLocs), AllAtomic: allAtomic}
+	for l := 0; l < setupLocs; l++ {
+		c := &fp.Locs[l]
+		c.SetupMax = view.Time(setupMax[l])
+		switch {
+		case len(accessors[l]) == 0:
+			// Never touched after setup in any recording: certifying it
+			// read-only would risk a spurious abort for zero saved work.
+			c.Class = memory.ClassShared
+		case writes[l] == 0:
+			c.Class = memory.ClassReadOnly
+		case len(accessors[l]) == 1:
+			c.Class = memory.ClassExclusive
+			for tid := range accessors[l] {
+				c.Owner = tid
+			}
+		default:
+			c.Class = memory.ClassShared
+		}
+	}
+	return fp, nil
+}

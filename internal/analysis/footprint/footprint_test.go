@@ -1,0 +1,129 @@
+package footprint
+
+import (
+	"strings"
+	"testing"
+
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+func TestExtractClassifiesLocations(t *testing.T) {
+	build := func() machine.Program {
+		var cfg, scratch, contended view.Loc
+		return machine.Program{
+			Name: "classify",
+			Setup: func(th *machine.Thread) {
+				cfg = th.Alloc("cfg", 5)
+				th.Write(cfg, 6, memory.NA) // second setup write: SetupMax 2
+				scratch = th.Alloc("scratch", 0)
+				contended = th.Alloc("contended", 0)
+			},
+			Workers: []func(*machine.Thread){
+				func(th *machine.Thread) {
+					th.Write(scratch, th.Read(cfg, memory.Rlx), memory.NA)
+					th.Write(contended, 1, memory.Rlx)
+				},
+				func(th *machine.Thread) {
+					th.Report("r", th.Read(contended, memory.Rlx)+th.Read(cfg, memory.Rlx))
+				},
+			},
+		}
+	}
+	fp, err := Extract(build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Name != "classify" || fp.SetupLocs != 3 || len(fp.Locs) != 3 {
+		t.Fatalf("unexpected footprint shape: %s", fp)
+	}
+	if c := fp.Locs[0]; c.Class != memory.ClassReadOnly || c.SetupMax != 2 {
+		t.Errorf("cfg = {%v, max %d}, want read-only with setup max 2", c.Class, c.SetupMax)
+	}
+	if c := fp.Locs[1]; c.Class != memory.ClassExclusive || c.Owner != 1 {
+		t.Errorf("scratch = {%v, owner %d}, want exclusive to thread 1", c.Class, c.Owner)
+	}
+	if c := fp.Locs[2]; c.Class != memory.ClassShared {
+		t.Errorf("contended = %v, want shared", c.Class)
+	}
+	if fp.AllAtomic {
+		t.Error("AllAtomic set despite na accesses after setup")
+	}
+}
+
+func TestExtractAllAtomic(t *testing.T) {
+	build := func() machine.Program {
+		var x view.Loc
+		return machine.Program{
+			Name:  "atomic-only",
+			Setup: func(th *machine.Thread) { x = th.Alloc("x", 0) },
+			Workers: []func(*machine.Thread){
+				func(th *machine.Thread) { th.Write(x, 1, memory.Rel) },
+				func(th *machine.Thread) { th.Report("r", th.Read(x, memory.Acq)) },
+			},
+		}
+	}
+	fp, err := Extract(build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.AllAtomic {
+		t.Error("AllAtomic not set for a program without na accesses")
+	}
+}
+
+func TestExtractWorkerAllocationsAreNotCertified(t *testing.T) {
+	build := func() machine.Program {
+		var x view.Loc
+		return machine.Program{
+			Name:  "worker-alloc",
+			Setup: func(th *machine.Thread) { x = th.Alloc("x", 0) },
+			Workers: []func(*machine.Thread){
+				func(th *machine.Thread) {
+					local := th.Alloc("local", 0)
+					th.Write(local, th.Read(x, memory.Rlx), memory.Rlx)
+				},
+			},
+		}
+	}
+	fp, err := Extract(build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.SetupLocs != 1 || len(fp.Locs) != 1 {
+		t.Fatalf("worker allocation leaked into the certificate: %s", fp)
+	}
+}
+
+func TestExtractRefusesUnusableRecordings(t *testing.T) {
+	noWorkers := func() machine.Program {
+		return machine.Program{Name: "nw", Setup: func(th *machine.Thread) { th.Alloc("x", 0) }}
+	}
+	if _, err := Extract(noWorkers); err == nil || !strings.Contains(err.Error(), "no workers") {
+		t.Errorf("Extract(no workers) = %v, want refusal", err)
+	}
+	idleWorkers := func() machine.Program {
+		return machine.Program{
+			Name:    "idle",
+			Setup:   func(th *machine.Thread) { th.Alloc("x", 0) },
+			Workers: []func(*machine.Thread){func(th *machine.Thread) {}},
+		}
+	}
+	if _, err := Extract(idleWorkers); err == nil || !strings.Contains(err.Error(), "no worker activity") {
+		t.Errorf("Extract(idle workers) = %v, want refusal", err)
+	}
+	failing := func() machine.Program {
+		var x view.Loc
+		return machine.Program{
+			Name:  "failing",
+			Setup: func(th *machine.Thread) { x = th.Alloc("x", 0) },
+			Workers: []func(*machine.Thread){
+				func(th *machine.Thread) { th.Write(x, 1, memory.Rlx); th.Failf("boom") },
+			},
+		}
+	}
+	if _, err := Extract(failing); err == nil || !strings.Contains(err.Error(), "ended failed") {
+		t.Errorf("Extract(failing program) = %v, want refusal", err)
+	}
+}

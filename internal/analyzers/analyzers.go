@@ -1,0 +1,85 @@
+// Package analyzers registers the compasslint pass suite: which
+// analyzers exist and which packages each one patrols. cmd/compasslint
+// drives it from the command line; TestTreeClean keeps the tree itself
+// lint-clean in CI.
+package analyzers
+
+import (
+	"strings"
+
+	"compass/internal/analyzers/detnondet"
+	"compass/internal/analyzers/lint"
+	"compass/internal/analyzers/modecheck"
+	"compass/internal/analyzers/runnerctor"
+	"compass/internal/analyzers/tallysite"
+	"compass/internal/analyzers/zerovalue"
+)
+
+// Entry pairs an analyzer with the package filter that scopes it.
+type Entry struct {
+	Analyzer *lint.Analyzer
+	// Match reports whether the analyzer applies to the package. Filters
+	// see real import paths; golden testdata packages bypass them by
+	// running the analyzer directly through linttest.
+	Match func(pkgPath string) bool
+}
+
+// corePkgs are the determinism-critical simulator packages detnondet
+// patrols: an execution is replayed from its decision sequence by code
+// in exactly these packages.
+var corePkgs = []string{
+	"compass/internal/machine",
+	"compass/internal/memory",
+	"compass/internal/view",
+	"compass/internal/core",
+}
+
+// Suite returns the registered passes in reporting order.
+func Suite() []Entry {
+	return []Entry{
+		{detnondet.Analyzer, func(p string) bool {
+			for _, core := range corePkgs {
+				if p == core || p == core+"_test" {
+					return true
+				}
+			}
+			return false
+		}},
+		{zerovalue.Analyzer, func(string) bool { return true }},
+		{tallysite.Analyzer, func(p string) bool {
+			// The telemetry package mutates its own cells by definition.
+			return trimTest(p) != "compass/internal/telemetry"
+		}},
+		{runnerctor.Analyzer, func(p string) bool {
+			// The machine package constructs its own runners (explorer
+			// workers, replay helpers).
+			return trimTest(p) != "compass/internal/machine"
+		}},
+		{modecheck.Analyzer, func(string) bool { return true }},
+	}
+}
+
+func trimTest(pkgPath string) string { return strings.TrimSuffix(pkgPath, "_test") }
+
+// Check loads the patterns and runs every suite entry over the packages
+// it matches, returning all diagnostics in package order.
+func Check(loader *lint.Loader, patterns ...string) ([]lint.Diagnostic, error) {
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		for _, e := range Suite() {
+			if !e.Match(pkg.PkgPath) {
+				continue
+			}
+			diags, err := lint.Run(e.Analyzer, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, diags...)
+		}
+	}
+	return all, nil
+}

@@ -1,0 +1,71 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"compass/internal/analyzers"
+	"compass/internal/analyzers/lint/linttest"
+)
+
+// TestTreeClean runs the whole analyzer suite over the repository and
+// requires zero findings — the same gate as `make lint` and CI. A
+// failure here means a determinism/accounting invariant regressed (or a
+// new sanctioned site needs its //compass: directive).
+func TestTreeClean(t *testing.T) {
+	diags, err := analyzers.Check(linttest.Loader(t), "./...")
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSuiteRegistry pins the pass roster: removing an analyzer from the
+// suite should be a deliberate act, not a refactoring accident.
+func TestSuiteRegistry(t *testing.T) {
+	want := []string{"detnondet", "zerovalue", "tallysite", "runnerctor", "modecheck"}
+	suite := analyzers.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, e := range suite {
+		if e.Analyzer.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, e.Analyzer.Name, want[i])
+		}
+		if e.Analyzer.Doc == "" {
+			t.Errorf("%s has no Doc", e.Analyzer.Name)
+		}
+	}
+}
+
+// TestScopeFilters pins which packages each pass patrols.
+func TestScopeFilters(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		pkg      string
+		want     bool
+	}{
+		{"detnondet", "compass/internal/machine", true},
+		{"detnondet", "compass/internal/memory", true},
+		{"detnondet", "compass/internal/view", true},
+		{"detnondet", "compass/internal/core", true},
+		{"detnondet", "compass/internal/check", false},
+		{"detnondet", "compass/internal/fuzz", false},
+		{"zerovalue", "compass/internal/queue", true},
+		{"tallysite", "compass/internal/telemetry", false},
+		{"tallysite", "compass/internal/machine", true},
+		{"runnerctor", "compass/internal/machine", false},
+		{"runnerctor", "compass/internal/fuzz", true},
+		{"modecheck", "compass", true},
+	}
+	byName := map[string]func(string) bool{}
+	for _, e := range analyzers.Suite() {
+		byName[e.Analyzer.Name] = e.Match
+	}
+	for _, c := range cases {
+		if got := byName[c.analyzer](c.pkg); got != c.want {
+			t.Errorf("%s.Match(%s) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package detnondet_test
+
+import (
+	"testing"
+
+	"compass/internal/analyzers/detnondet"
+	"compass/internal/analyzers/lint/linttest"
+)
+
+// TestGolden diffs the analyzer against its testdata corpus: every
+// `// want` line must produce a matching diagnostic and nothing else
+// may be reported.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, detnondet.Analyzer, "../testdata/detnondet")
+}

@@ -1,0 +1,211 @@
+// Package lint is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The x/tools module is deliberately not vendored — the repository has no
+// external dependencies, and the analyzers only need the narrow slice of
+// the API that the standard library's go/ast and go/types already
+// provide. The loader (load.go) substitutes for go/packages by combining
+// `go list -export` with go/importer, and linttest substitutes for
+// analysistest with the same `// want` golden-comment convention, so the
+// passes themselves read exactly like x/tools passes and could be ported
+// to the real driver by changing only import paths.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and on the command line.
+	Name string
+	// Doc is the one-paragraph description shown by `compasslint -help`:
+	// first line = summary, rest = the invariant being mechanized.
+	Doc string
+	// Run inspects one package via the Pass and reports findings through
+	// pass.Reportf. A non-nil error aborts the whole lint run (reserved
+	// for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	report    func(Diagnostic)
+}
+
+// Diagnostic is one finding, positioned in the file set.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Run applies the analyzer to pkg and returns its diagnostics sorted by
+// position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// DirectivePrefix introduces a compass lint directive comment:
+// //compass:<name>. Directives attach to the function whose doc comment
+// (or body comment block) contains them and grant that function an
+// analyzer-specific permission (e.g. //compass:accounting for tallysite).
+const DirectivePrefix = "//compass:"
+
+// HasDirective reports whether the comment group contains the directive
+// //compass:<name> on a line of its own (trailing explanation after a
+// space is allowed).
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := DirectivePrefix + name
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncDirective reports whether the function declaration enclosing pos in
+// file carries the directive, either in its doc comment or in a comment
+// anywhere inside its body (so a directive can sit next to the one
+// statement it excuses).
+func FuncDirective(file *ast.File, pos token.Pos, name string) bool {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || pos < fd.Pos() || pos > fd.End() {
+			continue
+		}
+		if HasDirective(fd.Doc, name) {
+			return true
+		}
+	}
+	// Comments inside the enclosing function's body.
+	for _, cg := range file.Comments {
+		if cg.Pos() >= fileDeclStart(file, pos) && cg.End() <= fileDeclEnd(file, pos) && HasDirective(cg, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && pos >= fd.Pos() && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+func fileDeclStart(file *ast.File, pos token.Pos) token.Pos {
+	if fd := enclosingFunc(file, pos); fd != nil {
+		return fd.Pos()
+	}
+	return pos
+}
+
+func fileDeclEnd(file *ast.File, pos token.Pos) token.Pos {
+	if fd := enclosingFunc(file, pos); fd != nil {
+		return fd.End()
+	}
+	return pos
+}
+
+// IsTestFile reports whether the position lies in a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgFunc resolves the types.Object a selector or identifier call target
+// refers to, unwrapping parentheses; nil when it cannot be resolved.
+func PkgFunc(info *types.Info, fun ast.Expr) types.Object {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return info.Uses[f]
+	case *ast.SelectorExpr:
+		return info.Uses[f.Sel]
+	}
+	return nil
+}
+
+// ObjPkgPath returns the import path of the object's package ("" for
+// builtins and package-less objects).
+func ObjPkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// NamedTypePath returns (package path, type name) for a named or aliased
+// struct/defined type, resolving through pointers; ok is false otherwise.
+func NamedTypePath(t types.Type) (pkgPath, name string, ok bool) {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+			continue
+		case *types.Alias:
+			t = types.Unalias(tt)
+			continue
+		case *types.Named:
+			obj := tt.Obj()
+			if obj.Pkg() == nil {
+				return "", obj.Name(), true
+			}
+			return obj.Pkg().Path(), obj.Name(), true
+		default:
+			return "", "", false
+		}
+	}
+}

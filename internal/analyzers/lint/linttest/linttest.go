@@ -1,0 +1,162 @@
+// Package linttest checks analyzers against golden testdata packages
+// using the x/tools analysistest convention: a `// want "regex"` comment
+// on a source line declares that the analyzer must report a diagnostic
+// on that line matching the regex, and any diagnostic without a matching
+// want comment is an error. Multiple expectations stack as
+// `// want "a" "b"`.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"compass/internal/analyzers/lint"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+// Loader returns a process-wide shared loader rooted in the current
+// directory's module; sharing it across tests amortizes the export-data
+// listing.
+func Loader(t *testing.T) *lint.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = lint.NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("linttest: creating loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// Run loads the golden package in dir, applies the analyzer, and fails
+// the test on any mismatch between reported diagnostics and `// want`
+// expectations.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := Loader(t).LoadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: loading %s: %v", dir, err)
+	}
+	diags, err := lint.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("linttest: running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	type expectation struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	want := make(map[key][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("linttest: %s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					want[k] = append(want[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		var matched bool
+		for _, exp := range want[k] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for k, exps := range want {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", a.Name, k.file, k.line, exp.re)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps from a `// want "..." "..."`
+// comment; ok is false for ordinary comments.
+func parseWant(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil, false
+	}
+	var patterns []string
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		lit, remainder, err := cutStringLit(rest)
+		if err != nil {
+			return nil, false
+		}
+		patterns = append(patterns, lit)
+		rest = remainder
+	}
+	if len(patterns) == 0 {
+		return nil, false
+	}
+	return patterns, true
+}
+
+// cutStringLit splits one leading Go string literal (double- or
+// back-quoted) off s.
+func cutStringLit(s string) (lit, rest string, err error) {
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string")
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				unq, err := strconv.Unquote(s[:i+1])
+				if err != nil {
+					return "", "", err
+				}
+				return unq, s[i+1:], nil
+			}
+		}
+		return "", "", fmt.Errorf("unterminated string")
+	default:
+		return "", "", fmt.Errorf("expected string literal")
+	}
+}

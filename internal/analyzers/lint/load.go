@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path (testdata packages get a synthetic one).
+	PkgPath string
+	// Dir is the directory holding the source files.
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader type-checks packages without golang.org/x/tools: `go list -deps
+// -export` yields build-cache export-data files for every dependency
+// (standard library included), go/importer's gc importer reads them, and
+// the target packages themselves are parsed and checked from source so
+// analyzers see full syntax. One Loader shares a FileSet and importer so
+// types have consistent identities across all packages it loads.
+type Loader struct {
+	// Dir is the module root all `go list` invocations run in.
+	Dir  string
+	Fset *token.FileSet
+
+	exports  map[string]string // import path -> export data file
+	importer types.Importer
+}
+
+// NewLoader prepares a loader rooted at dir (any directory inside the
+// module). The initial `go list -deps -export` pass compiles export data
+// for the module and the standard library into the build cache; warm
+// runs are fast.
+func NewLoader(dir string) (*Loader, error) {
+	l := &Loader{Dir: dir, Fset: token.NewFileSet(), exports: make(map[string]string)}
+
+	// Anchor ./... patterns at the module root so the export cache covers
+	// the whole module no matter which package directory we started in.
+	if root, err := l.goList("-m", "-f", "{{.Dir}}"); err == nil {
+		if r := strings.TrimSpace(string(root)); r != "" {
+			l.Dir = r
+		}
+	}
+
+	out, err := l.goList("-deps", "-export", "-json=ImportPath,Export", "./...", "std")
+	if err != nil {
+		return nil, fmt.Errorf("lint: listing export data: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	l.importer = importer.ForCompiler(l.Fset, "gc", lookup)
+	return l, nil
+}
+
+func (l *Loader) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+type listedPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Standard     bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Load resolves the `go list` patterns and returns each matched package
+// type-checked from source. In-package test files are merged into their
+// package; external test packages (package foo_test) come back as a
+// separate *Package whose PkgPath has a "_test" suffix.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{"-json=ImportPath,Dir,Name,Standard,GoFiles,TestGoFiles,XTestGoFiles"}, patterns...)
+	out, err := l.goList(args...)
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if lp.Standard {
+			continue
+		}
+		files := append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)
+		pkg, err := l.check(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+		if len(lp.XTestGoFiles) > 0 {
+			xpkg, err := l.check(lp.ImportPath+"_test", lp.Dir, lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xpkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir type-checks the single package formed by every .go file
+// directly under dir, regardless of build constraints or go list
+// visibility — this is how linttest loads testdata golden packages,
+// which live under testdata/ precisely so the toolchain ignores them.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	return l.check("testdata/"+filepath.Base(dir), dir, files)
+}
+
+// check parses the named files (relative to dir) and type-checks them as
+// one package.
+func (l *Loader) check(pkgPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l.importer,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, err := conf.Check(pkgPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type errors in %s:\n  %s", pkgPath, strings.Join(typeErrs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
+	}
+
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      l.Fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

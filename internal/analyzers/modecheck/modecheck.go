@@ -1,0 +1,115 @@
+// Package modecheck requires memory-ordering arguments to be named
+// constants. A raw integer in a memory.Mode position type-checks but
+// hides the ordering decision (and silently changes meaning if the
+// constant order is ever touched), so every call site must say
+// memory.NA/Rlx/Acq/Rel/AcqRel — or pass a variable that was.
+package modecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"compass/internal/analyzers/lint"
+)
+
+// Analyzer is the modecheck pass.
+var Analyzer = &lint.Analyzer{
+	Name: "modecheck",
+	Doc: `forbid raw integers in memory.Mode argument positions
+
+Memory access call sites must pass a named ordering constant (NA, Rlx,
+Acq, Rel, AcqRel, or the fence modes), never a numeric literal or an
+untyped constant expression: modecheck flags any constant Mode argument
+that is not spelled as a reference to a declared constant.`,
+	Run: run,
+}
+
+const memoryPath = "compass/internal/memory"
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	tvFun, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tvFun.IsType() {
+		// Conversion: memory.Mode(2) — flag constant operands here so the
+		// conversion cannot be used to smuggle a raw integer past the
+		// parameter check.
+		if isModeType(tvFun.Type) && len(call.Args) == 1 {
+			checkArg(pass, call.Args[0])
+		}
+		return
+	}
+	sig, ok := tvFun.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		pt := params.At(pi).Type()
+		if sig.Variadic() && pi == params.Len()-1 {
+			if slice, ok := pt.(*types.Slice); ok && !hasEllipsis(call) {
+				pt = slice.Elem()
+			}
+		}
+		if isModeType(pt) {
+			checkArg(pass, arg)
+		}
+	}
+}
+
+func hasEllipsis(call *ast.CallExpr) bool { return call.Ellipsis.IsValid() }
+
+// isModeType reports whether t is compass/internal/memory.Mode.
+func isModeType(t types.Type) bool {
+	pkgPath, name, ok := lint.NamedTypePath(t)
+	return ok && pkgPath == memoryPath && name == "Mode"
+}
+
+// checkArg flags arg when it is a constant not written as a reference to
+// a declared constant (identifier or selector).
+func checkArg(pass *lint.Pass, arg ast.Expr) {
+	e := ast.Unparen(arg)
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		// A conversion like memory.Mode(2) is reported once, at its
+		// operand, by the conversion branch of checkCall.
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			return
+		}
+	case *ast.Ident:
+		if _, isConst := pass.TypesInfo.Uses[e].(*types.Const); isConst {
+			return
+		}
+	case *ast.SelectorExpr:
+		if _, isConst := pass.TypesInfo.Uses[e.Sel].(*types.Const); isConst {
+			return
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return // variable, field, or call result — assume it was named upstream
+	}
+	pass.Reportf(arg.Pos(), "raw constant in memory.Mode position: name the ordering (memory.NA/Rlx/Acq/Rel/AcqRel) instead of %s", tv.Value)
+}

@@ -1,0 +1,57 @@
+// Package runnerctor funnels machine.Runner construction through
+// check.Options.Runner. Scattered &machine.Runner{...} literals are how
+// option plumbing regresses: a site that forgets Stats silently drops
+// telemetry, one that forgets Budget hangs on divergent mutants (both
+// happened before PR 3 unified construction). Sanctioned constructors
+// carry //compass:runner-ctor.
+package runnerctor
+
+import (
+	"go/ast"
+
+	"compass/internal/analyzers/lint"
+)
+
+// Analyzer is the runnerctor pass.
+var Analyzer = &lint.Analyzer{
+	Name: "runnerctor",
+	Doc: `require machine.Runner construction to go through check.Options.Runner
+
+A machine.Runner composite literal outside the machine package itself
+must be inside a function marked //compass:runner-ctor (the sanctioned
+constructor, check.Options.Runner). Everything else should build its
+runner from an Options value so Budget/Trace/Stats plumbing cannot be
+forgotten site by site.`,
+	Run: run,
+}
+
+const machinePath = "compass/internal/machine"
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		if lint.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[cl]
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := lint.NamedTypePath(tv.Type)
+			if !ok || pkgPath != machinePath || name != "Runner" {
+				return true
+			}
+			if lint.FuncDirective(file, cl.Pos(), "runner-ctor") {
+				return true
+			}
+			pass.Reportf(cl.Pos(), "machine.Runner constructed directly: go through check.Options.Runner so Budget/Trace/Stats plumbing stays uniform (sanctioned constructors carry //compass:runner-ctor)")
+			return true
+		})
+	}
+	return nil
+}

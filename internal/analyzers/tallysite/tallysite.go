@@ -1,0 +1,75 @@
+// Package tallysite restricts telemetry execution accounting to
+// designated accounting functions. PR 3 established by hand that
+// ExecDone is recorded only by result-accounting layers, so telemetry
+// exec totals always equal Report totals; this pass turns that review
+// convention into a compile-time check keyed off //compass:accounting
+// directives.
+package tallysite
+
+import (
+	"go/ast"
+
+	"compass/internal/analyzers/lint"
+)
+
+// Analyzer is the tallysite pass.
+var Analyzer = &lint.Analyzer{
+	Name: "tallysite",
+	Doc: `restrict telemetry counter mutations to //compass:accounting functions
+
+ExecDone and raw Counter/Gauge/Histogram mutations on
+compass/internal/telemetry types may appear only inside functions whose
+doc comment carries //compass:accounting. Keeping the accounting sites
+explicit is what guarantees telemetry exec totals equal Report totals
+(one ExecDone per accounted result, never per raw machine run).`,
+	Run: run,
+}
+
+const telemetryPath = "compass/internal/telemetry"
+
+// mutators are the accounting-sensitive methods on telemetry types.
+// Ordinary recording helpers (ReadChoice, ThreadPick, ...) are
+// deliberately not listed: they are per-event instrumentation, not
+// result accounting.
+var mutators = map[string]bool{
+	"ExecDone": true, // Stats: one per accounted execution
+	"Inc":      true, // raw Counter
+	"Add":      true, // raw Counter
+	"Set":      true, // raw Gauge
+	"Observe":  true, // raw Histogram
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		if lint.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !mutators[sel.Sel.Name] {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil {
+				return true // package-qualified call, not a method
+			}
+			pkgPath, _, ok := lint.NamedTypePath(s.Recv())
+			if !ok || pkgPath != telemetryPath {
+				return true
+			}
+			if !lint.FuncDirective(file, call.Pos(), "accounting") {
+				pass.Reportf(call.Pos(), "telemetry %s outside a //compass:accounting function: execution accounting must stay in the result-accounting layer so telemetry totals equal Report totals", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package tallysite_test
+
+import (
+	"testing"
+
+	"compass/internal/analyzers/lint/linttest"
+	"compass/internal/analyzers/tallysite"
+)
+
+// TestGolden diffs the analyzer against its testdata corpus: every
+// `// want` line must produce a matching diagnostic and nothing else
+// may be reported.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, tallysite.Analyzer, "../testdata/tallysite")
+}

@@ -1,0 +1,9 @@
+package detnondet
+
+import "time"
+
+// Test files are exempt: harness-side timing around the deterministic
+// core is fine, and must not be flagged.
+func testOnlyClock() time.Time {
+	return time.Now() // ok: _test.go files are out of scope
+}

@@ -1,0 +1,20 @@
+// Package modecheck is the golden corpus for the modecheck analyzer.
+package modecheck
+
+import "compass/internal/memory"
+
+func access(mode memory.Mode) {}
+
+func pair(read, write memory.Mode) {}
+
+const localMode = memory.Acq
+
+func callSites(m memory.Mode) {
+	access(2)                    // want `raw constant in memory.Mode position`
+	access(memory.Mode(2))       // want `raw constant in memory.Mode position`
+	access(memory.Rlx)           // ok: named constant
+	access(localMode)            // ok: locally named constant
+	access(m)                    // ok: variable, named upstream
+	pair(memory.Acq, 3)          // want `raw constant in memory.Mode position`
+	pair(memory.Acq, memory.Rel) // ok
+}

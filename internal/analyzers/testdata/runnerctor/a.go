@@ -1,0 +1,23 @@
+// Package runnerctor is the golden corpus for the runnerctor analyzer.
+package runnerctor
+
+import "compass/internal/machine"
+
+func direct(budget int) *machine.Runner {
+	return &machine.Runner{Budget: budget} // want `machine.Runner constructed directly`
+}
+
+func directValue() machine.Runner {
+	return machine.Runner{Trace: true} // want `machine.Runner constructed directly`
+}
+
+// build is a sanctioned constructor in the style of check.Options.Runner.
+//
+//compass:runner-ctor
+func build(budget int, trace bool) *machine.Runner {
+	return &machine.Runner{Budget: budget, Trace: trace} // ok: sanctioned constructor
+}
+
+func viaConstructor(budget int) *machine.Runner {
+	return build(budget, false) // ok: goes through the constructor
+}

@@ -1,0 +1,27 @@
+// Package tallysite is the golden corpus for the tallysite analyzer.
+package tallysite
+
+import "compass/internal/telemetry"
+
+func unaccounted(s *telemetry.Stats, status uint8, steps int) {
+	s.ExecDone(status, steps) // want `telemetry ExecDone outside a //compass:accounting function`
+}
+
+func rawCounter(c *telemetry.Counter) {
+	c.Inc()      // want `telemetry Inc outside a //compass:accounting function`
+	c.Add(3)     // want `telemetry Add outside a //compass:accounting function`
+	_ = c.Load() // ok: reads are not accounting
+}
+
+func instrumentation(s *telemetry.Stats) {
+	s.ReadChoice(4, 1) // ok: per-event instrumentation, not result accounting
+	s.ThreadPick(0)    // ok
+}
+
+// tally is a result-accounting layer: it records exactly one ExecDone
+// per accounted execution.
+//
+//compass:accounting
+func tally(s *telemetry.Stats, status uint8, steps int) {
+	s.ExecDone(status, steps) // ok: designated accounting function
+}

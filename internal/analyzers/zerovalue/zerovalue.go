@@ -1,0 +1,109 @@
+// Package zerovalue flags literal-zero writes to Seed and StaleBias
+// fields. Options zero values select defaults (Seed: 0 means "seed 1",
+// StaleBias: 0 means "default bias"), so code that wants an actual zero
+// must say SeedZero / BiasZero — the sentinel fix from PR 1 that this
+// pass mechanizes.
+package zerovalue
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"compass/internal/analyzers/lint"
+)
+
+// Analyzer is the zerovalue pass.
+var Analyzer = &lint.Analyzer{
+	Name: "zerovalue",
+	Doc: `flag literal 0 assigned to Seed/StaleBias fields
+
+Seed: 0 and StaleBias: 0 are indistinguishable from "unset" and select
+the defaults, so a literal zero almost never means what it says. Request
+a true zero with the SeedZero/BiasZero sentinels; silence a deliberate
+trap demonstration with //compass:zerovalue-ok on the function.`,
+	Run: run,
+}
+
+// sentinels maps the trapped field name to the sentinel to suggest.
+var sentinels = map[string]string{
+	"Seed":      "SeedZero",
+	"StaleBias": "BiasZero",
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkLit(pass, file, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, file, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkLit(pass *lint.Pass, file *ast.File, cl *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok {
+		return
+	}
+	if _, isStruct := tv.Type.Underlying().(*types.Struct); !isStruct {
+		return
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if sentinel, trapped := sentinels[key.Name]; trapped {
+			report(pass, file, kv.Value, key.Name, sentinel)
+		}
+	}
+}
+
+func checkAssign(pass *lint.Pass, file *ast.File, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		// Only field selections, not same-named methods or package names.
+		if s := pass.TypesInfo.Selections[sel]; s == nil || s.Kind() != types.FieldVal {
+			continue
+		}
+		if sentinel, trapped := sentinels[sel.Sel.Name]; trapped {
+			report(pass, file, as.Rhs[i], sel.Sel.Name, sentinel)
+		}
+	}
+}
+
+// report flags value when it is the constant 0 and the site is not
+// excused by //compass:zerovalue-ok.
+func report(pass *lint.Pass, file *ast.File, value ast.Expr, field, sentinel string) {
+	tv, ok := pass.TypesInfo.Types[value]
+	if !ok || tv.Value == nil {
+		return
+	}
+	if k := tv.Value.Kind(); k != constant.Int && k != constant.Float {
+		return
+	}
+	if constant.Sign(tv.Value) != 0 {
+		return
+	}
+	if lint.FuncDirective(file, value.Pos(), "zerovalue-ok") {
+		return
+	}
+	pass.Reportf(value.Pos(), "%s: 0 selects the default, not zero; use %s for a literal zero (or drop the field for the default)", field, sentinel)
+}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"compass/internal/machine"
+	"compass/internal/memory"
 	"compass/internal/spec"
 	"compass/internal/telemetry"
 )
@@ -98,6 +99,11 @@ type Options struct {
 	// overshoot an early stop) plus step-level machine counters. The
 	// final Report carries a Snapshot of it.
 	Stats *telemetry.Stats
+	// Footprint, when non-nil, is a location-footprint certificate
+	// (extracted by internal/analysis/footprint) installed into every
+	// execution: certified locations skip race instrumentation and
+	// read-window computation, without changing any outcome.
+	Footprint *memory.Footprint
 }
 
 // Default option values, shared with the other harness front ends so a
@@ -164,12 +170,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// runner builds the machine runner for a normalized Options. All runner
-// construction in this package goes through here so budget and telemetry
-// plumbing cannot drift between the sequential, parallel, and replay
-// paths.
-func (o Options) runner(trace bool) *machine.Runner {
-	return &machine.Runner{Budget: o.Budget, Trace: trace, Stats: o.Stats}
+// Runner builds the machine runner for a normalized Options. All runner
+// construction outside the machine package goes through here (enforced
+// by the runnerctor analyzer) so budget and telemetry plumbing cannot
+// drift between the sequential, parallel, replay, and fuzzing paths.
+//
+//compass:runner-ctor
+func (o Options) Runner(trace bool) *machine.Runner {
+	return &machine.Runner{Budget: o.Budget, Trace: trace, Stats: o.Stats, Footprint: o.Footprint}
 }
 
 // Failure records one failing execution with its replay seed.
@@ -265,9 +273,13 @@ func Run(name string, build func() Checked, opt Options) *Report {
 	return runParallel(name, build, opt)
 }
 
+// runSequential is the reference execution loop; it accounts for every
+// result it records, one ExecDone per execution.
+//
+//compass:accounting
 func runSequential(name string, build func() Checked, opt Options) *Report {
 	rep := &Report{Name: name}
-	runner := opt.runner(false)
+	runner := opt.Runner(false)
 	for i := 0; i < opt.Executions; i++ {
 		seed := opt.Seed + int64(i)
 		c := build()
@@ -317,6 +329,8 @@ func (r *Report) attachStats(opt Options) *Report {
 // at least the index at which the sequential loop stops. The merge then
 // walks outcomes in index order applying the sequential stop rule,
 // discarding whatever overshoot the workers produced past it.
+//
+//compass:accounting
 func runParallel(name string, build func() Checked, opt Options) *Report {
 	outcomes := make([]execOutcome, opt.Executions)
 	var next, failures, stop int64
@@ -325,7 +339,7 @@ func runParallel(name string, build func() Checked, opt Options) *Report {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runner := opt.runner(false)
+			runner := opt.Runner(false)
 			for {
 				if atomic.LoadInt64(&stop) != 0 {
 					return
@@ -413,7 +427,7 @@ func ExhaustiveOpt(name string, build func() Checked, opt Options) *Report {
 	var mu sync.Mutex
 	var failures int64
 	res := machine.ExploreParallel(
-		machine.ExploreOpts{MaxRuns: opt.MaxRuns, Budget: opt.Budget, Workers: opt.Workers, Stats: opt.Stats},
+		machine.ExploreOpts{MaxRuns: opt.MaxRuns, Budget: opt.Budget, Workers: opt.Workers, Stats: opt.Stats, Footprint: opt.Footprint},
 		func() (func() machine.Program, func(*machine.Result) bool) {
 			var cur Checked
 			buildProg := func() machine.Program {
@@ -472,7 +486,7 @@ func ExhaustiveOpt(name string, build func() Checked, opt Options) *Report {
 func Explain(build func() Checked, seed int64, staleBias float64, budget int) (machine.Status, []string, []spec.Violation) {
 	opt := Options{StaleBias: staleBias, Budget: budget}.withDefaults()
 	c := build()
-	res := opt.runner(true).Run(c.Prog, machine.NewRandomBiased(seed, opt.StaleBias))
+	res := opt.Runner(true).Run(c.Prog, machine.NewRandomBiased(seed, opt.StaleBias))
 	var viols []spec.Violation
 	if res.Status == machine.OK {
 		viols, _ = c.Evaluate()
@@ -488,7 +502,7 @@ func Explain(build func() Checked, seed int64, staleBias float64, budget int) (m
 func TraceChecked(build func() Checked, seed int64, staleBias float64, budget int) (*machine.Result, []spec.Violation) {
 	opt := Options{StaleBias: staleBias, Budget: budget}.withDefaults()
 	c := build()
-	res := opt.runner(true).Run(c.Prog, machine.NewRandomBiased(seed, opt.StaleBias))
+	res := opt.Runner(true).Run(c.Prog, machine.NewRandomBiased(seed, opt.StaleBias))
 	var viols []spec.Violation
 	if res.Status == machine.OK {
 		viols, _ = c.Evaluate()

@@ -1,8 +1,9 @@
-// Package cli holds the telemetry plumbing shared by the command-line
-// front ends (cmd/compass, cmd/fuzz, cmd/litmus): snapshot and Chrome
-// trace file export, and the opt-in pprof listener. Keeping it in one
-// place means the three binaries cannot drift in how they spell the
-// -stats/-trace-out/-pprof behaviour.
+// Package cli holds the plumbing shared by the command-line front ends
+// (cmd/compass, cmd/fuzz, cmd/litmus): flag-value normalization onto the
+// harness option encoding, snapshot and Chrome trace file export, and the
+// opt-in pprof listener. Keeping it in one place means the binaries
+// cannot drift in how they spell the -seed/-stale/-stats/-trace-out/
+// -pprof behaviour.
 package cli
 
 import (
@@ -11,9 +12,33 @@ import (
 	_ "net/http/pprof" // registered on the default mux, served only when -pprof is set
 	"os"
 
+	"compass/internal/check"
 	"compass/internal/machine"
 	"compass/internal/telemetry"
 )
+
+// FlagSeed maps a -seed flag value onto the harness Options encoding:
+// the harness treats Seed == 0 as "use the default", so a user's explicit
+// -seed 0 becomes the check.SeedZero sentinel and means the literal seed
+// 0. Every other value passes through.
+func FlagSeed(seed int64) int64 {
+	if seed == 0 {
+		return check.SeedZero
+	}
+	return seed
+}
+
+// FlagStaleBias maps a -stale flag value onto the harness Options
+// encoding: an explicit -stale 0 becomes the check.BiasZero sentinel
+// ("every read observes the latest message"), since the zero value of
+// Options.StaleBias selects the default bias. Every other value passes
+// through.
+func FlagStaleBias(bias float64) float64 {
+	if bias == 0 {
+		return check.BiasZero
+	}
+	return bias
+}
 
 // StartPprof serves net/http/pprof on addr in the background. Empty addr
 // disables it (the default: no listener is ever opened unless asked for).

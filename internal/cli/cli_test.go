@@ -1,0 +1,118 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compass/internal/check"
+	"compass/internal/litmus"
+	"compass/internal/telemetry"
+)
+
+// TestFlagSeed pins the -seed flag encoding: an explicit 0 on the command
+// line means the literal seed 0, which the harness spells SeedZero because
+// Options.Seed's zero value selects the default. Everything else passes
+// through untouched.
+func TestFlagSeed(t *testing.T) {
+	cases := []struct {
+		in, want int64
+	}{
+		{0, check.SeedZero},
+		{1, 1},
+		{42, 42},
+		{-7, -7},
+		{check.SeedZero, check.SeedZero},
+	}
+	for _, c := range cases {
+		if got := FlagSeed(c.in); got != c.want {
+			t.Errorf("FlagSeed(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestFlagStaleBias pins the -stale flag encoding: an explicit 0 means
+// "always read the latest message", which the harness spells BiasZero
+// because Options.StaleBias's zero value selects the default bias.
+func TestFlagStaleBias(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{0, check.BiasZero},
+		{0.5, 0.5},
+		{1, 1},
+		{check.BiasZero, check.BiasZero},
+	}
+	for _, c := range cases {
+		if got := FlagStaleBias(c.in); got != c.want {
+			t.Errorf("FlagStaleBias(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestFlagNormalizationRoundTrips checks the sentinels decode back to the
+// values the user asked for: -seed 0 must actually run seed 0, and
+// -stale 0 must actually run bias 0 — the zero-value traps PR 1–3 hit.
+func TestFlagNormalizationRoundTrips(t *testing.T) {
+	if got := check.NormalizeSeed(FlagSeed(0), 99); got != 0 {
+		t.Errorf("Seed 0 round-trips to %d, want 0", got)
+	}
+	if got := check.NormalizeSeed(FlagSeed(7), 99); got != 7 {
+		t.Errorf("Seed 7 round-trips to %d, want 7", got)
+	}
+	if got := check.NormalizeStaleBias(FlagStaleBias(0), 0.9); got != 0 {
+		t.Errorf("StaleBias 0 round-trips to %v, want 0", got)
+	}
+	if got := check.NormalizeStaleBias(FlagStaleBias(0.3), 0.9); got != 0.3 {
+		t.Errorf("StaleBias 0.3 round-trips to %v, want 0.3", got)
+	}
+}
+
+func TestWriteStatsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stats.json")
+	stats := telemetry.New()
+	if err := WriteStatsFile(path, stats); err != nil {
+		t.Fatalf("WriteStatsFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateSnapshotJSON(data); err != nil {
+		t.Errorf("written snapshot does not validate: %v", err)
+	}
+}
+
+func TestWriteStatsFileBadPath(t *testing.T) {
+	if err := WriteStatsFile(filepath.Join(t.TempDir(), "no", "such", "dir.json"), telemetry.New()); err == nil {
+		t.Error("want error for unwritable path, got nil")
+	}
+}
+
+func TestWriteTraceFile(t *testing.T) {
+	// Any recorded execution will do; the litmus suite's first test traced
+	// under its default schedule is deterministic and cheap.
+	tc := litmus.Suite()[0]
+	res := litmus.TraceTest(tc)
+	if len(res.Events) == 0 {
+		t.Fatal("traced execution recorded no events")
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteTraceFile(path, tc.Name, res); err != nil {
+		t.Fatalf("WriteTraceFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateChromeTraceJSON(data); err != nil {
+		t.Errorf("written trace does not validate: %v", err)
+	}
+}
+
+func TestWriteTraceFileBadPath(t *testing.T) {
+	res := litmus.TraceTest(litmus.Suite()[0])
+	if err := WriteTraceFile(filepath.Join(t.TempDir(), "no", "such", "trace.json"), "t", res); err == nil {
+		t.Error("want error for unwritable path, got nil")
+	}
+}

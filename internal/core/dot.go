@@ -12,6 +12,12 @@ import (
 // event (labeled with its payload and committing thread), solid edges for
 // the so relation, and dashed edges for the transitive reduction of the
 // lhb relation (restricted to this object's events, for readability).
+//
+// Map iteration order is unobservable here: the first pass fills the
+// reduced-edge set (commutative inserts) and the second collects edges
+// that are sorted before rendering.
+//
+//compass:orderinsensitive
 func (g *Graph) DOT() string {
 	events := g.Events()
 	// lhb edges within this graph.

@@ -86,6 +86,11 @@ func (r *Recorder) Arm(th *machine.Thread, id view.EventID) {
 // been released through any successful write — which is guaranteed when
 // the only write between Arm and Disarm is the failed (and therefore
 // non-writing) publishing instruction itself.
+//
+// Iterating the per-location release clocks in map order is fine: the
+// removals are independent and touch disjoint clocks.
+//
+//compass:orderinsensitive
 func (r *Recorder) Disarm(th *machine.Thread, id view.EventID) {
 	tv := th.TV()
 	tv.Cur.L.Remove(id)

@@ -287,7 +287,7 @@ func W2Reclamation(cfg Config) Summary {
 				},
 			},
 		}
-		r := (&machine.Runner{}).Run(prog, machine.NewRandomBiased(seed, 0.5))
+		r := check.Options{}.Runner(false).Run(prog, machine.NewRandomBiased(seed, 0.5))
 		if r.Status != machine.OK {
 			ok = false
 			continue

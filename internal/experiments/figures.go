@@ -148,7 +148,7 @@ func Fig3DeqPerm(cfg Config) Summary {
 	f := queueImpls()[1].Factory // Michael-Scott
 	for i := 0; i < cfg.Executions; i++ {
 		c := check.MPQueue(f, spec.LevelHB, true)()
-		res := (&machine.Runner{}).Run(c.Prog, machine.NewRandomBiased(cfg.Seed+int64(i), cfg.StaleBias))
+		res := check.Options{}.Runner(false).Run(c.Prog, machine.NewRandomBiased(cfg.Seed+int64(i), cfg.StaleBias))
 		if res.Status != machine.OK {
 			ok = false
 			continue
@@ -177,7 +177,7 @@ func Fig4HistStack(cfg Config) Summary {
 			s = stack.NewTreiber(th, "trb")
 			return s
 		}, spec.LevelHB, 2, 2, 2, 3)()
-		res := (&machine.Runner{}).Run(c.Prog, machine.NewRandomBiased(cfg.Seed+int64(i), cfg.StaleBias))
+		res := check.Options{}.Runner(false).Run(c.Prog, machine.NewRandomBiased(cfg.Seed+int64(i), cfg.StaleBias))
 		if res.Status != machine.OK {
 			continue
 		}
@@ -220,7 +220,7 @@ func Fig5Exchanger(cfg Config) Summary {
 	matched, failed := 0, 0
 	for i := 0; i < cfg.Executions; i++ {
 		c := check.ExchangerPairs(newExchanger, 4, 6)()
-		res := (&machine.Runner{}).Run(c.Prog, machine.NewRandomBiased(cfg.Seed+int64(i), cfg.StaleBias))
+		res := check.Options{}.Runner(false).Run(c.Prog, machine.NewRandomBiased(cfg.Seed+int64(i), cfg.StaleBias))
 		if res.Status != machine.OK {
 			ok = false
 			continue
@@ -242,7 +242,7 @@ func Fig5Exchanger(cfg Config) Summary {
 			Setup:   func(th *machine.Thread) { x = exchanger.New(th, "ex") },
 			Workers: workers,
 		}
-		res := (&machine.Runner{}).Run(prog, machine.NewRandomBiased(cfg.Seed+int64(i), cfg.StaleBias))
+		res := check.Options{}.Runner(false).Run(prog, machine.NewRandomBiased(cfg.Seed+int64(i), cfg.StaleBias))
 		if res.Status != machine.OK {
 			continue
 		}

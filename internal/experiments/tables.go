@@ -276,7 +276,7 @@ func T2CheckerCost(cfg Config) Summary {
 			s = stack.NewTreiber(th, "trb")
 			return s
 		}, spec.LevelHB, 2, 2, 2, 3)()
-		res := (&machine.Runner{}).Run(c.Prog, machine.NewRandomBiased(cfg.Seed+int64(i), cfg.StaleBias))
+		res := check.Options{}.Runner(false).Run(c.Prog, machine.NewRandomBiased(cfg.Seed+int64(i), cfg.StaleBias))
 		if res.Status != machine.OK {
 			continue
 		}
@@ -378,7 +378,7 @@ func A1Ablations(cfg Config) Summary {
 			}, spec.LevelHB, false)},
 	}
 	ok := true
-	runner := &machine.Runner{}
+	runner := check.Options{}.Runner(false)
 	for _, a := range ablations {
 		detected, after, diag := false, 0, ""
 		for i := 0; i < cfg.Executions*5 && !detected; i++ {

@@ -19,11 +19,11 @@ import (
 // verdict that condemned it. Program + Decisions fully determine the
 // execution, so a Failure replays byte-for-byte via Replay.
 type Failure struct {
-	Program   Program            `json:"program"`
-	Decisions []machine.Decision `json:"decisions"`
-	Status    string             `json:"status"`
-	Err       string             `json:"err,omitempty"`
-	Violations []spec.Violation  `json:"violations,omitempty"`
+	Program    Program            `json:"program"`
+	Decisions  []machine.Decision `json:"decisions"`
+	Status     string             `json:"status"`
+	Err        string             `json:"err,omitempty"`
+	Violations []spec.Violation   `json:"violations,omitempty"`
 	// Key is the failure class (status + sorted violation rules); the
 	// shrinker preserves it, and campaign deduplication buckets on it.
 	Key string `json:"key"`
@@ -95,7 +95,7 @@ func Replay(p Program, ds []machine.Decision, budget int) (*Failure, error) {
 	if err != nil {
 		return nil, err
 	}
-	runner := &machine.Runner{Budget: budget}
+	runner := check.Options{Budget: budget}.Runner(false)
 	strat := machine.ReplayStrategy(ds)
 	r := runner.Run(inst.Checked.Prog, strat)
 	f, _ := judge(p, inst, r, strat.Trace)
@@ -108,8 +108,10 @@ func Replay(p Program, ds []machine.Decision, budget int) (*Failure, error) {
 // first failure, the number of runs, whether the tree was exhausted, and
 // the unknown-verdict and discarded counts. stats (nil disables)
 // receives one ExecDone/FuzzExec per run.
+//
+//compass:accounting
 func explore(p Program, maxRuns, budget int, stats *telemetry.Stats) (f *Failure, runs int, complete bool, unknowns, discards int) {
-	runner := &machine.Runner{Budget: budget, Stats: stats}
+	runner := check.Options{Budget: budget, Stats: stats}.Runner(false)
 	var prefix []machine.Decision
 	for runs < maxRuns {
 		inst, err := Build(p)
@@ -319,8 +321,10 @@ func Fuzz(cfg Config) (*Report, error) {
 // first failure (or nil). execBase seeds the random phase: execution j
 // runs under deriveSeed(execBase, streamStep, j), which the returned
 // failure records as ExecSeed.
+//
+//compass:accounting
 func fuzzProgram(cfg Config, rep *Report, p Program, execBase int64) *Failure {
-	runner := &machine.Runner{Budget: cfg.Budget, Stats: cfg.Stats}
+	runner := check.Options{Budget: cfg.Budget, Stats: cfg.Stats}.Runner(false)
 	for j := 0; j < cfg.Execs; j++ {
 		inst, err := Build(p)
 		if err != nil {

@@ -3,6 +3,7 @@ package fuzz
 import (
 	"io"
 
+	"compass/internal/check"
 	"compass/internal/machine"
 	"compass/internal/telemetry"
 )
@@ -49,7 +50,7 @@ func (s *shrinker) attempt(p Program, ds []machine.Decision) *Failure {
 // or op perturbs the decision tree, so this is what keeps aggressive
 // structural shrinks viable.
 func (s *shrinker) rediscover(p Program) *Failure {
-	runner := &machine.Runner{Budget: s.budget}
+	runner := check.Options{Budget: s.budget}.Runner(false)
 	for seed := int64(0); seed < 80 && !s.spent(); seed++ {
 		inst, err := Build(p)
 		if err != nil {
@@ -226,7 +227,7 @@ func (s *shrinker) reschedule(f *Failure) *Failure {
 // maxDepth decisions: decisions past the cap always replay the default
 // branch, so every found failure has effLen ≤ maxDepth.
 func (s *shrinker) exploreDepth(p Program, maxDepth int) *Failure {
-	runner := &machine.Runner{Budget: s.budget}
+	runner := check.Options{Budget: s.budget}.Runner(false)
 	var prefix []machine.Decision
 	for runs := 0; runs < rescheduleRuns && !s.spent(); runs++ {
 		inst, err := Build(p)

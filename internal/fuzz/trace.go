@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"compass/internal/check"
 	"compass/internal/machine"
 )
 
@@ -21,7 +22,7 @@ func TraceExecution(cfg Config, rep *Report) (*machine.Result, string, error) {
 		if err != nil {
 			return nil, "", fmt.Errorf("trace: rebuild failure: %w", err)
 		}
-		r := (&machine.Runner{Budget: cfg.Budget, Trace: true}).
+		r := check.Options{Budget: cfg.Budget}.Runner(true).
 			Run(inst.Checked.Prog, machine.ReplayStrategy(f.Decisions))
 		return r, "failure " + f.Key, nil
 	}
@@ -32,7 +33,7 @@ func TraceExecution(cfg Config, rep *Report) (*machine.Result, string, error) {
 		return nil, "", fmt.Errorf("trace: build program 0: %w", err)
 	}
 	execSeed := deriveSeed(deriveSeed(cfg.Seed, streamExec, 0), streamStep, 0)
-	r := (&machine.Runner{Budget: cfg.Budget, Trace: true}).
+	r := check.Options{Budget: cfg.Budget}.Runner(true).
 		Run(inst.Checked.Prog, machine.NewRandomBiased(execSeed, cfg.StaleBias))
 	return r, fmt.Sprintf("%s program 0 exec 0", p.Lib), nil
 }

@@ -1,0 +1,126 @@
+package litmus
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"compass/internal/analysis/footprint"
+	"compass/internal/check"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/telemetry"
+	"compass/internal/view"
+)
+
+// TestFootprintEquivalence is the soundness gate for footprint pruning:
+// for every litmus test in the suite plus the footprint-rich workloads,
+// exhaustive exploration with an extracted certificate must produce a
+// bit-identical outcome histogram — same runs, same completeness, same
+// discards, same outcome counts — as exploration without one. Pruning
+// removes per-access work, never decision-tree branches; any divergence
+// (including a certificate violation turning an execution Failed) shows
+// up here as a histogram mismatch.
+func TestFootprintEquivalence(t *testing.T) {
+	tests := append(Suite(), FootprintSuite()...)
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			t.Parallel()
+			fp, err := footprint.Extract(tc.Build)
+			if err != nil {
+				t.Fatalf("extracting footprint: %v", err)
+			}
+			plain := RunWorkersStats(tc, 0, 1, nil)
+			pruned := RunWorkersFootprint(tc, 0, 1, nil, fp)
+			if plain.Runs != pruned.Runs {
+				t.Errorf("runs diverged: %d without footprint, %d with", plain.Runs, pruned.Runs)
+			}
+			if plain.Complete != pruned.Complete {
+				t.Errorf("completeness diverged: %v without footprint, %v with", plain.Complete, pruned.Complete)
+			}
+			if plain.Discarded != pruned.Discarded {
+				t.Errorf("discards diverged: %d without footprint, %d with", plain.Discarded, pruned.Discarded)
+			}
+			if !reflect.DeepEqual(plain.Outcomes, pruned.Outcomes) {
+				t.Errorf("outcome histograms diverged:\nwithout footprint: %v\nwith footprint:    %v",
+					plain.Outcomes, pruned.Outcomes)
+			}
+		})
+	}
+}
+
+// TestFootprintActuallyPrunes asserts the certificates are not vacuous:
+// the rich workloads must classify locations beyond Shared, and their
+// pruning counters must move during exploration.
+func TestFootprintActuallyPrunes(t *testing.T) {
+	tc := FootprintSuite()[0] // FP-counters
+	fp, err := footprint.Extract(tc.Build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]memory.LocClass{}
+	for i, c := range fp.Locs {
+		classes[[]string{"cfg", "c1", "c2", "flag"}[i]] = c.Class
+	}
+	if classes["cfg"] != memory.ClassReadOnly {
+		t.Errorf("cfg classified %v, want read-only", classes["cfg"])
+	}
+	if classes["c1"] != memory.ClassExclusive || classes["c2"] != memory.ClassExclusive {
+		t.Errorf("counters classified %v/%v, want exclusive", classes["c1"], classes["c2"])
+	}
+	if classes["flag"] != memory.ClassShared {
+		t.Errorf("flag classified %v, want shared", classes["flag"])
+	}
+	stats := telemetry.New()
+	res := RunWorkersFootprint(tc, 0, 1, stats, fp)
+	if !res.Complete {
+		t.Fatalf("exploration incomplete: %s", res)
+	}
+	snap := stats.Snapshot()
+	if snap.Machine.PrunedReads == 0 {
+		t.Error("no reads were pruned despite certified locations")
+	}
+	if snap.Machine.RaceChecksSkipped == 0 {
+		t.Error("no race checks were skipped despite certified na locations")
+	}
+}
+
+// TestFootprintViolationFailsExecution pins the enforcement contract: a
+// stale or wrong certificate aborts the execution as Failed with a
+// CertError — it never silently mis-simulates.
+func TestFootprintViolationFailsExecution(t *testing.T) {
+	build := func() machine.Program {
+		var x view.Loc
+		return machine.Program{
+			Setup: func(th *machine.Thread) { x = th.Alloc("x", 0) },
+			Workers: []func(*machine.Thread){
+				func(th *machine.Thread) { th.Write(x, 1, memory.Rlx) },
+				func(th *machine.Thread) { th.Report("r", th.Read(x, memory.Rlx)) },
+			},
+		}
+	}
+	cases := []struct {
+		name string
+		fp   *memory.Footprint
+	}{
+		{"wrong-owner", &memory.Footprint{Name: "bad", SetupLocs: 1,
+			Locs: []memory.LocCert{{Class: memory.ClassExclusive, Owner: 1, SetupMax: 1}}}},
+		{"false-read-only", &memory.Footprint{Name: "bad", SetupLocs: 1,
+			Locs: []memory.LocCert{{Class: memory.ClassReadOnly, SetupMax: 1}}}},
+		{"wrong-alloc-count", &memory.Footprint{Name: "bad", SetupLocs: 3,
+			Locs: make([]memory.LocCert, 3)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := check.Options{Footprint: c.fp}.Runner(false).Run(build(), machine.ReplayStrategy(nil))
+			if r.Status != machine.Failed {
+				t.Fatalf("status %v, want failed (err: %v)", r.Status, r.Err)
+			}
+			var ce *memory.CertError
+			if !errors.As(r.Err, &ce) {
+				t.Fatalf("error %v, want a CertError", r.Err)
+			}
+		})
+	}
+}

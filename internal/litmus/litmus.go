@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"compass/internal/check"
 	"compass/internal/machine"
 	"compass/internal/memory"
 	"compass/internal/telemetry"
@@ -115,10 +116,20 @@ func RunWorkers(t Test, maxRuns, workers int) *Result {
 // Discarded — litmus accounts budget-exhausted executions the same way
 // the check harness does.
 func RunWorkersStats(t Test, maxRuns, workers int, stats *telemetry.Stats) *Result {
+	return RunWorkersFootprint(t, maxRuns, workers, stats, nil)
+}
+
+// RunWorkersFootprint is RunWorkersStats with an optional footprint
+// certificate (see internal/analysis/footprint): certified locations skip
+// race instrumentation and read-window computation. The outcome histogram
+// is identical with or without a valid certificate — pruning removes
+// per-access work, never decision-tree branches — which the equivalence
+// test in this package asserts bit-for-bit over the whole suite.
+func RunWorkersFootprint(t Test, maxRuns, workers int, stats *telemetry.Stats, fp *memory.Footprint) *Result {
 	res := &Result{Test: t, Outcomes: map[string]int{}}
 	var mu sync.Mutex
 	er := machine.ExploreParallel(
-		machine.ExploreOpts{MaxRuns: maxRuns, Workers: workers, Stats: stats},
+		machine.ExploreOpts{MaxRuns: maxRuns, Workers: workers, Stats: stats, Footprint: fp},
 		func() (func() machine.Program, func(*machine.Result) bool) {
 			return t.Build, func(r *machine.Result) bool {
 				switch r.Status {
@@ -156,7 +167,7 @@ func RunWorkersStats(t Test, maxRuns, workers int, stats *telemetry.Stats) *Resu
 // exported trace is golden-testable.
 func TraceTest(t Test) *machine.Result {
 	strat := machine.ReplayStrategy(nil)
-	return (&machine.Runner{Trace: true}).Run(t.Build(), strat)
+	return check.Options{}.Runner(true).Run(t.Build(), strat)
 }
 
 // twoLoc allocates the standard two shared locations.

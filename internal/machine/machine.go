@@ -106,6 +106,17 @@ type abort struct {
 
 type killed struct{}
 
+// accessAbort classifies a memory-access error: footprint-certificate
+// violations are harness failures (the recording pre-pass under-covered
+// the program — Failed), everything else is undefined behaviour (Racy).
+func accessAbort(err error) abort {
+	var ce *memory.CertError
+	if errors.As(err, &ce) {
+		return abort{status: Failed, err: err}
+	}
+	return abort{status: Racy, err: err}
+}
+
 // Thread is the handle through which program code accesses the simulated
 // memory. All methods are scheduling points.
 type Thread struct {
@@ -157,7 +168,7 @@ func (t *Thread) Read(l view.Loc, mode memory.Mode) int64 {
 		if t.mc.tracing {
 			t.mc.record(StepEvent{Thread: t.id, Kind: StepRead, Loc: l, LocName: t.mc.mem.Name(l), RMode: mode, Race: true})
 		}
-		panic(abort{status: Racy, err: err})
+		panic(accessAbort(err))
 	}
 	if t.mc.tracing {
 		t.mc.record(StepEvent{Thread: t.id, Kind: StepRead, Loc: l, LocName: t.mc.mem.Name(l), RMode: mode, Val: v})
@@ -172,7 +183,7 @@ func (t *Thread) Write(l view.Loc, v int64, mode memory.Mode) {
 		if t.mc.tracing {
 			t.mc.record(StepEvent{Thread: t.id, Kind: StepWrite, Loc: l, LocName: t.mc.mem.Name(l), WMode: mode, Race: true})
 		}
-		panic(abort{status: Racy, err: err})
+		panic(accessAbort(err))
 	}
 	if t.mc.tracing {
 		t.mc.record(StepEvent{Thread: t.id, Kind: StepWrite, Loc: l, LocName: t.mc.mem.Name(l), WMode: mode, Val: v})
@@ -184,7 +195,7 @@ func (t *Thread) Write(l view.Loc, v int64, mode memory.Mode) {
 func (t *Thread) Free(l view.Loc) {
 	t.step()
 	if err := t.mc.mem.Free(t.tv, l); err != nil {
-		panic(abort{status: Racy, err: err})
+		panic(accessAbort(err))
 	}
 	if t.mc.tracing {
 		t.mc.record(StepEvent{Thread: t.id, Kind: StepFree, Loc: l, LocName: t.mc.mem.Name(l)})
@@ -248,16 +259,24 @@ func (t *Thread) Exchange(l view.Loc, v int64, readMode, writeMode memory.Mode) 
 // Update applies an arbitrary atomic read-modify-write.
 func (t *Thread) Update(l view.Loc, f memory.UpdateFunc, readMode, writeMode memory.Mode) (int64, bool) {
 	t.step()
-	return t.updateChecked(l, f, readMode, writeMode)
+	old, wrote := t.updateChecked(l, f, readMode, writeMode)
+	if t.mc.tracing {
+		t.mc.record(StepEvent{Thread: t.id, Kind: StepUpdate, Loc: l, LocName: t.mc.mem.Name(l),
+			RMode: readMode, WMode: writeMode, Old: old, OK: wrote})
+	}
+	return old, wrote
 }
 
-// updateChecked converts a UAFError panic from the memory's RMW path into
-// an execution abort.
+// updateChecked converts a UAFError or CertError panic from the memory's
+// RMW path into an execution abort.
 func (t *Thread) updateChecked(l view.Loc, f memory.UpdateFunc, readMode, writeMode memory.Mode) (int64, bool) {
 	defer func() {
 		if p := recover(); p != nil {
-			if uaf, ok := p.(*memory.UAFError); ok {
-				panic(abort{status: Racy, err: uaf})
+			switch e := p.(type) {
+			case *memory.UAFError:
+				panic(abort{status: Racy, err: e})
+			case *memory.CertError:
+				panic(abort{status: Failed, err: e})
 			}
 			panic(p)
 		}
@@ -355,9 +374,24 @@ type Runner struct {
 	// agree with reported totals even when parallel workers overshoot an
 	// early stop. Safe to share one Stats across concurrent Runners.
 	Stats *telemetry.Stats
+	// Footprint, when non-nil, is a location-footprint certificate
+	// (extracted by internal/analysis/footprint) installed into each
+	// execution's memory: certified locations take validated fast paths
+	// that skip race instrumentation and read-window computation, and any
+	// access pattern the certificate does not cover aborts the execution
+	// as Failed. Pruning never changes outcomes — see memory/footprint.go.
+	Footprint *memory.Footprint
 }
 
 // Run executes prog under the given strategy and returns the result.
+// Run is the lockstep scheduler: the only place simulator goroutines are
+// spawned, and they run strictly one at a time under controller grants.
+// It also records the per-execution footprint-pruning totals, which are
+// facts about the finished execution's memory rather than result
+// accounting (they cannot overshoot an early stop).
+//
+//compass:scheduler
+//compass:accounting
 func (r *Runner) Run(prog Program, strat Strategy) *Result {
 	budget := r.Budget
 	if budget <= 0 {
@@ -378,6 +412,9 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 	}
 	for i := range c.grants {
 		c.grants[i] = make(chan struct{})
+	}
+	if r.Footprint != nil {
+		c.mem.Certify(r.Footprint)
 	}
 
 	mainTV := memory.NewThreadView(0)
@@ -410,6 +447,12 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 	go runBody(mainTh, func(t *Thread) {
 		if prog.Setup != nil {
 			prog.Setup(t)
+		}
+		// Setup is over: validate and seal the footprint certificate (if
+		// any) so certified fast paths activate exactly when concurrency
+		// begins. A seal failure means the certificate is stale.
+		if err := t.mc.mem.SealSetup(); err != nil {
+			panic(abort{status: Failed, err: err})
 		}
 		// Signal the controller to start the workers; block until they all
 		// finish (the controller re-grants main afterwards).
@@ -445,6 +488,7 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 	var final *Result
 	finish := func(st Status, err error) {
 		final = &Result{Status: st, Err: err, Mem: c.mem, Steps: c.steps, Outcome: c.outcome, Events: c.trace}
+		c.stats.FootprintPruned(c.mem.PrunedReads(), c.mem.RaceChecksSkipped())
 	}
 
 	for final == nil {

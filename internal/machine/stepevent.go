@@ -21,6 +21,9 @@ const (
 	StepCAS
 	StepFAA
 	StepXchg
+	// StepUpdate is a generic read-modify-write applied via Thread.Update
+	// (the typed RMWs above record their own kinds).
+	StepUpdate
 )
 
 func (k StepKind) String() string {
@@ -43,6 +46,8 @@ func (k StepKind) String() string {
 		return "faa"
 	case StepXchg:
 		return "xchg"
+	case StepUpdate:
+		return "update"
 	}
 	return fmt.Sprintf("step(%d)", uint8(k))
 }
@@ -108,6 +113,8 @@ func (e StepEvent) String() string {
 		return fmt.Sprintf("T%d  faa     %s += %d (old %d)", e.Thread, e.LocName, e.Val, e.Old)
 	case StepXchg:
 		return fmt.Sprintf("T%d  xchg    %s := %d (old %d)", e.Thread, e.LocName, e.Val, e.Old)
+	case StepUpdate:
+		return fmt.Sprintf("T%d  update  %s (read %d, wrote=%v)", e.Thread, e.LocName, e.Old, e.OK)
 	}
 	return fmt.Sprintf("T%d  %v", e.Thread, e.Kind)
 }
@@ -139,6 +146,8 @@ func (e StepEvent) chromeName() string {
 		return "faa " + e.LocName
 	case StepXchg:
 		return "xchg " + e.LocName
+	case StepUpdate:
+		return "update " + e.LocName
 	}
 	return e.Kind.String()
 }
@@ -164,6 +173,9 @@ func (e StepEvent) chromeArgs() map[string]interface{} {
 	case StepXchg:
 		args["new"] = e.Val
 		args["old"] = e.Old
+	case StepUpdate:
+		args["old"] = e.Old
+		args["wrote"] = e.OK
 	}
 	return args
 }

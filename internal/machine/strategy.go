@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"compass/internal/memory"
 	"compass/internal/telemetry"
 )
 
@@ -134,6 +135,12 @@ type ExploreOpts struct {
 	// step-level counters; it must therefore be safe for concurrent use,
 	// which telemetry.Stats is.
 	Stats *telemetry.Stats
+	// Footprint, when non-nil, is installed into every execution's Runner
+	// (see Runner.Footprint): certified locations skip race
+	// instrumentation and read-window computation without changing any
+	// outcome, so an exploration with a valid footprint visits the same
+	// executions as one without.
+	Footprint *memory.Footprint
 }
 
 // ExploreResult summarizes an exploration.
@@ -149,12 +156,14 @@ type ExploreResult struct {
 //
 // Exploration is exhaustive — and therefore a *proof* over the bounded
 // program — when the returned result has Complete == true.
+//
+//compass:accounting
 func Explore(build func() Program, opts ExploreOpts, visit func(*Result) bool) ExploreResult {
 	maxRuns := opts.MaxRuns
 	if maxRuns <= 0 {
 		maxRuns = 200000
 	}
-	runner := &Runner{Budget: opts.Budget, Stats: opts.Stats}
+	runner := &Runner{Budget: opts.Budget, Stats: opts.Stats, Footprint: opts.Footprint}
 	var prefix []Decision
 	res := ExploreResult{}
 	for res.Runs < maxRuns {
@@ -208,6 +217,12 @@ func Explore(build func() Program, opts ExploreOpts, visit func(*Result) bool) E
 // concurrently with each other — shared state needs the caller's own
 // synchronization. A visit returning false stops the whole exploration,
 // though results already in flight on other workers are still visited.
+//
+// ExploreParallel is a sanctioned spawn point: its goroutines are harness
+// workers above the simulator, each running whole executions through the
+// lockstep scheduler, never simulated threads.
+//
+//compass:scheduler
 func ExploreParallel(opts ExploreOpts, newWorker func() (build func() Program, visit func(*Result) bool)) ExploreResult {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -241,7 +256,7 @@ type parallelExplorer struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	frontier [][]Decision // unexplored subtree prefixes (LIFO)
-	inflight int               // workers currently running a prefix
+	inflight int          // workers currently running a prefix
 	runs     int
 	maxRuns  int
 	stopped  bool // a visit returned false
@@ -291,8 +306,13 @@ func (e *parallelExplorer) done(children [][]Decision, keep bool) {
 	e.cond.Broadcast()
 }
 
+// worker drains the shared frontier, accounting for every execution it
+// completes (one ExecDone per run, even past an early stop — the
+// overshoot is what the exec-by-status counters deliberately include).
+//
+//compass:accounting
 func (e *parallelExplorer) worker(build func() Program, visit func(*Result) bool) {
-	runner := &Runner{Budget: e.opts.Budget, Stats: e.opts.Stats}
+	runner := &Runner{Budget: e.opts.Budget, Stats: e.opts.Stats, Footprint: e.opts.Footprint}
 	for {
 		prefix, ok := e.next()
 		if !ok {

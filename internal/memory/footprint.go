@@ -1,0 +1,240 @@
+package memory
+
+import (
+	"fmt"
+
+	"compass/internal/view"
+)
+
+// This file implements footprint certificates: per-location access
+// summaries extracted by a recording pre-pass (internal/analysis/
+// footprint) and enforced by the machine at runtime.
+//
+// The certificate fast paths are sound by construction, not by trust:
+//
+//   - A certified location's latest message is always the *unique*
+//     visible message for a certified reader. For an Exclusive location
+//     the owner performed every post-setup write, so its view of the
+//     location equals the location's maximal timestamp; for a ReadOnly
+//     location the last write happened during setup, and every thread's
+//     view includes setup (the fork at spawn copies the main thread's
+//     post-setup clock). Either way the visible window has size 1, the
+//     general path would never consult the strategy (Choose runs only
+//     for windows > 1), and the fast path returns exactly the message
+//     the general path would — so pruning cannot change any execution's
+//     outcome, and outcome histograms are bit-identical with pruning on
+//     or off.
+//
+//   - The clock joins a read performs are no-ops for certified
+//     locations: the message clock is a subset of the reader's current
+//     clock (an Exclusive message was built from the owner's own clock;
+//     a ReadOnly message's clock was inherited at fork), so skipping
+//     them changes no view.
+//
+//   - Race instrumentation on non-atomic accesses (happens-before
+//     comparisons and the per-location read-view join) exists to detect
+//     cross-thread races. An Exclusive location is touched by one thread
+//     and a ReadOnly location is never written after setup, so neither
+//     can race — the checks are skipped and counted in RaceChecksSkipped.
+//
+// Every fast path first *validates* the certificate (owner identity,
+// read-only stability, view saturation — a handful of integer compares).
+// A violation means the single recorded execution under-covered the
+// program's behaviour; the access fails with a CertError and the machine
+// aborts the execution as Failed rather than silently mis-simulating.
+
+// LocClass classifies a location's post-setup access pattern.
+type LocClass uint8
+
+const (
+	// ClassShared makes no claim; the location always takes the general
+	// path.
+	ClassShared LocClass = iota
+	// ClassExclusive: after setup, exactly one thread accesses the
+	// location.
+	ClassExclusive
+	// ClassReadOnly: after setup, the location is never written (reads
+	// may come from any number of threads).
+	ClassReadOnly
+)
+
+func (c LocClass) String() string {
+	switch c {
+	case ClassShared:
+		return "shared"
+	case ClassExclusive:
+		return "exclusive"
+	case ClassReadOnly:
+		return "read-only"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// LocCert is one location's certificate.
+type LocCert struct {
+	Class LocClass
+	// Owner is the accessing thread for ClassExclusive.
+	Owner int
+	// SetupMax is the location's maximal timestamp when setup finished
+	// (1 = only the allocation's initializing write).
+	SetupMax view.Time
+}
+
+// Footprint is a whole-program certificate: a classification of every
+// setup-allocated location. Locations allocated by workers get
+// schedule-dependent indices and are never certified.
+type Footprint struct {
+	// Name identifies the program the footprint was extracted from.
+	Name string
+	// SetupLocs is the number of locations allocated before the first
+	// worker step; Locs has exactly this many entries, indexed by
+	// view.Loc. Setup is decision-free (single-threaded, reading only
+	// its own writes), so these indices are identical in every schedule
+	// — validated again at seal time.
+	SetupLocs int
+	Locs      []LocCert
+	// AllAtomic records that the program performed no non-atomic access
+	// after setup; enforced (a post-setup NA access fails the execution)
+	// rather than assumed.
+	AllAtomic bool
+}
+
+// Stats summarizes a footprint for reports.
+func (fp *Footprint) Stats() (exclusive, readOnly, shared int) {
+	for _, c := range fp.Locs {
+		switch c.Class {
+		case ClassExclusive:
+			exclusive++
+		case ClassReadOnly:
+			readOnly++
+		default:
+			shared++
+		}
+	}
+	return
+}
+
+func (fp *Footprint) String() string {
+	ex, ro, sh := fp.Stats()
+	return fmt.Sprintf("footprint(%s: %d locs: %d exclusive, %d read-only, %d shared; all-atomic=%v)",
+		fp.Name, fp.SetupLocs, ex, ro, sh, fp.AllAtomic)
+}
+
+// CertError reports a runtime violation of an installed footprint
+// certificate: the program reached an access pattern the recording
+// pre-pass did not observe. The machine aborts such executions as Failed
+// — a certificate violation is a harness bug (stale or under-covering
+// footprint), never silently ignored.
+type CertError struct {
+	Loc    view.Loc
+	Name   string
+	Thread int
+	Detail string
+}
+
+func (e *CertError) Error() string {
+	return fmt.Sprintf("footprint certificate violated at %s (loc %d) by thread %d: %s",
+		e.Name, e.Loc, e.Thread, e.Detail)
+}
+
+// Certify installs a footprint certificate. Enforcement (and the fast
+// paths) begin at SealSetup; until then all accesses take the general
+// path, because setup itself writes the locations it initializes.
+func (m *Memory) Certify(fp *Footprint) {
+	m.fp = fp
+}
+
+// SealSetup transitions the memory from the setup phase to the
+// concurrent phase: from here on the installed certificate (if any) is
+// validated and exploited. The machine calls this exactly when the main
+// thread requests its workers. Returns a CertError if the allocation
+// count or a read-only location's history already contradicts the
+// certificate.
+func (m *Memory) SealSetup() error {
+	if m.fp == nil {
+		return nil
+	}
+	if len(m.locs) != m.fp.SetupLocs {
+		return &CertError{Thread: 0, Detail: fmt.Sprintf(
+			"certificate covers %d setup locations but setup allocated %d", m.fp.SetupLocs, len(m.locs))}
+	}
+	for l, c := range m.fp.Locs {
+		if c.Class != ClassShared && m.locs[l].maxT() != c.SetupMax {
+			return &CertError{Loc: view.Loc(l), Name: m.locs[l].name, Thread: 0, Detail: fmt.Sprintf(
+				"setup history has t=%d but certificate recorded t=%d", m.locs[l].maxT(), c.SetupMax)}
+		}
+	}
+	m.sealed = true
+	return nil
+}
+
+// PrunedReads returns the number of reads answered by a certificate fast
+// path (the visible window was proven to be 1 without consulting the
+// history or the strategy).
+func (m *Memory) PrunedReads() int64 { return m.prunedReads }
+
+// RaceChecksSkipped returns the number of non-atomic accesses whose race
+// instrumentation was skipped under a certificate.
+func (m *Memory) RaceChecksSkipped() int64 { return m.raceSkips }
+
+// cert returns the active certificate for l, or nil when l takes the
+// general path.
+func (m *Memory) cert(l view.Loc) *LocCert {
+	if !m.sealed || int(l) >= len(m.fp.Locs) {
+		return nil
+	}
+	c := &m.fp.Locs[l]
+	if c.Class == ClassShared {
+		return nil
+	}
+	return c
+}
+
+// checkNA enforces the AllAtomic obligation: a certificate claiming an
+// all-atomic program makes any post-setup NA access a violation.
+func (m *Memory) checkNA(tv *ThreadView, l view.Loc, kind string) error {
+	if m.sealed && m.fp.AllAtomic {
+		return &CertError{Loc: l, Name: m.locs[l].name, Thread: tv.ID, Detail: fmt.Sprintf(
+			"non-atomic %s in a program certified all-atomic", kind)}
+	}
+	return nil
+}
+
+// validateRead checks the certificate invariants a read fast path relies
+// on; nil means the latest message is the unique visible one and its
+// clock is already contained in the reader's view.
+func (m *Memory) validateRead(c *LocCert, tv *ThreadView, l view.Loc) error {
+	loc := m.locs[l]
+	switch c.Class {
+	case ClassExclusive:
+		if tv.ID != c.Owner {
+			return &CertError{Loc: l, Name: loc.name, Thread: tv.ID, Detail: fmt.Sprintf(
+				"read of a location certified exclusive to thread %d", c.Owner)}
+		}
+	case ClassReadOnly:
+		if loc.maxT() != c.SetupMax {
+			return &CertError{Loc: l, Name: loc.name, Thread: tv.ID, Detail: fmt.Sprintf(
+				"read-only location was written after setup (t=%d, certified t=%d)", loc.maxT(), c.SetupMax)}
+		}
+	}
+	if got := tv.Cur.V.Get(l); got != loc.maxT() {
+		return &CertError{Loc: l, Name: loc.name, Thread: tv.ID, Detail: fmt.Sprintf(
+			"reader view t=%d does not saturate certified history t=%d", got, loc.maxT())}
+	}
+	return nil
+}
+
+// validateWrite checks that a write to a certified location is one the
+// certificate permits (owner write to an exclusive location).
+func (m *Memory) validateWrite(c *LocCert, tv *ThreadView, l view.Loc, kind string) error {
+	loc := m.locs[l]
+	if c.Class == ClassReadOnly {
+		return &CertError{Loc: l, Name: loc.name, Thread: tv.ID, Detail: fmt.Sprintf(
+			"%s to a location certified read-only after setup", kind)}
+	}
+	if tv.ID != c.Owner {
+		return &CertError{Loc: l, Name: loc.name, Thread: tv.ID, Detail: fmt.Sprintf(
+			"%s to a location certified exclusive to thread %d", kind, c.Owner)}
+	}
+	return nil
+}

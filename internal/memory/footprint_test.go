@@ -1,0 +1,167 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+
+	"compass/internal/view"
+)
+
+// setupMem allocates n locations from a fresh memory via thread 0,
+// returning the memory and the allocating thread's view.
+func setupMem(n int) (*Memory, *ThreadView, []view.Loc) {
+	m := New()
+	tv := NewThreadView(0)
+	locs := make([]view.Loc, n)
+	for i := range locs {
+		locs[i] = m.Alloc(tv, "l", 0)
+	}
+	return m, tv, locs
+}
+
+func TestSealSetupValidatesAllocCount(t *testing.T) {
+	m, _, _ := setupMem(2)
+	m.Certify(&Footprint{Name: "t", SetupLocs: 3, Locs: make([]LocCert, 3)})
+	var ce *CertError
+	if err := m.SealSetup(); !errors.As(err, &ce) {
+		t.Fatalf("SealSetup = %v, want CertError on alloc-count mismatch", err)
+	}
+}
+
+func TestSealSetupValidatesSetupHistory(t *testing.T) {
+	m, tv, locs := setupMem(1)
+	if err := m.Write(tv, locs[0], 1, NA); err != nil {
+		t.Fatal(err)
+	}
+	// Certificate recorded only the allocation (t=1), but setup wrote again.
+	m.Certify(&Footprint{Name: "t", SetupLocs: 1,
+		Locs: []LocCert{{Class: ClassReadOnly, SetupMax: 1}}})
+	var ce *CertError
+	if err := m.SealSetup(); !errors.As(err, &ce) {
+		t.Fatalf("SealSetup = %v, want CertError on setup-history mismatch", err)
+	}
+}
+
+func TestSealSetupNilFootprintIsNoop(t *testing.T) {
+	m, _, _ := setupMem(1)
+	if err := m.SealSetup(); err != nil {
+		t.Fatalf("SealSetup without certificate = %v, want nil", err)
+	}
+	if m.PrunedReads() != 0 || m.RaceChecksSkipped() != 0 {
+		t.Fatal("counters moved without a certificate")
+	}
+}
+
+func TestCertifiedFastPathsCountAndMatchGeneralPath(t *testing.T) {
+	run := func(fp *Footprint) (int64, int64, int64) {
+		m, tv, locs := setupMem(2)
+		if fp != nil {
+			m.Certify(fp)
+		}
+		if err := m.SealSetup(); err != nil {
+			t.Fatal(err)
+		}
+		// Owner thread 0 exercises the exclusive location; everyone may
+		// read the read-only one.
+		if err := m.Write(tv, locs[0], 41, NA); err != nil {
+			t.Fatal(err)
+		}
+		v1, err := m.Read(tv, locs[0], NA, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := m.Read(tv, locs[1], Acq, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v1 + v2, m.PrunedReads(), m.RaceChecksSkipped()
+	}
+	fp := &Footprint{Name: "t", SetupLocs: 2, Locs: []LocCert{
+		{Class: ClassExclusive, Owner: 0, SetupMax: 1},
+		{Class: ClassReadOnly, SetupMax: 1},
+	}}
+	plainSum, p0, r0 := run(nil)
+	certSum, p1, r1 := run(fp)
+	if plainSum != certSum {
+		t.Errorf("certified values %d differ from general path %d", certSum, plainSum)
+	}
+	if p0 != 0 || r0 != 0 {
+		t.Errorf("uncertified run counted pruning: %d/%d", p0, r0)
+	}
+	if p1 != 1 {
+		t.Errorf("pruned reads = %d, want 1 (the acquire read of the read-only loc)", p1)
+	}
+	if r1 != 2 {
+		t.Errorf("race checks skipped = %d, want 2 (na write + na read of the exclusive loc)", r1)
+	}
+}
+
+func TestCertifiedViolationsReturnCertError(t *testing.T) {
+	newSealed := func() (*Memory, []view.Loc) {
+		m, _, locs := setupMem(2)
+		m.Certify(&Footprint{Name: "t", SetupLocs: 2, Locs: []LocCert{
+			{Class: ClassExclusive, Owner: 1, SetupMax: 1},
+			{Class: ClassReadOnly, SetupMax: 1},
+		}})
+		if err := m.SealSetup(); err != nil {
+			t.Fatal(err)
+		}
+		return m, locs
+	}
+	var ce *CertError
+
+	m, locs := newSealed()
+	intruder := NewThreadView(2)
+	intruder.Cur.V.Set(locs[0], 1) // synced view; only identity is wrong
+	if _, err := m.Read(intruder, locs[0], Rlx, nil); !errors.As(err, &ce) {
+		t.Errorf("non-owner read = %v, want CertError", err)
+	}
+	if err := m.Write(intruder, locs[1], 9, Rlx); !errors.As(err, &ce) {
+		t.Errorf("write to read-only loc = %v, want CertError", err)
+	}
+	if err := m.Free(intruder, locs[1]); !errors.As(err, &ce) {
+		t.Errorf("free of read-only loc = %v, want CertError", err)
+	}
+
+	// RMWs validate as writes and panic (no error channel).
+	m, locs = newSealed()
+	func() {
+		defer func() {
+			if p := recover(); p == nil {
+				t.Error("rmw on read-only loc did not panic")
+			} else if _, ok := p.(*CertError); !ok {
+				t.Errorf("rmw panic = %v, want *CertError", p)
+			}
+		}()
+		owner := NewThreadView(1)
+		owner.Cur.V.Set(locs[1], 1)
+		m.FetchAdd(owner, locs[1], 1, Rlx, Rlx)
+	}()
+
+	// An unsynchronized owner view means the recording under-covered the
+	// program: saturation validation must catch it.
+	m, locs = newSealed()
+	staleOwner := NewThreadView(1) // never observed the initializing write
+	if _, err := m.Read(staleOwner, locs[0], Rlx, nil); !errors.As(err, &ce) {
+		t.Errorf("unsaturated owner read = %v, want CertError", err)
+	}
+}
+
+func TestAllAtomicRejectsNAAfterSeal(t *testing.T) {
+	m, tv, locs := setupMem(1)
+	m.Certify(&Footprint{Name: "t", SetupLocs: 1,
+		Locs: []LocCert{{Class: ClassShared}}, AllAtomic: true})
+	if err := m.SealSetup(); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CertError
+	if _, err := m.Read(tv, locs[0], NA, nil); !errors.As(err, &ce) {
+		t.Errorf("na read under all-atomic certificate = %v, want CertError", err)
+	}
+	if err := m.Write(tv, locs[0], 1, NA); !errors.As(err, &ce) {
+		t.Errorf("na write under all-atomic certificate = %v, want CertError", err)
+	}
+	if _, err := m.Read(tv, locs[0], Rlx, nil); err != nil {
+		t.Errorf("rlx read under all-atomic certificate = %v, want nil", err)
+	}
+}

@@ -182,6 +182,13 @@ type MachineStats struct {
 	// ThreadPicks counts scheduler grants per thread ID (fairness);
 	// thread IDs ≥ MaxTrackedThreads share the last slot.
 	ThreadPicks [MaxTrackedThreads]Counter
+	// PrunedReads counts atomic reads answered by a footprint-certificate
+	// fast path (visible window proven to be 1; no history scan, no
+	// strategy consultation).
+	PrunedReads Counter
+	// RaceChecksSkipped counts non-atomic accesses whose race
+	// instrumentation was skipped under a footprint certificate.
+	RaceChecksSkipped Counter
 }
 
 // ExploreStats instruments the decision-prefix tree of the exhaustive
@@ -272,6 +279,16 @@ func (s *Stats) ThreadPick(tid int) {
 		tid = MaxTrackedThreads - 1
 	}
 	s.Machine.ThreadPicks[tid].Inc()
+}
+
+// FootprintPruned records one execution's certificate-fast-path totals:
+// pruned atomic reads and skipped non-atomic race checks.
+func (s *Stats) FootprintPruned(prunedReads, raceChecksSkipped int64) {
+	if s == nil || (prunedReads == 0 && raceChecksSkipped == 0) {
+		return
+	}
+	s.Machine.PrunedReads.Add(prunedReads)
+	s.Machine.RaceChecksSkipped.Add(raceChecksSkipped)
 }
 
 // PrefixClaimed records the explorer claiming one pinned prefix of the
@@ -376,6 +393,8 @@ func (s *Stats) Merge(o *Stats) {
 	for i := range m.ThreadPicks {
 		m.ThreadPicks[i].Add(om.ThreadPicks[i].Load())
 	}
+	m.PrunedReads.Add(om.PrunedReads.Load())
+	m.RaceChecksSkipped.Add(om.RaceChecksSkipped.Load())
 	e, oe := &s.Explore, &o.Explore
 	e.Prefixes.Add(oe.Prefixes.Load())
 	e.Children.Add(oe.Children.Load())
@@ -404,6 +423,10 @@ type MachineSnapshot struct {
 	StaleRate     float64           `json:"stale_rate"`
 	ReadFanout    HistogramSnapshot `json:"read_fanout"`
 	ThreadPicks   []int64           `json:"thread_picks,omitempty"`
+	// Footprint-certificate effectiveness (0 unless a footprint was
+	// installed for the run; see internal/analysis/footprint).
+	PrunedReads       int64 `json:"pruned_reads"`
+	RaceChecksSkipped int64 `json:"race_checks_skipped"`
 }
 
 // ExploreSnapshot is the JSON form of ExploreStats.
@@ -461,6 +484,8 @@ func (s *Stats) Snapshot() Snapshot {
 		snap.Machine.StaleRate = float64(snap.Machine.StaleReads) / float64(snap.Machine.ReadChoices)
 	}
 	snap.Machine.ReadFanout = m.ReadFanout.snapshot()
+	snap.Machine.PrunedReads = m.PrunedReads.Load()
+	snap.Machine.RaceChecksSkipped = m.RaceChecksSkipped.Load()
 	last := 0
 	for i := range m.ThreadPicks {
 		if m.ThreadPicks[i].Load() > 0 {
@@ -509,12 +534,22 @@ func WriteSnapshotJSON(w io.Writer, snap Snapshot) error {
 // consistent totals. This is the validation CI runs against emitted
 // stats files.
 func ValidateSnapshotJSON(data []byte) error {
+	// Check the schema version before the strict decode: a snapshot from
+	// another schema generation will usually also have a different field
+	// layout, and "unknown field" would bury the actual problem. A lenient
+	// probe of just the schema field yields the one diagnostic that matters.
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("telemetry snapshot: %w", err)
+	}
+	if probe.Schema != SnapshotSchema {
+		return fmt.Errorf("telemetry snapshot: schema %q, want %q", probe.Schema, SnapshotSchema)
+	}
 	var snap Snapshot
 	if err := strictUnmarshal(data, &snap); err != nil {
 		return fmt.Errorf("telemetry snapshot: %w", err)
-	}
-	if snap.Schema != SnapshotSchema {
-		return fmt.Errorf("telemetry snapshot: schema %q, want %q", snap.Schema, SnapshotSchema)
 	}
 	m := snap.Machine
 	var byStatus int64
@@ -546,6 +581,7 @@ func ValidateSnapshotJSON(data []byte) error {
 		return fmt.Errorf("telemetry snapshot: stale_reads %d > read_choices %d", m.StaleReads, m.ReadChoices)
 	}
 	for _, c := range []int64{m.Steps, m.ReadChoices, m.StaleReads,
+		m.PrunedReads, m.RaceChecksSkipped,
 		snap.Explore.Prefixes, snap.Explore.Children, snap.Explore.FrontierPeak,
 		snap.Fuzz.Programs, snap.Fuzz.Execs, snap.Fuzz.Discarded, snap.Fuzz.Failures} {
 		if c < 0 {

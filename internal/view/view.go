@@ -260,7 +260,10 @@ func (lv LogView) Remove(e EventID) { delete(lv.m, e) }
 // Len reports the number of events in the logical view.
 func (lv LogView) Len() int { return len(lv.m) }
 
-// Clone returns an independent copy of lv.
+// Clone returns an independent copy of lv. Iteration order is
+// unobservable: it only populates a set.
+//
+//compass:orderinsensitive
 func (lv LogView) Clone() LogView {
 	if len(lv.m) == 0 {
 		return LogView{}
@@ -272,7 +275,10 @@ func (lv LogView) Clone() LogView {
 	return c
 }
 
-// JoinInto unions o into lv in place.
+// JoinInto unions o into lv in place. Iteration order is unobservable:
+// set union is commutative.
+//
+//compass:orderinsensitive
 func (lv *LogView) JoinInto(o LogView) {
 	if len(o.m) == 0 {
 		return
@@ -292,7 +298,10 @@ func (lv LogView) Join(o LogView) LogView {
 	return c
 }
 
-// Subset reports whether lv ⊆ o.
+// Subset reports whether lv ⊆ o. Iteration order is unobservable: the
+// conjunction of membership tests is order-independent.
+//
+//compass:orderinsensitive
 func (lv LogView) Subset(o LogView) bool {
 	if len(lv.m) > len(o.m) {
 		return false
@@ -308,7 +317,10 @@ func (lv LogView) Subset(o LogView) bool {
 // Equal reports whether lv and o contain exactly the same events.
 func (lv LogView) Equal(o LogView) bool { return lv.Subset(o) && o.Subset(lv) }
 
-// Events returns the member event IDs in ascending order.
+// Events returns the member event IDs in ascending order. Iteration
+// order is unobservable: the collected keys are sorted before return.
+//
+//compass:orderinsensitive
 func (lv LogView) Events() []EventID {
 	es := make([]EventID, 0, len(lv.m))
 	for e := range lv.m {
