@@ -67,6 +67,7 @@ type Report struct {
 	BenchRegex string         `json:"bench_regex"`
 	Results    []Result       `json:"results"`
 	Pruning    *PruningReport `json:"pruning,omitempty"`
+	POR        *PORReport     `json:"por,omitempty"`
 }
 
 // PruningReport records footprint-pruning effectiveness: the litmus suite
@@ -114,7 +115,7 @@ func measurePruning(maxRuns int) (*PruningReport, error) {
 					return PruningSide{}, fmt.Errorf("%s: footprint extraction: %v", t.Name, err)
 				}
 			}
-			res := compass.RunLitmusFootprint(t, maxRuns, 0, stats, fp)
+			res := compass.RunLitmus(t, maxRuns, compass.WithStats(stats), compass.WithFootprint(fp))
 			if !res.OK() {
 				return PruningSide{}, fmt.Errorf("%s: exploration failed (prune=%v):\n%s", t.Name, prune, res)
 			}
@@ -139,12 +140,85 @@ func measurePruning(maxRuns int) (*PruningReport, error) {
 	return rep, nil
 }
 
+// PORReport records sleep-set partial-order reduction effectiveness: the
+// litmus suite plus the footprint-rich workloads, each explored
+// exhaustively once without and once with POR. Unlike footprint pruning
+// — which removes per-access work at identical execution counts — POR
+// removes whole executions, so the headline numbers here are per-test
+// execution counts and the sweeps' wall-clock delta. Outcome *sets* are
+// identical by construction (the equivalence test in internal/litmus
+// asserts it, and measurePOR re-checks per test before recording).
+type PORReport struct {
+	Tests      []PORTest `json:"tests"`
+	SecondsOff float64   `json:"seconds_off"`
+	SecondsOn  float64   `json:"seconds_on"`
+	// BranchesSkipped is the POR sweep's por_branches_skipped telemetry
+	// total: scheduling branches not taken because the thread was asleep.
+	BranchesSkipped int64 `json:"branches_skipped"`
+}
+
+// PORTest is one test's execution counts with POR off and on.
+type PORTest struct {
+	Name     string `json:"name"`
+	ExecsOff int    `json:"execs_off"`
+	ExecsOn  int    `json:"execs_on"`
+}
+
+// outcomeSetsEqual reports whether the two histograms have the same key
+// set — POR's invariant (counts legitimately differ).
+func outcomeSetsEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// measurePOR runs the exhaustive litmus suite twice — reduction off, then
+// on — and records per-test execution counts plus the wall-clock delta.
+// Any test failure or outcome-set divergence aborts: a BENCH file must
+// never record reduction numbers from a sweep whose outcomes were wrong.
+func measurePOR(maxRuns int) (*PORReport, error) {
+	rep := &PORReport{}
+	tests := append(compass.LitmusSuite(), compass.LitmusFootprintSuite()...)
+	stats := compass.NewTelemetry()
+	startOff := time.Now()
+	off := make([]*compass.LitmusResult, len(tests))
+	for i, t := range tests {
+		off[i] = compass.RunLitmus(t, maxRuns)
+		if !off[i].OK() {
+			return nil, fmt.Errorf("%s: exploration failed (por=false):\n%s", t.Name, off[i])
+		}
+	}
+	rep.SecondsOff = time.Since(startOff).Seconds()
+	startOn := time.Now()
+	for i, t := range tests {
+		on := compass.RunLitmus(t, maxRuns, compass.WithStats(stats), compass.WithPOR(true))
+		if !on.OK() {
+			return nil, fmt.Errorf("%s: exploration failed (por=true):\n%s", t.Name, on)
+		}
+		if !outcomeSetsEqual(off[i].Outcomes, on.Outcomes) {
+			return nil, fmt.Errorf("%s: outcome sets diverged under POR:\noff: %v\non:  %v",
+				t.Name, off[i].Outcomes, on.Outcomes)
+		}
+		rep.Tests = append(rep.Tests, PORTest{Name: t.Name, ExecsOff: off[i].Runs, ExecsOn: on.Runs})
+	}
+	rep.SecondsOn = time.Since(startOn).Seconds()
+	rep.BranchesSkipped = stats.Snapshot().Explore.PORBranchesSkipped
+	return rep, nil
+}
+
 func main() {
 	bench := flag.String("bench", tierOneBenchmarks, "benchmark name regex passed to -bench")
 	benchtime := flag.String("benchtime", "", "passed to -benchtime (e.g. 100x, 0.5s); empty = go default")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	pruning := flag.Bool("pruning", true, "measure footprint-pruning effectiveness over the litmus suite")
 	pruneRuns := flag.Int("prune-max-runs", 400000, "exploration bound per litmus test for the pruning measurement")
+	por := flag.Bool("por", true, "measure sleep-set partial-order reduction effectiveness over the litmus suite")
 	flag.Parse()
 
 	rep := &Report{
@@ -182,6 +256,19 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Pruning = pr
+	}
+
+	if *por {
+		fmt.Fprintln(os.Stderr, "benchreport: measuring partial-order reduction over the litmus suite")
+		pr, err := measurePOR(*pruneRuns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: por: %v\n", err)
+			os.Exit(1)
+		}
+		rep.POR = pr
+		for _, t := range pr.Tests {
+			fmt.Fprintf(os.Stderr, "benchreport: por: %-16s %6d -> %6d executions\n", t.Name, t.ExecsOff, t.ExecsOn)
+		}
 	}
 
 	path := *out

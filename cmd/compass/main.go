@@ -76,6 +76,7 @@ func main() {
 	list := flag.Bool("list", false, "list available workloads and exit")
 	explain := flag.Int64("explain", -1, "replay this seed with a per-step trace instead of running the harness")
 	exhaustive := flag.Bool("exhaustive", false, "explore all executions (small workloads only)")
+	por := flag.Bool("por", false, "with -exhaustive: sleep-set partial-order reduction — skip schedules that replay an explored equivalence class (outcome sets are identical, far fewer executions)")
 	prune := flag.Bool("prune", false, "extract a footprint certificate from one recording execution and prune race instrumentation and read windows (outcomes are identical)")
 	statsOut := flag.String("stats", "", "write a telemetry JSON snapshot of the run to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of a representative execution to this file")
@@ -180,15 +181,16 @@ func main() {
 	}
 	opts.Footprint = fp
 
-	var rep *compass.Report
 	if *exhaustive {
-		rep = compass.RunExhaustiveOpts(name, build, compass.CheckOptions{
-			MaxRuns: 500000, Budget: 5000, KeepGoing: *keepGoing, Workers: *workers,
-			Stats: stats, Footprint: fp,
-		})
-	} else {
-		rep = compass.RunChecked(name, build, opts)
+		opts = compass.CheckOptions{
+			Mode: compass.ModeExhaustive, MaxRuns: 500000, Budget: 5000,
+			KeepGoing: *keepGoing, Workers: *workers, Stats: stats, Footprint: fp, POR: *por,
+		}
+	} else if *por {
+		fmt.Fprintln(os.Stderr, "-por requires -exhaustive (random sampling has no schedule tree to reduce)")
+		os.Exit(2)
 	}
+	rep := compass.RunChecked(name, build, opts)
 	fmt.Println(rep)
 	if *statsOut != "" {
 		if err := cli.WriteStatsFile(*statsOut, stats); err != nil {

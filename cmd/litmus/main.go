@@ -23,6 +23,7 @@ func main() {
 	maxRuns := flag.Int("max-runs", 400000, "exploration bound per test")
 	workers := flag.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS)")
 	prune := flag.Bool("prune", false, "extract a footprint certificate per test and prune race instrumentation and read windows (outcomes are identical)")
+	por := flag.Bool("por", false, "sleep-set partial-order reduction: skip schedules that replay an explored equivalence class (outcome sets are identical, far fewer executions)")
 	statsOut := flag.String("stats", "", "write a telemetry JSON snapshot of the exploration to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of the first test's default schedule to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -50,7 +51,9 @@ func main() {
 				fmt.Println(fp)
 			}
 		}
-		res := compass.RunLitmusFootprint(t, *maxRuns, *workers, stats, fp)
+		res := compass.RunLitmus(t, *maxRuns,
+			compass.WithWorkers(*workers), compass.WithStats(stats),
+			compass.WithFootprint(fp), compass.WithPOR(*por))
 		fmt.Println(res)
 		fmt.Println()
 		if !res.OK() {

@@ -58,6 +58,29 @@ func TestValidSnapshotPasses(t *testing.T) {
 	}
 }
 
+// TestPORCountersValidate pins forward acceptance of the PR-5 telemetry
+// additions as a fixture, not a round trip: the checked-in snapshot was
+// written by a POR-enabled litmus run and carries nonzero
+// por_branches_skipped and sleep_set_size counters under the unchanged
+// compass/telemetry/v1 schema. If a future schema revision stops
+// accepting these fields, this catches it even after the writer moves on.
+func TestPORCountersValidate(t *testing.T) {
+	path := filepath.Join("testdata", "v1_por_snapshot.json")
+	var out, errw strings.Builder
+	if code := run(path, "", &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errw.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"por_branches_skipped", "sleep_set_size"} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("fixture does not exercise %q — regenerate it from a POR-enabled run", field)
+		}
+	}
+}
+
 // TestNoArgsIsUsageError pins the exit-2 contract.
 func TestNoArgsIsUsageError(t *testing.T) {
 	var out, errw strings.Builder

@@ -298,6 +298,19 @@ type (
 	StackFactory = check.StackFactory
 	// ExchangerFactory builds an exchanger in a program's setup.
 	ExchangerFactory = check.ExchangerFactory
+	// CheckMode selects the harness execution mode (random sampling or
+	// exhaustive exploration) via CheckOptions.Mode.
+	CheckMode = check.Mode
+)
+
+// Harness execution modes for CheckOptions.Mode.
+const (
+	// ModeRandom (the zero value) samples seeded random executions.
+	ModeRandom = check.ModeRandom
+	// ModeExhaustive explores every execution (all schedules and read
+	// choices, bounded by MaxRuns); a complete pass is a proof for the
+	// bounded instance.
+	ModeExhaustive = check.ModeExhaustive
 )
 
 // Sentinel option values for CheckOptions fields whose zero value selects
@@ -308,9 +321,12 @@ const (
 	BiasZero = check.BiasZero
 )
 
-// RunChecked runs a workload under the harness, fanning executions across
-// CheckOptions.Workers workers (default GOMAXPROCS) with a report that is
-// bit-identical to a sequential run.
+// RunChecked runs a workload under the harness according to
+// CheckOptions.Mode: ModeRandom (the default) samples seeded executions,
+// fanning across CheckOptions.Workers workers (default GOMAXPROCS) with a
+// report that is bit-identical to a sequential run; ModeExhaustive
+// explores every execution up to MaxRuns, optionally with sleep-set
+// partial-order reduction (CheckOptions.POR).
 func RunChecked(name string, build func() Checked, opt CheckOptions) *Report {
 	return check.Run(name, build, opt)
 }
@@ -319,15 +335,21 @@ func RunChecked(name string, build func() Checked, opt CheckOptions) *Report {
 // and read choices, up to maxRuns with the given per-execution step
 // budget) and checks each one; a complete pass is a proof for the bounded
 // instance.
+//
+// Deprecated: use RunChecked with CheckOptions{Mode: ModeExhaustive,
+// MaxRuns: maxRuns, Budget: budget}.
 func RunExhaustive(name string, build func() Checked, maxRuns, budget int) *Report {
-	return check.Exhaustive(name, build, maxRuns, budget)
+	return RunChecked(name, build, CheckOptions{Mode: ModeExhaustive, MaxRuns: maxRuns, Budget: budget})
 }
 
 // RunExhaustiveOpts is RunExhaustive driven by CheckOptions: MaxRuns and
 // Budget bound the exploration, MaxFailures/KeepGoing control the early
 // stop, and Workers parallelizes the decision-tree search.
+//
+// Deprecated: set CheckOptions.Mode to ModeExhaustive and use RunChecked.
 func RunExhaustiveOpts(name string, build func() Checked, opt CheckOptions) *Report {
-	return check.ExhaustiveOpt(name, build, opt)
+	opt.Mode = ModeExhaustive
+	return RunChecked(name, build, opt)
 }
 
 // ExplainChecked replays one seed of a workload with per-step tracing,
@@ -459,7 +481,26 @@ type (
 	LitmusTest = litmus.Test
 	// LitmusResult is the exhaustive-exploration verdict of a test.
 	LitmusResult = litmus.Result
+	// LitmusOption configures one exhaustive litmus exploration (see
+	// RunLitmus and the With* constructors below).
+	LitmusOption = litmus.Option
 )
+
+// WithWorkers sets the litmus exploration worker count (0 = GOMAXPROCS,
+// 1 = sequential); the outcome histogram does not depend on it.
+func WithWorkers(n int) LitmusOption { return litmus.WithWorkers(n) }
+
+// WithStats attaches a telemetry sink to a litmus exploration (nil
+// disables recording).
+func WithStats(stats *Telemetry) LitmusOption { return litmus.WithStats(stats) }
+
+// WithFootprint installs a footprint certificate (nil disables pruning);
+// the outcome histogram is identical with or without a valid certificate.
+func WithFootprint(fp *Footprint) LitmusOption { return litmus.WithFootprint(fp) }
+
+// WithPOR toggles sleep-set partial-order reduction: the outcome set and
+// verdict are identical, the number of explored executions shrinks.
+func WithPOR(on bool) LitmusOption { return litmus.WithPOR(on) }
 
 // LitmusSuite returns the ORC11 validation litmus tests.
 func LitmusSuite() []LitmusTest { return litmus.Suite() }
@@ -471,19 +512,29 @@ func LitmusSuite() []LitmusTest { return litmus.Suite() }
 // cmd/benchreport sweeps them to measure pruning effectiveness.
 func LitmusFootprintSuite() []LitmusTest { return litmus.FootprintSuite() }
 
-// RunLitmus explores a litmus test exhaustively across GOMAXPROCS workers.
-func RunLitmus(t LitmusTest, maxRuns int) *LitmusResult { return litmus.Run(t, maxRuns) }
+// RunLitmus explores a litmus test exhaustively; options (WithWorkers,
+// WithStats, WithFootprint, WithPOR) modify the exploration. With no
+// options it keeps its historical meaning: all GOMAXPROCS workers,
+// nothing else.
+func RunLitmus(t LitmusTest, maxRuns int, opts ...LitmusOption) *LitmusResult {
+	return litmus.Run(t, maxRuns, opts...)
+}
 
 // RunLitmusWorkers is RunLitmus with an explicit worker count
 // (0 = GOMAXPROCS, 1 = sequential).
+//
+// Deprecated: use RunLitmus(t, maxRuns, WithWorkers(workers)).
 func RunLitmusWorkers(t LitmusTest, maxRuns, workers int) *LitmusResult {
-	return litmus.RunWorkers(t, maxRuns, workers)
+	return litmus.Run(t, maxRuns, litmus.WithWorkers(workers))
 }
 
 // RunLitmusStats is RunLitmusWorkers with a telemetry sink shared across
 // calls (nil disables recording).
+//
+// Deprecated: use RunLitmus(t, maxRuns, WithWorkers(workers),
+// WithStats(stats)).
 func RunLitmusStats(t LitmusTest, maxRuns, workers int, stats *Telemetry) *LitmusResult {
-	return litmus.RunWorkersStats(t, maxRuns, workers, stats)
+	return litmus.Run(t, maxRuns, litmus.WithWorkers(workers), litmus.WithStats(stats))
 }
 
 // TraceLitmus replays a litmus test's default schedule with step-event
@@ -521,6 +572,9 @@ func ExtractFootprint(build func() Program) (*Footprint, error) {
 // RunLitmusFootprint is RunLitmusStats with a footprint certificate
 // installed (nil disables pruning). The outcome histogram is identical
 // with or without a valid certificate.
+//
+// Deprecated: use RunLitmus(t, maxRuns, WithWorkers(workers),
+// WithStats(stats), WithFootprint(fp)).
 func RunLitmusFootprint(t LitmusTest, maxRuns, workers int, stats *Telemetry, fp *Footprint) *LitmusResult {
-	return litmus.RunWorkersFootprint(t, maxRuns, workers, stats, fp)
+	return litmus.Run(t, maxRuns, litmus.WithWorkers(workers), litmus.WithStats(stats), litmus.WithFootprint(fp))
 }

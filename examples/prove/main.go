@@ -63,7 +63,9 @@ func main() {
 	}
 
 	fmt.Printf("exhaustively exploring: %s @ %v\n\n", desc, level)
-	rep := compass.RunExhaustive(*lib, build, *maxRuns, 3000)
+	rep := compass.RunChecked(*lib, build, compass.CheckOptions{
+		Mode: compass.ModeExhaustive, MaxRuns: *maxRuns, Budget: 3000,
+	})
 	fmt.Println(rep)
 	switch {
 	case rep.Passed() && rep.Complete:

@@ -1,9 +1,11 @@
-// Package runnerctor funnels machine.Runner construction through
-// check.Options.Runner. Scattered &machine.Runner{...} literals are how
-// option plumbing regresses: a site that forgets Stats silently drops
-// telemetry, one that forgets Budget hangs on divergent mutants (both
-// happened before PR 3 unified construction). Sanctioned constructors
-// carry //compass:runner-ctor.
+// Package runnerctor funnels machine.Runner and machine.ExploreOpts
+// construction through check.Options. Scattered &machine.Runner{...}
+// literals are how option plumbing regresses: a site that forgets Stats
+// silently drops telemetry, one that forgets Budget hangs on divergent
+// mutants (both happened before PR 3 unified construction), and an
+// ExploreOpts literal that forgets POR silently explores the full tree.
+// Sanctioned constructors carry //compass:runner-ctor (Runner) or
+// //compass:explore-ctor (ExploreOpts).
 package runnerctor
 
 import (
@@ -15,17 +17,35 @@ import (
 // Analyzer is the runnerctor pass.
 var Analyzer = &lint.Analyzer{
 	Name: "runnerctor",
-	Doc: `require machine.Runner construction to go through check.Options.Runner
+	Doc: `require machine.Runner and machine.ExploreOpts construction to go through check.Options
 
 A machine.Runner composite literal outside the machine package itself
 must be inside a function marked //compass:runner-ctor (the sanctioned
-constructor, check.Options.Runner). Everything else should build its
-runner from an Options value so Budget/Trace/Stats plumbing cannot be
-forgotten site by site.`,
+constructor, check.Options.Runner); a machine.ExploreOpts literal must
+likewise be inside a function marked //compass:explore-ctor
+(check.Options.ExploreOpts). Everything else should build its runner or
+exploration options from an Options value so Budget/Trace/Stats/POR
+plumbing cannot be forgotten site by site.`,
 	Run: run,
 }
 
 const machinePath = "compass/internal/machine"
+
+// policed maps the funneled machine types to their sanctioning directive
+// and diagnostic.
+var policed = map[string]struct {
+	directive string
+	message   string
+}{
+	"Runner": {
+		directive: "runner-ctor",
+		message:   "machine.Runner constructed directly: go through check.Options.Runner so Budget/Trace/Stats plumbing stays uniform (sanctioned constructors carry //compass:runner-ctor)",
+	},
+	"ExploreOpts": {
+		directive: "explore-ctor",
+		message:   "machine.ExploreOpts constructed directly: go through check.Options.ExploreOpts so MaxRuns/Workers/Stats/Footprint/POR plumbing stays uniform (sanctioned constructors carry //compass:explore-ctor)",
+	},
+}
 
 func run(pass *lint.Pass) error {
 	for _, file := range pass.Files {
@@ -43,13 +63,17 @@ func run(pass *lint.Pass) error {
 				return true
 			}
 			pkgPath, name, ok := lint.NamedTypePath(tv.Type)
-			if !ok || pkgPath != machinePath || name != "Runner" {
+			if !ok || pkgPath != machinePath {
 				return true
 			}
-			if lint.FuncDirective(file, cl.Pos(), "runner-ctor") {
+			rule, ok := policed[name]
+			if !ok {
 				return true
 			}
-			pass.Reportf(cl.Pos(), "machine.Runner constructed directly: go through check.Options.Runner so Budget/Trace/Stats plumbing stays uniform (sanctioned constructors carry //compass:runner-ctor)")
+			if lint.FuncDirective(file, cl.Pos(), rule.directive) {
+				return true
+			}
+			pass.Reportf(cl.Pos(), "%s", rule.message)
 			return true
 		})
 	}

@@ -21,3 +21,31 @@ func build(budget int, trace bool) *machine.Runner {
 func viaConstructor(budget int) *machine.Runner {
 	return build(budget, false) // ok: goes through the constructor
 }
+
+func directOpts(maxRuns int) machine.ExploreOpts {
+	return machine.ExploreOpts{MaxRuns: maxRuns} // want `machine.ExploreOpts constructed directly`
+}
+
+func directOptsPOR() machine.ExploreOpts {
+	return machine.ExploreOpts{POR: true} // want `machine.ExploreOpts constructed directly`
+}
+
+// buildOpts is a sanctioned constructor in the style of
+// check.Options.ExploreOpts.
+//
+//compass:explore-ctor
+func buildOpts(maxRuns int, por bool) machine.ExploreOpts {
+	return machine.ExploreOpts{MaxRuns: maxRuns, POR: por} // ok: sanctioned constructor
+}
+
+func viaOptsConstructor(maxRuns int) machine.ExploreOpts {
+	return buildOpts(maxRuns, true) // ok: goes through the constructor
+}
+
+// runnerCtorDoesNotSanctionOpts mixes the two: a runner-ctor directive
+// must not bless ExploreOpts literals.
+//
+//compass:runner-ctor
+func runnerCtorDoesNotSanctionOpts() machine.ExploreOpts {
+	return machine.ExploreOpts{Workers: 4} // want `machine.ExploreOpts constructed directly`
+}

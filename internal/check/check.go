@@ -67,8 +67,27 @@ const (
 	BiasZero float64 = -1
 )
 
+// Mode selects the harness execution strategy: seeded-random sampling
+// (the zero value) or bounded-exhaustive exploration.
+type Mode uint8
+
+const (
+	// ModeRandom runs Options.Executions seeded-random executions
+	// (statistical evidence). The zero value, so existing Options literals
+	// keep their meaning.
+	ModeRandom Mode = iota
+	// ModeExhaustive explores every execution of the bounded program up to
+	// Options.MaxRuns (a proof for the instance when the report is
+	// Complete).
+	ModeExhaustive
+)
+
 // Options configures a harness run.
 type Options struct {
+	// Mode selects random sampling (ModeRandom, the default) or
+	// bounded-exhaustive exploration (ModeExhaustive). Run dispatches on
+	// it; the mode-specific fields below document which mode reads them.
+	Mode Mode
 	// Executions is the number of random executions (default 200).
 	Executions int
 	// Seed is the first seed; execution i uses Seed+i (default 1; pass
@@ -90,8 +109,8 @@ type Options struct {
 	// executions are still seeded Seed..Seed+Executions-1 and merged in
 	// seed order, including the early-stop point.
 	Workers int
-	// MaxRuns caps the number of executions explored by ExhaustiveOpt
-	// (default 200000). Run ignores it.
+	// MaxRuns caps the number of executions explored in ModeExhaustive
+	// (default 200000). ModeRandom ignores it.
 	MaxRuns int
 	// Stats, when non-nil, receives telemetry for the run: one ExecDone
 	// per execution that the Report accounts for (so its exec counters
@@ -104,6 +123,13 @@ type Options struct {
 	// execution: certified locations skip race instrumentation and
 	// read-window computation, without changing any outcome.
 	Footprint *memory.Footprint
+	// POR enables sleep-set partial-order reduction in ModeExhaustive:
+	// scheduling branches that can only replay an explored equivalence
+	// class are skipped, shrinking the number of executions needed for a
+	// Complete verdict without changing the set of reachable outcomes
+	// (see machine.ExploreOpts.POR). ModeRandom ignores it — random
+	// sampling has no branch tree to prune.
+	POR bool
 }
 
 // Default option values, shared with the other harness front ends so a
@@ -146,7 +172,7 @@ func NormalizeSeed(seed, def int64) int64 {
 }
 
 // withDefaults is the single place option normalization happens: every
-// entry point (Run, ExhaustiveOpt, Explain) and every runner they build
+// entry point (Run in both modes, Explain, the deprecated wrappers) and every runner they build
 // goes through it, so a zero-value Options means the documented defaults
 // on all paths.
 func (o Options) withDefaults() Options {
@@ -178,6 +204,26 @@ func (o Options) withDefaults() Options {
 //compass:runner-ctor
 func (o Options) Runner(trace bool) *machine.Runner {
 	return &machine.Runner{Budget: o.Budget, Trace: trace, Stats: o.Stats, Footprint: o.Footprint}
+}
+
+// ExploreOpts builds the machine exploration options for a harness-level
+// Options. All machine.ExploreOpts construction outside the machine
+// package goes through here (enforced by the runnerctor analyzer) so
+// MaxRuns/Budget/Workers/Stats/Footprint/POR plumbing cannot drift
+// between the check and litmus exhaustive paths. It maps fields verbatim
+// — zero values defer to the machine defaults — so callers that want the
+// check defaults normalize with withDefaults first.
+//
+//compass:explore-ctor
+func (o Options) ExploreOpts() machine.ExploreOpts {
+	return machine.ExploreOpts{
+		MaxRuns:   o.MaxRuns,
+		Budget:    o.Budget,
+		Workers:   o.Workers,
+		Stats:     o.Stats,
+		Footprint: o.Footprint,
+		POR:       o.POR,
+	}
 }
 
 // Failure records one failing execution with its replay seed.
@@ -267,6 +313,9 @@ type execOutcome struct {
 // options alone — bit-identical to a sequential (Workers: 1) run.
 func Run(name string, build func() Checked, opt Options) *Report {
 	opt = opt.withDefaults()
+	if opt.Mode == ModeExhaustive {
+		return runExhaustive(name, build, opt)
+	}
 	if opt.Workers == 1 {
 		return runSequential(name, build, opt)
 	}
@@ -403,31 +452,44 @@ func runParallel(name string, build func() Checked, opt Options) *Report {
 	return rep.attachStats(opt)
 }
 
-// Exhaustive explores every execution of the workload (all interleavings
-// and all read choices) up to maxRuns, checking each one. When the
-// returned report has Complete set, a pass is a *proof* for the bounded
-// instance — the executable analogue of the paper's per-implementation
-// theorems, on a finite workload. It is ExhaustiveOpt with the default
-// failure policy (stop after 5 failures).
+// Exhaustive explores every execution of the workload up to maxRuns.
+//
+// Deprecated: use Run with Options{Mode: ModeExhaustive, MaxRuns: maxRuns,
+// Budget: budget}. Kept as a thin delegating wrapper for source
+// compatibility with the positional API.
 func Exhaustive(name string, build func() Checked, maxRuns, budget int) *Report {
-	return ExhaustiveOpt(name, build, Options{MaxRuns: maxRuns, Budget: budget})
+	return Run(name, build, Options{Mode: ModeExhaustive, MaxRuns: maxRuns, Budget: budget})
 }
 
-// ExhaustiveOpt is Exhaustive driven by Options: MaxRuns and Budget bound
-// the exploration, MaxFailures/KeepGoing control the early stop exactly as
-// in Run, and Workers fans the decision-tree subtrees across a worker
-// pool (the tree partitioning is machine.ExploreParallel's). The counts
-// in a Complete report are a deterministic function of the workload
-// regardless of Workers; with an early stop the explored subset — but
-// never the verdict's soundness — may vary. Exhaustive executions have
-// no seed, so Failures carry Seed -1.
+// ExhaustiveOpt explores every execution of the workload driven by
+// Options.
+//
+// Deprecated: use Run with Options{Mode: ModeExhaustive, ...}; this
+// wrapper only forces the mode and delegates.
 func ExhaustiveOpt(name string, build func() Checked, opt Options) *Report {
-	opt = opt.withDefaults()
+	opt.Mode = ModeExhaustive
+	return Run(name, build, opt)
+}
+
+// runExhaustive explores every execution of the workload (all
+// interleavings and all read choices): MaxRuns and Budget bound the
+// exploration, MaxFailures/KeepGoing control the early stop exactly as in
+// the random mode, Workers fans the decision-tree subtrees across a
+// worker pool (the tree partitioning is machine.ExploreParallel's), and
+// POR prunes scheduling branches that replay explored equivalence
+// classes. When the returned report has Complete set, a pass is a *proof*
+// for the bounded instance — the executable analogue of the paper's
+// per-implementation theorems, on a finite workload. The counts in a
+// Complete report are a deterministic function of the workload regardless
+// of Workers; with an early stop the explored subset — but never the
+// verdict's soundness — may vary. Exhaustive executions have no seed, so
+// Failures carry Seed -1. opt has been normalized by Run.
+func runExhaustive(name string, build func() Checked, opt Options) *Report {
 	rep := &Report{Name: name, Exhaustive: true}
 	var mu sync.Mutex
 	var failures int64
 	res := machine.ExploreParallel(
-		machine.ExploreOpts{MaxRuns: opt.MaxRuns, Budget: opt.Budget, Workers: opt.Workers, Stats: opt.Stats, Footprint: opt.Footprint},
+		opt.ExploreOpts(),
 		func() (func() machine.Program, func(*machine.Result) bool) {
 			var cur Checked
 			buildProg := func() machine.Program {

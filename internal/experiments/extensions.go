@@ -82,7 +82,7 @@ func X1Exhaustive(cfg Config) Summary {
 		}, spec.LevelHB, 1, 1, 1), true},
 	}
 	for _, r := range rows {
-		rep := check.Exhaustive(r.name, r.build, 500000, 3000)
+		rep := check.Run(r.name, r.build, check.Options{Mode: check.ModeExhaustive, MaxRuns: 500000, Budget: 3000})
 		verdict := "PASS (proof for the instance)"
 		good := rep.Passed() && rep.Complete
 		if !r.expectPass {

@@ -47,6 +47,13 @@ func TestGoldenLitmusCorpus(t *testing.T) {
 			t.Errorf("%s: exploration did not complete within bounds (%d runs); golden outcome sets must be proofs", tc.Name, res.Runs)
 		}
 		lines = append(lines, goldenLine(res))
+		// The corpus must be invariant under partial-order reduction:
+		// POR prunes executions, never reachable outcomes, so the golden
+		// line — set plus completeness verdict — is byte-identical.
+		if por := goldenLine(Run(tc, 400000, WithPOR(true))); por != lines[len(lines)-1] {
+			t.Errorf("%s: POR changed the golden outcome set:\n  off: %s\n  on:  %s",
+				tc.Name, lines[len(lines)-1], por)
+		}
 	}
 	got := strings.Join(lines, "\n") + "\n"
 

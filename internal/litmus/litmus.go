@@ -98,38 +98,62 @@ func outcomeKey(o map[string]int64) string {
 	return strings.Join(parts, " ")
 }
 
-// Run explores the test exhaustively (bounded by maxRuns) and evaluates
-// its expectations, fanning the exploration across GOMAXPROCS workers.
-func Run(t Test, maxRuns int) *Result { return RunWorkers(t, maxRuns, 0) }
+// Option configures one exhaustive litmus exploration. The zero
+// configuration (no options) explores across GOMAXPROCS workers with no
+// telemetry, no footprint certificate, and no partial-order reduction.
+type Option func(*config)
 
-// RunWorkers is Run with an explicit worker count (0 = GOMAXPROCS,
+// config is the resolved option set of one Run call.
+type config struct {
+	workers int
+	stats   *telemetry.Stats
+	fp      *memory.Footprint
+	por     bool
+}
+
+// WithWorkers sets the parallel exploration worker count (0 = GOMAXPROCS,
 // 1 = sequential). The outcome histogram is a deterministic function of
 // the test regardless of worker count: the parallel explorer visits
 // exactly the executions the sequential one does.
-func RunWorkers(t Test, maxRuns, workers int) *Result {
-	return RunWorkersStats(t, maxRuns, workers, nil)
-}
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
-// RunWorkersStats is RunWorkers with a telemetry sink: the exploration's
+// WithStats attaches a telemetry sink: the exploration's
 // exec/step/prefix counters are recorded into stats (nil disables). The
 // exec counters equal Runs and the "budget" status count equals
 // Discarded — litmus accounts budget-exhausted executions the same way
 // the check harness does.
-func RunWorkersStats(t Test, maxRuns, workers int, stats *telemetry.Stats) *Result {
-	return RunWorkersFootprint(t, maxRuns, workers, stats, nil)
-}
+func WithStats(stats *telemetry.Stats) Option { return func(c *config) { c.stats = stats } }
 
-// RunWorkersFootprint is RunWorkersStats with an optional footprint
-// certificate (see internal/analysis/footprint): certified locations skip
-// race instrumentation and read-window computation. The outcome histogram
-// is identical with or without a valid certificate — pruning removes
+// WithFootprint installs a footprint certificate (see
+// internal/analysis/footprint): certified locations skip race
+// instrumentation and read-window computation. The outcome histogram is
+// identical with or without a valid certificate — pruning removes
 // per-access work, never decision-tree branches — which the equivalence
 // test in this package asserts bit-for-bit over the whole suite.
-func RunWorkersFootprint(t Test, maxRuns, workers int, stats *telemetry.Stats, fp *memory.Footprint) *Result {
+func WithFootprint(fp *memory.Footprint) Option { return func(c *config) { c.fp = fp } }
+
+// WithPOR toggles sleep-set partial-order reduction (see
+// machine.ExploreOpts.POR): scheduling branches that can only replay an
+// explored equivalence class are skipped. The outcome *set* — which
+// distinct outcomes appear, and therefore the verdict — is identical with
+// POR on and off; the histogram counts and Runs shrink, which is the
+// point. The equivalence test in this package asserts set-identity over
+// the whole suite.
+func WithPOR(on bool) Option { return func(c *config) { c.por = on } }
+
+// Run explores the test exhaustively (bounded by maxRuns; 0 means the
+// explorer default) and evaluates its expectations. Options modify the
+// exploration; Run(t, n) alone keeps its historical meaning (all
+// GOMAXPROCS workers, nothing else).
+func Run(t Test, maxRuns int, opts ...Option) *Result {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	res := &Result{Test: t, Outcomes: map[string]int{}}
 	var mu sync.Mutex
 	er := machine.ExploreParallel(
-		machine.ExploreOpts{MaxRuns: maxRuns, Workers: workers, Stats: stats, Footprint: fp},
+		check.Options{MaxRuns: maxRuns, Workers: cfg.workers, Stats: cfg.stats, Footprint: cfg.fp, POR: cfg.por}.ExploreOpts(),
 		func() (func() machine.Program, func(*machine.Result) bool) {
 			return t.Build, func(r *machine.Result) bool {
 				switch r.Status {
@@ -159,6 +183,29 @@ func RunWorkersFootprint(t Test, maxRuns, workers int, stats *telemetry.Stats, f
 		}
 	}
 	return res
+}
+
+// RunWorkers is Run with an explicit worker count.
+//
+// Deprecated: use Run(t, maxRuns, WithWorkers(workers)).
+func RunWorkers(t Test, maxRuns, workers int) *Result {
+	return Run(t, maxRuns, WithWorkers(workers))
+}
+
+// RunWorkersStats is RunWorkers with a telemetry sink.
+//
+// Deprecated: use Run(t, maxRuns, WithWorkers(workers), WithStats(stats)).
+func RunWorkersStats(t Test, maxRuns, workers int, stats *telemetry.Stats) *Result {
+	return Run(t, maxRuns, WithWorkers(workers), WithStats(stats))
+}
+
+// RunWorkersFootprint is RunWorkersStats with an optional footprint
+// certificate.
+//
+// Deprecated: use Run(t, maxRuns, WithWorkers(workers), WithStats(stats),
+// WithFootprint(fp)).
+func RunWorkersFootprint(t Test, maxRuns, workers int, stats *telemetry.Stats, fp *memory.Footprint) *Result {
+	return Run(t, maxRuns, WithWorkers(workers), WithStats(stats), WithFootprint(fp))
 }
 
 // TraceTest replays the test's default schedule (every decision takes

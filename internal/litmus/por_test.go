@@ -1,0 +1,105 @@
+package litmus
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"compass/internal/analysis/footprint"
+)
+
+// outcomeKeySet returns the sorted set of distinct outcome keys observed
+// by a result — the invariant POR preserves. (The histogram counts are
+// NOT preserved: POR's whole point is visiting fewer representatives of
+// each equivalence class.)
+func outcomeKeySet(r *Result) []string {
+	keys := make([]string, 0, len(r.Outcomes))
+	for k := range r.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestPOREquivalence is the soundness gate for sleep-set partial-order
+// reduction, modeled on TestFootprintEquivalence but asserting the
+// weaker (and correct) invariant: for every litmus test in the suite
+// plus the footprint-rich workloads, exhaustive exploration with POR
+// must produce the identical outcome *set* — and therefore the
+// identical verdict — as exploration without it, with no more runs.
+func TestPOREquivalence(t *testing.T) {
+	tests := append(Suite(), FootprintSuite()...)
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			t.Parallel()
+			plain := Run(tc, 0, WithWorkers(1))
+			reduced := Run(tc, 0, WithWorkers(1), WithPOR(true))
+			if !plain.Complete || !reduced.Complete {
+				t.Fatalf("completeness diverged or lost: plain=%v por=%v", plain.Complete, reduced.Complete)
+			}
+			if got, want := outcomeKeySet(reduced), outcomeKeySet(plain); !reflect.DeepEqual(got, want) {
+				t.Errorf("outcome sets diverged:\nwithout POR: %v\nwith POR:    %v", want, got)
+			}
+			if plain.OK() != reduced.OK() {
+				t.Errorf("verdict diverged: plain=%v por=%v", plain.OK(), reduced.OK())
+			}
+			if reduced.Runs > plain.Runs {
+				t.Errorf("POR explored more runs (%d) than full exploration (%d)", reduced.Runs, plain.Runs)
+			}
+		})
+	}
+}
+
+// TestPORReductionBites pins the acceptance bar: at least three tests of
+// the core litmus suite must explore at least 3x fewer executions under
+// POR at identical outcome sets. (Currently SB, LB and IRIW clear the
+// bar; IRIW — four threads, two locations — collapses by ~88x.)
+func TestPORReductionBites(t *testing.T) {
+	hits := 0
+	for _, tc := range Suite() {
+		plain := Run(tc, 0, WithWorkers(1))
+		reduced := Run(tc, 0, WithWorkers(1), WithPOR(true))
+		if !reflect.DeepEqual(outcomeKeySet(plain), outcomeKeySet(reduced)) {
+			t.Fatalf("%s: outcome sets diverged", tc.Name)
+		}
+		if reduced.Runs*3 <= plain.Runs {
+			hits++
+			t.Logf("%s: %d -> %d executions (%.1fx)", tc.Name, plain.Runs, reduced.Runs,
+				float64(plain.Runs)/float64(reduced.Runs))
+		}
+	}
+	if hits < 3 {
+		t.Fatalf("only %d suite tests achieved a 3x reduction, want >= 3", hits)
+	}
+}
+
+// TestPORComposesWithFootprintAndWorkers exercises the full stack at
+// once: POR plus a footprint certificate plus parallel subtree
+// exploration must visit exactly the runs the serial POR exploration
+// does and observe the same outcome set.
+func TestPORComposesWithFootprintAndWorkers(t *testing.T) {
+	tests := append(Suite(), FootprintSuite()...)
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			t.Parallel()
+			fp, err := footprint.Extract(tc.Build)
+			if err != nil {
+				t.Fatalf("extracting footprint: %v", err)
+			}
+			serial := Run(tc, 0, WithWorkers(1), WithPOR(true))
+			stacked := Run(tc, 0, WithWorkers(4), WithPOR(true), WithFootprint(fp))
+			if stacked.Runs != serial.Runs {
+				t.Errorf("runs diverged: serial POR %d, POR+footprint+workers %d", serial.Runs, stacked.Runs)
+			}
+			if !reflect.DeepEqual(outcomeKeySet(serial), outcomeKeySet(stacked)) {
+				t.Errorf("outcome sets diverged:\nserial:  %v\nstacked: %v",
+					outcomeKeySet(serial), outcomeKeySet(stacked))
+			}
+			if serial.OK() != stacked.OK() {
+				t.Errorf("verdict diverged: serial=%v stacked=%v", serial.OK(), stacked.OK())
+			}
+		})
+	}
+}

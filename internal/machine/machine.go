@@ -45,6 +45,13 @@ const (
 	Budget
 	// Failed: the program itself reported a failure via Thread.Failf.
 	Failed
+	// Pruned: sleep-set partial-order reduction proved every continuation
+	// of the execution replays an equivalence class explored elsewhere, so
+	// the run was cut short (only under Runner.POR). Neither a pass nor a
+	// violation: the outcomes of its continuations are all observed in
+	// sibling subtrees, which is what keeps exhaustive outcome sets
+	// identical with POR on and off.
+	Pruned
 )
 
 func (s Status) String() string {
@@ -57,6 +64,8 @@ func (s Status) String() string {
 		return "budget"
 	case Failed:
 		return "failed"
+	case Pruned:
+		return "pruned"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -132,8 +141,15 @@ func (t *Thread) ID() int { return t.id }
 // recorder to snapshot and extend clocks at commit points).
 func (t *Thread) TV() *memory.ThreadView { return t.tv }
 
-// step parks the thread until the scheduler grants it its next event.
-func (t *Thread) step() {
+// step parks the thread until the scheduler grants it its next event. op
+// describes the operation the thread will perform once granted; under
+// partial-order reduction the controller consults it to decide which
+// pending steps commute. The write to pending happens-before the
+// controller's read via the events channel send.
+func (t *Thread) step(op memory.Access) {
+	if t.mc.por {
+		t.mc.pending[t.id] = op
+	}
 	select {
 	case t.mc.events <- event{tid: t.id, kind: evRequest}:
 	case <-t.mc.kill:
@@ -152,7 +168,7 @@ func (t *Thread) step() {
 
 // Alloc allocates a fresh named location initialized to init.
 func (t *Thread) Alloc(name string, init int64) view.Loc {
-	t.step()
+	t.step(memory.Access{Kind: memory.AccAlloc})
 	l := t.mc.mem.Alloc(t.tv, name, init)
 	if t.mc.tracing {
 		t.mc.record(StepEvent{Thread: t.id, Kind: StepAlloc, Loc: l, LocName: name, Val: init})
@@ -162,7 +178,7 @@ func (t *Thread) Alloc(name string, init int64) view.Loc {
 
 // Read loads from l with the given access mode.
 func (t *Thread) Read(l view.Loc, mode memory.Mode) int64 {
-	t.step()
+	t.step(memory.Access{Kind: memory.AccRead, Loc: l})
 	v, err := t.mc.mem.Read(t.tv, l, mode, &t.mc.reads)
 	if err != nil {
 		if t.mc.tracing {
@@ -178,7 +194,7 @@ func (t *Thread) Read(l view.Loc, mode memory.Mode) int64 {
 
 // Write stores v to l with the given access mode.
 func (t *Thread) Write(l view.Loc, v int64, mode memory.Mode) {
-	t.step()
+	t.step(memory.Access{Kind: memory.AccWrite, Loc: l})
 	if err := t.mc.mem.Write(t.tv, l, v, mode); err != nil {
 		if t.mc.tracing {
 			t.mc.record(StepEvent{Thread: t.id, Kind: StepWrite, Loc: l, LocName: t.mc.mem.Name(l), WMode: mode, Race: true})
@@ -193,7 +209,7 @@ func (t *Thread) Write(l view.Loc, v int64, mode memory.Mode) {
 // Free deallocates a location; any later access by any thread is
 // use-after-free, aborting the execution as undefined behaviour.
 func (t *Thread) Free(l view.Loc) {
-	t.step()
+	t.step(memory.Access{Kind: memory.AccFree, Loc: l})
 	if err := t.mc.mem.Free(t.tv, l); err != nil {
 		panic(accessAbort(err))
 	}
@@ -204,7 +220,7 @@ func (t *Thread) Free(l view.Loc) {
 
 // Fence issues a fence: acquire, release, or both.
 func (t *Thread) Fence(acquire, release bool) {
-	t.step()
+	t.step(memory.Access{Kind: memory.AccFence})
 	t.mc.mem.Fence(t.tv, acquire, release)
 	if t.mc.tracing {
 		t.mc.record(StepEvent{Thread: t.id, Kind: StepFence, Acquire: acquire, Release: release})
@@ -214,7 +230,7 @@ func (t *Thread) Fence(acquire, release bool) {
 // FenceSC issues a sequentially consistent fence (totally ordered with all
 // other SC fences; forbids store-buffering between fenced accesses).
 func (t *Thread) FenceSC() {
-	t.step()
+	t.step(memory.Access{Kind: memory.AccFence})
 	t.mc.mem.FenceSC(t.tv)
 	if t.mc.tracing {
 		t.mc.record(StepEvent{Thread: t.id, Kind: StepFenceSC})
@@ -224,7 +240,7 @@ func (t *Thread) FenceSC() {
 // CAS atomically compares-and-swaps l from expected to newv. readMode
 // governs the read side, writeMode the write side.
 func (t *Thread) CAS(l view.Loc, expected, newv int64, readMode, writeMode memory.Mode) (int64, bool) {
-	t.step()
+	t.step(memory.Access{Kind: memory.AccRMW, Loc: l})
 	old, ok := t.updateChecked(l, func(o int64) (int64, bool) { return newv, o == expected }, readMode, writeMode)
 	if t.mc.tracing {
 		t.mc.record(StepEvent{Thread: t.id, Kind: StepCAS, Loc: l, LocName: t.mc.mem.Name(l),
@@ -235,7 +251,7 @@ func (t *Thread) CAS(l view.Loc, expected, newv int64, readMode, writeMode memor
 
 // FetchAdd atomically adds d to l and returns the previous value.
 func (t *Thread) FetchAdd(l view.Loc, d int64, readMode, writeMode memory.Mode) int64 {
-	t.step()
+	t.step(memory.Access{Kind: memory.AccRMW, Loc: l})
 	old, _ := t.updateChecked(l, func(o int64) (int64, bool) { return o + d, true }, readMode, writeMode)
 	if t.mc.tracing {
 		t.mc.record(StepEvent{Thread: t.id, Kind: StepFAA, Loc: l, LocName: t.mc.mem.Name(l),
@@ -247,7 +263,7 @@ func (t *Thread) FetchAdd(l view.Loc, d int64, readMode, writeMode memory.Mode) 
 // Exchange atomically swaps the value of l for v and returns the previous
 // value.
 func (t *Thread) Exchange(l view.Loc, v int64, readMode, writeMode memory.Mode) int64 {
-	t.step()
+	t.step(memory.Access{Kind: memory.AccRMW, Loc: l})
 	old, _ := t.updateChecked(l, func(int64) (int64, bool) { return v, true }, readMode, writeMode)
 	if t.mc.tracing {
 		t.mc.record(StepEvent{Thread: t.id, Kind: StepXchg, Loc: l, LocName: t.mc.mem.Name(l),
@@ -258,7 +274,7 @@ func (t *Thread) Exchange(l view.Loc, v int64, readMode, writeMode memory.Mode) 
 
 // Update applies an arbitrary atomic read-modify-write.
 func (t *Thread) Update(l view.Loc, f memory.UpdateFunc, readMode, writeMode memory.Mode) (int64, bool) {
-	t.step()
+	t.step(memory.Access{Kind: memory.AccRMW, Loc: l})
 	old, wrote := t.updateChecked(l, f, readMode, writeMode)
 	if t.mc.tracing {
 		t.mc.record(StepEvent{Thread: t.id, Kind: StepUpdate, Loc: l, LocName: t.mc.mem.Name(l),
@@ -286,12 +302,12 @@ func (t *Thread) updateChecked(l view.Loc, f memory.UpdateFunc, readMode, writeM
 
 // Yield is a pure scheduling point (no memory effect). Spin loops should
 // yield so other threads can make progress under any strategy.
-func (t *Thread) Yield() { t.step() }
+func (t *Thread) Yield() { t.step(memory.Access{Kind: memory.AccNone}) }
 
 // Report records a named outcome value for this execution (e.g. the value
 // returned by a dequeue), for litmus-style outcome histograms.
 func (t *Thread) Report(name string, v int64) {
-	t.step()
+	t.step(memory.Access{Kind: memory.AccReport, Name: name})
 	t.mc.outcome[name] = v
 }
 
@@ -332,6 +348,77 @@ type controller struct {
 	outcome map[string]int64
 	trace   []StepEvent // per-step op log (only when tracing is enabled)
 	tracing bool
+	// Sleep-set partial-order reduction state (only when por is set).
+	// pending[tid] is the operation thread tid announced at its last park;
+	// sleep is a bitmask of parked threads whose pending operation commutes
+	// with every operation executed since they were last a scheduling
+	// candidate, so granting them now would only replay an interleaving
+	// that an explored sibling branch covers. The set evolves as a
+	// deterministic function of the decision sequence, which is what lets
+	// the prefix-replay explorers reproduce it branch for branch.
+	por     bool
+	pending []memory.Access
+	sleep   uint64
+	awake   []int // scratch for porCandidates, reused across grants
+}
+
+// porCandidates filters the runnable threads down to those not asleep and
+// records the reduction telemetry. A nil result means every runnable
+// thread is asleep: each pending step commutes with everything since that
+// thread was last a candidate, so every continuation of this state
+// replays an equivalence class that an explored sibling subtree covers —
+// the classic sleep-set prune point. The caller cuts the run as Pruned.
+//
+//compass:accounting
+func (c *controller) porCandidates(runnable []int) []int {
+	awake := c.awake[:0]
+	for _, tid := range runnable {
+		if c.sleep&(1<<uint(tid)) == 0 {
+			awake = append(awake, tid)
+		}
+	}
+	c.awake = awake
+	if len(runnable) > 1 {
+		c.stats.PORSchedulePoint(len(runnable)-max(len(awake), 1), sleepSize(c.sleep))
+	}
+	if len(awake) == 0 {
+		return nil
+	}
+	return awake
+}
+
+// porCommit updates the sleep set after the scheduler granted cand[idx]:
+// candidates ordered before it are explored (or will be, under the
+// explorers' in-order sibling enumeration) as sibling branches of this
+// very decision, so within this branch their next step goes to sleep;
+// then the granted thread's operation wakes every sleeper whose pending
+// operation does not commute with it. Sleep-set theory (Godefroid)
+// guarantees the pruned tree still reaches every reachable state of the
+// full tree, hence every terminal outcome; only the number of
+// interleavings shrinks.
+func (c *controller) porCommit(cand []int, idx int) {
+	for _, u := range cand[:idx] {
+		c.sleep |= 1 << uint(u)
+	}
+	pick := cand[idx]
+	if c.sleep != 0 {
+		op := c.pending[pick]
+		for u := range c.pending {
+			if c.sleep&(1<<uint(u)) != 0 && !memory.Independent(c.pending[u], op) {
+				c.sleep &^= 1 << uint(u)
+			}
+		}
+	}
+	c.sleep &^= 1 << uint(pick)
+}
+
+// sleepSize counts the threads currently asleep.
+func sleepSize(mask uint64) int {
+	n := 0
+	for ; mask != 0; mask &= mask - 1 {
+		n++
+	}
+	return n
 }
 
 // record appends a typed event to the execution trace, stamping the
@@ -381,6 +468,16 @@ type Runner struct {
 	// access pattern the certificate does not cover aborts the execution
 	// as Failed. Pruning never changes outcomes — see memory/footprint.go.
 	Footprint *memory.Footprint
+	// POR enables sleep-set partial-order reduction: scheduling decisions
+	// exclude threads whose pending operation commutes with everything
+	// executed since they were last a candidate (see memory.Independent),
+	// so the explorers skip interleavings that only replay an explored
+	// equivalence class. The set of reachable outcomes is unchanged; the
+	// number of executions needed to cover it shrinks, and under the
+	// exhaustive explorers Complete still means every outcome of the
+	// bounded program was observed. Programs with more than 63 workers
+	// fall back to full exploration (the sleep set is a 64-bit mask).
+	POR bool
 }
 
 // Run executes prog under the given strategy and returns the result.
@@ -409,6 +506,11 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 		budget:  budget,
 		outcome: map[string]int64{},
 		tracing: r.Trace,
+		por:     r.POR && nw+1 <= 64,
+	}
+	if c.por {
+		c.pending = make([]memory.Access, nw+1)
+		c.awake = make([]int, 0, nw+1)
 	}
 	for i := range c.grants {
 		c.grants[i] = make(chan struct{})
@@ -566,9 +668,20 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 			finish(Failed, errors.New("machine: deadlock (no runnable thread)"))
 			break
 		}
-		pick := runnable[0]
-		if len(runnable) > 1 {
-			pick = runnable[strat.PickThread(runnable)]
+		cand := runnable
+		if c.por {
+			if cand = c.porCandidates(runnable); cand == nil {
+				finish(Pruned, nil)
+				break
+			}
+		}
+		idx := 0
+		if len(cand) > 1 {
+			idx = strat.PickThread(cand)
+		}
+		pick := cand[idx]
+		if c.por {
+			c.porCommit(cand, idx)
 		}
 		c.stats.ThreadPick(pick)
 		states[pick] = computing

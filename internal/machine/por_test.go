@@ -1,0 +1,228 @@
+package machine
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"compass/internal/memory"
+	"compass/internal/telemetry"
+	"compass/internal/view"
+)
+
+// outcomeSet explores build exhaustively and returns the sorted set of
+// distinct outcome strings, plus the explorer verdict.
+func outcomeSet(t *testing.T, build func() Program, opts ExploreOpts) ([]string, ExploreResult) {
+	t.Helper()
+	seen := map[string]bool{}
+	res := Explore(build, opts, func(r *Result) bool {
+		if r.Status == OK {
+			seen[outcomeString(r.Outcome)] = true
+		}
+		return true
+	})
+	if !res.Complete {
+		t.Fatalf("exploration incomplete after %d runs", res.Runs)
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, res
+}
+
+func outcomeString(o map[string]int64) string {
+	keys := make([]string, 0, len(o))
+	for k := range o {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += k + "=" + string(rune('0'+o[k])) + " "
+	}
+	return s
+}
+
+// disjointProgram has two workers touching entirely disjoint locations:
+// every interleaving is equivalent, so POR should collapse the schedule
+// tree to a handful of runs.
+func disjointProgram() Program {
+	var x, y view.Loc
+	return Program{
+		Setup: func(th *Thread) {
+			x = th.Alloc("x", 0)
+			y = th.Alloc("y", 0)
+		},
+		Workers: []func(*Thread){
+			func(th *Thread) {
+				th.Write(x, 1, memory.Rlx)
+				th.Write(x, 2, memory.Rlx)
+			},
+			func(th *Thread) {
+				th.Write(y, 1, memory.Rlx)
+				th.Write(y, 2, memory.Rlx)
+			},
+		},
+		Final: func(th *Thread) {
+			th.Report("x", th.Read(x, memory.Rlx))
+			th.Report("y", th.Read(y, memory.Rlx))
+		},
+	}
+}
+
+// sbProgram is store buffering: genuinely conflicting accesses, so POR
+// must preserve all four outcomes.
+func sbProgram() Program {
+	var x, y view.Loc
+	return Program{
+		Setup: func(th *Thread) {
+			x = th.Alloc("x", 0)
+			y = th.Alloc("y", 0)
+		},
+		Workers: []func(*Thread){
+			func(th *Thread) {
+				th.Write(x, 1, memory.Rlx)
+				th.Report("r1", th.Read(y, memory.Rlx))
+			},
+			func(th *Thread) {
+				th.Write(y, 1, memory.Rlx)
+				th.Report("r2", th.Read(x, memory.Rlx))
+			},
+		},
+	}
+}
+
+func TestPORPreservesOutcomesAndPrunes(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() Program
+	}{
+		{"disjoint", disjointProgram},
+		{"sb", sbProgram},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			full, fres := outcomeSet(t, tc.build, ExploreOpts{})
+			red, rres := outcomeSet(t, tc.build, ExploreOpts{POR: true})
+			if !reflect.DeepEqual(full, red) {
+				t.Fatalf("outcome sets differ:\n full: %v\n  por: %v", full, red)
+			}
+			if rres.Runs > fres.Runs {
+				t.Fatalf("POR explored more runs (%d) than full exploration (%d)", rres.Runs, fres.Runs)
+			}
+			t.Logf("runs: full=%d por=%d outcomes=%d", fres.Runs, rres.Runs, len(full))
+		})
+	}
+}
+
+// disjointProgram3 is disjointProgram with a third independent worker.
+func disjointProgram3() Program {
+	var x, y, z view.Loc
+	return Program{
+		Setup: func(th *Thread) {
+			x = th.Alloc("x", 0)
+			y = th.Alloc("y", 0)
+			z = th.Alloc("z", 0)
+		},
+		Workers: []func(*Thread){
+			func(th *Thread) {
+				th.Write(x, 1, memory.Rlx)
+				th.Write(x, 2, memory.Rlx)
+			},
+			func(th *Thread) {
+				th.Write(y, 1, memory.Rlx)
+				th.Write(y, 2, memory.Rlx)
+			},
+			func(th *Thread) {
+				th.Write(z, 1, memory.Rlx)
+				th.Write(z, 2, memory.Rlx)
+			},
+		},
+		Final: func(th *Thread) {
+			th.Report("x", th.Read(x, memory.Rlx))
+			th.Report("y", th.Read(y, memory.Rlx))
+			th.Report("z", th.Read(z, memory.Rlx))
+		},
+	}
+}
+
+// TestPORDisjointCollapses pins that the reduction actually bites: with
+// three fully commuting workers the reduced tree must be at least 3x
+// smaller (sleep sets alone do not reach the single-trace optimum, but
+// the blowup they remove grows with the number of commuting threads).
+func TestPORDisjointCollapses(t *testing.T) {
+	full, fres := outcomeSet(t, disjointProgram3, ExploreOpts{})
+	red, rres := outcomeSet(t, disjointProgram3, ExploreOpts{POR: true})
+	if !reflect.DeepEqual(full, red) {
+		t.Fatalf("outcome sets differ:\n full: %v\n  por: %v", full, red)
+	}
+	if rres.Runs*3 > fres.Runs {
+		t.Fatalf("expected ≥3x reduction on disjoint workers: full=%d por=%d", fres.Runs, rres.Runs)
+	}
+	t.Logf("runs: full=%d por=%d", fres.Runs, rres.Runs)
+}
+
+// TestPORParallelMatchesSequential asserts the reduced decision tree is
+// the same tree for the sequential and the subtree-partitioned parallel
+// explorer: identical run counts and outcome sets.
+func TestPORParallelMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() Program
+	}{
+		{"disjoint", disjointProgram},
+		{"sb", sbProgram},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seqSet, seq := outcomeSet(t, tc.build, ExploreOpts{POR: true})
+			parSeen := map[string]bool{}
+			var mu chan struct{} = make(chan struct{}, 1)
+			mu <- struct{}{}
+			par := ExploreParallel(ExploreOpts{POR: true, Workers: 4},
+				func() (func() Program, func(*Result) bool) {
+					return tc.build, func(r *Result) bool {
+						if r.Status == OK {
+							<-mu
+							parSeen[outcomeString(r.Outcome)] = true
+							mu <- struct{}{}
+						}
+						return true
+					}
+				})
+			if !par.Complete {
+				t.Fatalf("parallel exploration incomplete after %d runs", par.Runs)
+			}
+			if par.Runs != seq.Runs {
+				t.Fatalf("parallel POR runs %d != sequential %d", par.Runs, seq.Runs)
+			}
+			parSet := make([]string, 0, len(parSeen))
+			for k := range parSeen {
+				parSet = append(parSet, k)
+			}
+			sort.Strings(parSet)
+			if !reflect.DeepEqual(seqSet, parSet) {
+				t.Fatalf("outcome sets differ:\n seq: %v\n par: %v", seqSet, parSet)
+			}
+		})
+	}
+}
+
+// TestPORTelemetry asserts the POR counters move when the reduction runs
+// and stay zero when it is off.
+func TestPORTelemetry(t *testing.T) {
+	off := telemetry.New()
+	Explore(disjointProgram, ExploreOpts{Stats: off}, func(*Result) bool { return true })
+	if n := off.Explore.PORBranchesSkipped.Load(); n != 0 {
+		t.Fatalf("por_branches_skipped = %d without POR", n)
+	}
+	on := telemetry.New()
+	Explore(disjointProgram, ExploreOpts{Stats: on, POR: true}, func(*Result) bool { return true })
+	if n := on.Explore.PORBranchesSkipped.Load(); n == 0 {
+		t.Fatalf("por_branches_skipped stayed 0 with POR on a fully commuting program")
+	}
+	snap := on.Snapshot()
+	if snap.Explore.PORBranchesSkipped == 0 || snap.Explore.SleepSetSize.Count == 0 {
+		t.Fatalf("snapshot missing POR counters: %+v", snap.Explore)
+	}
+}

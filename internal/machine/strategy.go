@@ -141,6 +141,18 @@ type ExploreOpts struct {
 	// outcome, so an exploration with a valid footprint visits the same
 	// executions as one without.
 	Footprint *memory.Footprint
+	// POR enables sleep-set partial-order reduction in every execution's
+	// Runner (see Runner.POR): scheduling decisions shrink to the threads
+	// whose next step is not known to commute with everything since they
+	// were last considered, so whole subtrees that replay explored
+	// equivalence classes are never branched on. The set of reachable
+	// outcomes — and the meaning of Complete as a bounded proof over them
+	// — is preserved; only Runs shrinks. Composes with Footprint (which
+	// prunes per-access work, not branches) and with ExploreParallel's
+	// subtree partitioning (the reduced tree is still a deterministic
+	// function of the decision prefix, so pinned prefixes replay it
+	// exactly).
+	POR bool
 }
 
 // ExploreResult summarizes an exploration.
@@ -163,7 +175,7 @@ func Explore(build func() Program, opts ExploreOpts, visit func(*Result) bool) E
 	if maxRuns <= 0 {
 		maxRuns = 200000
 	}
-	runner := &Runner{Budget: opts.Budget, Stats: opts.Stats, Footprint: opts.Footprint}
+	runner := &Runner{Budget: opts.Budget, Stats: opts.Stats, Footprint: opts.Footprint, POR: opts.POR}
 	var prefix []Decision
 	res := ExploreResult{}
 	for res.Runs < maxRuns {
@@ -312,7 +324,7 @@ func (e *parallelExplorer) done(children [][]Decision, keep bool) {
 //
 //compass:accounting
 func (e *parallelExplorer) worker(build func() Program, visit func(*Result) bool) {
-	runner := &Runner{Budget: e.opts.Budget, Stats: e.opts.Stats, Footprint: e.opts.Footprint}
+	runner := &Runner{Budget: e.opts.Budget, Stats: e.opts.Stats, Footprint: e.opts.Footprint, POR: e.opts.POR}
 	for {
 		prefix, ok := e.next()
 		if !ok {

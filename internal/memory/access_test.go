@@ -1,0 +1,63 @@
+package memory
+
+import (
+	"testing"
+
+	"compass/internal/view"
+)
+
+func TestIndependentSymmetric(t *testing.T) {
+	kinds := []AccessKind{AccNone, AccRead, AccWrite, AccRMW, AccFence, AccAlloc, AccFree, AccReport}
+	locs := []view.Loc{0, 1}
+	names := []string{"", "a", "b"}
+	var all []Access
+	for _, k := range kinds {
+		for _, l := range locs {
+			for _, n := range names {
+				all = append(all, Access{Kind: k, Loc: l, Name: n})
+			}
+		}
+	}
+	for _, a := range all {
+		for _, b := range all {
+			if Independent(a, b) != Independent(b, a) {
+				t.Fatalf("Independent not symmetric on %+v, %+v", a, b)
+			}
+		}
+	}
+}
+
+func TestIndependentRelation(t *testing.T) {
+	rd := func(l view.Loc) Access { return Access{Kind: AccRead, Loc: l} }
+	wr := func(l view.Loc) Access { return Access{Kind: AccWrite, Loc: l} }
+	rep := func(n string) Access { return Access{Kind: AccReport, Name: n} }
+	cases := []struct {
+		name string
+		a, b Access
+		want bool
+	}{
+		{"yield vs anything", Access{Kind: AccNone}, wr(0), true},
+		{"yield vs fence", Access{Kind: AccNone}, Access{Kind: AccFence}, true},
+		{"read/read same loc", rd(3), rd(3), true},
+		{"read/write same loc", rd(3), wr(3), false},
+		{"write/write same loc", wr(3), wr(3), false},
+		{"read/write disjoint", rd(3), wr(4), true},
+		{"write/write disjoint", wr(3), wr(4), true},
+		{"rmw vs disjoint read", Access{Kind: AccRMW, Loc: 3}, rd(4), false},
+		{"rmw vs rmw disjoint", Access{Kind: AccRMW, Loc: 3}, Access{Kind: AccRMW, Loc: 4}, false},
+		{"fence vs read", Access{Kind: AccFence}, rd(0), false},
+		{"alloc vs alloc", Access{Kind: AccAlloc}, Access{Kind: AccAlloc}, false},
+		{"alloc vs write", Access{Kind: AccAlloc}, wr(0), false},
+		{"free vs read", Access{Kind: AccFree, Loc: 3}, rd(4), false},
+		{"report vs report same name", rep("x"), rep("x"), false},
+		{"report vs report distinct names", rep("x"), rep("y"), true},
+		{"report vs write", rep("x"), wr(0), true},
+		{"report vs fence", rep("x"), Access{Kind: AccFence}, true},
+		{"report vs rmw", rep("x"), Access{Kind: AccRMW, Loc: 0}, true},
+	}
+	for _, c := range cases {
+		if got := Independent(c.a, c.b); got != c.want {
+			t.Errorf("%s: Independent(%+v, %+v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -36,7 +36,7 @@ const SnapshotSchema = "compass/telemetry/v1"
 // by-status map. telemetry cannot import machine (machine imports
 // telemetry), so the mapping is pinned here and cross-checked by a test
 // in the machine package.
-var statusNames = [...]string{"ok", "racy", "budget", "failed"}
+var statusNames = [...]string{"ok", "racy", "budget", "failed", "pruned"}
 
 // NumStatuses is the number of execution statuses tracked by ExecDone.
 const NumStatuses = len(statusNames)
@@ -210,6 +210,17 @@ type ExploreStats struct {
 	// DepthCapped counts executions whose decision tail was truncated by
 	// ExploreOpts.MaxDepth (branches beyond the cap pruned).
 	DepthCapped Counter
+	// PORBranchesSkipped counts sibling branches removed from scheduling
+	// decisions by sleep-set partial-order reduction: at each scheduling
+	// point the difference between the runnable-thread count and the
+	// awake-candidate count. Every skipped branch is an interleaving the
+	// explorer did not have to run because an explored sibling subtree
+	// covers its equivalence class.
+	PORBranchesSkipped Counter
+	// SleepSetSize is the distribution of sleep-set sizes observed at
+	// scheduling points with more than one runnable thread (POR runs
+	// only); larger sets mean more commuting structure to exploit.
+	SleepSetSize Histogram
 }
 
 // FuzzStats instruments a differential-fuzzing campaign.
@@ -328,6 +339,17 @@ func (s *Stats) ExploreDepthCapped() {
 	s.Explore.DepthCapped.Inc()
 }
 
+// PORSchedulePoint records one sleep-set-filtered scheduling point: how
+// many sibling branches the sleep set removed from the decision and the
+// sleep-set size observed there.
+func (s *Stats) PORSchedulePoint(skipped, sleepSize int) {
+	if s == nil {
+		return
+	}
+	s.Explore.PORBranchesSkipped.Add(int64(skipped))
+	s.Explore.SleepSetSize.Observe(int64(sleepSize))
+}
+
 // FuzzProgram records one generated campaign program.
 func (s *Stats) FuzzProgram() {
 	if s == nil {
@@ -402,6 +424,8 @@ func (s *Stats) Merge(o *Stats) {
 	e.FrontierPeak.SetMax(oe.FrontierPeak.Load())
 	e.EarlyStops.Add(oe.EarlyStops.Load())
 	e.DepthCapped.Add(oe.DepthCapped.Load())
+	e.PORBranchesSkipped.Add(oe.PORBranchesSkipped.Load())
+	e.SleepSetSize.merge(&oe.SleepSetSize)
 	f, of := &s.Fuzz, &o.Fuzz
 	f.Programs.Add(of.Programs.Load())
 	f.Execs.Add(of.Execs.Load())
@@ -437,6 +461,10 @@ type ExploreSnapshot struct {
 	FrontierPeak int64             `json:"frontier_peak"`
 	EarlyStops   int64             `json:"early_stops"`
 	DepthCapped  int64             `json:"depth_capped"`
+	// Sleep-set partial-order reduction effectiveness (0/empty unless the
+	// exploration ran with POR enabled).
+	PORBranchesSkipped int64             `json:"por_branches_skipped"`
+	SleepSetSize       HistogramSnapshot `json:"sleep_set_size"`
 }
 
 // FuzzSnapshot is the JSON form of FuzzStats.
@@ -503,6 +531,9 @@ func (s *Stats) Snapshot() Snapshot {
 		FrontierPeak: e.FrontierPeak.Load(),
 		EarlyStops:   e.EarlyStops.Load(),
 		DepthCapped:  e.DepthCapped.Load(),
+
+		PORBranchesSkipped: e.PORBranchesSkipped.Load(),
+		SleepSetSize:       e.SleepSetSize.snapshot(),
 	}
 	f := &s.Fuzz
 	snap.Fuzz = FuzzSnapshot{
@@ -583,6 +614,7 @@ func ValidateSnapshotJSON(data []byte) error {
 	for _, c := range []int64{m.Steps, m.ReadChoices, m.StaleReads,
 		m.PrunedReads, m.RaceChecksSkipped,
 		snap.Explore.Prefixes, snap.Explore.Children, snap.Explore.FrontierPeak,
+		snap.Explore.PORBranchesSkipped, snap.Explore.SleepSetSize.Count,
 		snap.Fuzz.Programs, snap.Fuzz.Execs, snap.Fuzz.Discarded, snap.Fuzz.Failures} {
 		if c < 0 {
 			return fmt.Errorf("telemetry snapshot: negative counter")
