@@ -51,7 +51,7 @@ golden:
 # Telemetry artifact smoke: emit stats + Chrome trace from a litmus run
 # and validate both against their schemas (what CI's telemetry job does).
 telemetry:
-	$(GO) run ./cmd/litmus -test SB -por -prune -stats /tmp/compass_sb.json -trace-out /tmp/compass_sb.trace.json
+	$(GO) run ./cmd/litmus -test SB -por=source -prune -stats /tmp/compass_sb.json -trace-out /tmp/compass_sb.trace.json
 	$(GO) run ./cmd/statcheck -snapshot /tmp/compass_sb.json -trace /tmp/compass_sb.trace.json
 
 # Quick benchmark pass over the tier-1 set (see cmd/benchreport).

@@ -140,28 +140,40 @@ func measurePruning(maxRuns int) (*PruningReport, error) {
 	return rep, nil
 }
 
-// PORReport records sleep-set partial-order reduction effectiveness: the
-// litmus suite plus the footprint-rich workloads, each explored
-// exhaustively once without and once with POR. Unlike footprint pruning
-// — which removes per-access work at identical execution counts — POR
-// removes whole executions, so the headline numbers here are per-test
-// execution counts and the sweeps' wall-clock delta. Outcome *sets* are
-// identical by construction (the equivalence test in internal/litmus
-// asserts it, and measurePOR re-checks per test before recording).
+// PORReport records partial-order reduction effectiveness: the litmus
+// suite plus the footprint-rich workloads, each explored exhaustively
+// three times — reduction off, static sleep sets, and source-DPOR.
+// Unlike footprint pruning — which removes per-access work at identical
+// execution counts — POR removes whole executions, so the headline
+// numbers here are per-test execution counts and the sweeps' wall-clock
+// deltas. Outcome *sets* are identical in all three modes by
+// construction (the equivalence test in internal/litmus asserts it, and
+// measurePOR re-checks per test and mode before recording).
 type PORReport struct {
-	Tests      []PORTest `json:"tests"`
-	SecondsOff float64   `json:"seconds_off"`
-	SecondsOn  float64   `json:"seconds_on"`
-	// BranchesSkipped is the POR sweep's por_branches_skipped telemetry
-	// total: scheduling branches not taken because the thread was asleep.
+	Tests         []PORTest `json:"tests"`
+	SecondsOff    float64   `json:"seconds_off"`
+	SecondsSleep  float64   `json:"seconds_sleep"`
+	SecondsSource float64   `json:"seconds_source"`
+	// BranchesSkipped is the sleep-set sweep's por_branches_skipped
+	// telemetry total: scheduling branches not taken because the thread
+	// was asleep.
 	BranchesSkipped int64 `json:"branches_skipped"`
+	// RacesReversed is the source-DPOR sweep's por_races_reversed
+	// telemetry total: dynamically observed conflicts whose reversal the
+	// exploration branched on (each is one wakeup-tree node).
+	RacesReversed int64 `json:"races_reversed"`
+	// StaleReadsSkipped is the source-DPOR sweep's
+	// por_stale_reads_skipped total: read-value branches pruned by wakeup
+	// read floors.
+	StaleReadsSkipped int64 `json:"stale_reads_skipped"`
 }
 
-// PORTest is one test's execution counts with POR off and on.
+// PORTest is one test's execution counts in the three reduction modes.
 type PORTest struct {
-	Name     string `json:"name"`
-	ExecsOff int    `json:"execs_off"`
-	ExecsOn  int    `json:"execs_on"`
+	Name        string `json:"name"`
+	ExecsOff    int    `json:"execs_off"`
+	ExecsSleep  int    `json:"execs_sleep"`
+	ExecsSource int    `json:"execs_source"`
 }
 
 // outcomeSetsEqual reports whether the two histograms have the same key
@@ -178,37 +190,61 @@ func outcomeSetsEqual(a, b map[string]int) bool {
 	return true
 }
 
-// measurePOR runs the exhaustive litmus suite twice — reduction off, then
-// on — and records per-test execution counts plus the wall-clock delta.
-// Any test failure or outcome-set divergence aborts: a BENCH file must
-// never record reduction numbers from a sweep whose outcomes were wrong.
+// measurePOR runs the exhaustive litmus suite three times — reduction
+// off, sleep sets, source-DPOR — and records per-test execution counts
+// plus the per-sweep wall clock. Any test failure or outcome-set
+// divergence aborts: a BENCH file must never record reduction numbers
+// from a sweep whose outcomes were wrong.
 func measurePOR(maxRuns int) (*PORReport, error) {
 	rep := &PORReport{}
 	tests := append(compass.LitmusSuite(), compass.LitmusFootprintSuite()...)
-	stats := compass.NewTelemetry()
 	startOff := time.Now()
 	off := make([]*compass.LitmusResult, len(tests))
 	for i, t := range tests {
 		off[i] = compass.RunLitmus(t, maxRuns)
 		if !off[i].OK() {
-			return nil, fmt.Errorf("%s: exploration failed (por=false):\n%s", t.Name, off[i])
+			return nil, fmt.Errorf("%s: exploration failed (por=off):\n%s", t.Name, off[i])
 		}
 	}
 	rep.SecondsOff = time.Since(startOff).Seconds()
-	startOn := time.Now()
-	for i, t := range tests {
-		on := compass.RunLitmus(t, maxRuns, compass.WithStats(stats), compass.WithPOR(true))
-		if !on.OK() {
-			return nil, fmt.Errorf("%s: exploration failed (por=true):\n%s", t.Name, on)
+
+	sweep := func(mode compass.PORMode) ([]int, float64, *compass.Telemetry, error) {
+		stats := compass.NewTelemetry()
+		start := time.Now()
+		runs := make([]int, len(tests))
+		for i, t := range tests {
+			res := compass.RunLitmus(t, maxRuns, compass.WithStats(stats), compass.WithPORMode(mode))
+			if !res.OK() {
+				return nil, 0, nil, fmt.Errorf("%s: exploration failed (por=%v):\n%s", t.Name, mode, res)
+			}
+			if !outcomeSetsEqual(off[i].Outcomes, res.Outcomes) {
+				return nil, 0, nil, fmt.Errorf("%s: outcome sets diverged under por=%v:\noff: %v\npor: %v",
+					t.Name, mode, off[i].Outcomes, res.Outcomes)
+			}
+			runs[i] = res.Runs
 		}
-		if !outcomeSetsEqual(off[i].Outcomes, on.Outcomes) {
-			return nil, fmt.Errorf("%s: outcome sets diverged under POR:\noff: %v\non:  %v",
-				t.Name, off[i].Outcomes, on.Outcomes)
-		}
-		rep.Tests = append(rep.Tests, PORTest{Name: t.Name, ExecsOff: off[i].Runs, ExecsOn: on.Runs})
+		return runs, time.Since(start).Seconds(), stats, nil
 	}
-	rep.SecondsOn = time.Since(startOn).Seconds()
-	rep.BranchesSkipped = stats.Snapshot().Explore.PORBranchesSkipped
+
+	sleepRuns, sleepSecs, sleepStats, err := sweep(compass.PORSleep)
+	if err != nil {
+		return nil, err
+	}
+	sourceRuns, sourceSecs, sourceStats, err := sweep(compass.PORSource)
+	if err != nil {
+		return nil, err
+	}
+	rep.SecondsSleep = sleepSecs
+	rep.SecondsSource = sourceSecs
+	rep.BranchesSkipped = sleepStats.Snapshot().Explore.PORBranchesSkipped
+	srcSnap := sourceStats.Snapshot()
+	rep.RacesReversed = srcSnap.Explore.PORRacesReversed
+	rep.StaleReadsSkipped = srcSnap.Explore.PORStaleReadsSkipped
+	for i, t := range tests {
+		rep.Tests = append(rep.Tests, PORTest{
+			Name: t.Name, ExecsOff: off[i].Runs, ExecsSleep: sleepRuns[i], ExecsSource: sourceRuns[i],
+		})
+	}
 	return rep, nil
 }
 
@@ -218,7 +254,7 @@ func main() {
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	pruning := flag.Bool("pruning", true, "measure footprint-pruning effectiveness over the litmus suite")
 	pruneRuns := flag.Int("prune-max-runs", 400000, "exploration bound per litmus test for the pruning measurement")
-	por := flag.Bool("por", true, "measure sleep-set partial-order reduction effectiveness over the litmus suite")
+	por := flag.Bool("por", true, "measure partial-order reduction effectiveness (off vs sleep vs source) over the litmus suite")
 	flag.Parse()
 
 	rep := &Report{
@@ -267,7 +303,8 @@ func main() {
 		}
 		rep.POR = pr
 		for _, t := range pr.Tests {
-			fmt.Fprintf(os.Stderr, "benchreport: por: %-16s %6d -> %6d executions\n", t.Name, t.ExecsOff, t.ExecsOn)
+			fmt.Fprintf(os.Stderr, "benchreport: por: %-16s off %6d | sleep %6d | source %6d executions\n",
+				t.Name, t.ExecsOff, t.ExecsSleep, t.ExecsSource)
 		}
 	}
 

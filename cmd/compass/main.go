@@ -76,13 +76,22 @@ func main() {
 	list := flag.Bool("list", false, "list available workloads and exit")
 	explain := flag.Int64("explain", -1, "replay this seed with a per-step trace instead of running the harness")
 	exhaustive := flag.Bool("exhaustive", false, "explore all executions (small workloads only)")
-	por := flag.Bool("por", false, "with -exhaustive: sleep-set partial-order reduction — skip schedules that replay an explored equivalence class (outcome sets are identical, far fewer executions)")
+	por := flag.String("por", "off", "with -exhaustive: partial-order reduction — off, sleep (static sleep sets), or source (source-DPOR: dynamic race reversal plus wakeup read floors); outcome sets are identical in every mode, far fewer executions")
 	prune := flag.Bool("prune", false, "extract a footprint certificate from one recording execution and prune race instrumentation and read windows (outcomes are identical)")
 	statsOut := flag.String("stats", "", "write a telemetry JSON snapshot of the run to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of a representative execution to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	cli.StartPprof(*pprofAddr)
+
+	porMode, err := compass.ParsePORMode(*por)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compass: -por: %v\n", err)
+		os.Exit(2)
+	}
+	compass.OnPORFallback(func(threads int) {
+		fmt.Fprintf(os.Stderr, "compass: warning: partial-order reduction disabled: %d threads exceed the 64-thread sleep-mask limit; exploring unreduced\n", threads)
+	})
 
 	if *list {
 		fmt.Println("libraries:  msqueue hwqueue scqueue ringqueue treiber scstack elimstack exchanger")
@@ -184,9 +193,9 @@ func main() {
 	if *exhaustive {
 		opts = compass.CheckOptions{
 			Mode: compass.ModeExhaustive, MaxRuns: 500000, Budget: 5000,
-			KeepGoing: *keepGoing, Workers: *workers, Stats: stats, Footprint: fp, POR: *por,
+			KeepGoing: *keepGoing, Workers: *workers, Stats: stats, Footprint: fp, POR: porMode,
 		}
-	} else if *por {
+	} else if porMode != compass.POROff {
 		fmt.Fprintln(os.Stderr, "-por requires -exhaustive (random sampling has no schedule tree to reduce)")
 		os.Exit(2)
 	}

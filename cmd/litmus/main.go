@@ -23,12 +23,21 @@ func main() {
 	maxRuns := flag.Int("max-runs", 400000, "exploration bound per test")
 	workers := flag.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS)")
 	prune := flag.Bool("prune", false, "extract a footprint certificate per test and prune race instrumentation and read windows (outcomes are identical)")
-	por := flag.Bool("por", false, "sleep-set partial-order reduction: skip schedules that replay an explored equivalence class (outcome sets are identical, far fewer executions)")
+	por := flag.String("por", "off", "partial-order reduction: off, sleep (static sleep sets), or source (source-DPOR: dynamic race reversal plus wakeup read floors); outcome sets are identical in every mode, far fewer executions")
 	statsOut := flag.String("stats", "", "write a telemetry JSON snapshot of the exploration to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of the first test's default schedule to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	cli.StartPprof(*pprofAddr)
+
+	porMode, err := compass.ParsePORMode(*por)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "litmus: -por: %v\n", err)
+		os.Exit(2)
+	}
+	compass.OnPORFallback(func(threads int) {
+		fmt.Fprintf(os.Stderr, "litmus: warning: partial-order reduction disabled: %d threads exceed the 64-thread sleep-mask limit; exploring unreduced\n", threads)
+	})
 
 	var stats *compass.Telemetry
 	if *statsOut != "" {
@@ -53,7 +62,7 @@ func main() {
 		}
 		res := compass.RunLitmus(t, *maxRuns,
 			compass.WithWorkers(*workers), compass.WithStats(stats),
-			compass.WithFootprint(fp), compass.WithPOR(*por))
+			compass.WithFootprint(fp), compass.WithPORMode(porMode))
 		fmt.Println(res)
 		fmt.Println()
 		if !res.OK() {

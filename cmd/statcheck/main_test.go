@@ -81,6 +81,36 @@ func TestPORCountersValidate(t *testing.T) {
 	}
 }
 
+// TestSourceDPORCountersValidate pins forward acceptance of the
+// source-DPOR telemetry additions as a fixture: the checked-in snapshot
+// was written by a `litmus -por=source -stats` run over the full suite
+// and carries nonzero por_races_reversed and wakeup_tree_size counters —
+// still under the unchanged compass/telemetry/v1 schema, and satisfying
+// the validator's wakeup_tree_size.sum == por_races_reversed invariant.
+// If a future schema revision stops accepting or validating these
+// fields, this catches it even after the writer moves on.
+func TestSourceDPORCountersValidate(t *testing.T) {
+	path := filepath.Join("testdata", "v1_source_snapshot.json")
+	var out, errw strings.Builder
+	if code := run(path, "", &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errw.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"por_races_reversed", "por_stale_reads_skipped", "por_disabled_threads", "wakeup_tree_size",
+	} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("fixture does not exercise %q — regenerate it with: go run ./cmd/litmus -por=source -stats %s", field, path)
+		}
+	}
+	if strings.Contains(string(data), `"por_races_reversed": 0,`) {
+		t.Error("fixture's por_races_reversed is zero — regenerate it from a run that actually reverses races")
+	}
+}
+
 // TestNoArgsIsUsageError pins the exit-2 contract.
 func TestNoArgsIsUsageError(t *testing.T) {
 	var out, errw strings.Builder

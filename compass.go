@@ -500,7 +500,38 @@ func WithFootprint(fp *Footprint) LitmusOption { return litmus.WithFootprint(fp)
 
 // WithPOR toggles sleep-set partial-order reduction: the outcome set and
 // verdict are identical, the number of explored executions shrinks.
+// WithPOR(true) means sleep sets; use WithPORMode for source-DPOR.
 func WithPOR(on bool) LitmusOption { return litmus.WithPOR(on) }
+
+// WithPORMode selects the partial-order reduction mode explicitly:
+// POROff, PORSleep, or PORSource. Source-DPOR reverses only dynamically
+// observed races and prunes stale read-value branches through wakeup
+// read floors; outcome sets stay identical across all modes.
+func WithPORMode(m PORMode) LitmusOption { return litmus.WithPORMode(m) }
+
+// PORMode selects the partial-order reduction applied by the exhaustive
+// explorers (see the machine package's PORMode).
+type PORMode = machine.PORMode
+
+// POR modes: off, sleep sets (static oracle), source-DPOR (dynamic race
+// reversal with wakeup read floors).
+const (
+	POROff    = machine.POROff
+	PORSleep  = machine.PORSleep
+	PORSource = machine.PORSource
+)
+
+// ParsePORMode parses a -por flag value: "off", "sleep", or "source"
+// ("on" is accepted as an alias for "sleep", the PR 5 boolean flag's
+// meaning).
+func ParsePORMode(s string) (PORMode, error) { return machine.ParsePORMode(s) }
+
+// OnPORFallback installs a hook invoked at most once per process when an
+// execution requested partial-order reduction but ran unreduced because
+// the program has more than 64 threads (the sleep-set mask width).
+// Commands use it to warn on stderr; the por_disabled_threads telemetry
+// counter records every such execution regardless.
+func OnPORFallback(f func(threads int)) { machine.SetPORFallbackWarn(f) }
 
 // LitmusSuite returns the ORC11 validation litmus tests.
 func LitmusSuite() []LitmusTest { return litmus.Suite() }

@@ -27,19 +27,19 @@ func directOpts(maxRuns int) machine.ExploreOpts {
 }
 
 func directOptsPOR() machine.ExploreOpts {
-	return machine.ExploreOpts{POR: true} // want `machine.ExploreOpts constructed directly`
+	return machine.ExploreOpts{POR: machine.PORSleep} // want `machine.ExploreOpts constructed directly`
 }
 
 // buildOpts is a sanctioned constructor in the style of
 // check.Options.ExploreOpts.
 //
 //compass:explore-ctor
-func buildOpts(maxRuns int, por bool) machine.ExploreOpts {
+func buildOpts(maxRuns int, por machine.PORMode) machine.ExploreOpts {
 	return machine.ExploreOpts{MaxRuns: maxRuns, POR: por} // ok: sanctioned constructor
 }
 
 func viaOptsConstructor(maxRuns int) machine.ExploreOpts {
-	return buildOpts(maxRuns, true) // ok: goes through the constructor
+	return buildOpts(maxRuns, machine.PORSleep) // ok: goes through the constructor
 }
 
 // runnerCtorDoesNotSanctionOpts mixes the two: a runner-ctor directive

@@ -123,14 +123,31 @@ type Options struct {
 	// execution: certified locations skip race instrumentation and
 	// read-window computation, without changing any outcome.
 	Footprint *memory.Footprint
-	// POR enables sleep-set partial-order reduction in ModeExhaustive:
+	// POR selects the partial-order reduction mode in ModeExhaustive:
+	// PORSleep prunes with static sleep sets, PORSource with source-DPOR
+	// (dynamic race reversal plus wakeup read floors). Either way
 	// scheduling branches that can only replay an explored equivalence
 	// class are skipped, shrinking the number of executions needed for a
 	// Complete verdict without changing the set of reachable outcomes
 	// (see machine.ExploreOpts.POR). ModeRandom ignores it — random
 	// sampling has no branch tree to prune.
-	POR bool
+	POR PORMode
 }
+
+// PORMode is re-exported from machine so harness callers configure the
+// reduction without importing the machine package.
+type PORMode = machine.PORMode
+
+// POR modes, re-exported from machine.
+const (
+	POROff    = machine.POROff
+	PORSleep  = machine.PORSleep
+	PORSource = machine.PORSource
+)
+
+// ParsePORMode parses a -por flag value ("off", "sleep", "source"; "on"
+// is an alias for "sleep").
+func ParsePORMode(s string) (PORMode, error) { return machine.ParsePORMode(s) }
 
 // Default option values, shared with the other harness front ends so a
 // zero value means the same thing everywhere.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"compass/internal/analysis/footprint"
+	"compass/internal/check"
 )
 
 // outcomeKeySet returns the sorted set of distinct outcome keys observed
@@ -21,12 +22,14 @@ func outcomeKeySet(r *Result) []string {
 	return keys
 }
 
-// TestPOREquivalence is the soundness gate for sleep-set partial-order
-// reduction, modeled on TestFootprintEquivalence but asserting the
-// weaker (and correct) invariant: for every litmus test in the suite
-// plus the footprint-rich workloads, exhaustive exploration with POR
-// must produce the identical outcome *set* — and therefore the
-// identical verdict — as exploration without it, with no more runs.
+// TestPOREquivalence is the soundness gate for partial-order reduction,
+// modeled on TestFootprintEquivalence but asserting the weaker (and
+// correct) invariant: for every litmus test in the suite plus the
+// footprint-rich workloads, exhaustive exploration under sleep sets and
+// under source-DPOR must each produce the identical outcome *set* — and
+// therefore the identical verdict — as exploration without reduction,
+// with no more runs; and source-DPOR must explore no more runs than
+// sleep sets.
 func TestPOREquivalence(t *testing.T) {
 	tests := append(Suite(), FootprintSuite()...)
 	for _, tc := range tests {
@@ -34,18 +37,26 @@ func TestPOREquivalence(t *testing.T) {
 		t.Run(tc.Name, func(t *testing.T) {
 			t.Parallel()
 			plain := Run(tc, 0, WithWorkers(1))
-			reduced := Run(tc, 0, WithWorkers(1), WithPOR(true))
-			if !plain.Complete || !reduced.Complete {
-				t.Fatalf("completeness diverged or lost: plain=%v por=%v", plain.Complete, reduced.Complete)
+			runs := map[check.PORMode]int{}
+			for _, mode := range []check.PORMode{check.PORSleep, check.PORSource} {
+				reduced := Run(tc, 0, WithWorkers(1), WithPORMode(mode))
+				if !plain.Complete || !reduced.Complete {
+					t.Fatalf("completeness diverged or lost under %v: plain=%v por=%v", mode, plain.Complete, reduced.Complete)
+				}
+				if got, want := outcomeKeySet(reduced), outcomeKeySet(plain); !reflect.DeepEqual(got, want) {
+					t.Errorf("outcome sets diverged under %v:\nwithout POR: %v\nwith POR:    %v", mode, want, got)
+				}
+				if plain.OK() != reduced.OK() {
+					t.Errorf("verdict diverged under %v: plain=%v por=%v", mode, plain.OK(), reduced.OK())
+				}
+				if reduced.Runs > plain.Runs {
+					t.Errorf("%v explored more runs (%d) than full exploration (%d)", mode, reduced.Runs, plain.Runs)
+				}
+				runs[mode] = reduced.Runs
 			}
-			if got, want := outcomeKeySet(reduced), outcomeKeySet(plain); !reflect.DeepEqual(got, want) {
-				t.Errorf("outcome sets diverged:\nwithout POR: %v\nwith POR:    %v", want, got)
-			}
-			if plain.OK() != reduced.OK() {
-				t.Errorf("verdict diverged: plain=%v por=%v", plain.OK(), reduced.OK())
-			}
-			if reduced.Runs > plain.Runs {
-				t.Errorf("POR explored more runs (%d) than full exploration (%d)", reduced.Runs, plain.Runs)
+			if runs[check.PORSource] > runs[check.PORSleep] {
+				t.Errorf("source-DPOR explored more runs (%d) than sleep sets (%d)",
+					runs[check.PORSource], runs[check.PORSleep])
 			}
 		})
 	}
@@ -74,32 +85,99 @@ func TestPORReductionBites(t *testing.T) {
 	}
 }
 
+// TestSourceDPORBitesOnIRIW pins this PR's acceptance bar: on IRIW —
+// four threads, two locations, where sleep sets leave the read-choice
+// blowup untouched — source-DPOR's read floors must cut executions to
+// at most a fifth of the sleep-set count, at the identical outcome set.
+func TestSourceDPORBitesOnIRIW(t *testing.T) {
+	var iriw Test
+	for _, tc := range Suite() {
+		if tc.Name == "IRIW" {
+			iriw = tc
+			break
+		}
+	}
+	if iriw.Name == "" {
+		t.Fatal("IRIW not in suite")
+	}
+	sleep := Run(iriw, 0, WithWorkers(1), WithPORMode(check.PORSleep))
+	source := Run(iriw, 0, WithWorkers(1), WithPORMode(check.PORSource))
+	if !sleep.Complete || !source.Complete {
+		t.Fatalf("incomplete: sleep=%v source=%v", sleep.Complete, source.Complete)
+	}
+	if !reflect.DeepEqual(outcomeKeySet(sleep), outcomeKeySet(source)) {
+		t.Fatalf("outcome sets diverged:\nsleep:  %v\nsource: %v", outcomeKeySet(sleep), outcomeKeySet(source))
+	}
+	if source.Runs*5 > sleep.Runs {
+		t.Fatalf("source-DPOR on IRIW: %d runs, want <= 1/5 of sleep's %d", source.Runs, sleep.Runs)
+	}
+	t.Logf("IRIW: sleep=%d source=%d (%.1fx)", sleep.Runs, source.Runs,
+		float64(sleep.Runs)/float64(source.Runs))
+}
+
+// TestSTAR5ExhaustiveUnderSource pins that the five-thread STAR5 test —
+// added with this PR precisely because it is out of comfortable reach
+// without dynamic reduction — explores exhaustively under source-DPOR
+// and agrees with the unreduced outcome set.
+func TestSTAR5ExhaustiveUnderSource(t *testing.T) {
+	var star Test
+	for _, tc := range Suite() {
+		if tc.Name == "STAR5" {
+			star = tc
+			break
+		}
+	}
+	if star.Name == "" {
+		t.Fatal("STAR5 not in suite")
+	}
+	source := Run(star, 0, WithWorkers(1), WithPORMode(check.PORSource))
+	if !source.Complete {
+		t.Fatalf("STAR5 incomplete under source-DPOR after %d runs", source.Runs)
+	}
+	if !source.OK() {
+		t.Fatalf("STAR5 failed under source-DPOR:\n%s", source)
+	}
+	plain := Run(star, 0, WithWorkers(1))
+	if !plain.Complete {
+		t.Fatalf("STAR5 incomplete unreduced after %d runs", plain.Runs)
+	}
+	if !reflect.DeepEqual(outcomeKeySet(plain), outcomeKeySet(source)) {
+		t.Fatalf("outcome sets diverged:\nplain:  %v\nsource: %v", outcomeKeySet(plain), outcomeKeySet(source))
+	}
+	t.Logf("STAR5: plain=%d source=%d", plain.Runs, source.Runs)
+}
+
 // TestPORComposesWithFootprintAndWorkers exercises the full stack at
-// once: POR plus a footprint certificate plus parallel subtree
-// exploration must visit exactly the runs the serial POR exploration
-// does and observe the same outcome set.
+// once, in both reduction modes: POR plus a footprint certificate plus
+// parallel subtree exploration must visit exactly the runs the serial
+// POR exploration does and observe the same outcome set. For source-DPOR
+// this doubles as the purity gate — wakes and read floors must be a
+// function of the decision prefix alone, or the pinned-prefix parallel
+// explorer would produce a different tree.
 func TestPORComposesWithFootprintAndWorkers(t *testing.T) {
 	tests := append(Suite(), FootprintSuite()...)
 	for _, tc := range tests {
-		tc := tc
-		t.Run(tc.Name, func(t *testing.T) {
-			t.Parallel()
-			fp, err := footprint.Extract(tc.Build)
-			if err != nil {
-				t.Fatalf("extracting footprint: %v", err)
-			}
-			serial := Run(tc, 0, WithWorkers(1), WithPOR(true))
-			stacked := Run(tc, 0, WithWorkers(4), WithPOR(true), WithFootprint(fp))
-			if stacked.Runs != serial.Runs {
-				t.Errorf("runs diverged: serial POR %d, POR+footprint+workers %d", serial.Runs, stacked.Runs)
-			}
-			if !reflect.DeepEqual(outcomeKeySet(serial), outcomeKeySet(stacked)) {
-				t.Errorf("outcome sets diverged:\nserial:  %v\nstacked: %v",
-					outcomeKeySet(serial), outcomeKeySet(stacked))
-			}
-			if serial.OK() != stacked.OK() {
-				t.Errorf("verdict diverged: serial=%v stacked=%v", serial.OK(), stacked.OK())
-			}
-		})
+		for _, mode := range []check.PORMode{check.PORSleep, check.PORSource} {
+			tc, mode := tc, mode
+			t.Run(tc.Name+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				fp, err := footprint.Extract(tc.Build)
+				if err != nil {
+					t.Fatalf("extracting footprint: %v", err)
+				}
+				serial := Run(tc, 0, WithWorkers(1), WithPORMode(mode))
+				stacked := Run(tc, 0, WithWorkers(4), WithPORMode(mode), WithFootprint(fp))
+				if stacked.Runs != serial.Runs {
+					t.Errorf("runs diverged: serial POR %d, POR+footprint+workers %d", serial.Runs, stacked.Runs)
+				}
+				if !reflect.DeepEqual(outcomeKeySet(serial), outcomeKeySet(stacked)) {
+					t.Errorf("outcome sets diverged:\nserial:  %v\nstacked: %v",
+						outcomeKeySet(serial), outcomeKeySet(stacked))
+				}
+				if serial.OK() != stacked.OK() {
+					t.Errorf("verdict diverged: serial=%v stacked=%v", serial.OK(), stacked.OK())
+				}
+			})
+		}
 	}
 }

@@ -147,7 +147,7 @@ func (t *Thread) TV() *memory.ThreadView { return t.tv }
 // pending steps commute. The write to pending happens-before the
 // controller's read via the events channel send.
 func (t *Thread) step(op memory.Access) {
-	if t.mc.por {
+	if t.mc.por != POROff {
 		t.mc.pending[t.id] = op
 	}
 	select {
@@ -179,7 +179,7 @@ func (t *Thread) Alloc(name string, init int64) view.Loc {
 // Read loads from l with the given access mode.
 func (t *Thread) Read(l view.Loc, mode memory.Mode) int64 {
 	t.step(memory.Access{Kind: memory.AccRead, Loc: l})
-	v, err := t.mc.mem.Read(t.tv, l, mode, &t.mc.reads)
+	v, err := t.mc.mem.ReadFloored(t.tv, l, mode, &t.mc.reads, t.takeFloor(l, mode))
 	if err != nil {
 		if t.mc.tracing {
 			t.mc.record(StepEvent{Thread: t.id, Kind: StepRead, Loc: l, LocName: t.mc.mem.Name(l), RMode: mode, Race: true})
@@ -190,6 +190,39 @@ func (t *Thread) Read(l view.Loc, mode memory.Mode) int64 {
 		t.mc.record(StepEvent{Thread: t.id, Kind: StepRead, Loc: l, LocName: t.mc.mem.Name(l), RMode: mode, Val: v})
 	}
 	return v
+}
+
+// takeFloor consumes the thread's pending source-DPOR wakeup constraint,
+// if any (see controller.sourceWake): the read about to execute is the
+// announced operation the floor was attached to. It also accounts the
+// stale read-value branches the floor prunes.
+//
+//compass:accounting
+func (t *Thread) takeFloor(l view.Loc, mode memory.Mode) view.Time {
+	c := t.mc
+	if c.por != PORSource {
+		return 0
+	}
+	f := c.floors[t.id]
+	if f == 0 {
+		return 0
+	}
+	c.floors[t.id] = 0
+	if mode == memory.NA {
+		return 0 // na reads never branch on a message choice
+	}
+	lo := t.tv.Cur.V.Get(l)
+	if lo == 0 {
+		lo = 1
+	}
+	eff := f
+	if m := c.mem.MaxTime(l); eff > m {
+		eff = m
+	}
+	if eff > lo {
+		c.stats.PORStaleReadsSkipped(int64(eff - lo))
+	}
+	return f
 }
 
 // Write stores v to l with the given access mode.
@@ -348,18 +381,25 @@ type controller struct {
 	outcome map[string]int64
 	trace   []StepEvent // per-step op log (only when tracing is enabled)
 	tracing bool
-	// Sleep-set partial-order reduction state (only when por is set).
+	// Partial-order reduction state (only when por != POROff).
 	// pending[tid] is the operation thread tid announced at its last park;
 	// sleep is a bitmask of parked threads whose pending operation commutes
 	// with every operation executed since they were last a scheduling
 	// candidate, so granting them now would only replay an interleaving
-	// that an explored sibling branch covers. The set evolves as a
-	// deterministic function of the decision sequence, which is what lets
-	// the prefix-replay explorers reproduce it branch for branch.
-	por     bool
-	pending []memory.Access
-	sleep   uint64
-	awake   []int // scratch for porCandidates, reused across grants
+	// that an explored sibling branch covers. Under PORSleep sleepers wake
+	// on the static memory.Independent oracle; under PORSource they wake
+	// only on dynamic conflicts (sourceWake), possibly carrying a read
+	// floor in floors[tid] that restricts their next read to the messages
+	// appended since they slept. All of it evolves as a deterministic
+	// function of the decision sequence, which is what lets the
+	// prefix-replay explorers reproduce it branch for branch.
+	por      PORMode
+	pending  []memory.Access
+	sleep    uint64
+	awake    []int // scratch for porCandidates, reused across grants
+	floors   []view.Time
+	doneMask uint64 // finished threads (valid while por != POROff, so <= 64 threads)
+	wakes    int    // source-mode wake events this run (wakeup-tree size)
 }
 
 // porCandidates filters the runnable threads down to those not asleep and
@@ -404,7 +444,12 @@ func (c *controller) porCommit(cand []int, idx int) {
 	if c.sleep != 0 {
 		op := c.pending[pick]
 		for u := range c.pending {
-			if c.sleep&(1<<uint(u)) != 0 && !memory.Independent(c.pending[u], op) {
+			if c.sleep&(1<<uint(u)) == 0 {
+				continue
+			}
+			if c.por == PORSource {
+				c.sourceWake(u, op)
+			} else if !memory.Independent(c.pending[u], op) {
 				c.sleep &^= 1 << uint(u)
 			}
 		}
@@ -468,16 +513,19 @@ type Runner struct {
 	// access pattern the certificate does not cover aborts the execution
 	// as Failed. Pruning never changes outcomes — see memory/footprint.go.
 	Footprint *memory.Footprint
-	// POR enables sleep-set partial-order reduction: scheduling decisions
-	// exclude threads whose pending operation commutes with everything
-	// executed since they were last a candidate (see memory.Independent),
-	// so the explorers skip interleavings that only replay an explored
-	// equivalence class. The set of reachable outcomes is unchanged; the
-	// number of executions needed to cover it shrinks, and under the
-	// exhaustive explorers Complete still means every outcome of the
-	// bounded program was observed. Programs with more than 63 workers
-	// fall back to full exploration (the sleep set is a 64-bit mask).
-	POR bool
+	// POR selects the partial-order reduction mode. PORSleep excludes
+	// from scheduling any thread whose pending operation commutes with
+	// everything executed since it was last a candidate (see
+	// memory.Independent); PORSource additionally wakes sleepers only on
+	// dynamically observed conflicts and prunes stale read-value branches
+	// via wakeup read floors (see PORMode). Either way the set of
+	// reachable outcomes is unchanged; the number of executions needed to
+	// cover it shrinks, and under the exhaustive explorers Complete still
+	// means every outcome of the bounded program was observed. Programs
+	// with more than 63 workers fall back to full exploration (the sleep
+	// set is a 64-bit mask); the fallback bumps the por_disabled_threads
+	// counter and fires the SetPORFallbackWarn hook.
+	POR PORMode
 }
 
 // Run executes prog under the given strategy and returns the result.
@@ -495,6 +543,14 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 		budget = 100000
 	}
 	nw := len(prog.Workers)
+	por := r.POR
+	if por != POROff && nw+1 > 64 {
+		// The sleep set is a 64-bit mask: too many threads means running
+		// unreduced. Formerly silent; now counted and warned about once.
+		por = POROff
+		r.Stats.PORDisabled()
+		porFallbackWarn(nw + 1)
+	}
 	c := &controller{
 		mem:     memory.New(),
 		strat:   strat,
@@ -506,11 +562,14 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 		budget:  budget,
 		outcome: map[string]int64{},
 		tracing: r.Trace,
-		por:     r.POR && nw+1 <= 64,
+		por:     por,
 	}
-	if c.por {
+	if c.por != POROff {
 		c.pending = make([]memory.Access, nw+1)
 		c.awake = make([]int, 0, nw+1)
+	}
+	if c.por == PORSource {
+		c.floors = make([]view.Time, nw+1)
 	}
 	for i := range c.grants {
 		c.grants[i] = make(chan struct{})
@@ -591,6 +650,11 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 	finish := func(st Status, err error) {
 		final = &Result{Status: st, Err: err, Mem: c.mem, Steps: c.steps, Outcome: c.outcome, Events: c.trace}
 		c.stats.FootprintPruned(c.mem.PrunedReads(), c.mem.RaceChecksSkipped())
+		if c.por == PORSource {
+			// One histogram sample per execution: how many race reversals
+			// (wakes) this run's wakeup bookkeeping carried.
+			c.stats.PORRunWakeups(c.wakes)
+		}
 	}
 
 	for final == nil {
@@ -608,6 +672,9 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 				states[ev.tid] = parked
 			case evFinished:
 				states[ev.tid] = done
+				if c.por != POROff {
+					c.doneMask |= 1 << uint(ev.tid)
+				}
 				if ev.tid == 0 {
 					finish(OK, nil)
 				}
@@ -669,10 +736,15 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 			break
 		}
 		cand := runnable
-		if c.por {
+		if c.por != POROff {
 			if cand = c.porCandidates(runnable); cand == nil {
 				finish(Pruned, nil)
 				break
+			}
+			if c.por == PORSource && len(cand) > 1 {
+				if i := c.forceInvisible(cand); i >= 0 {
+					cand = cand[i : i+1]
+				}
 			}
 		}
 		idx := 0
@@ -680,7 +752,7 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 			idx = strat.PickThread(cand)
 		}
 		pick := cand[idx]
-		if c.por {
+		if c.por != POROff {
 			c.porCommit(cand, idx)
 		}
 		c.stats.ThreadPick(pick)

@@ -104,14 +104,39 @@ func TestPORPreservesOutcomesAndPrunes(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			full, fres := outcomeSet(t, tc.build, ExploreOpts{})
-			red, rres := outcomeSet(t, tc.build, ExploreOpts{POR: true})
-			if !reflect.DeepEqual(full, red) {
-				t.Fatalf("outcome sets differ:\n full: %v\n  por: %v", full, red)
+			for _, mode := range []PORMode{PORSleep, PORSource} {
+				red, rres := outcomeSet(t, tc.build, ExploreOpts{POR: mode})
+				if !reflect.DeepEqual(full, red) {
+					t.Fatalf("outcome sets differ under %v:\n full: %v\n  por: %v", mode, full, red)
+				}
+				if rres.Runs > fres.Runs {
+					t.Fatalf("%v explored more runs (%d) than full exploration (%d)", mode, rres.Runs, fres.Runs)
+				}
+				t.Logf("runs: full=%d %v=%d outcomes=%d", fres.Runs, mode, rres.Runs, len(full))
 			}
-			if rres.Runs > fres.Runs {
-				t.Fatalf("POR explored more runs (%d) than full exploration (%d)", rres.Runs, fres.Runs)
+		})
+	}
+}
+
+// TestSourceNoWorseThanSleep pins the point of the upgrade: on every
+// conflicting workload here, source-DPOR's dynamic race reversal must
+// explore no more runs than the static sleep-set oracle.
+func TestSourceNoWorseThanSleep(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() Program
+	}{
+		{"disjoint", disjointProgram},
+		{"disjoint3", disjointProgram3},
+		{"sb", sbProgram},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, sleep := outcomeSet(t, tc.build, ExploreOpts{POR: PORSleep})
+			_, source := outcomeSet(t, tc.build, ExploreOpts{POR: PORSource})
+			if source.Runs > sleep.Runs {
+				t.Fatalf("source-DPOR explored more runs (%d) than sleep sets (%d)", source.Runs, sleep.Runs)
 			}
-			t.Logf("runs: full=%d por=%d outcomes=%d", fres.Runs, rres.Runs, len(full))
+			t.Logf("runs: sleep=%d source=%d", sleep.Runs, source.Runs)
 		})
 	}
 }
@@ -153,14 +178,16 @@ func disjointProgram3() Program {
 // the blowup they remove grows with the number of commuting threads).
 func TestPORDisjointCollapses(t *testing.T) {
 	full, fres := outcomeSet(t, disjointProgram3, ExploreOpts{})
-	red, rres := outcomeSet(t, disjointProgram3, ExploreOpts{POR: true})
-	if !reflect.DeepEqual(full, red) {
-		t.Fatalf("outcome sets differ:\n full: %v\n  por: %v", full, red)
+	for _, mode := range []PORMode{PORSleep, PORSource} {
+		red, rres := outcomeSet(t, disjointProgram3, ExploreOpts{POR: mode})
+		if !reflect.DeepEqual(full, red) {
+			t.Fatalf("outcome sets differ under %v:\n full: %v\n  por: %v", mode, full, red)
+		}
+		if rres.Runs*3 > fres.Runs {
+			t.Fatalf("expected ≥3x reduction on disjoint workers under %v: full=%d por=%d", mode, fres.Runs, rres.Runs)
+		}
+		t.Logf("runs: full=%d %v=%d", fres.Runs, mode, rres.Runs)
 	}
-	if rres.Runs*3 > fres.Runs {
-		t.Fatalf("expected ≥3x reduction on disjoint workers: full=%d por=%d", fres.Runs, rres.Runs)
-	}
-	t.Logf("runs: full=%d por=%d", fres.Runs, rres.Runs)
 }
 
 // TestPORParallelMatchesSequential asserts the reduced decision tree is
@@ -174,37 +201,39 @@ func TestPORParallelMatchesSequential(t *testing.T) {
 		{"disjoint", disjointProgram},
 		{"sb", sbProgram},
 	} {
-		t.Run(tc.name, func(t *testing.T) {
-			seqSet, seq := outcomeSet(t, tc.build, ExploreOpts{POR: true})
-			parSeen := map[string]bool{}
-			var mu chan struct{} = make(chan struct{}, 1)
-			mu <- struct{}{}
-			par := ExploreParallel(ExploreOpts{POR: true, Workers: 4},
-				func() (func() Program, func(*Result) bool) {
-					return tc.build, func(r *Result) bool {
-						if r.Status == OK {
-							<-mu
-							parSeen[outcomeString(r.Outcome)] = true
-							mu <- struct{}{}
+		for _, mode := range []PORMode{PORSleep, PORSource} {
+			t.Run(tc.name+"/"+mode.String(), func(t *testing.T) {
+				seqSet, seq := outcomeSet(t, tc.build, ExploreOpts{POR: mode})
+				parSeen := map[string]bool{}
+				var mu chan struct{} = make(chan struct{}, 1)
+				mu <- struct{}{}
+				par := ExploreParallel(ExploreOpts{POR: mode, Workers: 4},
+					func() (func() Program, func(*Result) bool) {
+						return tc.build, func(r *Result) bool {
+							if r.Status == OK {
+								<-mu
+								parSeen[outcomeString(r.Outcome)] = true
+								mu <- struct{}{}
+							}
+							return true
 						}
-						return true
-					}
-				})
-			if !par.Complete {
-				t.Fatalf("parallel exploration incomplete after %d runs", par.Runs)
-			}
-			if par.Runs != seq.Runs {
-				t.Fatalf("parallel POR runs %d != sequential %d", par.Runs, seq.Runs)
-			}
-			parSet := make([]string, 0, len(parSeen))
-			for k := range parSeen {
-				parSet = append(parSet, k)
-			}
-			sort.Strings(parSet)
-			if !reflect.DeepEqual(seqSet, parSet) {
-				t.Fatalf("outcome sets differ:\n seq: %v\n par: %v", seqSet, parSet)
-			}
-		})
+					})
+				if !par.Complete {
+					t.Fatalf("parallel exploration incomplete after %d runs", par.Runs)
+				}
+				if par.Runs != seq.Runs {
+					t.Fatalf("parallel POR runs %d != sequential %d", par.Runs, seq.Runs)
+				}
+				parSet := make([]string, 0, len(parSeen))
+				for k := range parSeen {
+					parSet = append(parSet, k)
+				}
+				sort.Strings(parSet)
+				if !reflect.DeepEqual(seqSet, parSet) {
+					t.Fatalf("outcome sets differ:\n seq: %v\n par: %v", seqSet, parSet)
+				}
+			})
+		}
 	}
 }
 
@@ -217,12 +246,127 @@ func TestPORTelemetry(t *testing.T) {
 		t.Fatalf("por_branches_skipped = %d without POR", n)
 	}
 	on := telemetry.New()
-	Explore(disjointProgram, ExploreOpts{Stats: on, POR: true}, func(*Result) bool { return true })
+	Explore(disjointProgram, ExploreOpts{Stats: on, POR: PORSleep}, func(*Result) bool { return true })
 	if n := on.Explore.PORBranchesSkipped.Load(); n == 0 {
 		t.Fatalf("por_branches_skipped stayed 0 with POR on a fully commuting program")
 	}
 	snap := on.Snapshot()
 	if snap.Explore.PORBranchesSkipped == 0 || snap.Explore.SleepSetSize.Count == 0 {
 		t.Fatalf("snapshot missing POR counters: %+v", snap.Explore)
+	}
+}
+
+// TestSourceTelemetry asserts the source-DPOR counters move on a racy
+// program and that the wakeup-tree histogram books one sample per
+// execution with sum equal to the races-reversed counter.
+func TestSourceTelemetry(t *testing.T) {
+	st := telemetry.New()
+	res := Explore(sbProgram, ExploreOpts{Stats: st, POR: PORSource}, func(*Result) bool { return true })
+	if !res.Complete {
+		t.Fatalf("exploration incomplete after %d runs", res.Runs)
+	}
+	snap := st.Snapshot()
+	e := snap.Explore
+	if e.PORRacesReversed == 0 {
+		t.Fatalf("por_races_reversed stayed 0 on store buffering under source-DPOR")
+	}
+	if e.WakeupTreeSize.Count == 0 {
+		t.Fatalf("wakeup_tree_size histogram empty under source-DPOR")
+	}
+	if e.WakeupTreeSize.Sum != e.PORRacesReversed {
+		t.Fatalf("wakeup_tree_size sum %d != por_races_reversed %d", e.WakeupTreeSize.Sum, e.PORRacesReversed)
+	}
+	off := telemetry.New()
+	Explore(sbProgram, ExploreOpts{Stats: off, POR: PORSleep}, func(*Result) bool { return true })
+	if n := off.Explore.PORRacesReversed.Load(); n != 0 {
+		t.Fatalf("por_races_reversed = %d under sleep-set mode", n)
+	}
+}
+
+// TestSourceReadFloorPrunes pins the wakeup-constraint refinement: a
+// reader put to sleep and then woken by a same-location write re-enters
+// with a read floor, so its read enumerates only post-sleep messages.
+// The stale branches it skips are covered by the reader-first sibling,
+// so the outcome set is unchanged while por_stale_reads_skipped moves.
+func TestSourceReadFloorPrunes(t *testing.T) {
+	build := func() Program {
+		var x view.Loc
+		return Program{
+			Setup: func(th *Thread) { x = th.Alloc("x", 0) },
+			Workers: []func(*Thread){
+				func(th *Thread) { th.Report("r", th.Read(x, memory.Rlx)) },
+				func(th *Thread) {
+					th.Write(x, 1, memory.Rlx)
+					th.Write(x, 2, memory.Rlx)
+				},
+			},
+		}
+	}
+	full, fres := outcomeSet(t, build, ExploreOpts{})
+	st := telemetry.New()
+	seen := map[string]bool{}
+	res := Explore(build, ExploreOpts{POR: PORSource, Stats: st}, func(r *Result) bool {
+		if r.Status == OK {
+			seen[outcomeString(r.Outcome)] = true
+		}
+		return true
+	})
+	if !res.Complete {
+		t.Fatalf("source exploration incomplete after %d runs", res.Runs)
+	}
+	got := make([]string, 0, len(seen))
+	for k := range seen {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(full, got) {
+		t.Fatalf("outcome sets differ:\n full: %v\n  src: %v", full, got)
+	}
+	if n := st.Explore.PORStaleReadsSkipped.Load(); n == 0 {
+		t.Fatalf("por_stale_reads_skipped stayed 0: read floors never pruned")
+	}
+	if res.Runs >= fres.Runs {
+		t.Fatalf("source-DPOR did not reduce: full=%d source=%d", fres.Runs, res.Runs)
+	}
+	t.Logf("runs: full=%d source=%d stale-skipped=%d", fres.Runs, res.Runs, st.Explore.PORStaleReadsSkipped.Load())
+}
+
+// TestPORFallbackManyThreads pins the >64-thread behavior: POR silently
+// degrading was a bug; now the disabled-run counter moves and the
+// one-time warning hook fires with the offending thread count.
+func TestPORFallbackManyThreads(t *testing.T) {
+	build := func() Program {
+		var x view.Loc
+		workers := make([]func(*Thread), 65)
+		for i := range workers {
+			workers[i] = func(th *Thread) {}
+		}
+		workers[0] = func(th *Thread) { th.Write(x, 1, memory.Rlx) }
+		return Program{
+			Setup:   func(th *Thread) { x = th.Alloc("x", 0) },
+			Workers: workers,
+		}
+	}
+	warned := 0
+	gotThreads := 0
+	SetPORFallbackWarn(func(threads int) { warned++; gotThreads = threads })
+	defer SetPORFallbackWarn(nil)
+	st := telemetry.New()
+	r := &Runner{POR: PORSource, Stats: st}
+	if res := r.Run(build(), NewRandom(1)); res.Status != OK {
+		t.Fatalf("run failed: %v", res.Status)
+	}
+	if n := st.Explore.PORDisabledThreads.Load(); n == 0 {
+		t.Fatalf("por_disabled_threads stayed 0 with 66 threads")
+	}
+	if warned != 1 || gotThreads != 66 {
+		t.Fatalf("fallback warn: fired %d times with threads=%d, want once with 66", warned, gotThreads)
+	}
+	// A second over-limit run must not warn again.
+	if res := r.Run(build(), NewRandom(2)); res.Status != OK {
+		t.Fatalf("second run failed: %v", res.Status)
+	}
+	if warned != 1 {
+		t.Fatalf("fallback warning fired %d times, want exactly once", warned)
 	}
 }

@@ -141,18 +141,20 @@ type ExploreOpts struct {
 	// outcome, so an exploration with a valid footprint visits the same
 	// executions as one without.
 	Footprint *memory.Footprint
-	// POR enables sleep-set partial-order reduction in every execution's
-	// Runner (see Runner.POR): scheduling decisions shrink to the threads
-	// whose next step is not known to commute with everything since they
-	// were last considered, so whole subtrees that replay explored
-	// equivalence classes are never branched on. The set of reachable
-	// outcomes — and the meaning of Complete as a bounded proof over them
-	// — is preserved; only Runs shrinks. Composes with Footprint (which
-	// prunes per-access work, not branches) and with ExploreParallel's
-	// subtree partitioning (the reduced tree is still a deterministic
-	// function of the decision prefix, so pinned prefixes replay it
-	// exactly).
-	POR bool
+	// POR selects the partial-order reduction mode applied in every
+	// execution's Runner (see Runner.POR and PORMode): PORSleep shrinks
+	// scheduling decisions to the threads whose next step is not known to
+	// commute with everything since they were last considered; PORSource
+	// further wakes sleepers only on dynamically observed conflicts and
+	// prunes stale read-value branches via wakeup read floors, so whole
+	// subtrees that replay explored equivalence classes are never
+	// branched on. The set of reachable outcomes — and the meaning of
+	// Complete as a bounded proof over them — is preserved; only Runs
+	// shrinks. Composes with Footprint (which prunes per-access work, not
+	// branches) and with ExploreParallel's subtree partitioning (the
+	// reduced tree is still a deterministic function of the decision
+	// prefix, so pinned prefixes replay it exactly).
+	POR PORMode
 }
 
 // ExploreResult summarizes an exploration.

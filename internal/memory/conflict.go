@@ -1,0 +1,55 @@
+package memory
+
+import "compass/internal/view"
+
+// This file is the dynamic side of the partial-order reduction oracle:
+// where Independent (access.go) is the static, symmetric relation sleep
+// sets prune with, Conflicting is the relation source-DPOR reverses on —
+// two accesses that really contend for the same piece of ORC11 state in
+// the execution at hand. The machine consults it when a granted operation
+// meets a sleeping thread's pending operation: a dynamic conflict is a
+// race whose reversal must be explored (a backtrack point), everything
+// else keeps the sleeper asleep.
+
+// Conflicting reports whether two accesses dynamically conflict: they
+// touch the same location and at least one of them has a write side
+// (write or RMW), or one of them is a conservative operation (fence,
+// alloc, free) that orders against every memory operation, or they are
+// reports racing on the same outcome name.
+//
+// Conflicting is a strict refinement of the static oracle: whenever it
+// returns true, Independent(a, b) is false (the property test in
+// conflict_test.go pins this), but it returns false for pairs the static
+// relation only conservatively orders — most importantly RMWs against
+// accesses of other locations, which is where CAS-loop-heavy library
+// workloads regain their schedule freedom.
+func Conflicting(a, b Access) bool {
+	if a.Kind == AccNone || b.Kind == AccNone {
+		return false
+	}
+	if a.Kind == AccReport || b.Kind == AccReport {
+		return a.Kind == b.Kind && a.Name == b.Name
+	}
+	if a.Kind == AccFence || b.Kind == AccFence ||
+		a.Kind == AccAlloc || b.Kind == AccAlloc ||
+		a.Kind == AccFree || b.Kind == AccFree {
+		return true
+	}
+	// Reads, writes, and RMWs carry their location: disjoint locations
+	// touch disjoint per-location histories and commute outright.
+	if a.Loc != b.Loc {
+		return false
+	}
+	return a.Kind != AccRead || b.Kind != AccRead
+}
+
+// Observes reports whether the clock c has observed the write at
+// timestamp t to location l — the local-happens-before query source-DPOR
+// asks of message clocks: a message m2 whose clock observes m1 is
+// lhb-ordered after it, while two same-location writes neither of whose
+// clocks observes the other are a genuine race (mo orders them, lhb does
+// not), and reversing their order is the only way to reach the outcomes
+// of the other coherence placement.
+func Observes(c view.Clock, l view.Loc, t view.Time) bool {
+	return c.V.Get(l) >= t
+}

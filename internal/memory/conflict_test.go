@@ -1,0 +1,104 @@
+package memory
+
+import (
+	"testing"
+
+	"compass/internal/view"
+)
+
+// accessCorpus enumerates a representative set of accesses: every kind,
+// two distinct locations, two distinct report names.
+func accessCorpus() []Access {
+	return []Access{
+		{},
+		{Kind: AccNone},
+		{Kind: AccRead, Loc: 1},
+		{Kind: AccRead, Loc: 2},
+		{Kind: AccWrite, Loc: 1},
+		{Kind: AccWrite, Loc: 2},
+		{Kind: AccRMW, Loc: 1},
+		{Kind: AccRMW, Loc: 2},
+		{Kind: AccFence},
+		{Kind: AccAlloc},
+		{Kind: AccFree, Loc: 1},
+		{Kind: AccReport, Name: "a"},
+		{Kind: AccReport, Name: "b"},
+	}
+}
+
+// TestConflictingImpliesDependent exhaustively checks the contract
+// between the two oracles over the corpus: a dynamically conflicting
+// pair is never statically independent. Conflicting is the wake relation
+// of source-DPOR and Independent the (negated) wake relation of
+// sleep-set mode; if a pair could be both conflicting and independent,
+// source mode would branch on a reversal that sleep mode proved
+// unnecessary — or worse, the independence oracle would be unsound.
+// The converse is deliberately false: Independent is conservative, so
+// dependent-but-not-conflicting pairs (e.g. an RMW against a write to a
+// different location) are exactly where source-DPOR wins.
+func TestConflictingImpliesDependent(t *testing.T) {
+	corpus := accessCorpus()
+	witness := false
+	for _, a := range corpus {
+		for _, b := range corpus {
+			if Conflicting(a, b) && Independent(a, b) {
+				t.Errorf("Conflicting(%+v, %+v) but Independent: wake relations contradict", a, b)
+			}
+			if !Conflicting(a, b) && !Independent(a, b) {
+				witness = true // source-DPOR strictly finer here
+			}
+		}
+	}
+	if !witness {
+		t.Error("no dependent-but-not-conflicting pair in corpus: source-DPOR would never beat sleep sets")
+	}
+}
+
+// TestConflictingSymmetry pins that the wake relation is symmetric: a
+// race is a property of the pair, not of which side observed it.
+func TestConflictingSymmetry(t *testing.T) {
+	corpus := accessCorpus()
+	for _, a := range corpus {
+		for _, b := range corpus {
+			if Conflicting(a, b) != Conflicting(b, a) {
+				t.Errorf("Conflicting(%+v, %+v) != Conflicting(%+v, %+v)", a, b, b, a)
+			}
+		}
+	}
+}
+
+// FuzzConflictingImpliesDependent drives the same implication over
+// fuzzer-chosen access pairs, covering kind/location/name combinations
+// the hand corpus misses.
+func FuzzConflictingImpliesDependent(f *testing.F) {
+	f.Add(uint8(1), uint16(1), "", uint8(2), uint16(1), "")
+	f.Add(uint8(3), uint16(1), "", uint8(2), uint16(2), "")
+	f.Add(uint8(7), uint16(0), "a", uint8(7), uint16(0), "a")
+	f.Fuzz(func(t *testing.T, ka uint8, la uint16, na string, kb uint8, lb uint16, nb string) {
+		a := Access{Kind: AccessKind(ka % 8), Loc: view.Loc(la), Name: na}
+		b := Access{Kind: AccessKind(kb % 8), Loc: view.Loc(lb), Name: nb}
+		if Conflicting(a, b) && Independent(a, b) {
+			t.Fatalf("Conflicting(%+v, %+v) but Independent", a, b)
+		}
+		if Conflicting(a, b) != Conflicting(b, a) {
+			t.Fatalf("Conflicting not symmetric on (%+v, %+v)", a, b)
+		}
+	})
+}
+
+// TestObserves pins the happens-before query used by conflict reasoning:
+// a clock observes exactly the timestamps at or below its per-location
+// entry.
+func TestObserves(t *testing.T) {
+	var c view.Clock
+	c.V.Set(3, 5)
+	if !Observes(c, 3, 5) || !Observes(c, 3, 1) {
+		t.Error("clock must observe its own entry and everything below")
+	}
+	if Observes(c, 3, 6) {
+		t.Error("clock observes a timestamp above its entry")
+	}
+	if Observes(c, 4, 1) {
+		t.Error("clock observes an unknown location")
+	}
+}

@@ -258,6 +258,22 @@ func (m *Memory) Alloc(tv *ThreadView, name string, init int64) view.Loc {
 // (per-location coherence). Acquire reads join the message clock into Cur;
 // relaxed reads stash it in Acq for a later acquire fence.
 func (m *Memory) Read(tv *ThreadView, l view.Loc, mode Mode, ch Chooser) (int64, error) {
+	return m.ReadFloored(tv, l, mode, ch, 0)
+}
+
+// ReadFloored is Read with a source-DPOR wakeup constraint: when floor is
+// nonzero, the visible window is additionally bounded below by floor, so
+// the read only considers messages at timestamps ≥ floor. The machine
+// passes the timestamp of the write that woke a sleeping reader: the
+// stale messages below it were all readable when the reader went to
+// sleep, so every continuation reading one of them is state-identical to
+// a continuation of the already-scheduled sibling in which the reader ran
+// first — re-enumerating them here would only replay that sibling's
+// equivalence classes. Non-atomic and certified reads ignore the floor
+// (they never branch on a message choice). If the floor exceeds the
+// history (the waking RMW never wrote), the window clamps to the latest
+// message.
+func (m *Memory) ReadFloored(tv *ThreadView, l view.Loc, mode Mode, ch Chooser, floor view.Time) (int64, error) {
 	loc := m.locs[l]
 	m.step++
 	if loc.freed {
@@ -304,10 +320,16 @@ func (m *Memory) Read(tv *ThreadView, l view.Loc, mode Mode, ch Chooser) (int64,
 		m.prunedReads++
 		return loc.last().Val, nil
 	}
-	// Visible candidates: timestamps ≥ Cur(l).
+	// Visible candidates: timestamps ≥ Cur(l), raised to the wakeup floor.
 	lo := tv.Cur.V.Get(l)
 	if lo == 0 {
 		lo = 1
+	}
+	if floor > lo {
+		lo = floor
+		if lo > loc.maxT() {
+			lo = loc.maxT()
+		}
 	}
 	n := int(loc.maxT()-lo) + 1
 	var idx int

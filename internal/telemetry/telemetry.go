@@ -221,6 +221,27 @@ type ExploreStats struct {
 	// scheduling points with more than one runnable thread (POR runs
 	// only); larger sets mean more commuting structure to exploit.
 	SleepSetSize Histogram
+	// PORRacesReversed counts source-DPOR wake events: a sleeping thread
+	// re-entered scheduling because the granted operation dynamically
+	// conflicted with its pending one. Each wake is an observed race
+	// whose reversal the explorer then branches on (a backtrack point),
+	// so this is the number of backtrack points the dynamic analysis
+	// inserted — where sleep mode would instead have woken on every
+	// statically dependent pair.
+	PORRacesReversed Counter
+	// PORStaleReadsSkipped counts read-value branches pruned by wakeup
+	// read floors: stale messages a woken reader did not have to
+	// enumerate because the sibling branch that scheduled it before the
+	// waking write already covers those continuations.
+	PORStaleReadsSkipped Counter
+	// PORDisabledThreads counts executions that requested POR but ran
+	// unreduced because the program's thread count exceeds the 64-thread
+	// sleep-mask limit (formerly a silent fallback).
+	PORDisabledThreads Counter
+	// WakeupTreeSize is the per-execution distribution of source-DPOR
+	// wake events (race reversals carried by one run's wakeup
+	// bookkeeping); one sample per execution under PORSource.
+	WakeupTreeSize Histogram
 }
 
 // FuzzStats instruments a differential-fuzzing campaign.
@@ -350,6 +371,42 @@ func (s *Stats) PORSchedulePoint(skipped, sleepSize int) {
 	s.Explore.SleepSetSize.Observe(int64(sleepSize))
 }
 
+// PORRaceReversed records one source-DPOR wake: an observed dynamic
+// conflict whose reversal becomes a backtrack point.
+func (s *Stats) PORRaceReversed() {
+	if s == nil {
+		return
+	}
+	s.Explore.PORRacesReversed.Inc()
+}
+
+// PORStaleReadsSkipped records n read-value branches pruned by a wakeup
+// read floor.
+func (s *Stats) PORStaleReadsSkipped(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.Explore.PORStaleReadsSkipped.Add(n)
+}
+
+// PORDisabled records an execution that requested POR but fell back to
+// full exploration because the thread count exceeds the sleep-mask width.
+func (s *Stats) PORDisabled() {
+	if s == nil {
+		return
+	}
+	s.Explore.PORDisabledThreads.Inc()
+}
+
+// PORRunWakeups records one execution's source-DPOR wake count (the size
+// of the wakeup bookkeeping that run carried).
+func (s *Stats) PORRunWakeups(n int) {
+	if s == nil {
+		return
+	}
+	s.Explore.WakeupTreeSize.Observe(int64(n))
+}
+
 // FuzzProgram records one generated campaign program.
 func (s *Stats) FuzzProgram() {
 	if s == nil {
@@ -426,6 +483,10 @@ func (s *Stats) Merge(o *Stats) {
 	e.DepthCapped.Add(oe.DepthCapped.Load())
 	e.PORBranchesSkipped.Add(oe.PORBranchesSkipped.Load())
 	e.SleepSetSize.merge(&oe.SleepSetSize)
+	e.PORRacesReversed.Add(oe.PORRacesReversed.Load())
+	e.PORStaleReadsSkipped.Add(oe.PORStaleReadsSkipped.Load())
+	e.PORDisabledThreads.Add(oe.PORDisabledThreads.Load())
+	e.WakeupTreeSize.merge(&oe.WakeupTreeSize)
 	f, of := &s.Fuzz, &o.Fuzz
 	f.Programs.Add(of.Programs.Load())
 	f.Execs.Add(of.Execs.Load())
@@ -461,10 +522,15 @@ type ExploreSnapshot struct {
 	FrontierPeak int64             `json:"frontier_peak"`
 	EarlyStops   int64             `json:"early_stops"`
 	DepthCapped  int64             `json:"depth_capped"`
-	// Sleep-set partial-order reduction effectiveness (0/empty unless the
-	// exploration ran with POR enabled).
-	PORBranchesSkipped int64             `json:"por_branches_skipped"`
-	SleepSetSize       HistogramSnapshot `json:"sleep_set_size"`
+	// Partial-order reduction effectiveness (0/empty unless the
+	// exploration ran with POR enabled; the source-DPOR counters are
+	// additionally 0/empty under plain sleep sets).
+	PORBranchesSkipped   int64             `json:"por_branches_skipped"`
+	SleepSetSize         HistogramSnapshot `json:"sleep_set_size"`
+	PORRacesReversed     int64             `json:"por_races_reversed"`
+	PORStaleReadsSkipped int64             `json:"por_stale_reads_skipped"`
+	PORDisabledThreads   int64             `json:"por_disabled_threads"`
+	WakeupTreeSize       HistogramSnapshot `json:"wakeup_tree_size"`
 }
 
 // FuzzSnapshot is the JSON form of FuzzStats.
@@ -532,8 +598,12 @@ func (s *Stats) Snapshot() Snapshot {
 		EarlyStops:   e.EarlyStops.Load(),
 		DepthCapped:  e.DepthCapped.Load(),
 
-		PORBranchesSkipped: e.PORBranchesSkipped.Load(),
-		SleepSetSize:       e.SleepSetSize.snapshot(),
+		PORBranchesSkipped:   e.PORBranchesSkipped.Load(),
+		SleepSetSize:         e.SleepSetSize.snapshot(),
+		PORRacesReversed:     e.PORRacesReversed.Load(),
+		PORStaleReadsSkipped: e.PORStaleReadsSkipped.Load(),
+		PORDisabledThreads:   e.PORDisabledThreads.Load(),
+		WakeupTreeSize:       e.WakeupTreeSize.snapshot(),
 	}
 	f := &s.Fuzz
 	snap.Fuzz = FuzzSnapshot{
@@ -611,10 +681,18 @@ func ValidateSnapshotJSON(data []byte) error {
 	if m.StaleReads > m.ReadChoices {
 		return fmt.Errorf("telemetry snapshot: stale_reads %d > read_choices %d", m.StaleReads, m.ReadChoices)
 	}
+	if e := snap.Explore; e.WakeupTreeSize.Sum != e.PORRacesReversed {
+		// Every source-DPOR wake is counted once as a race reversal and
+		// once into the per-execution wakeup histogram.
+		return fmt.Errorf("telemetry snapshot: wakeup_tree_size sum %d != por_races_reversed %d",
+			e.WakeupTreeSize.Sum, e.PORRacesReversed)
+	}
 	for _, c := range []int64{m.Steps, m.ReadChoices, m.StaleReads,
 		m.PrunedReads, m.RaceChecksSkipped,
 		snap.Explore.Prefixes, snap.Explore.Children, snap.Explore.FrontierPeak,
 		snap.Explore.PORBranchesSkipped, snap.Explore.SleepSetSize.Count,
+		snap.Explore.PORRacesReversed, snap.Explore.PORStaleReadsSkipped,
+		snap.Explore.PORDisabledThreads, snap.Explore.WakeupTreeSize.Count,
 		snap.Fuzz.Programs, snap.Fuzz.Execs, snap.Fuzz.Discarded, snap.Fuzz.Failures} {
 		if c < 0 {
 			return fmt.Errorf("telemetry snapshot: negative counter")
