@@ -73,6 +73,7 @@ func main() {
 	consumers := flag.Int("consumers", 2, "consumer/popper threads")
 	attempts := flag.Int("attempts", 4, "consume attempts per consumer")
 	keepGoing := flag.Bool("keep-going", false, "do not stop at the first few failures")
+	refineOn := flag.Bool("refine", false, "additionally judge every execution with the refinement/simulation oracle (forward simulation against the library's abstract transition system)")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	explain := flag.Int64("explain", -1, "replay this seed with a per-step trace instead of running the harness")
 	exhaustive := flag.Bool("exhaustive", false, "explore all executions (small workloads only)")
@@ -107,7 +108,7 @@ func main() {
 	}
 	opts := compass.CheckOptions{
 		Executions: *execs, Seed: cli.FlagSeed(*seed), StaleBias: cli.FlagStaleBias(*stale),
-		KeepGoing: *keepGoing, Workers: *workers,
+		KeepGoing: *keepGoing, Workers: *workers, Refine: *refineOn,
 	}
 	var stats *compass.Telemetry
 	if *statsOut != "" {
@@ -194,6 +195,7 @@ func main() {
 		opts = compass.CheckOptions{
 			Mode: compass.ModeExhaustive, MaxRuns: 500000, Budget: 5000,
 			KeepGoing: *keepGoing, Workers: *workers, Stats: stats, Footprint: fp, POR: porMode,
+			Refine: *refineOn,
 		}
 	} else if porMode != compass.POROff {
 		fmt.Fprintln(os.Stderr, "-por requires -exhaustive (random sampling has no schedule tree to reduce)")

@@ -40,8 +40,10 @@ func main() {
 		mutate      = flag.String("mutate", "", "inject a known spec violation (requires -lib; see -list)")
 		maxFailures = flag.Int("max-failures", 1, "stop after this many distinct failure classes")
 		noShrink    = flag.Bool("no-shrink", false, "skip counterexample minimization")
+		refine      = flag.Bool("refine", true, "cross-check every execution with the refinement/simulation oracle")
 		artifactDir = flag.String("artifact-dir", "", "write replayable artifact bundles here")
 		expectFail  = flag.Bool("expect-failure", false, "invert the verdict: exit 0 only if a failure is found")
+		expectOrcl  = flag.String("expect-oracle", "", "with -expect-failure: require this oracle (machine|spec|oracle|refine) among those that fired")
 		list        = flag.Bool("list", false, "list libraries and their mutants")
 		quiet       = flag.Bool("q", false, "suppress progress output")
 		statsOut    = flag.String("stats", "", "write a telemetry JSON snapshot of the campaign to this file")
@@ -73,7 +75,12 @@ func main() {
 		StaleBias:      cli.FlagStaleBias(*stale),
 		MaxFailures:    *maxFailures,
 		NoShrink:       *noShrink,
+		NoRefine:       !*refine,
 		ArtifactDir:    *artifactDir,
+	}
+	if *expectOrcl != "" && !*expectFail {
+		fmt.Fprintln(os.Stderr, "fuzz: -expect-oracle requires -expect-failure")
+		os.Exit(2)
 	}
 	if *statsOut != "" || *traceOut != "" {
 		cfg.Stats = telemetry.New()
@@ -129,8 +136,11 @@ func main() {
 		if f.Program.Mutant != "" {
 			fmt.Printf(" (mutant %s)", f.Program.Mutant)
 		}
-		fmt.Printf(" — %d threads, %d ops, %d decisions\n",
-			f.Program.NumThreads(), f.Program.NumOps(), len(f.Decisions))
+		fmt.Printf(" — oracle %s, %d threads, %d ops, %d decisions\n",
+			f.Oracle, f.Program.NumThreads(), f.Program.NumOps(), len(f.Decisions))
+		if f.Disagreement != "" {
+			fmt.Printf("  spec/refine disagreement: %s\n", f.Disagreement)
+		}
 		for _, v := range f.Violations {
 			fmt.Printf("  %s\n", v)
 		}
@@ -146,5 +156,35 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	if *expectOrcl != "" && !anyOracleFired(rep.Failures, *expectOrcl) {
+		fmt.Printf("fuzz: FAIL — expected oracle %q to fire, found %s\n",
+			*expectOrcl, oracleSummary(rep.Failures))
+		os.Exit(1)
+	}
 	fmt.Println("fuzz: OK")
+}
+
+// anyOracleFired reports whether some failure was condemned by the named
+// oracle ("+"-joined identities are split into their components).
+func anyOracleFired(failures []*fuzz.Failure, want string) bool {
+	for _, f := range failures {
+		for _, o := range strings.Split(f.Oracle, "+") {
+			if o == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// oracleSummary renders the oracle identities that actually fired.
+func oracleSummary(failures []*fuzz.Failure) string {
+	var out []string
+	for _, f := range failures {
+		out = append(out, f.Oracle)
+	}
+	if len(out) == 0 {
+		return "none"
+	}
+	return strings.Join(out, ", ")
 }

@@ -24,6 +24,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS)")
 	prune := flag.Bool("prune", false, "extract a footprint certificate per test and prune race instrumentation and read windows (outcomes are identical)")
 	por := flag.String("por", "off", "partial-order reduction: off, sleep (static sleep sets), or source (source-DPOR: dynamic race reversal plus wakeup read floors); outcome sets are identical in every mode, far fewer executions")
+	refine := flag.Bool("refine", false, "also run the library refinement corpus: each library workload is explored exhaustively with the refinement/simulation oracle judging every execution against the abstract transition system")
 	statsOut := flag.String("stats", "", "write a telemetry JSON snapshot of the exploration to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of the first test's default schedule to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -76,10 +77,39 @@ func main() {
 			}
 		}
 	}
+	if *refine {
+		for _, lt := range compass.LibrarySuite() {
+			if *name != "" && !strings.EqualFold(lt.Name, *name) {
+				continue
+			}
+			ran++
+			var fp *compass.Footprint
+			if *prune && !lt.SkipPrune {
+				var err error
+				if fp, err = compass.ExtractLibFootprint(lt); err != nil {
+					fmt.Fprintf(os.Stderr, "litmus: %s: footprint extraction failed, exploring unpruned: %v\n", lt.Name, err)
+				} else {
+					fp.Name = lt.Name
+					fmt.Println(fp)
+				}
+			}
+			res := compass.RunLibRefinement(lt, 600000,
+				compass.WithWorkers(*workers), compass.WithStats(stats),
+				compass.WithFootprint(fp), compass.WithPORMode(porMode))
+			fmt.Println(res)
+			fmt.Println()
+			if !res.OK() {
+				failed = true
+			}
+		}
+	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no test named %q; available:\n", *name)
 		for _, t := range compass.LitmusSuite() {
 			fmt.Fprintf(os.Stderr, "  %s\n", t.Name)
+		}
+		for _, lt := range compass.LibrarySuite() {
+			fmt.Fprintf(os.Stderr, "  %s (with -refine)\n", lt.Name)
 		}
 		os.Exit(2)
 	}

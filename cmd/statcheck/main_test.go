@@ -111,6 +111,64 @@ func TestSourceDPORCountersValidate(t *testing.T) {
 	}
 }
 
+// TestRefineCountersValidate pins forward acceptance of the refinement
+// oracle's telemetry additions as a fixture: the checked-in snapshot was
+// written by `litmus -refine -por=source -test lib/msqueue -stats` and
+// carries nonzero refine_traces_checked plus the refine_state_fanout
+// histogram — still under the unchanged compass/telemetry/v1 schema. If
+// a future schema revision stops accepting these fields, this catches it
+// even after the writer moves on.
+func TestRefineCountersValidate(t *testing.T) {
+	path := filepath.Join("testdata", "v1_refine_snapshot.json")
+	var out, errw strings.Builder
+	if code := run(path, "", &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errw.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"refine_traces_checked", "refine_disagreements", "refine_state_fanout",
+	} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("fixture does not exercise %q — regenerate it with: go run ./cmd/litmus -refine -por=source -test lib/msqueue -stats %s", field, path)
+		}
+	}
+	if strings.Contains(string(data), `"refine_traces_checked": 0,`) {
+		t.Error("fixture's refine_traces_checked is zero — regenerate it from a refine-enabled run")
+	}
+}
+
+// TestRefineInvariantRejected pins the validator invariant on the wire:
+// a snapshot claiming more refine_disagreements than refine_traces_checked
+// (a disagreement is recorded at most once per judged trace) must fail
+// validation with a diagnostic naming both counters.
+func TestRefineInvariantRejected(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "v1_refine_snapshot.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := strings.Replace(string(data),
+		`"refine_disagreements": 0`, `"refine_disagreements": 999999999`, 1)
+	if broken == string(data) {
+		t.Fatal("fixture layout changed: refine_disagreements not found for corruption")
+	}
+	path := filepath.Join(t.TempDir(), "broken.json")
+	if err := os.WriteFile(path, []byte(broken), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	if code := run(path, "", &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, errw.String())
+	}
+	for _, want := range []string{"refine_disagreements", "refine_traces_checked"} {
+		if !strings.Contains(errw.String(), want) {
+			t.Errorf("diagnostic %q does not name %q", errw.String(), want)
+		}
+	}
+}
+
 // TestNoArgsIsUsageError pins the exit-2 contract.
 func TestNoArgsIsUsageError(t *testing.T) {
 	var out, errw strings.Builder

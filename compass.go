@@ -551,6 +551,31 @@ func RunLitmus(t LitmusTest, maxRuns int, opts ...LitmusOption) *LitmusResult {
 	return litmus.Run(t, maxRuns, opts...)
 }
 
+type (
+	// LibTest is one library workload of the refinement corpus.
+	LibTest = litmus.LibTest
+	// LibResult is the exhaustive refinement-judged verdict of a library
+	// workload: spec predicates, refinement oracle, and their agreement.
+	LibResult = litmus.LibResult
+)
+
+// LibrarySuite returns the library refinement corpus: small library
+// workloads explored exhaustively with the refinement/simulation oracle
+// judging every execution against the library's abstract transition
+// system, alongside the consistency predicates. The golden corpus pins
+// each workload's verdict next to the litmus outcome sets.
+func LibrarySuite() []LibTest { return litmus.LibrarySuite() }
+
+// RunLibRefinement explores a library workload of the refinement corpus
+// exhaustively; it takes the same options as RunLitmus.
+func RunLibRefinement(t LibTest, maxRuns int, opts ...LitmusOption) *LibResult {
+	return litmus.RunLib(t, maxRuns, opts...)
+}
+
+// ExtractLibFootprint derives a footprint certificate from one recording
+// execution of a library workload's program.
+func ExtractLibFootprint(t LibTest) (*Footprint, error) { return litmus.LibFootprint(t) }
+
 // RunLitmusWorkers is RunLitmus with an explicit worker count
 // (0 = GOMAXPROCS, 1 = sequential).
 //

@@ -17,6 +17,7 @@ import (
 
 	"compass/internal/machine"
 	"compass/internal/memory"
+	"compass/internal/refine"
 	"compass/internal/spec"
 	"compass/internal/telemetry"
 )
@@ -35,6 +36,15 @@ type Checked struct {
 	// differential-fuzzing harness sets it so every execution is judged by
 	// both the per-library spec and the sequential oracle.
 	Oracle func() (violations []spec.Violation, unknown int)
+	// Refine optionally judges the same execution against the library's
+	// abstract transition system by forward simulation (see
+	// internal/refine) — an operational characterization independent of
+	// the declarative predicates in Check. It runs only when
+	// Options.Refine is set (the harness then records step-event traces
+	// so the oracle can cross-validate the committed events against the
+	// executed instruction stream) and its disagreements with
+	// Check/Oracle are counted in the refine telemetry.
+	Refine refine.CheckFunc
 }
 
 // Evaluate runs the spec check and the oracle (when present) on the
@@ -49,6 +59,21 @@ func (c *Checked) Evaluate() ([]spec.Violation, int) {
 		ov, ou := c.Oracle()
 		viols = append(viols, ov...)
 		unknown += ou
+	}
+	return viols, unknown
+}
+
+// evaluate judges one OK execution under the options: the spec check and
+// oracle always run; when opt.Refine is set and the instance carries a
+// refinement checker, the refinement oracle joins, its verdict is merged,
+// and an agree/disagree sample is recorded into the refine telemetry.
+func (o Options) evaluate(c *Checked, r *machine.Result) ([]spec.Violation, int) {
+	viols, unknown := c.Evaluate()
+	if o.Refine && c.Refine != nil {
+		rv, ru := c.Refine(r, o.Stats)
+		o.Stats.RefineTrace((len(rv) > 0) != (len(viols) > 0))
+		viols = append(viols, rv...)
+		unknown += ru
 	}
 	return viols, unknown
 }
@@ -123,6 +148,14 @@ type Options struct {
 	// execution: certified locations skip race instrumentation and
 	// read-window computation, without changing any outcome.
 	Footprint *memory.Footprint
+	// Refine enables the refinement oracle: each OK execution with a
+	// Checked.Refine checker is additionally judged by forward
+	// simulation against the library's abstract transition system, in
+	// both modes. Runners then record step-event traces (the oracle
+	// cross-validates commit stamps against the executed instruction
+	// stream), and every judged execution lands in the
+	// refine_traces_checked / refine_disagreements telemetry.
+	Refine bool
 	// POR selects the partial-order reduction mode in ModeExhaustive:
 	// PORSleep prunes with static sleep sets, PORSource with source-DPOR
 	// (dynamic race reversal plus wakeup read floors). Either way
@@ -239,6 +272,7 @@ func (o Options) ExploreOpts() machine.ExploreOpts {
 		Workers:   o.Workers,
 		Stats:     o.Stats,
 		Footprint: o.Footprint,
+		Trace:     o.Refine,
 		POR:       o.POR,
 	}
 }
@@ -345,7 +379,7 @@ func Run(name string, build func() Checked, opt Options) *Report {
 //compass:accounting
 func runSequential(name string, build func() Checked, opt Options) *Report {
 	rep := &Report{Name: name}
-	runner := opt.Runner(false)
+	runner := opt.Runner(opt.Refine)
 	for i := 0; i < opt.Executions; i++ {
 		seed := opt.Seed + int64(i)
 		c := build()
@@ -360,7 +394,7 @@ func runSequential(name string, build func() Checked, opt Options) *Report {
 		case machine.Racy, machine.Failed:
 			rep.Failures = append(rep.Failures, Failure{Seed: seed, Status: res.Status, Err: res.Err})
 		case machine.OK:
-			viols, unknown := c.Evaluate()
+			viols, unknown := opt.evaluate(&c, res)
 			rep.Unknown += unknown
 			if len(viols) == 0 {
 				rep.OK++
@@ -405,7 +439,7 @@ func runParallel(name string, build func() Checked, opt Options) *Report {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runner := opt.Runner(false)
+			runner := opt.Runner(opt.Refine)
 			for {
 				if atomic.LoadInt64(&stop) != 0 {
 					return
@@ -419,7 +453,7 @@ func runParallel(name string, build func() Checked, opt Options) *Report {
 				res := runner.Run(c.Prog, machine.NewRandomBiased(seed, opt.StaleBias))
 				out := execOutcome{status: res.Status, err: res.Err, steps: res.Steps, done: true}
 				if res.Status == machine.OK {
-					out.violations, out.unknown = c.Evaluate()
+					out.violations, out.unknown = opt.evaluate(&c, res)
 				}
 				outcomes[i] = out
 				failed := res.Status == machine.Racy || res.Status == machine.Failed ||
@@ -520,7 +554,7 @@ func runExhaustive(name string, build func() Checked, opt Options) *Report {
 				if r.Status == machine.OK {
 					// Run the spec checkers outside the merge lock; they
 					// only touch this worker's recorders.
-					viols, unknown = cur.Evaluate()
+					viols, unknown = opt.evaluate(&cur, r)
 				}
 				switch r.Status {
 				case machine.Racy, machine.Failed:

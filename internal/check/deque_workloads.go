@@ -1,8 +1,10 @@
 package check
 
 import (
+	"compass/internal/core"
 	"compass/internal/deque"
 	"compass/internal/machine"
+	"compass/internal/refine"
 	"compass/internal/spec"
 )
 
@@ -43,6 +45,7 @@ func DequeWorkStealing(f DequeFactory, level spec.Level, perOwner, thieves, stea
 			Check: func() ([]spec.Violation, int) {
 				return Collect(spec.CheckDeque(d.Recorder().Graph(), level))
 			},
+			Refine: refine.Checker(refine.Deque, func() *core.Graph { return d.Recorder().Graph() }),
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"compass/internal/exchanger"
 	"compass/internal/machine"
 	"compass/internal/memory"
+	"compass/internal/refine"
 	"compass/internal/spec"
 	"compass/internal/view"
 )
@@ -35,6 +36,7 @@ func ExchangerPairs(f ExchangerFactory, n, patience int) func() Checked {
 			Check: func() ([]spec.Violation, int) {
 				return Collect(spec.CheckExchanger(x.Recorder().Graph()))
 			},
+			Refine: refine.Checker(refine.Exchanger, func() *core.Graph { return x.Recorder().Graph() }),
 		}
 	}
 }
@@ -78,6 +80,7 @@ func ResourceExchange(f ExchangerFactory) func() Checked {
 			Check: func() ([]spec.Violation, int) {
 				return Collect(spec.CheckExchanger(x.Recorder().Graph()))
 			},
+			Refine: refine.Checker(refine.Exchanger, func() *core.Graph { return x.Recorder().Graph() }),
 		}
 	}
 }

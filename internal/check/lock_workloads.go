@@ -1,0 +1,58 @@
+package check
+
+import (
+	"compass/internal/core"
+	"compass/internal/lock"
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/refine"
+	"compass/internal/spec"
+	"compass/internal/view"
+)
+
+// LockContention is the recorded-lock verification workload: n threads
+// each run rounds rounds of up to three TryLock attempts, incrementing a
+// plain (non-atomic) counter inside the critical section on success.
+// Mutual exclusion makes the racy increments safe; the recorded
+// LockAcq/LockRel history is checked against spec.CheckLock and against
+// the refinement oracle's lock transition system. Bounded TryLock retries
+// (rather than Lock's unbounded spin) keep the schedule tree finite, so
+// the workload can be explored exhaustively — a contended spin loop
+// cannot (see the por_test note).
+func LockContention(n, rounds int) func() Checked {
+	return func() Checked {
+		var l *lock.SpinLock
+		var cell view.Loc
+		workers := make([]func(*machine.Thread), n)
+		for i := 0; i < n; i++ {
+			workers[i] = func(th *machine.Thread) {
+				for r := 0; r < rounds; r++ {
+					for try := 0; try < 3; try++ {
+						if !l.TryLock(th) {
+							th.Yield()
+							continue
+						}
+						v := th.Read(cell, memory.NA)
+						th.Write(cell, v+1, memory.NA)
+						l.Unlock(th)
+						break
+					}
+				}
+			}
+		}
+		return Checked{
+			Prog: machine.Program{
+				Name: "lock-contention",
+				Setup: func(th *machine.Thread) {
+					l = lock.NewRecorded(th, "lk")
+					cell = th.Alloc("ctr", 0)
+				},
+				Workers: workers,
+			},
+			Check: func() ([]spec.Violation, int) {
+				return Collect(spec.CheckLock(l.Recorder().Graph()))
+			},
+			Refine: refine.Checker(refine.Lock, func() *core.Graph { return l.Recorder().Graph() }),
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"compass/internal/check"
+	"compass/internal/core"
+	"compass/internal/deque"
+	"compass/internal/exchanger"
+	"compass/internal/machine"
+	"compass/internal/queue"
+	"compass/internal/refine"
+	"compass/internal/spec"
+	"compass/internal/stack"
+)
+
+// Refinement-oracle mutation-kill matrix. Every seeded library weakening
+// must be killed with the refinement oracle as the only spec-level judge
+// (Check and Oracle stripped), proving the oracle is not accidentally a
+// re-encoding of the consistency predicates:
+//
+//   - blind-empty (queue) and blind-emppop (stack) are spec-encoding
+//     weakenings killed by refinement while the predicates PASS — the
+//     directional half of the matrix the acceptance criteria require;
+//   - deque-no-sc-fence double-consumes an element, which strands the
+//     second consumer in the abstract simulation (REFINE-SIM) with no
+//     race to hide behind;
+//   - the release/acquire ablations (ms-relaxed-link,
+//     treiber-relaxed-push, exchanger-relaxed-offer) manifest as data
+//     races on the published payload cells, aborting the execution
+//     before ANY oracle runs. Equivalence note (per the acceptance
+//     criteria): for these mutants the predicates and the refinement
+//     oracle are trivially equivalent — both only judge race-free
+//     executions, and the machine's race detector is the kill. The
+//     matrix still runs them refine-only to pin that behaviour down.
+//   - the lock library ships no recorded-history weakening (the seeded
+//     Peterson no-fence mutant records no events, so there is no history
+//     either oracle could judge); its refinement/predicate equivalence
+//     is vacuous and needs no matrix entry.
+
+// refineOnly strips the consistency predicates and the SC oracle from a
+// workload, leaving the refinement checker as the only judge.
+func refineOnly(build func() check.Checked) func() check.Checked {
+	return func() check.Checked {
+		c := build()
+		c.Check = nil
+		c.Oracle = nil
+		return c
+	}
+}
+
+// blindQueueWorkload drives the blind-empty MSQueue mutant through the
+// shape that exposes the lie: one thread enqueues, then try-dequeues
+// twice. The first dequeue falsely reports empty (with a blinded view);
+// the second consumes the element. Every schedule is deterministic.
+func blindQueueWorkload() check.Checked {
+	var q queue.Queue
+	return check.Checked{
+		Prog: machine.Program{
+			Name:  "queue-blind-empty",
+			Setup: func(th *machine.Thread) { q = queue.NewMSBlindEmpty(th, "q") },
+			Workers: []func(*machine.Thread){
+				func(th *machine.Thread) {
+					q.Enqueue(th, 7)
+					q.TryDequeue(th) // blind lie: reports empty
+					q.TryDequeue(th) // real: consumes 7
+				},
+			},
+		},
+		Check: func() ([]spec.Violation, int) {
+			return check.Collect(spec.CheckQueue(q.Recorder().Graph(), spec.LevelHB))
+		},
+		Refine: refine.Checker(refine.Queue, func() *core.Graph { return q.Recorder().Graph() }),
+	}
+}
+
+// blindStackWorkload is the stack analog: push, blind empty pop, real pop.
+func blindStackWorkload() check.Checked {
+	var s stack.Stack
+	return check.Checked{
+		Prog: machine.Program{
+			Name:  "stack-blind-emppop",
+			Setup: func(th *machine.Thread) { s = stack.NewTreiberBlindEmpPop(th, "s") },
+			Workers: []func(*machine.Thread){
+				func(th *machine.Thread) {
+					s.Push(th, 7)
+					s.Pop(th) // blind lie: reports empty
+					s.Pop(th) // real: consumes 7
+				},
+			},
+		},
+		Check: func() ([]spec.Violation, int) {
+			return check.Collect(spec.CheckStack(s.Recorder().Graph(), spec.LevelHB))
+		},
+		Refine: refine.Checker(refine.Stack, func() *core.Graph { return s.Recorder().Graph() }),
+	}
+}
+
+// assertRefineRuleFired requires at least one failure citing a REFINE-*
+// rule.
+func assertRefineRuleFired(t *testing.T, rep *check.Report) {
+	t.Helper()
+	for _, f := range rep.Failures {
+		for _, v := range f.Violations {
+			if strings.HasPrefix(v.Rule, "REFINE") {
+				return
+			}
+		}
+	}
+	t.Fatalf("no REFINE-* violation in failures: %s", rep)
+}
+
+func TestBlindEmptyKilledByRefineNotPredicates(t *testing.T) {
+	// Predicates alone: PASS (the blinded view hides the enqueue from
+	// every lhb-quantified rule).
+	rep := check.Run("blind-empty/predicates", blindQueueWorkload,
+		check.Options{Executions: 50})
+	if !rep.Passed() {
+		t.Fatalf("consistency predicates unexpectedly caught blind-empty: %s", rep)
+	}
+	// Refinement alone: KILL (the po floor knows the thread's own
+	// enqueue; the abstract queue cannot report empty over it).
+	rep = check.Run("blind-empty/refine", refineOnly(blindQueueWorkload),
+		check.Options{Executions: 50, Refine: true})
+	if rep.Passed() {
+		t.Fatalf("refinement oracle missed blind-empty: %s", rep)
+	}
+	assertRefineRuleFired(t, rep)
+}
+
+func TestBlindEmpPopKilledByRefineNotPredicates(t *testing.T) {
+	rep := check.Run("blind-emppop/predicates", blindStackWorkload,
+		check.Options{Executions: 50})
+	if !rep.Passed() {
+		t.Fatalf("consistency predicates unexpectedly caught blind-emppop: %s", rep)
+	}
+	rep = check.Run("blind-emppop/refine", refineOnly(blindStackWorkload),
+		check.Options{Executions: 50, Refine: true})
+	if rep.Passed() {
+		t.Fatalf("refinement oracle missed blind-emppop: %s", rep)
+	}
+	assertRefineRuleFired(t, rep)
+}
+
+func TestRefineKillsDequeNoSCFence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation campaign")
+	}
+	f := func(th *machine.Thread) *deque.Deque { return deque.NewBuggyNoSCFence(th, "d", 16) }
+	opt := mutationOpts
+	opt.Executions = 4000
+	opt.StaleBias = 0.7
+	opt.Refine = true
+	rep := check.Run("mutant/deque-no-sc-fence/refine-only",
+		refineOnly(check.DequeWorkStealing(f, spec.LevelHB, 4, 2, 3)), opt)
+	if rep.Passed() {
+		t.Fatalf("refinement oracle missed the deque double-consumption: %s", rep)
+	}
+	assertRefineRuleFired(t, rep)
+	t.Logf("killed after %d executions: %s", rep.Executions, rep.Failures[0])
+}
+
+// TestRaceManifestingMutantsDieBeforeOracles pins the equivalence note
+// down: the release/acquire ablations abort as data races before any
+// oracle judges the execution, so running them refine-only still kills
+// them — through the machine, identically to the predicates-only runs.
+func TestRaceManifestingMutantsDieBeforeOracles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation campaign")
+	}
+	cases := []struct {
+		name  string
+		build func() check.Checked
+		opt   check.Options
+	}{
+		{"ms-relaxed-link", check.QueueMixed(func(th *machine.Thread) queue.Queue {
+			return queue.NewMSBuggyRelaxedLink(th, "q")
+		}, spec.LevelHB, 2, 3, 2, 4), mutationOpts},
+		{"treiber-relaxed-push", check.StackMixed(func(th *machine.Thread) stack.Stack {
+			return stack.NewTreiberBuggyRelaxedPush(th, "s")
+		}, spec.LevelHB, 2, 3, 2, 4), mutationOpts},
+		{"exchanger-relaxed-offer", check.ExchangerPairs(func(th *machine.Thread) *exchanger.Exchanger {
+			return exchanger.NewBuggyRelaxedOffer(th, "x")
+		}, 2, 8), mutationOpts},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opt := tc.opt
+			opt.Refine = true
+			rep := check.Run("mutant/"+tc.name+"/refine-only", refineOnly(tc.build), opt)
+			if rep.Passed() {
+				t.Fatalf("mutant %s not detected refine-only: %s", tc.name, rep)
+			}
+			if rep.Failures[0].Status != machine.Racy {
+				t.Logf("note: %s died with status %v (not Racy): %s",
+					tc.name, rep.Failures[0].Status, rep.Failures[0])
+			}
+			t.Logf("killed after %d executions: %s", rep.Executions, rep.Failures[0])
+		})
+	}
+}

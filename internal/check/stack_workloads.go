@@ -1,7 +1,9 @@
 package check
 
 import (
+	"compass/internal/core"
 	"compass/internal/machine"
+	"compass/internal/refine"
 	"compass/internal/spec"
 	"compass/internal/stack"
 )
@@ -40,6 +42,7 @@ func StackMixed(f StackFactory, level spec.Level, pushers, perPusher, poppers, a
 			Check: func() ([]spec.Violation, int) {
 				return Collect(spec.CheckStack(s.Recorder().Graph(), level))
 			},
+			Refine: refine.Checker(refine.Stack, func() *core.Graph { return s.Recorder().Graph() }),
 		}
 	}
 }
@@ -74,6 +77,7 @@ func StackPingPong(f StackFactory, level spec.Level, pairs, rounds int) func() C
 			Check: func() ([]spec.Violation, int) {
 				return Collect(spec.CheckStack(s.Recorder().Graph(), level))
 			},
+			Refine: refine.Checker(refine.Stack, func() *core.Graph { return s.Recorder().Graph() }),
 		}
 	}
 }
@@ -114,6 +118,15 @@ func ElimStackComposed(level spec.Level, pairs, rounds int) func() Checked {
 					spec.CheckExchanger(s.Exchanger().Recorder().Graph()),
 				)
 			},
+			// Refinement mirrors the compositional check: the ES graph must
+			// refine a stack, and so must the base Treiber graph (eliminated
+			// pairs never reach it); the exchanger graph must refine the
+			// exchanger object.
+			Refine: refine.Checkers(
+				refine.Checker(refine.Stack, func() *core.Graph { return s.Recorder().Graph() }),
+				refine.Checker(refine.Stack, func() *core.Graph { return s.Base().Recorder().Graph() }),
+				refine.Checker(refine.Exchanger, func() *core.Graph { return s.Exchanger().Recorder().Graph() }),
+			),
 		}
 	}
 }

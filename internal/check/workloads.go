@@ -1,8 +1,10 @@
 package check
 
 import (
+	"compass/internal/core"
 	"compass/internal/machine"
 	"compass/internal/queue"
+	"compass/internal/refine"
 	"compass/internal/spec"
 )
 
@@ -41,6 +43,7 @@ func QueueMixed(f QueueFactory, level spec.Level, producers, perProducer, consum
 			Check: func() ([]spec.Violation, int) {
 				return Collect(spec.CheckQueue(q.Recorder().Graph(), level))
 			},
+			Refine: refine.Checker(refine.Queue, func() *core.Graph { return q.Recorder().Graph() }),
 		}
 	}
 }
@@ -82,6 +85,7 @@ func QueueDrain(f QueueFactory, level spec.Level, producers, perProducer, consum
 			Check: func() ([]spec.Violation, int) {
 				return Collect(spec.CheckQueue(q.Recorder().Graph(), level))
 			},
+			Refine: refine.Checker(refine.Queue, func() *core.Graph { return q.Recorder().Graph() }),
 		}
 	}
 }

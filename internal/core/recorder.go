@@ -141,6 +141,29 @@ func (r *Recorder) CommitNew(th *machine.Thread, kind Kind, val int64) view.Even
 	return id
 }
 
+// CommitNewBlind allocates and commits an event whose recorded *logical*
+// view is empty, regardless of what the thread has actually observed. No
+// correct library commits this way — an operation always knows at least
+// the thread's own history — so this exists solely as a seeded
+// spec-encoding weakening for oracle testing: consistency predicates that
+// quantify over the recorded view are blinded, while checkers that derive
+// program order independently (the refinement oracle's po floor) still see
+// the thread's earlier operations. The physical view and the commit-order
+// position are recorded honestly, and the committer's clock still gains
+// the event, so subsequent operations of the thread are unaffected.
+func (r *Recorder) CommitNewBlind(th *machine.Thread, kind Kind, val int64) view.EventID {
+	id := r.Begin(th, kind, val)
+	e := r.graph.Event(id)
+	tv := th.TV()
+	e.PhysView = tv.Cur.V.Clone()
+	e.LogView = view.NewLog()
+	e.CommitStep = th.Mem().Step()
+	e.Committed = true
+	r.graph.CommitOrder = append(r.graph.CommitOrder, id)
+	r.Arm(th, id)
+	return id
+}
+
 // CommitStale finalizes a pending event keeping the views snapshotted at
 // its Begin, while taking its place in the commit order now. Used for
 // operations whose logical knowledge is fixed at an early instruction but

@@ -8,6 +8,7 @@ import (
 	"compass/internal/machine"
 	"compass/internal/memory"
 	"compass/internal/queue"
+	"compass/internal/refine"
 	"compass/internal/spec"
 	"compass/internal/stack"
 	"compass/internal/view"
@@ -103,6 +104,7 @@ func Build(p Program) (*Instance, error) {
 		inst.Checked.Oracle = func() ([]spec.Violation, int) {
 			return check.SCOracle(ms.Recorder().Graph(), spec.SeqQueue{}, oracleMaxEvents, false)
 		}
+		inst.Checked.Refine = refine.Checker(refine.Queue, func() *core.Graph { return ms.Recorder().Graph() })
 	case "hwqueue":
 		setupLib = func(th *machine.Thread) { hw = newHWQueue(th, p.Mutant, ringCap) }
 		enq := func(th *machine.Thread, t int, op Op) { hw.Enqueue(th, op.Val) }
@@ -115,6 +117,7 @@ func Build(p Program) (*Instance, error) {
 		inst.Checked.Oracle = func() ([]spec.Violation, int) {
 			return check.SCOracle(hw.Recorder().Graph(), spec.SeqQueue{}, oracleMaxEvents, false)
 		}
+		inst.Checked.Refine = refine.Checker(refine.Queue, func() *core.Graph { return hw.Recorder().Graph() })
 	case "treiber":
 		setupLib = func(th *machine.Thread) { tr = newTreiber(th, p.Mutant) }
 		push := func(th *machine.Thread, t int, op Op) { tr.Push(th, op.Val) }
@@ -127,6 +130,7 @@ func Build(p Program) (*Instance, error) {
 		inst.Checked.Oracle = func() ([]spec.Violation, int) {
 			return check.SCOracle(tr.Recorder().Graph(), spec.SeqStack{}, oracleMaxEvents, true)
 		}
+		inst.Checked.Refine = refine.Checker(refine.Stack, func() *core.Graph { return tr.Recorder().Graph() })
 	case "elimstack":
 		setupLib = func(th *machine.Thread) { es = stack.NewElim(th, "es") }
 		push := func(th *machine.Thread, t int, op Op) { es.Push(th, op.Val) }
@@ -151,6 +155,13 @@ func Build(p Program) (*Instance, error) {
 		inst.Checked.Oracle = func() ([]spec.Violation, int) {
 			return check.SCOracle(es.Recorder().Graph(), spec.SeqStack{}, oracleMaxEvents, true)
 		}
+		// The compositional refinement obligation mirrors Check's: every
+		// constituent graph refines its own abstract object.
+		inst.Checked.Refine = refine.Checkers(
+			refine.Checker(refine.Stack, func() *core.Graph { return es.Recorder().Graph() }),
+			refine.Checker(refine.Stack, func() *core.Graph { return es.Base().Recorder().Graph() }),
+			refine.Checker(refine.Exchanger, func() *core.Graph { return es.Exchanger().Recorder().Graph() }),
+		)
 	case "exchanger":
 		setupLib = func(th *machine.Thread) { ex = newExchanger(th, p.Mutant) }
 		xch := func(th *machine.Thread, t int, op Op) { ex.Exchange(th, op.Val, patience(op)) }
@@ -160,6 +171,7 @@ func Build(p Program) (*Instance, error) {
 		inst.Checked.Check = func() ([]spec.Violation, int) {
 			return check.Collect(spec.CheckExchanger(ex.Recorder().Graph()))
 		}
+		inst.Checked.Refine = refine.Checker(refine.Exchanger, func() *core.Graph { return ex.Recorder().Graph() })
 	case "deque":
 		setupLib = func(th *machine.Thread) { dq = newDeque(th, p.Mutant, ringCap) }
 		// Worker 0 owns the deque; its steals degrade to takes, and every
@@ -189,6 +201,10 @@ func Build(p Program) (*Instance, error) {
 		inst.Checked.Oracle = func() ([]spec.Violation, int) {
 			return check.SCOracle(dq.Recorder().Graph(), spec.SeqDeque{}, oracleMaxEvents, false)
 		}
+		inst.Checked.Refine = refine.Checker(refine.Deque, func() *core.Graph { return dq.Recorder().Graph() })
+	}
+	if p.NoRefine {
+		inst.Checked.Refine = nil
 	}
 
 	workers := make([]func(*machine.Thread), len(p.Threads))

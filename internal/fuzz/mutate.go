@@ -25,9 +25,9 @@ type libInfo struct {
 // raw-access-only programs that differentially test the machine itself.
 var libs = map[string]libInfo{
 	"none":      {},
-	"msqueue":   {mutants: []string{"relaxed-link", "relaxed-read"}},
+	"msqueue":   {mutants: []string{"relaxed-link", "relaxed-read", "blind-empty"}},
 	"hwqueue":   {mutants: []string{"relaxed-slot", "relaxed-scan"}},
-	"treiber":   {mutants: []string{"relaxed-push", "relaxed-pop"}, strictOracle: true},
+	"treiber":   {mutants: []string{"relaxed-push", "relaxed-pop", "blind-emppop"}, strictOracle: true},
 	"elimstack": {strictOracle: true},
 	"exchanger": {mutants: []string{"relaxed-offer", "relaxed-response"}},
 	"deque":     {mutants: []string{"no-sc-fence"}},
@@ -58,6 +58,11 @@ func newMSQueue(th *machine.Thread, mutant string) *queue.MSQueue {
 		return queue.NewMSBuggyRelaxedLink(th, "q")
 	case "relaxed-read":
 		return queue.NewMSBuggyRelaxedRead(th, "q")
+	case "blind-empty":
+		// Spec-encoding weakening (blinded EmpDeq views): invisible to the
+		// view-quantified predicates, killed by the refinement oracle's po
+		// floor.
+		return queue.NewMSBlindEmpty(th, "q")
 	}
 	return queue.NewMS(th, "q")
 }
@@ -78,6 +83,10 @@ func newTreiber(th *machine.Thread, mutant string) *stack.Treiber {
 		return stack.NewTreiberBuggyRelaxedPush(th, "s")
 	case "relaxed-pop":
 		return stack.NewTreiberBuggyRelaxedPop(th, "s")
+	case "blind-emppop":
+		// Spec-encoding weakening (blinded EmpPop views): the stack analog
+		// of the queue's blind-empty, likewise refine-only.
+		return stack.NewTreiberBlindEmpPop(th, "s")
 	}
 	return stack.NewTreiber(th, "s")
 }

@@ -1,9 +1,12 @@
 // Package fuzz is the differential-fuzzing and counterexample-shrinking
 // layer: it synthesizes random client programs over the library APIs plus
 // raw atomic accesses, runs them under seeded-random and bounded-exhaustive
-// exploration, and cross-checks every execution three ways — per-library
-// spec conformance, SC-oracle refinement of the observed history, and
-// internal machine invariants (coherence, race/UB freedom). Failures are
+// exploration, and cross-checks every execution four ways — per-library
+// spec conformance, SC-oracle refinement of the observed history, the
+// refinement/simulation oracle's abstract transition systems
+// (internal/refine; disagreement with the spec predicates is classified
+// distinctly, see Failure.Disagreement), and internal machine invariants
+// (coherence, race/UB freedom). Failures are
 // delta-debugged down to a minimal program and decision sequence and saved
 // as replayable artifacts (JSON schedule, generated Go test, DOT graphs).
 //
@@ -75,6 +78,12 @@ type Program struct {
 	Locs int `json:"locs"`
 	// Threads holds one op sequence per worker thread.
 	Threads [][]Op `json:"threads"`
+	// NoRefine opts this program out of the refinement-oracle cross-check
+	// (Config.NoRefine stamps it). It lives on the Program — not the
+	// campaign — so Replay, the shrinker, and artifact reproducers judge
+	// the execution exactly as the campaign did and failure keys stay
+	// stable end to end.
+	NoRefine bool `json:"no_refine,omitempty"`
 }
 
 // NumThreads returns the worker thread count.

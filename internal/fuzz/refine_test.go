@@ -1,0 +1,118 @@
+package fuzz
+
+import (
+	"testing"
+
+	"compass/internal/telemetry"
+)
+
+// TestRefineEquivalenceUnmutated is the cross-oracle property: on every
+// unmutated library, a seeded campaign must end with zero spec/refine
+// disagreements — the declarative consistency predicates and the
+// refinement oracle's abstract transition systems accept exactly the same
+// executions. CI runs this as the refine-equivalence job; the POR-mode
+// sweep of the same property lives in internal/check
+// (TestRefineVerdictPORInvariant), since the fuzzer's own exhaustive
+// phase does not parameterize reduction.
+func TestRefineEquivalenceUnmutated(t *testing.T) {
+	for _, lib := range []string{"msqueue", "hwqueue", "treiber", "elimstack", "exchanger", "deque"} {
+		lib := lib
+		t.Run(lib, func(t *testing.T) {
+			t.Parallel()
+			stats := telemetry.New()
+			rep, err := Fuzz(Config{
+				Seed:           11,
+				Programs:       6,
+				Execs:          50,
+				ExhaustiveRuns: 80,
+				MaxFailures:    3,
+				Stats:          stats,
+				Gen:            GenConfig{Libs: []string{lib}, LibBias: 0.8},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range rep.Failures {
+				t.Errorf("false positive (oracle %s, disagreement %q): %s err=%s viols=%v",
+					f.Oracle, f.Disagreement, f.Key, f.Err, f.Violations)
+			}
+			snap := stats.Snapshot()
+			if snap.Refine.TracesChecked == 0 {
+				t.Fatal("campaign judged no traces with the refinement oracle")
+			}
+			if snap.Refine.Disagreements != 0 {
+				t.Fatalf("%d refine/spec disagreements on unmutated %s",
+					snap.Refine.Disagreements, lib)
+			}
+			t.Logf("%s: %d traces refined, 0 disagreements", lib, snap.Refine.TracesChecked)
+		})
+	}
+}
+
+// TestRefineDisagreementClassified pins the disagreement classification
+// end to end: the blind-empty mutant is invisible to the view-quantified
+// predicates and the SC oracle (which drops failing operations for the MS
+// queue), so the campaign's failure must be attributed to the refinement
+// oracle alone, classified spec-accepts/refine-rejects, and still shrink
+// through the delta-debugger to a replayable schedule.
+func TestRefineDisagreementClassified(t *testing.T) {
+	stats := telemetry.New()
+	rep, err := Fuzz(Config{
+		Seed:     5,
+		Programs: 60,
+		Execs:    40,
+		Stats:    stats,
+		Gen:      GenConfig{Libs: []string{"msqueue"}, Mutant: "blind-empty", LibBias: 0.9, MaxOpsPerThread: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatalf("blind-empty not detected in %d programs / %d execs", rep.Programs, rep.Execs)
+	}
+	f := rep.Failures[0]
+	if f.Oracle != "refine" {
+		t.Fatalf("failure attributed to %q, want refine-only: %v", f.Oracle, f.Violations)
+	}
+	if f.Disagreement != DisagreeSpecAcceptsRefineRejects {
+		t.Fatalf("disagreement %q, want %q", f.Disagreement, DisagreeSpecAcceptsRefineRejects)
+	}
+	if !f.Shrunk {
+		t.Fatal("refine-found failure skipped the shrinker")
+	}
+	if snap := stats.Snapshot(); snap.Refine.Disagreements == 0 {
+		t.Fatal("telemetry recorded no disagreements for a refine-only kill")
+	}
+	// The shrunk schedule must replay to the same refine-only class.
+	g, err := Replay(f.Program, f.Decisions, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == nil || g.Key != f.Key || g.Oracle != "refine" {
+		t.Fatalf("replay got %+v, want key %s oracle refine", g, f.Key)
+	}
+}
+
+// TestNoRefineOptOut pins the opt-out path: a campaign with NoRefine set
+// stamps the programs, judges without the refinement oracle, and records
+// no refine telemetry — so the blind-empty mutant sails through.
+func TestNoRefineOptOut(t *testing.T) {
+	stats := telemetry.New()
+	rep, err := Fuzz(Config{
+		Seed:     5,
+		Programs: 15,
+		Execs:    40,
+		NoRefine: true,
+		Stats:    stats,
+		Gen:      GenConfig{Libs: []string{"msqueue"}, Mutant: "blind-empty", LibBias: 0.9, MaxOpsPerThread: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("NoRefine campaign still failed: oracle %s, %s", f.Oracle, f.Key)
+	}
+	if n := stats.Snapshot().Refine.TracesChecked; n != 0 {
+		t.Fatalf("NoRefine campaign judged %d traces with the refinement oracle", n)
+	}
+}

@@ -24,6 +24,16 @@ type Failure struct {
 	Status     string             `json:"status"`
 	Err        string             `json:"err,omitempty"`
 	Violations []spec.Violation   `json:"violations,omitempty"`
+	// Oracle identifies which cross-check(s) condemned the execution:
+	// "machine" (race/UB/assertion), "spec" (consistency predicates),
+	// "oracle" (SC reference oracle), "refine" (refinement/simulation
+	// oracle), joined with "+" when several fired at once.
+	Oracle string `json:"oracle,omitempty"`
+	// Disagreement classifies a spec/refine split verdict (one of the
+	// Disagree* constants); empty when the two library characterizations
+	// agree. A non-empty value is the differential fuzzer's highest-value
+	// signal: one of the two formulations is wrong.
+	Disagreement string `json:"disagreement,omitempty"`
 	// Key is the failure class (status + sorted violation rules); the
 	// shrinker preserves it, and campaign deduplication buckets on it.
 	Key string `json:"key"`
@@ -53,10 +63,58 @@ func failureKey(status machine.Status, viols []spec.Violation) string {
 	return status.String() + "|" + strings.Join(sorted, ",")
 }
 
-// judge evaluates one completed execution against all three cross-checks.
-// It returns nil for a clean run; budget exhaustion is a discard (the
-// schedule spun, nothing to conclude), counted by the caller via unknown.
-func judge(p Program, inst *Instance, r *machine.Result, trace []machine.Decision) (*Failure, int) {
+// The two spec/refine disagreement classes a judged execution can land
+// in. Both count toward refine_disagreements in the telemetry.
+const (
+	// DisagreeSpecAcceptsRefineRejects: the consistency predicates (and SC
+	// oracle) accepted the execution but the refinement oracle found no
+	// abstract trace — either the predicates are too weak or the ATS too
+	// strong.
+	DisagreeSpecAcceptsRefineRejects = "spec-accepts/refine-rejects"
+	// DisagreeRefineAcceptsSpecRejects: the refinement oracle simulated
+	// the execution but a predicate or the SC oracle condemned it — either
+	// the predicates are too strong or the ATS too weak.
+	DisagreeRefineAcceptsSpecRejects = "refine-accepts/spec-rejects"
+)
+
+// oracleOf names the cross-check(s) that condemned the execution, from
+// its status and violation rules.
+func oracleOf(status machine.Status, viols []spec.Violation) string {
+	if status == machine.Racy || status == machine.Failed {
+		return "machine"
+	}
+	var bySpec, byOracle, byRefine bool
+	for _, v := range viols {
+		switch {
+		case strings.HasPrefix(v.Rule, "REFINE"):
+			byRefine = true
+		case strings.HasPrefix(v.Rule, "SC-ORACLE"):
+			byOracle = true
+		default:
+			bySpec = true
+		}
+	}
+	var parts []string
+	if bySpec {
+		parts = append(parts, "spec")
+	}
+	if byOracle {
+		parts = append(parts, "oracle")
+	}
+	if byRefine {
+		parts = append(parts, "refine")
+	}
+	return strings.Join(parts, "+")
+}
+
+// judge evaluates one completed execution against all the cross-checks:
+// the machine's own race/UB verdict, the consistency predicates plus SC
+// oracle, and — unless the program opted out — the refinement oracle,
+// whose agree/disagree sample lands in the refine telemetry (stats may be
+// nil). It returns nil for a clean run; budget exhaustion is a discard
+// (the schedule spun, nothing to conclude), counted by the caller via
+// unknown.
+func judge(p Program, inst *Instance, r *machine.Result, trace []machine.Decision, stats *telemetry.Stats) (*Failure, int) {
 	switch r.Status {
 	case machine.Budget:
 		return nil, 0
@@ -70,19 +128,36 @@ func judge(p Program, inst *Instance, r *machine.Result, trace []machine.Decisio
 			Decisions: trace,
 			Status:    r.Status.String(),
 			Err:       errText,
+			Oracle:    "machine",
 			Key:       failureKey(r.Status, nil),
 		}, 0
 	}
 	viols, unknown := inst.Checked.Evaluate()
+	disagreement := ""
+	if inst.Checked.Refine != nil {
+		rv, ru := inst.Checked.Refine(r, stats)
+		unknown += ru
+		if (len(rv) > 0) != (len(viols) > 0) {
+			if len(rv) > 0 {
+				disagreement = DisagreeSpecAcceptsRefineRejects
+			} else {
+				disagreement = DisagreeRefineAcceptsSpecRejects
+			}
+		}
+		stats.RefineTrace(disagreement != "")
+		viols = append(viols, rv...)
+	}
 	if len(viols) == 0 {
 		return nil, unknown
 	}
 	return &Failure{
-		Program:    p,
-		Decisions:  trace,
-		Status:     r.Status.String(),
-		Violations: viols,
-		Key:        failureKey(r.Status, viols),
+		Program:      p,
+		Decisions:    trace,
+		Status:       r.Status.String(),
+		Violations:   viols,
+		Oracle:       oracleOf(r.Status, viols),
+		Disagreement: disagreement,
+		Key:          failureKey(r.Status, viols),
 	}, unknown
 }
 
@@ -98,7 +173,7 @@ func Replay(p Program, ds []machine.Decision, budget int) (*Failure, error) {
 	runner := check.Options{Budget: budget}.Runner(false)
 	strat := machine.ReplayStrategy(ds)
 	r := runner.Run(inst.Checked.Prog, strat)
-	f, _ := judge(p, inst, r, strat.Trace)
+	f, _ := judge(p, inst, r, strat.Trace, nil)
 	return f, nil
 }
 
@@ -126,7 +201,7 @@ func explore(p Program, maxRuns, budget int, stats *telemetry.Stats) (f *Failure
 		}
 		stats.ExecDone(uint8(r.Status), r.Steps)
 		stats.FuzzExec(r.Status == machine.Budget)
-		f, unk := judge(p, inst, r, strat.Trace)
+		f, unk := judge(p, inst, r, strat.Trace, stats)
 		unknowns += unk
 		if f != nil {
 			return f, runs, false, unknowns, discards
@@ -176,6 +251,11 @@ type Config struct {
 	MaxFailures int
 	// NoShrink skips counterexample minimization.
 	NoShrink bool
+	// NoRefine opts the campaign out of the refinement-oracle cross-check
+	// (on by default). The setting is stamped into every generated
+	// program (Program.NoRefine) so replays, shrinking, and artifact
+	// reproducers judge identically to the campaign.
+	NoRefine bool
 	// Gen shapes program generation.
 	Gen GenConfig
 	// ArtifactDir, when set, receives one artifact bundle per distinct
@@ -277,6 +357,7 @@ func Fuzz(cfg Config) (*Report, error) {
 		genSeed := deriveSeed(cfg.Seed, streamGen, int64(i))
 		rng := rand.New(rand.NewSource(genSeed))
 		p := Generate(rng, cfg.Gen)
+		p.NoRefine = cfg.NoRefine
 		if err := p.Validate(); err != nil {
 			return nil, fmt.Errorf("generated invalid program: %v", err)
 		}
@@ -339,7 +420,7 @@ func fuzzProgram(cfg Config, rep *Report, p Program, execBase int64) *Failure {
 		}
 		cfg.Stats.ExecDone(uint8(r.Status), r.Steps)
 		cfg.Stats.FuzzExec(r.Status == machine.Budget)
-		f, unk := judge(p, inst, r, strat.Trace)
+		f, unk := judge(p, inst, r, strat.Trace, cfg.Stats)
 		rep.Unknown += unk
 		if f != nil {
 			f.ExecSeed = execSeed

@@ -84,7 +84,7 @@ func TestFailureRecordsReplayableSeeds(t *testing.T) {
 	}
 	strat := machine.Record(machine.NewRandomBiased(f.ExecSeed, normed.StaleBias))
 	r := (&machine.Runner{Budget: normed.Budget}).Run(inst.Checked.Prog, strat)
-	g, _ := judge(f.Program, inst, r, strat.Trace)
+	g, _ := judge(f.Program, inst, r, strat.Trace, nil)
 	if g == nil || g.Key != f.Key {
 		t.Fatalf("ExecSeed does not reproduce the failure: got %v, want key %s", g, f.Key)
 	}

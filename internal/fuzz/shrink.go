@@ -59,7 +59,7 @@ func (s *shrinker) rediscover(p Program) *Failure {
 		strat := machine.Record(machine.NewRandomBiased(seed, 0.7))
 		r := runner.Run(inst.Checked.Prog, strat)
 		s.replays++
-		if f, _ := judge(p, inst, r, strat.Trace); f != nil && f.Key == s.key {
+		if f, _ := judge(p, inst, r, strat.Trace, nil); f != nil && f.Key == s.key {
 			return f
 		}
 	}
@@ -237,7 +237,7 @@ func (s *shrinker) exploreDepth(p Program, maxDepth int) *Failure {
 		strat := machine.ReplayStrategy(prefix)
 		r := runner.Run(inst.Checked.Prog, strat)
 		s.replays++
-		if g, _ := judge(p, inst, r, strat.Trace); g != nil && g.Key == s.key {
+		if g, _ := judge(p, inst, r, strat.Trace, nil); g != nil && g.Key == s.key {
 			g.Decisions = append([]machine.Decision(nil), strat.Trace[:effLen(strat.Trace)]...)
 			return g
 		}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"compass/internal/check"
+	"compass/internal/memory"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_litmus.txt from the current machine")
@@ -57,6 +58,34 @@ func TestGoldenLitmusCorpus(t *testing.T) {
 			if por := goldenLine(Run(tc, 400000, WithPORMode(mode))); por != lines[len(lines)-1] {
 				t.Errorf("%s: POR mode %v changed the golden outcome set:\n  off: %s\n  por: %s",
 					tc.Name, mode, lines[len(lines)-1], por)
+			}
+		}
+	}
+	// Library refinement corpus: each workload's canonical verdict is the
+	// acceptance configuration — exhaustive under source-DPOR with a
+	// footprint certificate — and must be byte-identical in every swept
+	// POR mode and without pruning: reduction and pruning remove
+	// executions and per-access work, never verdicts.
+	for _, lt := range LibrarySuite() {
+		var fp *memory.Footprint
+		if !lt.SkipPrune {
+			var err error
+			if fp, err = LibFootprint(lt); err != nil {
+				t.Errorf("%s: footprint extraction failed: %v", lt.Name, err)
+			}
+		}
+		res := RunLib(lt, 600000, WithPORMode(check.PORSource), WithFootprint(fp))
+		if !res.Complete {
+			t.Errorf("%s: exploration did not complete within bounds (%d runs); golden verdicts must be proofs", lt.Name, res.Runs)
+		}
+		if res.TracesChecked == 0 {
+			t.Errorf("%s: refinement oracle judged no traces", lt.Name)
+		}
+		lines = append(lines, res.GoldenLine())
+		for _, mode := range lt.Modes() {
+			if got := RunLib(lt, 600000, WithPORMode(mode)).GoldenLine(); got != lines[len(lines)-1] {
+				t.Errorf("%s: POR mode %v (unpruned) changed the golden verdict:\n  canonical: %s\n  got:       %s",
+					lt.Name, mode, lines[len(lines)-1], got)
 			}
 		}
 	}

@@ -141,6 +141,12 @@ type ExploreOpts struct {
 	// outcome, so an exploration with a valid footprint visits the same
 	// executions as one without.
 	Footprint *memory.Footprint
+	// Trace enables step-event recording in every execution's Runner (see
+	// Runner.Trace): each visited Result carries its typed StepEvent
+	// stream. Recording never changes decisions or outcomes; it exists for
+	// consumers — like the refinement oracle — that cross-check the event
+	// graph against the executed instruction stream.
+	Trace bool
 	// POR selects the partial-order reduction mode applied in every
 	// execution's Runner (see Runner.POR and PORMode): PORSleep shrinks
 	// scheduling decisions to the threads whose next step is not known to
@@ -177,7 +183,7 @@ func Explore(build func() Program, opts ExploreOpts, visit func(*Result) bool) E
 	if maxRuns <= 0 {
 		maxRuns = 200000
 	}
-	runner := &Runner{Budget: opts.Budget, Stats: opts.Stats, Footprint: opts.Footprint, POR: opts.POR}
+	runner := &Runner{Budget: opts.Budget, Trace: opts.Trace, Stats: opts.Stats, Footprint: opts.Footprint, POR: opts.POR}
 	var prefix []Decision
 	res := ExploreResult{}
 	for res.Runs < maxRuns {
@@ -326,7 +332,7 @@ func (e *parallelExplorer) done(children [][]Decision, keep bool) {
 //
 //compass:accounting
 func (e *parallelExplorer) worker(build func() Program, visit func(*Result) bool) {
-	runner := &Runner{Budget: e.opts.Budget, Stats: e.opts.Stats, Footprint: e.opts.Footprint, POR: e.opts.POR}
+	runner := &Runner{Budget: e.opts.Budget, Trace: e.opts.Trace, Stats: e.opts.Stats, Footprint: e.opts.Footprint, POR: e.opts.POR}
 	for {
 		prefix, ok := e.next()
 		if !ok {

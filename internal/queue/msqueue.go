@@ -31,6 +31,11 @@ type MSQueue struct {
 	// fencedPublish makes the enqueue publish through a release fence
 	// followed by relaxed CASes (NewMSFenced).
 	fencedPublish bool
+	// blindEmpty makes each thread's first TryDequeue lie: it reports
+	// empty without inspecting the queue and records the EmpDeq with a
+	// blinded (empty) logical view (NewMSBlindEmpty).
+	blindEmpty bool
+	blindSeen  map[int]bool
 }
 
 // NewMS allocates a Michael–Scott queue with the paper's access modes.
@@ -59,6 +64,22 @@ func NewMSBuggyRelaxedRead(th *machine.Thread, name string) *MSQueue {
 func NewMSFenced(th *machine.Thread, name string) *MSQueue {
 	q := newMS(th, name, memory.Rlx, memory.Acq)
 	q.fencedPublish = true
+	return q
+}
+
+// NewMSBlindEmpty is a seeded *spec-encoding* weakening (not a memory-
+// ordering ablation): each thread's first TryDequeue unconditionally
+// reports empty and commits the EmpDeq through CommitNewBlind, so the
+// recorded logical view is empty no matter what the thread has observed.
+// Consistency predicates that quantify over the recorded view see a
+// thread that legitimately knows nothing and pass; the refinement
+// oracle's po floor still knows the thread's own earlier enqueues, so a
+// produce-then-dequeue thread is caught claiming emptiness about an
+// element it provably knew about.
+func NewMSBlindEmpty(th *machine.Thread, name string) *MSQueue {
+	q := newMS(th, name, memory.Rel, memory.Acq)
+	q.blindEmpty = true
+	q.blindSeen = map[int]bool{}
 	return q
 }
 
@@ -107,6 +128,13 @@ func (q *MSQueue) Enqueue(th *machine.Thread, v int64) {
 // be non-empty); otherwise swing the head with an acquire CAS (the commit
 // point) and return the successor's value.
 func (q *MSQueue) TryDequeue(th *machine.Thread) (int64, bool) {
+	if q.blindEmpty && !q.blindSeen[th.ID()] {
+		// Library code between machine steps runs exclusively, so the
+		// map needs no locking (same discipline as the recorder).
+		q.blindSeen[th.ID()] = true
+		q.rec.CommitNewBlind(th, core.EmpDeq, 0)
+		return 0, false
+	}
 	for {
 		h := th.Read(q.head, q.readMode)
 		hn := q.nt.at(h)

@@ -20,6 +20,12 @@ type Treiber struct {
 
 	pushMode memory.Mode // write mode of the push CAS (Rel; buggy: Rlx)
 	popMode  memory.Mode // read mode of the pop's head read/CAS (Acq; buggy: Rlx)
+
+	// blindEmpPop makes each thread's first TryPop lie: it reports empty
+	// without inspecting the stack and records the EmpPop with a blinded
+	// (empty) logical view (NewTreiberBlindEmpPop).
+	blindEmpPop bool
+	blindSeen   map[int]bool
 }
 
 // NewTreiber allocates a Treiber stack with the paper's access modes.
@@ -40,6 +46,20 @@ func NewTreiberBuggyRelaxedPush(th *machine.Thread, name string) *Treiber {
 func NewTreiberBuggyRelaxedPop(th *machine.Thread, name string) *Treiber {
 	return &Treiber{head: th.Alloc(name+".head", 0), rec: core.NewRecorder(name),
 		pushMode: memory.Rel, popMode: memory.Rlx}
+}
+
+// NewTreiberBlindEmpPop is a seeded *spec-encoding* weakening (not a
+// memory-ordering ablation): each thread's first TryPop unconditionally
+// reports empty and commits the EmpPop through CommitNewBlind, so the
+// recorded logical view is empty regardless of what the thread has
+// observed. View-quantifying consistency predicates pass; the refinement
+// oracle's po floor still knows the thread's own earlier pushes and
+// catches the lie on a push-then-pop thread.
+func NewTreiberBlindEmpPop(th *machine.Thread, name string) *Treiber {
+	s := NewTreiber(th, name)
+	s.blindEmpPop = true
+	s.blindSeen = map[int]bool{}
+	return s
 }
 
 // Recorder implements Stack.
@@ -92,6 +112,13 @@ func (s *Treiber) Push(th *machine.Thread, v int64) {
 // popper read a null head (committing an empty pop event); PopRace means
 // a lost CAS (FAIL_RACE — no event committed).
 func (s *Treiber) TryPop(th *machine.Thread) (int64, view.EventID, PopStatus) {
+	if s.blindEmpPop && !s.blindSeen[th.ID()] {
+		// Library code between machine steps runs exclusively, so the
+		// map needs no locking (same discipline as the recorder).
+		s.blindSeen[th.ID()] = true
+		s.rec.CommitNewBlind(th, core.EmpPop, 0)
+		return 0, view.NoEvent, PopEmpty
+	}
 	h := th.Read(s.head, s.popMode)
 	if h == 0 {
 		s.rec.CommitNew(th, core.EmpPop, 0) // commit point: the head read

@@ -264,12 +264,27 @@ type FuzzStats struct {
 	Artifacts Counter
 }
 
+// RefineStats instruments the refinement (forward-simulation) oracle.
+type RefineStats struct {
+	// TracesChecked counts executions the refinement oracle judged.
+	TracesChecked Counter
+	// Disagreements counts judged executions where the refinement
+	// verdict differed from the consistency-predicate verdict (either
+	// direction). Always ≤ TracesChecked, which the snapshot validator
+	// enforces.
+	Disagreements Counter
+	// StateFanout is the distribution of enabled abstract transitions
+	// per expanded simulation-search node.
+	StateFanout Histogram
+}
+
 // Stats is the root of the telemetry tree. The zero value is ready to
 // use; a nil *Stats disables all recording at zero cost.
 type Stats struct {
 	Machine MachineStats
 	Explore ExploreStats
 	Fuzz    FuzzStats
+	Refine  RefineStats
 }
 
 // New returns an empty Stats.
@@ -455,6 +470,27 @@ func (s *Stats) FuzzArtifact() {
 	s.Fuzz.Artifacts.Inc()
 }
 
+// RefineTrace records one execution judged by the refinement oracle,
+// and whether its verdict disagreed with the consistency predicates'.
+func (s *Stats) RefineTrace(disagreed bool) {
+	if s == nil {
+		return
+	}
+	s.Refine.TracesChecked.Inc()
+	if disagreed {
+		s.Refine.Disagreements.Inc()
+	}
+}
+
+// RefineFanout records the number of enabled abstract transitions at one
+// expanded node of the simulation search.
+func (s *Stats) RefineFanout(n int) {
+	if s == nil {
+		return
+	}
+	s.Refine.StateFanout.Observe(int64(n))
+}
+
 // Merge adds o's counts into s (both may be in concurrent use).
 func (s *Stats) Merge(o *Stats) {
 	if s == nil || o == nil {
@@ -495,6 +531,10 @@ func (s *Stats) Merge(o *Stats) {
 	f.ShrinkAttempts.Add(of.ShrinkAttempts.Load())
 	f.ShrinkAccepted.Add(of.ShrinkAccepted.Load())
 	f.Artifacts.Add(of.Artifacts.Load())
+	r, or := &s.Refine, &o.Refine
+	r.TracesChecked.Add(or.TracesChecked.Load())
+	r.Disagreements.Add(or.Disagreements.Load())
+	r.StateFanout.merge(&or.StateFanout)
 }
 
 // MachineSnapshot is the JSON form of MachineStats.
@@ -544,12 +584,20 @@ type FuzzSnapshot struct {
 	Artifacts      int64 `json:"artifacts"`
 }
 
+// RefineSnapshot is the JSON form of RefineStats.
+type RefineSnapshot struct {
+	TracesChecked int64             `json:"refine_traces_checked"`
+	Disagreements int64             `json:"refine_disagreements"`
+	StateFanout   HistogramSnapshot `json:"refine_state_fanout"`
+}
+
 // Snapshot is a point-in-time, JSON-serializable copy of a Stats.
 type Snapshot struct {
 	Schema  string          `json:"schema"`
 	Machine MachineSnapshot `json:"machine"`
 	Explore ExploreSnapshot `json:"explore"`
 	Fuzz    FuzzSnapshot    `json:"fuzz"`
+	Refine  RefineSnapshot  `json:"refine"`
 }
 
 // Snapshot copies the current counter values. Safe to call while other
@@ -614,6 +662,12 @@ func (s *Stats) Snapshot() Snapshot {
 		ShrinkAttempts: f.ShrinkAttempts.Load(),
 		ShrinkAccepted: f.ShrinkAccepted.Load(),
 		Artifacts:      f.Artifacts.Load(),
+	}
+	r := &s.Refine
+	snap.Refine = RefineSnapshot{
+		TracesChecked: r.TracesChecked.Load(),
+		Disagreements: r.Disagreements.Load(),
+		StateFanout:   r.StateFanout.snapshot(),
 	}
 	return snap
 }
@@ -687,13 +741,19 @@ func ValidateSnapshotJSON(data []byte) error {
 		return fmt.Errorf("telemetry snapshot: wakeup_tree_size sum %d != por_races_reversed %d",
 			e.WakeupTreeSize.Sum, e.PORRacesReversed)
 	}
+	if r := snap.Refine; r.Disagreements > r.TracesChecked {
+		// A disagreement is recorded at most once per judged trace.
+		return fmt.Errorf("telemetry snapshot: refine_disagreements %d > refine_traces_checked %d",
+			r.Disagreements, r.TracesChecked)
+	}
 	for _, c := range []int64{m.Steps, m.ReadChoices, m.StaleReads,
 		m.PrunedReads, m.RaceChecksSkipped,
 		snap.Explore.Prefixes, snap.Explore.Children, snap.Explore.FrontierPeak,
 		snap.Explore.PORBranchesSkipped, snap.Explore.SleepSetSize.Count,
 		snap.Explore.PORRacesReversed, snap.Explore.PORStaleReadsSkipped,
 		snap.Explore.PORDisabledThreads, snap.Explore.WakeupTreeSize.Count,
-		snap.Fuzz.Programs, snap.Fuzz.Execs, snap.Fuzz.Discarded, snap.Fuzz.Failures} {
+		snap.Fuzz.Programs, snap.Fuzz.Execs, snap.Fuzz.Discarded, snap.Fuzz.Failures,
+		snap.Refine.TracesChecked, snap.Refine.Disagreements, snap.Refine.StateFanout.Count} {
 		if c < 0 {
 			return fmt.Errorf("telemetry snapshot: negative counter")
 		}
