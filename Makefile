@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: check lint build vet test race bench benchreport fuzz fuzznative golden telemetry
+.PHONY: check lint build vet test race bench benchreport fuzz fuzznative golden telemetry serve servesmoke
 
 check: lint build race
 
@@ -53,6 +53,20 @@ golden:
 telemetry:
 	$(GO) run ./cmd/litmus -test SB -por=source -prune -stats /tmp/compass_sb.json -trace-out /tmp/compass_sb.trace.json
 	$(GO) run ./cmd/statcheck -snapshot /tmp/compass_sb.json -trace /tmp/compass_sb.trace.json
+
+# Run the verification service with a persistent checkpoint directory;
+# SIGTERM pauses jobs at their next segment boundary and a restart
+# resumes them (see README "Verification as a service").
+STATEDIR ?= /tmp/compassd-state
+serve:
+	$(GO) run ./cmd/compassd -addr localhost:8723 -state $(STATEDIR)
+
+# compassd crash smoke: the kill/resume identity matrix plus the re-exec
+# SIGKILL test (a real process killed mid-frontier, resumed on a
+# different worker count, final report diffed against an uninterrupted
+# run). CI's compassd job runs these and a shell-level binary smoke.
+servesmoke:
+	$(GO) test ./internal/serve -run 'TestKillResume|TestSIGKILLResume' -count=1 -v
 
 # Quick benchmark pass over the tier-1 set (see cmd/benchreport).
 bench:

@@ -165,13 +165,21 @@ func main() {
 	}
 
 	if *explain >= 0 {
-		status, trace, viols := compass.ExplainChecked(build, *explain, cli.FlagStaleBias(*stale), 0)
+		// Replay with the same options the harness run would use, so the
+		// same oracles judge the execution (-refine failures reproduce).
+		status, trace, viols := compass.ExplainCheckedOpts(build, *explain, opts)
 		fmt.Printf("%s — seed %d replays as %v\n\n", name, *explain, status)
 		for i, line := range trace {
 			fmt.Printf("%4d  %s\n", i, line)
 		}
 		for _, v := range viols {
 			fmt.Printf("\nVIOLATION %s\n", v)
+		}
+		if *statsOut != "" {
+			if err := cli.WriteStatsFile(*statsOut, stats); err != nil {
+				fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+				os.Exit(2)
+			}
 		}
 		if status != compass.StatusOK || len(viols) > 0 {
 			os.Exit(1)
@@ -216,7 +224,7 @@ func main() {
 		if len(rep.Failures) > 0 {
 			traceSeed = rep.Failures[0].Seed
 		}
-		res, _ := compass.TraceCheckedExecution(build, traceSeed, opts.StaleBias, opts.Budget)
+		res, _ := compass.TraceCheckedExecutionOpts(build, traceSeed, opts)
 		if err := cli.WriteTraceFile(*traceOut, name, res); err != nil {
 			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
 			os.Exit(2)

@@ -184,3 +184,33 @@ func TestMissingFileFails(t *testing.T) {
 		t.Fatalf("run = %d, want 1", code)
 	}
 }
+
+// TestServeCountersValidate pins forward acceptance of the compassd
+// job-progress telemetry as a fixture: the checked-in snapshot is one
+// line of a running job's /jobs/{id}/events NDJSON stream (written by a
+// checkpointing litmus job) and carries nonzero checkpoint counters and
+// the segment_runs histogram under the serve section — still the
+// unchanged compass/telemetry/v1 schema. If a future schema revision
+// stops accepting these fields, this catches it even after the writer
+// moves on.
+func TestServeCountersValidate(t *testing.T) {
+	path := filepath.Join("testdata", "v1_serve_snapshot.json")
+	var out, errw strings.Builder
+	if code := run(path, "", &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errw.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"jobs_submitted", "checkpoints", "checkpoint_bytes", "segment_runs",
+	} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("fixture does not exercise %q — regenerate it from a compassd job's /events stream", field)
+		}
+	}
+	if strings.Contains(string(data), `"checkpoints": 0,`) {
+		t.Error("fixture's checkpoints is zero — regenerate it from a compassd run with a -state dir")
+	}
+}

@@ -352,9 +352,21 @@ func RunExhaustiveOpts(name string, build func() Checked, opt CheckOptions) *Rep
 	return RunChecked(name, build, opt)
 }
 
-// ExplainChecked replays one seed of a workload with per-step tracing,
-// returning the execution status, the operation log, and any violations —
-// for diagnosing counterexamples reported by RunChecked.
+// ExplainCheckedOpts replays one seed of a workload with per-step
+// tracing, returning the execution status, the operation log, and any
+// violations — for diagnosing counterexamples reported by RunChecked.
+// Pass the CheckOptions the original run used so the replay judges the
+// execution with the same oracles (in particular Refine: a
+// refine-attributed failure replays as a spurious pass without it).
+func ExplainCheckedOpts(build func() Checked, seed int64, opt CheckOptions) (Status, []string, []Violation) {
+	return check.ExplainOpt(build, seed, opt)
+}
+
+// ExplainChecked is ExplainCheckedOpts with only the bias and budget
+// threaded.
+//
+// Deprecated: use ExplainCheckedOpts with the original run's CheckOptions
+// so replay applies the same oracles (Refine) and telemetry sink.
 func ExplainChecked(build func() Checked, seed int64, staleBias float64, budget int) (Status, []string, []Violation) {
 	return check.Explain(build, seed, staleBias, budget)
 }
@@ -460,8 +472,19 @@ func ChromeTraceOfResult(pid int, name string, r *ExecResult) []ChromeTraceEvent
 	return machine.ChromeTraceEvents(pid, name, r)
 }
 
-// TraceCheckedExecution replays one seed of a workload with step-event
-// recording — the structured sibling of ExplainChecked, for trace export.
+// TraceCheckedExecutionOpts replays one seed of a workload with
+// step-event recording — the structured sibling of ExplainCheckedOpts,
+// for trace export. Pass the original run's CheckOptions so the replay
+// judges with the same oracles.
+func TraceCheckedExecutionOpts(build func() Checked, seed int64, opt CheckOptions) (*ExecResult, []Violation) {
+	return check.TraceCheckedOpt(build, seed, opt)
+}
+
+// TraceCheckedExecution is TraceCheckedExecutionOpts with only the bias
+// and budget threaded.
+//
+// Deprecated: use TraceCheckedExecutionOpts with the original run's
+// CheckOptions so replay applies the same oracles (Refine).
 func TraceCheckedExecution(build func() Checked, seed int64, staleBias float64, budget int) (*ExecResult, []Violation) {
 	return check.TraceChecked(build, seed, staleBias, budget)
 }

@@ -536,11 +536,75 @@ func ExhaustiveOpt(name string, build func() Checked, opt Options) *Report {
 // verdict's soundness — may vary. Exhaustive executions have no seed, so
 // Failures carry Seed -1. opt has been normalized by Run.
 func runExhaustive(name string, build func() Checked, opt Options) *Report {
-	rep := &Report{Name: name, Exhaustive: true}
+	j := NewExhaustJob(name)
+	j.RunSegment(build, opt, 0)
+	return j.Report.attachStats(opt)
+}
+
+// ExhaustJob is the resumable state of one exhaustive verification run:
+// the partial Report accumulated so far and the frontier of unexplored
+// decision-prefix subtrees. It is the check-level face of the machine's
+// checkpointable frontier (machine.Frontier): a job paused between
+// segments can be serialized (Report rendered by the caller, Frontier via
+// its JSON round trip), the process killed, and the job resumed — on any
+// worker count — with a final Report identical to an uninterrupted run's
+// (same Executions, OK, Discarded, Unknown, Steps, Complete, and failure
+// multiset), because every leaf of the decision tree is executed exactly
+// once across all segments. The compassd service (internal/serve) drives
+// its exhaustive jobs through this type.
+type ExhaustJob struct {
+	// Report accumulates across segments; Name and Exhaustive are set at
+	// construction.
+	Report *Report
+	// Frontier is the remaining work after the last segment; nil before
+	// the first segment (meaning the whole tree) and after completion.
+	Frontier *machine.Frontier
+	// Done is set when no further segment will make progress: the tree
+	// completed, the MaxRuns bound was exhausted, or an early stop
+	// (MaxFailures without KeepGoing) abandoned the remaining subtrees.
+	Done bool
+}
+
+// NewExhaustJob returns the state of an unstarted exhaustive run.
+func NewExhaustJob(name string) *ExhaustJob {
+	return &ExhaustJob{Report: &Report{Name: name, Exhaustive: true}}
+}
+
+// Resume rebuilds a job mid-flight from checkpointed state: the partial
+// report (ownership transfers to the job) and the saved frontier.
+func ResumeExhaustJob(rep *Report, frontier *machine.Frontier) *ExhaustJob {
+	rep.Exhaustive = true
+	return &ExhaustJob{Report: rep, Frontier: frontier}
+}
+
+// RunSegment explores until the tree is exhausted, the MaxRuns bound is
+// hit, an early stop fires, or — when pauseRuns > 0 — at least pauseRuns
+// more executions completed. It returns j.Done: false means the job
+// paused and a later RunSegment (or a resumed process) continues it.
+// Accounting matches the uninterrupted path exactly: every visited
+// execution lands in the Report and in opt.Stats once.
+//
+//compass:accounting
+func (j *ExhaustJob) RunSegment(build func() Checked, opt Options, pauseRuns int) bool {
+	if j.Done {
+		return true
+	}
+	opt = opt.withDefaults()
+	rep := j.Report
 	var mu sync.Mutex
-	var failures int64
+	// MaxFailures applies to the job, not the segment: failures already
+	// checkpointed count against the budget of this segment.
+	failures := int64(len(rep.Failures))
+	eo := opt.ExploreOpts()
+	eo.Resume = j.Frontier
+	eo.PauseRuns = pauseRuns
+	eo.MaxRuns = opt.MaxRuns - rep.Executions
+	if eo.MaxRuns <= 0 {
+		j.Done = true
+		return true
+	}
 	res := machine.ExploreParallel(
-		opt.ExploreOpts(),
+		eo,
 		func() (func() machine.Program, func(*machine.Result) bool) {
 			var cur Checked
 			buildProg := func() machine.Program {
@@ -588,39 +652,62 @@ func runExhaustive(name string, build func() Checked, opt Options) *Report {
 			return buildProg, visit
 		})
 	rep.Complete = res.Complete
-	return rep.attachStats(opt)
+	j.Frontier = res.Frontier
+	// Paused on pauseRuns with MaxRuns budget left → resumable. Anything
+	// else (complete, MaxRuns exhausted, early stop) ends the job.
+	j.Done = !res.Paused || rep.Executions >= opt.MaxRuns
+	return j.Done
 }
 
-// Explain replays the execution with the given seed under tracing and
+// ExplainOpt replays the execution with the given seed under tracing and
 // returns the per-step operation log together with the violations found —
-// for diagnosing a Failure reported by Run. staleBias follows the Options
-// convention: 0 selects the default 0.4; pass BiasZero (or any negative
-// value) to replay with a bias of exactly 0.
-func Explain(build func() Checked, seed int64, staleBias float64, budget int) (machine.Status, []string, []spec.Violation) {
-	opt := Options{StaleBias: staleBias, Budget: budget}.withDefaults()
+// for diagnosing a Failure reported by Run. The judgment is the same one
+// Run applies (opt.evaluate): with opt.Refine set the refinement oracle
+// runs on the replay too, so refine-attributed failures reproduce instead
+// of silently vanishing. Pass the Options the original Run used.
+func ExplainOpt(build func() Checked, seed int64, opt Options) (machine.Status, []string, []spec.Violation) {
+	opt = opt.withDefaults()
 	c := build()
 	res := opt.Runner(true).Run(c.Prog, machine.NewRandomBiased(seed, opt.StaleBias))
 	var viols []spec.Violation
 	if res.Status == machine.OK {
-		viols, _ = c.Evaluate()
+		viols, _ = opt.evaluate(&c, res)
 	}
 	return res.Status, res.Trace(), viols
 }
 
-// TraceChecked is the structured sibling of Explain: it replays the
+// Explain is ExplainOpt with only the bias and budget options threaded.
+//
+// Deprecated: Explain judges the replay without the refinement oracle, so
+// a refine-attributed failure replays as a spurious pass. Use ExplainOpt
+// with the Options the original Run used.
+func Explain(build func() Checked, seed int64, staleBias float64, budget int) (machine.Status, []string, []spec.Violation) {
+	return ExplainOpt(build, seed, Options{StaleBias: staleBias, Budget: budget})
+}
+
+// TraceCheckedOpt is the structured sibling of ExplainOpt: it replays the
 // execution with the given seed under step-event recording and returns the
 // machine result (Events populated, ready for Chrome trace export)
-// together with the violations found. staleBias follows the Options
-// convention (0 selects the default, BiasZero means exactly 0).
-func TraceChecked(build func() Checked, seed int64, staleBias float64, budget int) (*machine.Result, []spec.Violation) {
-	opt := Options{StaleBias: staleBias, Budget: budget}.withDefaults()
+// together with the violations found, judged exactly as Run judges them
+// (refinement oracle included when opt.Refine is set).
+func TraceCheckedOpt(build func() Checked, seed int64, opt Options) (*machine.Result, []spec.Violation) {
+	opt = opt.withDefaults()
 	c := build()
 	res := opt.Runner(true).Run(c.Prog, machine.NewRandomBiased(seed, opt.StaleBias))
 	var viols []spec.Violation
 	if res.Status == machine.OK {
-		viols, _ = c.Evaluate()
+		viols, _ = opt.evaluate(&c, res)
 	}
 	return res, viols
+}
+
+// TraceChecked is TraceCheckedOpt with only the bias and budget options
+// threaded.
+//
+// Deprecated: TraceChecked judges the replay without the refinement
+// oracle. Use TraceCheckedOpt with the Options the original Run used.
+func TraceChecked(build func() Checked, seed int64, staleBias float64, budget int) (*machine.Result, []spec.Violation) {
+	return TraceCheckedOpt(build, seed, Options{StaleBias: staleBias, Budget: budget})
 }
 
 // Collect merges several spec results into the (violations, unknown) pair

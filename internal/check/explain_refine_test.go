@@ -1,0 +1,75 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"compass/internal/check"
+	"compass/internal/spec"
+)
+
+// refineSeed hunts down a seed whose execution Run attributes to the
+// refinement oracle (a REFINE-* violation) on the blind-empty MSQueue
+// mutant. The workload is single-threaded and deterministic, so every
+// seed reproduces the same execution — but the test goes through Run's
+// failure report to exercise the real diagnose-a-Failure workflow.
+func refineSeed(t *testing.T) int64 {
+	t.Helper()
+	rep := check.Run("blind-empty/find-seed", refineOnly(blindQueueWorkload),
+		check.Options{Executions: 50, Refine: true})
+	for _, f := range rep.Failures {
+		for _, v := range f.Violations {
+			if strings.HasPrefix(v.Rule, "REFINE") {
+				return f.Seed
+			}
+		}
+	}
+	t.Fatalf("no refine-attributed failure to replay: %s", rep)
+	return 0
+}
+
+// TestExplainReproducesRefineViolation is the regression test for the
+// replay/oracle divergence: Explain used to judge the replay with the
+// bare consistency predicates (c.Evaluate) instead of the same evaluate
+// path Run uses, so a refine-attributed failure replayed as a spurious
+// pass. ExplainOpt with the original Options must reproduce the REFINE
+// violation.
+func TestExplainReproducesRefineViolation(t *testing.T) {
+	seed := refineSeed(t)
+	status, trace, viols := check.ExplainOpt(refineOnly(blindQueueWorkload), seed,
+		check.Options{Refine: true})
+	if !hasRefineViolation(viols) {
+		t.Fatalf("ExplainOpt did not reproduce the REFINE violation (status %v, %d violations, %d trace lines): %v",
+			status, len(viols), len(trace), viols)
+	}
+	// Sanity: without Refine the predicates alone still pass the mutant —
+	// the violation above is genuinely the oracle's.
+	_, _, noRefine := check.ExplainOpt(refineOnly(blindQueueWorkload), seed, check.Options{})
+	if len(noRefine) != 0 {
+		t.Fatalf("predicates-only replay unexpectedly failed: %v", noRefine)
+	}
+}
+
+// TestTraceCheckedReproducesRefineViolation covers the structured replay
+// sibling with the same fix.
+func TestTraceCheckedReproducesRefineViolation(t *testing.T) {
+	seed := refineSeed(t)
+	res, viols := check.TraceCheckedOpt(refineOnly(blindQueueWorkload), seed,
+		check.Options{Refine: true})
+	if !hasRefineViolation(viols) {
+		t.Fatalf("TraceCheckedOpt did not reproduce the REFINE violation (status %v): %v",
+			res.Status, viols)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("TraceCheckedOpt returned no step events")
+	}
+}
+
+func hasRefineViolation(viols []spec.Violation) bool {
+	for _, v := range viols {
+		if strings.HasPrefix(v.Rule, "REFINE") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package check_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"compass/internal/check"
+	"compass/internal/machine"
+	"compass/internal/queue"
+	"compass/internal/spec"
+)
+
+// msqueueBuild is a small exhaustively-explorable library workload
+// (por_test.go's msqueue @ hb instance): ~72 executions with POR off,
+// fewer under the reductions.
+func msqueueBuild() func() check.Checked {
+	return check.QueueMixed(func(th *machine.Thread) queue.Queue {
+		return queue.NewMS(th, "q")
+	}, spec.LevelHB, 1, 1, 1, 1)
+}
+
+// jobReportKey flattens the Report fields the checkpoint invariant
+// promises to preserve into a comparable string. (parallel_test.go's
+// reportKey compares seed sequences, which exhaustive runs don't have.)
+func jobReportKey(rep *check.Report) string {
+	return fmt.Sprintf("execs=%d ok=%d discarded=%d unknown=%d steps=%d complete=%v failures=%d",
+		rep.Executions, rep.OK, rep.Discarded, rep.Unknown, rep.Steps, rep.Complete, len(rep.Failures))
+}
+
+// TestExhaustJobSegmentsMatchUninterrupted proves the checkpoint
+// invariant at the check level: an exhaustive job paused every few runs —
+// with the frontier JSON-round-tripped between segments and the worker
+// count re-sharded per segment — accumulates a Report identical to one
+// uninterrupted exploration, in every POR mode.
+func TestExhaustJobSegmentsMatchUninterrupted(t *testing.T) {
+	for _, por := range []check.PORMode{check.POROff, check.PORSleep, check.PORSource} {
+		t.Run(fmt.Sprint(por), func(t *testing.T) {
+			opt := check.Options{Mode: check.ModeExhaustive, Budget: 4000, Refine: true, POR: por}
+			want := check.ExhaustiveOpt("msqueue/uninterrupted", msqueueBuild(), opt)
+			if !want.Complete {
+				t.Fatalf("baseline did not complete: %s", want)
+			}
+
+			j := check.NewExhaustJob("msqueue/segmented")
+			workers := []int{1, 4, 2}
+			segments := 0
+			for !j.Done {
+				segOpt := opt
+				segOpt.Workers = workers[segments%len(workers)]
+				j.RunSegment(msqueueBuild(), segOpt, 5)
+				segments++
+				if j.Done {
+					break
+				}
+				// Model a process death between segments: the frontier
+				// survives only as bytes, the job is rebuilt from them.
+				data, err := json.Marshal(j.Frontier)
+				if err != nil {
+					t.Fatalf("marshal frontier: %v", err)
+				}
+				f := &machine.Frontier{}
+				if err := json.Unmarshal(data, f); err != nil {
+					t.Fatalf("unmarshal frontier: %v", err)
+				}
+				j = check.ResumeExhaustJob(j.Report, f)
+			}
+			if segments < 2 {
+				t.Fatalf("job finished in %d segment(s); want an actual pause", segments)
+			}
+			if got, wantKey := jobReportKey(j.Report), jobReportKey(want); got != wantKey {
+				t.Fatalf("segmented report diverged after %d segments:\nuninterrupted %s\nsegmented     %s",
+					segments, wantKey, got)
+			}
+		})
+	}
+}
+
+// TestExhaustJobMaxRunsSpansSegments pins that MaxRuns bounds the job,
+// not the segment: a job resumed after a pause stops once the cumulative
+// execution count reaches the bound.
+func TestExhaustJobMaxRunsSpansSegments(t *testing.T) {
+	opt := check.Options{Mode: check.ModeExhaustive, Budget: 4000, MaxRuns: 7}
+	j := check.NewExhaustJob("msqueue/bounded")
+	for !j.Done {
+		j.RunSegment(msqueueBuild(), opt, 3)
+	}
+	if j.Report.Complete {
+		t.Fatalf("MaxRuns 7 unexpectedly completed the tree: %s", j.Report)
+	}
+	if j.Report.Executions != 7 {
+		t.Fatalf("job executed %d runs across segments; MaxRuns is 7", j.Report.Executions)
+	}
+}

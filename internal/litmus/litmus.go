@@ -164,32 +164,104 @@ func WithPORMode(m check.PORMode) Option { return func(c *config) { c.por = m } 
 // exploration; Run(t, n) alone keeps its historical meaning (all
 // GOMAXPROCS workers, nothing else).
 func Run(t Test, maxRuns int, opts ...Option) *Result {
+	s := NewJob()
+	s.RunSegment(t, maxRuns, 0, opts...)
+	return s.Finish(t)
+}
+
+// JobState is the resumable state of one exhaustive litmus exploration:
+// the outcome histogram accumulated so far and the frontier of unexplored
+// decision-prefix subtrees. All fields serialize to JSON, so a paused job
+// is a checkpoint: write the state out, kill the process, decode, and
+// keep exploring — on any worker count — with a final Result identical to
+// an uninterrupted Run's, because every decision-tree leaf is executed
+// exactly once across all segments. The compassd service
+// (internal/serve) drives its litmus jobs through this type.
+type JobState struct {
+	Runs      int               `json:"runs"`
+	Discarded int               `json:"discarded"`
+	Outcomes  map[string]int    `json:"outcomes"`
+	Frontier  *machine.Frontier `json:"frontier,omitempty"`
+	// Complete is set when the whole tree was explored; Done when no
+	// further segment will make progress (complete, maxRuns exhausted, or
+	// an early stop).
+	Complete bool `json:"complete"`
+	Done     bool `json:"done"`
+}
+
+// NewJob returns the state of an unstarted litmus exploration.
+func NewJob() *JobState { return &JobState{Outcomes: map[string]int{}} }
+
+// RunSegment explores until the tree is exhausted, maxRuns cumulative
+// executions are reached (0 means the explorer default, bounding the job
+// across all its segments), or — when pauseRuns > 0 — at least pauseRuns
+// more executions completed this segment. It returns s.Done: false means
+// the job paused and a later RunSegment (in this process or a resumed
+// one) continues it.
+func (s *JobState) RunSegment(t Test, maxRuns, pauseRuns int, opts ...Option) bool {
+	if s.Done {
+		return true
+	}
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	res := &Result{Test: t, Outcomes: map[string]int{}}
+	if s.Outcomes == nil {
+		s.Outcomes = map[string]int{}
+	}
+	if maxRuns <= 0 {
+		maxRuns = check.DefaultMaxRuns
+	}
+	eo := check.Options{MaxRuns: maxRuns, Workers: cfg.workers, Stats: cfg.stats, Footprint: cfg.fp, POR: cfg.por}.ExploreOpts()
+	eo.Resume = s.Frontier
+	eo.PauseRuns = pauseRuns
+	// The explorer bounds one call; the job bound spans segments.
+	eo.MaxRuns = maxRuns - s.Runs
+	if eo.MaxRuns <= 0 {
+		s.Done = true
+		return true
+	}
 	var mu sync.Mutex
-	er := machine.ExploreParallel(
-		check.Options{MaxRuns: maxRuns, Workers: cfg.workers, Stats: cfg.stats, Footprint: cfg.fp, POR: cfg.por}.ExploreOpts(),
+	er := machine.ExploreParallel(eo,
 		func() (func() machine.Program, func(*machine.Result) bool) {
 			return t.Build, func(r *machine.Result) bool {
 				switch r.Status {
 				case machine.OK:
 					key := outcomeKey(r.Outcome)
 					mu.Lock()
-					res.Outcomes[key]++
+					s.Outcomes[key]++
 					mu.Unlock()
 				case machine.Budget:
 					mu.Lock()
-					res.Discarded++
+					s.Discarded++
 					mu.Unlock()
 				}
 				return true
 			}
 		})
-	res.Runs = er.Runs
-	res.Complete = er.Complete
+	s.Runs += er.Runs
+	s.Complete = er.Complete
+	s.Frontier = er.Frontier
+	// Paused with maxRuns budget left → resumable. Anything else
+	// (complete, bound exhausted, early stop) ends the job.
+	s.Done = !er.Paused || s.Runs >= maxRuns
+	return s.Done
+}
+
+// Finish evaluates the test's expectations against the accumulated
+// histogram and renders the Result. Call after Done (calling earlier
+// yields the partial verdict of the explored subset).
+func (s *JobState) Finish(t Test) *Result {
+	res := &Result{
+		Test:      t,
+		Runs:      s.Runs,
+		Complete:  s.Complete,
+		Discarded: s.Discarded,
+		Outcomes:  s.Outcomes,
+	}
+	if res.Outcomes == nil {
+		res.Outcomes = map[string]int{}
+	}
 	for _, f := range t.Forbidden {
 		if res.Outcomes[f] > 0 {
 			res.ForbiddenSeen = append(res.ForbiddenSeen, f)

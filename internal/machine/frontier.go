@@ -1,0 +1,104 @@
+package machine
+
+import "encoding/json"
+
+// Frontier is the checkpointable work-list of an exhaustive exploration:
+// the pinned decision prefixes of every subtree that has not been explored
+// yet. Because an execution is a deterministic function of its decision
+// sequence (and the POR sleep state is a pure function of the prefix), a
+// frontier fully determines the remaining work of an exploration — the
+// set of leaves below its prefixes is exactly the set of executions an
+// uninterrupted run would still visit. That makes a frontier snapshot a
+// sound checkpoint: serialize it (JSON via MarshalJSON), kill the
+// process, deserialize, and resume via ExploreOpts.Resume on any worker
+// count; the union of executions across all segments is identical to one
+// uninterrupted run, leaf for leaf.
+//
+// A Frontier is owned by a single explorer at a time and is not safe for
+// concurrent use; the parallel explorer guards it with its own mutex.
+type Frontier struct {
+	// prefixes is the LIFO stack of pinned prefixes (deepest popped
+	// first, mirroring the sequential DFS order). A nil prefix is the
+	// root: the whole tree.
+	prefixes [][]Decision
+}
+
+// NewFrontier returns the frontier of an unstarted exploration: the root
+// subtree only.
+func NewFrontier() *Frontier { return &Frontier{prefixes: [][]Decision{nil}} }
+
+// RestoreFrontier rebuilds a frontier from prefixes saved by Prefixes (or
+// decoded from a checkpoint). The slices are deep-copied, so the caller's
+// buffers can be reused.
+func RestoreFrontier(prefixes [][]Decision) *Frontier {
+	f := &Frontier{prefixes: make([][]Decision, len(prefixes))}
+	for i, p := range prefixes {
+		if p == nil {
+			continue
+		}
+		cp := make([]Decision, len(p))
+		copy(cp, p)
+		f.prefixes[i] = cp
+	}
+	return f
+}
+
+// Len returns the number of pending subtree prefixes.
+func (f *Frontier) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.prefixes)
+}
+
+// Empty reports whether no work remains.
+func (f *Frontier) Empty() bool { return f.Len() == 0 }
+
+// Prefixes returns a deep copy of the pending prefixes, deepest-first in
+// pop order. The copy is safe to serialize or to feed to RestoreFrontier
+// while the original keeps exploring.
+func (f *Frontier) Prefixes() [][]Decision {
+	if f == nil {
+		return nil
+	}
+	out := make([][]Decision, len(f.prefixes))
+	for i, p := range f.prefixes {
+		if p == nil {
+			continue
+		}
+		cp := make([]Decision, len(p))
+		copy(cp, p)
+		out[i] = cp
+	}
+	return out
+}
+
+// Clone returns an independent deep copy.
+func (f *Frontier) Clone() *Frontier { return RestoreFrontier(f.Prefixes()) }
+
+// push appends children onto the work stack (LIFO: the last pushed is
+// popped first).
+func (f *Frontier) push(children [][]Decision) { f.prefixes = append(f.prefixes, children...) }
+
+// pop removes and returns the most recently pushed prefix; callers check
+// Empty first.
+func (f *Frontier) pop() []Decision {
+	n := len(f.prefixes)
+	p := f.prefixes[n-1]
+	f.prefixes = f.prefixes[:n-1]
+	return p
+}
+
+// MarshalJSON encodes the frontier as a JSON array of decision sequences
+// (the root prefix encodes as null).
+func (f *Frontier) MarshalJSON() ([]byte, error) { return json.Marshal(f.prefixes) }
+
+// UnmarshalJSON decodes a frontier encoded by MarshalJSON.
+func (f *Frontier) UnmarshalJSON(data []byte) error {
+	var prefixes [][]Decision
+	if err := json.Unmarshal(data, &prefixes); err != nil {
+		return err
+	}
+	f.prefixes = prefixes
+	return nil
+}

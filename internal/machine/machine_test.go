@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"compass/internal/memory"
+	"compass/internal/telemetry"
 	"compass/internal/view"
 )
 
@@ -317,9 +318,21 @@ func TestExploreVisitStops(t *testing.T) {
 
 func TestRunRandomCountsOK(t *testing.T) {
 	build := mpProgram(memory.Rel, memory.Acq, nil)
-	n := RunRandom(build, 10, 42, 0, func(r *Result) bool { return true })
+	stats := telemetry.New()
+	n := RunRandomOpt(build, 10, 42, ExploreOpts{Stats: stats}, func(r *Result) bool { return true })
 	if n != 10 {
 		t.Fatalf("ok count = %d, want 10", n)
+	}
+	// The sanctioned runner path accounts every execution: one ExecDone
+	// per run, so telemetry totals equal what visit observed.
+	snap := stats.Snapshot()
+	if snap.Machine.Execs != 10 || snap.Machine.ExecsByStatus["ok"] != 10 {
+		t.Fatalf("telemetry execs = %d (ok=%d), want 10 accounted ok executions",
+			snap.Machine.Execs, snap.Machine.ExecsByStatus["ok"])
+	}
+	// The deprecated wrapper delegates: same results, no telemetry.
+	if w := RunRandom(build, 10, 42, 0, func(r *Result) bool { return true }); w != n {
+		t.Fatalf("RunRandom wrapper ok count = %d, want %d", w, n)
 	}
 }
 

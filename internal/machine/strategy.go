@@ -147,6 +147,22 @@ type ExploreOpts struct {
 	// consumers — like the refinement oracle — that cross-check the event
 	// graph against the executed instruction stream.
 	Trace bool
+	// Resume, when non-nil, starts the exploration from a saved frontier
+	// instead of the tree root: only the subtrees below the frontier's
+	// pinned prefixes are explored. Together with PauseRuns this is the
+	// checkpoint/resume mechanism — a paused exploration's remaining
+	// frontier (ExploreResult.Frontier) fed back through Resume visits
+	// exactly the leaves the uninterrupted run would have, regardless of
+	// the worker count of either segment. The frontier is cloned, never
+	// mutated.
+	Resume *Frontier
+	// PauseRuns, when > 0, pauses the exploration after at least that
+	// many executions in this call: workers stop claiming new prefixes,
+	// in-flight executions complete (and are visited and accounted), and
+	// the remaining work is returned in ExploreResult.Frontier with
+	// Paused set. A paused exploration is not an early stop: no subtree
+	// is abandoned, it is merely deferred.
+	PauseRuns int
 	// POR selects the partial-order reduction mode applied in every
 	// execution's Runner (see Runner.POR and PORMode): PORSleep shrinks
 	// scheduling decisions to the threads whose next step is not known to
@@ -167,6 +183,14 @@ type ExploreOpts struct {
 type ExploreResult struct {
 	Runs     int
 	Complete bool // true if the decision tree was exhausted within bounds
+	// Paused is true when the exploration stopped with work remaining but
+	// nothing abandoned: PauseRuns was reached or MaxRuns was hit while
+	// the frontier still held subtrees. Frontier then carries the pending
+	// prefixes for a later ExploreOpts.Resume. An early stop (a visit
+	// returning false) is neither Complete nor Paused — its pruned
+	// subtrees are deliberately unexplored and no frontier is returned.
+	Paused   bool
+	Frontier *Frontier
 }
 
 // Explore enumerates executions of the program depth-first over all
@@ -248,7 +272,7 @@ func ExploreParallel(opts ExploreOpts, newWorker func() (build func() Program, v
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 {
+	if workers == 1 && opts.Resume == nil && opts.PauseRuns <= 0 {
 		build, visit := newWorker()
 		return Explore(build, opts, visit)
 	}
@@ -256,7 +280,11 @@ func ExploreParallel(opts ExploreOpts, newWorker func() (build func() Program, v
 	if maxRuns <= 0 {
 		maxRuns = 200000
 	}
-	e := &parallelExplorer{opts: opts, maxRuns: maxRuns, frontier: [][]Decision{nil}}
+	frontier := NewFrontier()
+	if opts.Resume != nil {
+		frontier = opts.Resume.Clone()
+	}
+	e := &parallelExplorer{opts: opts, maxRuns: maxRuns, frontier: frontier}
 	e.cond = sync.NewCond(&e.mu)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -268,19 +296,30 @@ func ExploreParallel(opts ExploreOpts, newWorker func() (build func() Program, v
 		}()
 	}
 	wg.Wait()
-	return ExploreResult{Runs: e.runs, Complete: !e.stopped && !e.bounded && len(e.frontier) == 0}
+	res := ExploreResult{Runs: e.runs}
+	switch {
+	case e.stopped:
+		// Early stop: subtrees were deliberately abandoned; the frontier
+		// is not a faithful remainder.
+	case e.frontier.Empty():
+		res.Complete = true
+	default:
+		res.Paused = true
+		res.Frontier = e.frontier
+	}
+	return res
 }
 
 // parallelExplorer is the shared state of one ExploreParallel call.
 type parallelExplorer struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	frontier [][]Decision // unexplored subtree prefixes (LIFO)
-	inflight int          // workers currently running a prefix
+	frontier *Frontier // unexplored subtree prefixes (LIFO)
+	inflight int       // workers currently running a prefix
 	runs     int
 	maxRuns  int
 	stopped  bool // a visit returned false
-	bounded  bool // maxRuns hit with work remaining
+	paused   bool // maxRuns or PauseRuns hit with work remaining
 	opts     ExploreOpts
 }
 
@@ -290,16 +329,15 @@ func (e *parallelExplorer) next() ([]Decision, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for {
-		if e.stopped {
+		if e.stopped || e.paused {
 			return nil, false
 		}
-		if n := len(e.frontier); n > 0 {
-			if e.runs >= e.maxRuns {
-				e.bounded = true
+		if !e.frontier.Empty() {
+			if e.runs >= e.maxRuns || (e.opts.PauseRuns > 0 && e.runs >= e.opts.PauseRuns) {
+				e.paused = true
 				return nil, false
 			}
-			prefix := e.frontier[n-1]
-			e.frontier = e.frontier[:n-1]
+			prefix := e.frontier.pop()
 			e.inflight++
 			e.runs++
 			e.opts.Stats.PrefixClaimed(len(prefix))
@@ -315,8 +353,8 @@ func (e *parallelExplorer) next() ([]Decision, bool) {
 // done publishes the children of a completed run and wakes waiting workers.
 func (e *parallelExplorer) done(children [][]Decision, keep bool) {
 	e.mu.Lock()
-	e.frontier = append(e.frontier, children...)
-	e.opts.Stats.ChildrenPushed(len(children), len(e.frontier))
+	e.frontier.push(children)
+	e.opts.Stats.ChildrenPushed(len(children), e.frontier.Len())
 	e.inflight--
 	if !keep {
 		e.stopped = true
@@ -397,14 +435,22 @@ func (s *Recorded) Choose(n int) int {
 	return p
 }
 
-// RunRandom executes the program n times with seeds seed, seed+1, ...,
-// invoking visit for each result. It returns the number of executions
-// that completed with status OK.
-func RunRandom(build func() Program, n int, seed int64, budget int, visit func(*Result) bool) int {
-	runner := &Runner{Budget: budget}
+// RunRandomOpt executes the program n times with seeds seed, seed+1, ...,
+// invoking visit for each result, and returns the number of executions
+// that completed with status OK. The runner is built exactly as the
+// explorers build theirs — Budget, Trace, Stats, Footprint, and POR all
+// taken from opts — and every execution is accounted with one ExecDone,
+// so telemetry totals equal what visit observed. MaxRuns, MaxDepth,
+// Workers, Resume, and PauseRuns are exploration-tree concepts and are
+// ignored: random sampling has no decision tree.
+//
+//compass:accounting
+func RunRandomOpt(build func() Program, n int, seed int64, opts ExploreOpts, visit func(*Result) bool) int {
+	runner := &Runner{Budget: opts.Budget, Trace: opts.Trace, Stats: opts.Stats, Footprint: opts.Footprint, POR: opts.POR}
 	ok := 0
 	for i := 0; i < n; i++ {
 		r := runner.Run(build(), NewRandom(seed+int64(i)))
+		opts.Stats.ExecDone(uint8(r.Status), r.Steps)
 		if r.Status == OK {
 			ok++
 		}
@@ -413,4 +459,16 @@ func RunRandom(build func() Program, n int, seed int64, budget int, visit func(*
 		}
 	}
 	return ok
+}
+
+// RunRandom executes the program n times with seeds seed, seed+1, ...,
+// invoking visit for each result.
+//
+// Deprecated: use RunRandomOpt. This wrapper used to construct a bare
+// Runner with no Stats/Footprint/POR plumbing and recorded no ExecDone,
+// silently diverging from the accounted paths; it now delegates to
+// RunRandomOpt with only the budget set, preserving its historical
+// behaviour (no telemetry) without a second runner-construction site.
+func RunRandom(build func() Program, n int, seed int64, budget int, visit func(*Result) bool) int {
+	return RunRandomOpt(build, n, seed, ExploreOpts{Budget: budget}, visit)
 }

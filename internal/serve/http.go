@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"compass/internal/telemetry"
+)
+
+// Handler builds the compassd HTTP API on a manager:
+//
+//	POST /jobs            submit a JobSpec, returns the JobView (202)
+//	GET  /jobs            list all jobs
+//	GET  /jobs/{id}       one job's status/result
+//	GET  /jobs/{id}/events  NDJSON stream: one compass/telemetry/v1
+//	                        snapshot per completed segment, closing with
+//	                        the final totals when the job ends
+//	GET  /workloads       registry names
+//	GET  /stats           service-level telemetry snapshot
+//	GET  /healthz         liveness
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+			return
+		}
+		j, err := m.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, j.View())
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.JobViews())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.View())
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		streamEvents(w, r, j)
+	})
+	mux.HandleFunc("GET /workloads", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, WorkloadNames())
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats().Snapshot())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// streamEvents writes the job's telemetry stream as NDJSON: each line is
+// one complete compass/telemetry/v1 snapshot (the same schema statcheck
+// validates), flushed per event. The stream ends when the job reaches a
+// terminal state or the client disconnects.
+func streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	events, cancel := j.Subscribe()
+	defer cancel()
+	enc := json.NewEncoder(w)
+	write := func(snap telemetry.Snapshot) bool {
+		if err := enc.Encode(snap); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for {
+		select {
+		case snap, ok := <-events:
+			if !ok {
+				return
+			}
+			if !write(snap) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+const (
+	killChildEnv = "COMPASS_SERVE_KILL_CHILD"
+	killDirEnv   = "COMPASS_SERVE_KILL_DIR"
+)
+
+// TestMain lets the SIGKILL test re-exec this binary as a compassd-like
+// child process that can be killed for real, mid-job.
+func TestMain(m *testing.M) {
+	if os.Getenv(killChildEnv) == "1" {
+		runKillChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runKillChild is the re-exec'd process: it starts a manager on the
+// state dir from the environment, submits one long job, announces the
+// job ID on stdout, and runs until killed.
+func runKillChild() {
+	m, err := NewManager(Config{
+		StateDir:        os.Getenv(killDirEnv),
+		Workers:         2,
+		CheckpointEvery: 200,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	j, err := m.Submit(JobSpec{Workload: "litmus/IRIW", POR: "off"})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(j.ID)
+	m.Wait()
+}
+
+// TestSIGKILLResume is the end-to-end crash test: a separate process
+// runs a job, is SIGKILLed mid-frontier (no deferred cleanup, no
+// graceful pause), and a fresh manager resumes from whatever checkpoint
+// the dead process last committed — on a different worker count — with a
+// final result byte-identical to an uninterrupted run's.
+func TestSIGKILLResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec smoke test")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), killChildEnv+"=1", killDirEnv+"="+dir)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("child produced no job ID: %v", sc.Err())
+	}
+	id := sc.Text()
+
+	// Wait for the child's first committed checkpoint, then kill it hard.
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp *Checkpoint
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint for job %s within deadline", id)
+		}
+		if c, err := st.Load(id); err == nil && c.Runs > 0 {
+			cp = c
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	if cp.Done {
+		t.Fatalf("job finished (%d runs) before the kill; raise the workload size", cp.Runs)
+	}
+	t.Logf("killed child at >= %d runs", cp.Runs)
+
+	// Resume on a different worker count and compare against an
+	// uninterrupted run.
+	m, err := NewManager(Config{StateDir: dir, Workers: 4, CheckpointEvery: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, finished, errs := m.Resume()
+	if len(errs) > 0 {
+		t.Fatalf("resume errors: %v", errs)
+	}
+	if resumed != 1 || finished != 0 {
+		t.Fatalf("resumed %d finished %d, want 1/0", resumed, finished)
+	}
+	j, ok := m.Job(id)
+	if !ok {
+		t.Fatalf("job %s not registered after resume", id)
+	}
+	m.Wait()
+	got := j.View()
+	if got.Status != StatusDone {
+		t.Fatalf("resumed job status %s (err %q)", got.Status, got.Error)
+	}
+
+	want := baseline(t, JobSpec{Workload: "litmus/IRIW", POR: "off"}, 2)
+	g, err := json.Marshal(got.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := json.Marshal(want.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(g) != string(w) {
+		t.Errorf("post-SIGKILL result diverged from uninterrupted run\n got: %s\nwant: %s", g, w)
+	}
+	if got.Runs != want.Runs {
+		t.Errorf("runs = %d, want %d", got.Runs, want.Runs)
+	}
+}

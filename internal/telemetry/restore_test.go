@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// populated builds a Stats with every section non-trivially exercised.
+func populated() *Stats {
+	s := New()
+	s.ExecDone(0, 12)
+	s.ExecDone(0, 900)
+	s.ExecDone(2, 4000)
+	s.ReadChoice(3, 1)
+	s.ReadChoice(2, 1)
+	s.ThreadPick(0)
+	s.ThreadPick(5)
+	s.PrefixClaimed(4)
+	s.ChildrenPushed(2, 7)
+	s.PORSchedulePoint(1, 2)
+	s.PORRaceReversed()
+	s.PORRunWakeups(1)
+	s.FuzzProgram()
+	s.FuzzExec(true)
+	s.FuzzShrink(true)
+	s.RefineTrace(true)
+	s.RefineFanout(3)
+	s.JobSubmitted()
+	s.JobResumed()
+	s.JobDone(true)
+	s.CheckpointWritten(512)
+	s.SegmentDone(37)
+	return s
+}
+
+// TestRestoreRoundTrip pins the checkpoint contract: restoring from a
+// snapshot and re-snapshotting yields the identical snapshot (bytes of
+// the JSON encoding), and the restored snapshot still validates.
+func TestRestoreRoundTrip(t *testing.T) {
+	want := populated().Snapshot()
+	s, err := Restore(want)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	got := s.Snapshot()
+	wb, _ := json.Marshal(want)
+	gb, _ := json.Marshal(got)
+	if !bytes.Equal(wb, gb) {
+		t.Fatalf("restore round trip changed the snapshot:\nwant %s\ngot  %s", wb, gb)
+	}
+	if err := ValidateSnapshotJSON(gb); err != nil {
+		t.Fatalf("restored snapshot invalid: %v", err)
+	}
+	// A restored Stats keeps recording on top of the restored baseline.
+	s.ExecDone(0, 5)
+	if n := s.Snapshot().Machine.Execs; n != want.Machine.Execs+1 {
+		t.Fatalf("post-restore recording: execs %d, want %d", n, want.Machine.Execs+1)
+	}
+}
+
+// TestRestoreRejectsBadInput pins the defensive checks.
+func TestRestoreRejectsBadInput(t *testing.T) {
+	if _, err := Restore(Snapshot{Schema: "compass/telemetry/v0"}); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	bad := populated().Snapshot()
+	bad.Machine.ExecsByStatus["martian"] = 1
+	if _, err := Restore(bad); err == nil {
+		t.Fatal("unknown status accepted")
+	}
+	bad = populated().Snapshot()
+	bad.Machine.StepsPerExec.Buckets[0].Count++
+	if _, err := Restore(bad); err == nil {
+		t.Fatal("inconsistent bucket sum accepted")
+	}
+	bad = populated().Snapshot()
+	bad.Refine.StateFanout.Buckets[0].Lo = 3
+	if _, err := Restore(bad); err == nil {
+		t.Fatal("non-power-of-two bucket lo accepted")
+	}
+}
+
+// TestServeSectionValidation pins the jobs_failed ≤ jobs_done invariant in
+// the snapshot validator.
+func TestServeSectionValidation(t *testing.T) {
+	snap := populated().Snapshot()
+	snap.Serve.JobsFailed = snap.Serve.JobsDone + 1
+	data, _ := json.Marshal(snap)
+	if err := ValidateSnapshotJSON(data); err == nil {
+		t.Fatal("jobs_failed > jobs_done accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+// ServeStats instruments the compassd verification service
+// (internal/serve): job lifecycle, checkpointing, and segment pacing.
+// Like every other section these are cumulative counters, so a resumed
+// daemon that restores its telemetry from the last checkpointed snapshot
+// (Restore) continues the same monotone stream the killed process was
+// emitting.
+type ServeStats struct {
+	// JobsSubmitted counts jobs accepted by the API.
+	JobsSubmitted Counter
+	// JobsResumed counts jobs rebuilt from a checkpoint after a restart.
+	JobsResumed Counter
+	// JobsDone counts jobs that reached a terminal state; JobsFailed is
+	// the subset that ended in an error (never ≤-violated by the
+	// validator).
+	JobsDone   Counter
+	JobsFailed Counter
+	// Checkpoints counts checkpoint files committed (atomic renames), and
+	// CheckpointBytes their total encoded size.
+	Checkpoints     Counter
+	CheckpointBytes Counter
+	// SegmentRuns is the distribution of executions per job segment (the
+	// work done between two checkpoint opportunities).
+	SegmentRuns Histogram
+}
+
+// JobSubmitted records one job accepted by the API.
+//
+//compass:accounting
+func (s *Stats) JobSubmitted() {
+	if s == nil {
+		return
+	}
+	s.Serve.JobsSubmitted.Inc()
+}
+
+// JobResumed records one job rebuilt from a checkpoint.
+//
+//compass:accounting
+func (s *Stats) JobResumed() {
+	if s == nil {
+		return
+	}
+	s.Serve.JobsResumed.Inc()
+}
+
+// JobDone records one job reaching a terminal state; failed marks an
+// error outcome.
+//
+//compass:accounting
+func (s *Stats) JobDone(failed bool) {
+	if s == nil {
+		return
+	}
+	s.Serve.JobsDone.Inc()
+	if failed {
+		s.Serve.JobsFailed.Inc()
+	}
+}
+
+// CheckpointWritten records one committed checkpoint of the given encoded
+// size.
+//
+//compass:accounting
+func (s *Stats) CheckpointWritten(bytes int64) {
+	if s == nil {
+		return
+	}
+	s.Serve.Checkpoints.Inc()
+	s.Serve.CheckpointBytes.Add(bytes)
+}
+
+// SegmentDone records one completed job segment and the executions it
+// ran.
+//
+//compass:accounting
+func (s *Stats) SegmentDone(runs int) {
+	if s == nil {
+		return
+	}
+	s.Serve.SegmentRuns.Observe(int64(runs))
+}
+
+// ServeSnapshot is the JSON form of ServeStats.
+type ServeSnapshot struct {
+	JobsSubmitted   int64             `json:"jobs_submitted"`
+	JobsResumed     int64             `json:"jobs_resumed"`
+	JobsDone        int64             `json:"jobs_done"`
+	JobsFailed      int64             `json:"jobs_failed"`
+	Checkpoints     int64             `json:"checkpoints"`
+	CheckpointBytes int64             `json:"checkpoint_bytes"`
+	SegmentRuns     HistogramSnapshot `json:"segment_runs"`
+}

@@ -285,6 +285,7 @@ type Stats struct {
 	Explore ExploreStats
 	Fuzz    FuzzStats
 	Refine  RefineStats
+	Serve   ServeStats
 }
 
 // New returns an empty Stats.
@@ -535,6 +536,14 @@ func (s *Stats) Merge(o *Stats) {
 	r.TracesChecked.Add(or.TracesChecked.Load())
 	r.Disagreements.Add(or.Disagreements.Load())
 	r.StateFanout.merge(&or.StateFanout)
+	v, ov := &s.Serve, &o.Serve
+	v.JobsSubmitted.Add(ov.JobsSubmitted.Load())
+	v.JobsResumed.Add(ov.JobsResumed.Load())
+	v.JobsDone.Add(ov.JobsDone.Load())
+	v.JobsFailed.Add(ov.JobsFailed.Load())
+	v.Checkpoints.Add(ov.Checkpoints.Load())
+	v.CheckpointBytes.Add(ov.CheckpointBytes.Load())
+	v.SegmentRuns.merge(&ov.SegmentRuns)
 }
 
 // MachineSnapshot is the JSON form of MachineStats.
@@ -598,6 +607,7 @@ type Snapshot struct {
 	Explore ExploreSnapshot `json:"explore"`
 	Fuzz    FuzzSnapshot    `json:"fuzz"`
 	Refine  RefineSnapshot  `json:"refine"`
+	Serve   ServeSnapshot   `json:"serve"`
 }
 
 // Snapshot copies the current counter values. Safe to call while other
@@ -668,6 +678,16 @@ func (s *Stats) Snapshot() Snapshot {
 		TracesChecked: r.TracesChecked.Load(),
 		Disagreements: r.Disagreements.Load(),
 		StateFanout:   r.StateFanout.snapshot(),
+	}
+	v := &s.Serve
+	snap.Serve = ServeSnapshot{
+		JobsSubmitted:   v.JobsSubmitted.Load(),
+		JobsResumed:     v.JobsResumed.Load(),
+		JobsDone:        v.JobsDone.Load(),
+		JobsFailed:      v.JobsFailed.Load(),
+		Checkpoints:     v.Checkpoints.Load(),
+		CheckpointBytes: v.CheckpointBytes.Load(),
+		SegmentRuns:     v.SegmentRuns.snapshot(),
 	}
 	return snap
 }
@@ -746,6 +766,10 @@ func ValidateSnapshotJSON(data []byte) error {
 		return fmt.Errorf("telemetry snapshot: refine_disagreements %d > refine_traces_checked %d",
 			r.Disagreements, r.TracesChecked)
 	}
+	if v := snap.Serve; v.JobsFailed > v.JobsDone {
+		// Every failed job is first counted as done.
+		return fmt.Errorf("telemetry snapshot: jobs_failed %d > jobs_done %d", v.JobsFailed, v.JobsDone)
+	}
 	for _, c := range []int64{m.Steps, m.ReadChoices, m.StaleReads,
 		m.PrunedReads, m.RaceChecksSkipped,
 		snap.Explore.Prefixes, snap.Explore.Children, snap.Explore.FrontierPeak,
@@ -753,7 +777,10 @@ func ValidateSnapshotJSON(data []byte) error {
 		snap.Explore.PORRacesReversed, snap.Explore.PORStaleReadsSkipped,
 		snap.Explore.PORDisabledThreads, snap.Explore.WakeupTreeSize.Count,
 		snap.Fuzz.Programs, snap.Fuzz.Execs, snap.Fuzz.Discarded, snap.Fuzz.Failures,
-		snap.Refine.TracesChecked, snap.Refine.Disagreements, snap.Refine.StateFanout.Count} {
+		snap.Refine.TracesChecked, snap.Refine.Disagreements, snap.Refine.StateFanout.Count,
+		snap.Serve.JobsSubmitted, snap.Serve.JobsResumed, snap.Serve.JobsDone,
+		snap.Serve.JobsFailed, snap.Serve.Checkpoints, snap.Serve.CheckpointBytes,
+		snap.Serve.SegmentRuns.Count} {
 		if c < 0 {
 			return fmt.Errorf("telemetry snapshot: negative counter")
 		}
