@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: check lint build vet test race bench benchreport fuzz fuzznative golden telemetry serve servesmoke
+.PHONY: check lint build vet test race bench benchreport fuzz fuzznative golden telemetry serve servesmoke plan
 
 check: lint build race
 
@@ -51,8 +51,16 @@ golden:
 # Telemetry artifact smoke: emit stats + Chrome trace from a litmus run
 # and validate both against their schemas (what CI's telemetry job does).
 telemetry:
-	$(GO) run ./cmd/litmus -test SB -por=source -prune -stats /tmp/compass_sb.json -trace-out /tmp/compass_sb.trace.json
+	$(GO) run ./cmd/litmus -test SB -por=source -prune -plan -stats /tmp/compass_sb.json -trace-out /tmp/compass_sb.trace.json
 	$(GO) run ./cmd/statcheck -snapshot /tmp/compass_sb.json -trace /tmp/compass_sb.trace.json
+
+# Regenerate the committed static access-plan fixture from the suite
+# sources (internal/analysis/staticplan/testdata/plans.json), then verify
+# it round-trips. The planstale lint pass and TestPlansFresh fail until a
+# workload edit that changes its plan is followed by this target.
+plan:
+	$(GO) test ./internal/analysis/staticplan -run TestPlansFresh -update -count=1
+	$(GO) test ./internal/analysis/staticplan -run TestPlansFresh -count=1
 
 # Run the verification service with a persistent checkpoint directory;
 # SIGTERM pauses jobs at their next segment boundary and a restart

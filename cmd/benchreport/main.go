@@ -68,6 +68,7 @@ type Report struct {
 	Results    []Result       `json:"results"`
 	Pruning    *PruningReport `json:"pruning,omitempty"`
 	POR        *PORReport     `json:"por,omitempty"`
+	Plan       *PlanReport    `json:"plan,omitempty"`
 }
 
 // PruningReport records footprint-pruning effectiveness: the litmus suite
@@ -248,6 +249,101 @@ func measurePOR(maxRuns int) (*PORReport, error) {
 	return rep, nil
 }
 
+// PlanReport records static access-plan effectiveness under source-DPOR:
+// the litmus suite, the footprint-rich workloads, and the library
+// refinement corpus, each explored exhaustively at -por=source once
+// without and once with the committed static plan installed. The plan
+// refutes conservative dependence verdicts (and forces provably
+// invisible steps), so the headline numbers are per-test execution
+// counts; outcome sets / golden verdicts are identical by construction
+// and re-checked per test before recording.
+type PlanReport struct {
+	Tests          []PlanTest `json:"tests"`
+	SecondsBare    float64    `json:"seconds_bare"`
+	SecondsPlanned float64    `json:"seconds_planned"`
+	// PlanChecks is the planned sweep's plan_checks telemetry total:
+	// conflict verdicts the source-DPOR explorer asked the plan oracle
+	// about.
+	PlanChecks int64 `json:"plan_checks"`
+	// PlanConflictsRefuted is the planned sweep's plan_conflicts_refuted
+	// total: conservative conflicts the plan proved impossible (each one
+	// removes a race-reversal branch).
+	PlanConflictsRefuted int64 `json:"plan_conflicts_refuted"`
+}
+
+// PlanTest is one test's execution counts at -por=source, plan off/on.
+type PlanTest struct {
+	Name         string `json:"name"`
+	ExecsBare    int    `json:"execs_bare"`
+	ExecsPlanned int    `json:"execs_planned"`
+}
+
+// measurePlan runs everything at -por=source twice — without and with
+// the committed static plans — re-checking outcome-set (litmus) or
+// golden-verdict (library) equality per test. Any divergence aborts: a
+// BENCH file must never record reduction numbers from an unsound sweep.
+func measurePlan(maxRuns int) (*PlanReport, error) {
+	rep := &PlanReport{}
+	stats := compass.NewTelemetry()
+	tests := append(compass.LitmusSuite(), compass.LitmusFootprintSuite()...)
+	startBare := time.Now()
+	bare := make([]*compass.LitmusResult, len(tests))
+	for i, t := range tests {
+		bare[i] = compass.RunLitmus(t, maxRuns, compass.WithPORMode(compass.PORSource))
+		if !bare[i].OK() {
+			return nil, fmt.Errorf("%s: exploration failed (plan=off):\n%s", t.Name, bare[i])
+		}
+	}
+	libs := compass.LibrarySuite()
+	libBare := make([]*compass.LibResult, len(libs))
+	for i, lt := range libs {
+		libBare[i] = compass.RunLibRefinement(lt, 600000, compass.WithPORMode(compass.PORSource))
+		if !libBare[i].OK() {
+			return nil, fmt.Errorf("%s: exploration failed (plan=off)", lt.Name)
+		}
+	}
+	rep.SecondsBare = time.Since(startBare).Seconds()
+
+	startPlanned := time.Now()
+	for i, t := range tests {
+		pl := compass.PlanFor(t.Name)
+		if pl == nil {
+			return nil, fmt.Errorf("%s: no committed static plan; run `make plan`", t.Name)
+		}
+		res := compass.RunLitmus(t, maxRuns,
+			compass.WithPORMode(compass.PORSource), compass.WithPlan(pl), compass.WithStats(stats))
+		if !res.OK() {
+			return nil, fmt.Errorf("%s: exploration failed (plan=on):\n%s", t.Name, res)
+		}
+		if !outcomeSetsEqual(bare[i].Outcomes, res.Outcomes) {
+			return nil, fmt.Errorf("%s: outcome sets diverged with the plan installed:\nbare: %v\nplan: %v",
+				t.Name, bare[i].Outcomes, res.Outcomes)
+		}
+		rep.Tests = append(rep.Tests, PlanTest{Name: t.Name, ExecsBare: bare[i].Runs, ExecsPlanned: res.Runs})
+	}
+	for i, lt := range libs {
+		pl := compass.PlanFor(lt.Name)
+		if pl == nil {
+			return nil, fmt.Errorf("%s: no committed static plan; run `make plan`", lt.Name)
+		}
+		res := compass.RunLibRefinement(lt, 600000,
+			compass.WithPORMode(compass.PORSource), compass.WithPlan(pl), compass.WithStats(stats))
+		if !res.OK() {
+			return nil, fmt.Errorf("%s: exploration failed (plan=on)", lt.Name)
+		}
+		if libBare[i].GoldenLine() != res.GoldenLine() {
+			return nil, fmt.Errorf("%s: golden verdict diverged with the plan installed:\nbare: %s\nplan: %s",
+				lt.Name, libBare[i].GoldenLine(), res.GoldenLine())
+		}
+		rep.Tests = append(rep.Tests, PlanTest{Name: lt.Name, ExecsBare: libBare[i].Runs, ExecsPlanned: res.Runs})
+	}
+	rep.SecondsPlanned = time.Since(startPlanned).Seconds()
+	snap := stats.Snapshot()
+	rep.PlanChecks = snap.Explore.PlanChecks
+	rep.PlanConflictsRefuted = snap.Explore.PlanConflictsRefuted
+	return rep, nil
+}
+
 func main() {
 	bench := flag.String("bench", tierOneBenchmarks, "benchmark name regex passed to -bench")
 	benchtime := flag.String("benchtime", "", "passed to -benchtime (e.g. 100x, 0.5s); empty = go default")
@@ -255,6 +351,7 @@ func main() {
 	pruning := flag.Bool("pruning", true, "measure footprint-pruning effectiveness over the litmus suite")
 	pruneRuns := flag.Int("prune-max-runs", 400000, "exploration bound per litmus test for the pruning measurement")
 	por := flag.Bool("por", true, "measure partial-order reduction effectiveness (off vs sleep vs source) over the litmus suite")
+	planOn := flag.Bool("plan", true, "measure static access-plan effectiveness (plan off vs on at -por=source) over the litmus and library suites")
 	flag.Parse()
 
 	rep := &Report{
@@ -305,6 +402,20 @@ func main() {
 		for _, t := range pr.Tests {
 			fmt.Fprintf(os.Stderr, "benchreport: por: %-16s off %6d | sleep %6d | source %6d executions\n",
 				t.Name, t.ExecsOff, t.ExecsSleep, t.ExecsSource)
+		}
+	}
+
+	if *planOn {
+		fmt.Fprintln(os.Stderr, "benchreport: measuring static access plans at -por=source over the litmus and library suites")
+		pr, err := measurePlan(*pruneRuns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: plan: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Plan = pr
+		for _, t := range pr.Tests {
+			fmt.Fprintf(os.Stderr, "benchreport: plan: %-16s bare %6d | planned %6d executions\n",
+				t.Name, t.ExecsBare, t.ExecsPlanned)
 		}
 	}
 

@@ -79,6 +79,7 @@ func main() {
 	exhaustive := flag.Bool("exhaustive", false, "explore all executions (small workloads only)")
 	por := flag.String("por", "off", "with -exhaustive: partial-order reduction — off, sleep (static sleep sets), or source (source-DPOR: dynamic race reversal plus wakeup read floors); outcome sets are identical in every mode, far fewer executions")
 	prune := flag.Bool("prune", false, "extract a footprint certificate from one recording execution and prune race instrumentation and read windows (outcomes are identical)")
+	planOn := flag.Bool("plan", false, "consult the committed static access plan for the workload: gate the footprint certificate against it and, with -exhaustive -por=source, sharpen conflict detection (outcomes are identical)")
 	statsOut := flag.String("stats", "", "write a telemetry JSON snapshot of the run to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of a representative execution to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -192,18 +193,36 @@ func main() {
 		var err error
 		if fp, err = compass.ExtractFootprint(func() compass.Program { return build().Prog }); err != nil {
 			fmt.Fprintf(os.Stderr, "footprint extraction failed, running unpruned: %v\n", err)
-		} else {
-			fp.Name = name
-			fmt.Println(fp)
 		}
 	}
+	var pl *compass.Plan
+	if *planOn {
+		if *lib != "" {
+			pl = compass.PlanFor("lib/" + *lib)
+		}
+		if pl == nil {
+			fmt.Fprintf(os.Stderr, "no committed static plan for %s; running without one\n", name)
+		} else if err := compass.GateFootprint(fp, pl, len(build().Prog.Workers)+1); err != nil {
+			fmt.Fprintf(os.Stderr, "certificate refused, running unpruned: %v\n", err)
+			fp = nil
+			stats.CertRefused()
+		}
+	}
+	// The gate matches the certificate's extracted program name against
+	// the plan's; the workload display name goes on afterward, and only
+	// admitted certificates are announced.
+	if fp != nil {
+		fp.Name = name
+		fmt.Println(fp)
+	}
 	opts.Footprint = fp
+	opts.Plan = pl
 
 	if *exhaustive {
 		opts = compass.CheckOptions{
 			Mode: compass.ModeExhaustive, MaxRuns: 500000, Budget: 5000,
 			KeepGoing: *keepGoing, Workers: *workers, Stats: stats, Footprint: fp, POR: porMode,
-			Refine: *refineOn,
+			Refine: *refineOn, Plan: pl,
 		}
 	} else if porMode != compass.POROff {
 		fmt.Fprintln(os.Stderr, "-por requires -exhaustive (random sampling has no schedule tree to reduce)")

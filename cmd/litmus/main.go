@@ -23,6 +23,7 @@ func main() {
 	maxRuns := flag.Int("max-runs", 400000, "exploration bound per test")
 	workers := flag.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS)")
 	prune := flag.Bool("prune", false, "extract a footprint certificate per test and prune race instrumentation and read windows (outcomes are identical)")
+	plan := flag.Bool("plan", false, "consult the committed static access plan per test: gate footprint certificates against it and sharpen source-DPOR conflict detection (outcomes are identical)")
 	por := flag.String("por", "off", "partial-order reduction: off, sleep (static sleep sets), or source (source-DPOR: dynamic race reversal plus wakeup read floors); outcome sets are identical in every mode, far fewer executions")
 	refine := flag.Bool("refine", false, "also run the library refinement corpus: each library workload is explored exhaustively with the refinement/simulation oracle judging every execution against the abstract transition system")
 	statsOut := flag.String("stats", "", "write a telemetry JSON snapshot of the exploration to this file")
@@ -56,14 +57,26 @@ func main() {
 			var err error
 			if fp, err = compass.ExtractFootprint(t.Build); err != nil {
 				fmt.Fprintf(os.Stderr, "litmus: %s: footprint extraction failed, exploring unpruned: %v\n", t.Name, err)
-			} else {
-				fp.Name = t.Name
-				fmt.Println(fp)
 			}
+		}
+		var pl *compass.Plan
+		if *plan {
+			pl = compass.PlanFor(t.Name)
+			if pl == nil {
+				fmt.Fprintf(os.Stderr, "litmus: %s: no committed static plan; run `make plan`\n", t.Name)
+			} else if err := compass.GateFootprint(fp, pl, len(t.Build().Workers)+1); err != nil {
+				fmt.Fprintf(os.Stderr, "litmus: %s: certificate refused, exploring unpruned: %v\n", t.Name, err)
+				fp = nil
+				stats.CertRefused()
+			}
+		}
+		if fp != nil {
+			fp.Name = t.Name
+			fmt.Println(fp)
 		}
 		res := compass.RunLitmus(t, *maxRuns,
 			compass.WithWorkers(*workers), compass.WithStats(stats),
-			compass.WithFootprint(fp), compass.WithPORMode(porMode))
+			compass.WithFootprint(fp), compass.WithPORMode(porMode), compass.WithPlan(pl))
 		fmt.Println(res)
 		fmt.Println()
 		if !res.OK() {
@@ -88,14 +101,26 @@ func main() {
 				var err error
 				if fp, err = compass.ExtractLibFootprint(lt); err != nil {
 					fmt.Fprintf(os.Stderr, "litmus: %s: footprint extraction failed, exploring unpruned: %v\n", lt.Name, err)
-				} else {
-					fp.Name = lt.Name
-					fmt.Println(fp)
 				}
+			}
+			var pl *compass.Plan
+			if *plan {
+				pl = compass.PlanFor(lt.Name)
+				if pl == nil {
+					fmt.Fprintf(os.Stderr, "litmus: %s: no committed static plan; run `make plan`\n", lt.Name)
+				} else if err := compass.GateFootprint(fp, pl, len(lt.Build().Prog.Workers)+1); err != nil {
+					fmt.Fprintf(os.Stderr, "litmus: %s: certificate refused, exploring unpruned: %v\n", lt.Name, err)
+					fp = nil
+					stats.CertRefused()
+				}
+			}
+			if fp != nil {
+				fp.Name = lt.Name
+				fmt.Println(fp)
 			}
 			res := compass.RunLibRefinement(lt, 600000,
 				compass.WithWorkers(*workers), compass.WithStats(stats),
-				compass.WithFootprint(fp), compass.WithPORMode(porMode))
+				compass.WithFootprint(fp), compass.WithPORMode(porMode), compass.WithPlan(pl))
 			fmt.Println(res)
 			fmt.Println()
 			if !res.OK() {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -212,5 +213,73 @@ func TestServeCountersValidate(t *testing.T) {
 	}
 	if strings.Contains(string(data), `"checkpoints": 0,`) {
 		t.Error("fixture's checkpoints is zero — regenerate it from a compassd run with a -state dir")
+	}
+}
+
+// TestPlanCountersValidate pins forward acceptance of the static
+// access-plan telemetry as a fixture: the checked-in snapshot was
+// written by a `litmus -por=source -prune -plan -refine -stats` run and
+// carries nonzero plan_sites, plan_checks, plan_conflicts_refuted
+// (explore section), and cert_refusals (machine section; the ⊤ library
+// plans veto the extracted exclusivity certificates) — still the
+// unchanged compass/telemetry/v1 schema. If a future schema revision
+// stops accepting these fields, this catches it even after the writer
+// moves on.
+func TestPlanCountersValidate(t *testing.T) {
+	path := filepath.Join("testdata", "v1_plan_snapshot.json")
+	var out, errw strings.Builder
+	if code := run(path, "", &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errw.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"plan_sites", "plan_checks", "plan_conflicts_refuted", "cert_refusals",
+	} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("fixture does not exercise %q — regenerate it from a -plan run", field)
+		}
+	}
+	for _, zero := range []string{`"plan_conflicts_refuted": 0`, `"cert_refusals": 0`} {
+		if strings.Contains(string(data), zero) {
+			t.Errorf("fixture carries %s — regenerate it from a `-por=source -prune -plan -refine` run", zero)
+		}
+	}
+}
+
+// TestCorruptPlanCountersRejected pins the validator invariant
+// plan_conflicts_refuted <= plan_checks: a snapshot corrupted to claim
+// more refutations than oracle consultations must fail with exit code 1
+// and a diagnostic naming both counters.
+func TestCorruptPlanCountersRejected(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "v1_plan_snapshot.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	explore := snap["explore"].(map[string]any)
+	explore["plan_conflicts_refuted"] = explore["plan_checks"].(float64) + 1
+	corrupt, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	if code := run(path, "", &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; stdout: %s", code, out.String())
+	}
+	diag := errw.String()
+	for _, want := range []string{"plan_conflicts_refuted", "plan_checks"} {
+		if !strings.Contains(diag, want) {
+			t.Errorf("diagnostic %q does not name %q", diag, want)
+		}
 	}
 }

@@ -41,6 +41,7 @@ package compass
 
 import (
 	"compass/internal/analysis/footprint"
+	"compass/internal/analysis/staticplan"
 	"compass/internal/check"
 	"compass/internal/core"
 	"compass/internal/deque"
@@ -656,4 +657,38 @@ func ExtractFootprint(build func() Program) (*Footprint, error) {
 // WithStats(stats), WithFootprint(fp)).
 func RunLitmusFootprint(t LitmusTest, maxRuns, workers int, stats *Telemetry, fp *Footprint) *LitmusResult {
 	return litmus.Run(t, maxRuns, litmus.WithWorkers(workers), litmus.WithStats(stats), litmus.WithFootprint(fp))
+}
+
+// --- Static access plans (source-level may-analysis). ---
+
+// Plan is a static access plan: per-thread may-sets of (allocation-site
+// name, access kind, mode) extracted from the program's Go source by
+// abstract interpretation (internal/analysis/staticplan). Threads whose
+// location flow escapes the analyzable fragment are ⊤ with a reason.
+type Plan = memory.Plan
+
+// PlanFor returns the committed static access plan for a suite entry
+// name ("MP+rel+acq", "lib/msqueue", ...), or nil when the fixture has
+// none — callers treat nil as "no static knowledge".
+func PlanFor(name string) *Plan { return staticplan.PlanFor(name) }
+
+// WithPlan installs a static access plan on a litmus exploration. The
+// plan is consulted only under source-DPOR (WithPORMode(PORSource)) to
+// refute conservative dependence verdicts; outcome sets and verdicts are
+// identical with or without it.
+func WithPlan(p *Plan) LitmusOption { return litmus.WithPlan(p) }
+
+// GateFootprint checks a dynamic footprint certificate against a static
+// access plan before exploration: a certificate claim the plan
+// contradicts (exclusivity another thread may violate, read-only a
+// thread may write, all-atomic with non-atomic accesses in a plan) is
+// refused up front instead of aborting mid-exploration. threads is the
+// machine's thread count (workers + main). A nil error admits the
+// certificate; callers refusing a certificate should explore unpruned
+// and record Telemetry.CertRefused.
+func GateFootprint(fp *Footprint, plan *Plan, threads int) error {
+	if ce := footprint.Gate(fp, plan, threads); ce != nil {
+		return ce
+	}
+	return nil
 }

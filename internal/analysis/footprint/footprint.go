@@ -70,6 +70,7 @@ func Extract(build func() machine.Program) (*memory.Footprint, error) {
 
 	setupLocs := -1
 	var setupMax []int64
+	var setupNames []string
 	var accessors []map[int]bool
 	var writes []int
 	allAtomic := true
@@ -96,11 +97,13 @@ func Extract(build func() machine.Program) (*memory.Footprint, error) {
 		// every recording; the machine revalidates this at seal time.
 		locs := 0
 		var max []int64
+		var names []string
 		for _, e := range r.Events[:boundary] {
 			switch e.Kind {
 			case machine.StepAlloc:
 				locs++
 				max = append(max, 1)
+				names = append(names, e.LocName)
 			case machine.StepWrite, machine.StepFAA, machine.StepXchg:
 				max[e.Loc]++
 			case machine.StepCAS, machine.StepUpdate:
@@ -112,6 +115,7 @@ func Extract(build func() machine.Program) (*memory.Footprint, error) {
 		if setupLocs < 0 {
 			setupLocs = locs
 			setupMax = max
+			setupNames = names
 			accessors = make([]map[int]bool, locs)
 			writes = make([]int, locs)
 		} else if locs != setupLocs {
@@ -171,6 +175,7 @@ func Extract(build func() machine.Program) (*memory.Footprint, error) {
 	fp := &memory.Footprint{Name: name, SetupLocs: setupLocs, Locs: make([]memory.LocCert, setupLocs), AllAtomic: allAtomic}
 	for l := 0; l < setupLocs; l++ {
 		c := &fp.Locs[l]
+		c.Name = setupNames[l]
 		c.SetupMax = view.Time(setupMax[l])
 		switch {
 		case len(accessors[l]) == 0:

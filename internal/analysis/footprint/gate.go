@@ -1,0 +1,102 @@
+package footprint
+
+import (
+	"fmt"
+
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// Gate checks a dynamic footprint certificate against a static access
+// plan before exploration begins. Extraction records a small family of
+// schedules, so a branch taken only under other schedules can hide an
+// access and yield an under-covering certificate; enforcement would then
+// abort mid-exploration on the first execution that exercises the hidden
+// access. The gate refuses such a certificate up front: a claim the plan
+// contradicts can never survive, because the plan is a may-over-
+// approximation of every schedule.
+//
+// Soundness direction: the gate can only refuse (never widen a
+// certificate), so a false refusal costs pruning, never correctness.
+// Admission is meaningful precisely when every thread's plan is non-⊤ —
+// a ⊤ thread may touch anything, so it contradicts every exclusivity or
+// read-only claim and vetoes certification outright rather than being
+// guessed about.
+//
+// threads is the machine's thread count (workers + main); plan threads
+// out of range answer like ⊤. A nil plan or a nil footprint gates
+// nothing. A non-nil result is the refusal, phrased as the CertError the
+// enforcement would eventually have raised.
+func Gate(fp *memory.Footprint, plan *memory.Plan, threads int) *memory.CertError {
+	if fp == nil || plan == nil {
+		return nil
+	}
+	if fp.Name != "" && plan.Program != "" && fp.Name != plan.Program {
+		return &memory.CertError{Detail: fmt.Sprintf(
+			"static gate: certificate is for program %q but the plan is for %q", fp.Name, plan.Program)}
+	}
+	for l, c := range fp.Locs {
+		switch c.Class {
+		case memory.ClassShared:
+			continue
+		case memory.ClassExclusive:
+			if c.Name == "" {
+				return &memory.CertError{Loc: view.Loc(l), Thread: c.Owner, Detail: fmt.Sprintf(
+					"static gate: exclusive claim on unnamed location %d cannot be checked against the plan", l)}
+			}
+			for t := 0; t < threads; t++ {
+				if t == c.Owner {
+					continue
+				}
+				if plan.MayTouch(t, c.Name, memory.PlanRead|memory.PlanWrite|memory.PlanFree) {
+					return &memory.CertError{Loc: view.Loc(l), Name: c.Name, Thread: t, Detail: fmt.Sprintf(
+						"static gate: certificate claims %s exclusive to thread %d, but thread %d's plan %s",
+						c.Name, c.Owner, t, planWhy(plan, t))}
+				}
+			}
+		case memory.ClassReadOnly:
+			if c.Name == "" {
+				return &memory.CertError{Loc: view.Loc(l), Detail: fmt.Sprintf(
+					"static gate: read-only claim on unnamed location %d cannot be checked against the plan", l)}
+			}
+			for t := 0; t < threads; t++ {
+				if plan.MayTouch(t, c.Name, memory.PlanWrite|memory.PlanFree) {
+					return &memory.CertError{Loc: view.Loc(l), Name: c.Name, Thread: t, Detail: fmt.Sprintf(
+						"static gate: certificate claims %s read-only, but thread %d's plan %s",
+						c.Name, t, planWhy(plan, t))}
+				}
+			}
+		}
+	}
+	if fp.AllAtomic {
+		for t := 0; t < threads; t++ {
+			if plan.Thread(t).UsesNA() {
+				return &memory.CertError{Thread: t, Detail: fmt.Sprintf(
+					"static gate: certificate claims all accesses atomic, but thread %d's plan %s",
+					t, planWhy(plan, t))}
+			}
+			if plan.Thread(t).Allocates() {
+				return &memory.CertError{Thread: t, Detail: fmt.Sprintf(
+					"static gate: certificate claims all allocation is in setup, but thread %d's plan %s",
+					t, planWhy(plan, t))}
+			}
+		}
+	}
+	return nil
+}
+
+// planWhy renders the reason a thread's plan contradicts a claim: ⊤ with
+// its reason, or the concrete may-access.
+func planWhy(plan *memory.Plan, t int) string {
+	tp := plan.Thread(t)
+	if tp == nil {
+		return "is out of the plan's range (treated as ⊤)"
+	}
+	if tp.Top {
+		if tp.TopReason != "" {
+			return fmt.Sprintf("is ⊤ (%s)", tp.TopReason)
+		}
+		return "is ⊤"
+	}
+	return "admits a conflicting access"
+}

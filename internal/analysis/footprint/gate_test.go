@@ -1,0 +1,141 @@
+package footprint
+
+import (
+	"strings"
+	"testing"
+
+	"compass/internal/analysis/staticplan"
+	"compass/internal/memory"
+)
+
+// twoThreadPlan builds a precise plan where thread 1 owns "scratch"
+// (reads+writes it relaxed), both threads read "cfg" relaxed, and thread
+// 2 writes "flag".
+func twoThreadPlan(name string) *memory.Plan {
+	p := &memory.Plan{Program: name, Threads: make([]memory.ThreadPlan, 3)}
+	rlxR := memory.SiteUse{Kinds: memory.PlanRead, ReadModes: memory.ModeBit(memory.Rlx)}
+	rlxW := memory.SiteUse{Kinds: memory.PlanWrite, WriteModes: memory.ModeBit(memory.Rlx)}
+	p.Threads[1].AddSite("scratch", rlxR)
+	p.Threads[1].AddSite("scratch", rlxW)
+	p.Threads[1].AddSite("cfg", rlxR)
+	p.Threads[2].AddSite("cfg", rlxR)
+	p.Threads[2].AddSite("flag", rlxW)
+	return p
+}
+
+func TestGateNilGatesNothing(t *testing.T) {
+	fp := &memory.Footprint{Name: "p", Locs: []memory.LocCert{{Class: memory.ClassExclusive, Name: "x"}}}
+	if err := Gate(nil, twoThreadPlan("p"), 3); err != nil {
+		t.Errorf("nil footprint refused: %v", err)
+	}
+	if err := Gate(fp, nil, 3); err != nil {
+		t.Errorf("nil plan refused: %v", err)
+	}
+}
+
+func TestGateNameMismatch(t *testing.T) {
+	fp := &memory.Footprint{Name: "other"}
+	err := Gate(fp, twoThreadPlan("p"), 3)
+	if err == nil || !strings.Contains(err.Detail, `certificate is for program "other"`) {
+		t.Fatalf("mismatch not refused: %v", err)
+	}
+}
+
+func TestGateAdmitsConsistentCertificate(t *testing.T) {
+	fp := &memory.Footprint{
+		Name: "p",
+		Locs: []memory.LocCert{
+			{Class: memory.ClassExclusive, Name: "scratch", Owner: 1},
+			{Class: memory.ClassReadOnly, Name: "cfg"},
+			{Class: memory.ClassShared, Name: "flag"},
+		},
+	}
+	if err := Gate(fp, twoThreadPlan("p"), 3); err != nil {
+		t.Fatalf("consistent certificate refused: %v", err)
+	}
+}
+
+func TestGateRefusesExclusiveViolation(t *testing.T) {
+	// The plan has thread 2 reading cfg, so an exclusive-to-1 claim on cfg
+	// is statically doomed.
+	fp := &memory.Footprint{Name: "p", Locs: []memory.LocCert{
+		{Class: memory.ClassExclusive, Name: "cfg", Owner: 1},
+	}}
+	err := Gate(fp, twoThreadPlan("p"), 3)
+	if err == nil {
+		t.Fatal("under-covering exclusive claim admitted")
+	}
+	if err.Thread != 2 || err.Name != "cfg" || !strings.Contains(err.Detail, "exclusive to thread 1") {
+		t.Errorf("refusal = %v, want thread 2 violating cfg exclusivity", err)
+	}
+}
+
+func TestGateRefusesReadOnlyViolation(t *testing.T) {
+	fp := &memory.Footprint{Name: "p", Locs: []memory.LocCert{
+		{Class: memory.ClassReadOnly, Name: "flag"},
+	}}
+	err := Gate(fp, twoThreadPlan("p"), 3)
+	if err == nil || !strings.Contains(err.Detail, "claims flag read-only") {
+		t.Fatalf("read-only claim over a planned write admitted: %v", err)
+	}
+}
+
+func TestGateRefusesAllAtomicViolations(t *testing.T) {
+	plan := twoThreadPlan("p")
+	plan.Threads[1].AddSite("scratch", memory.SiteUse{Kinds: memory.PlanWrite, WriteModes: memory.ModeBit(memory.NA)})
+	fp := &memory.Footprint{Name: "p", AllAtomic: true}
+	err := Gate(fp, plan, 3)
+	if err == nil || !strings.Contains(err.Detail, "all accesses atomic") {
+		t.Fatalf("NA-using plan admitted under AllAtomic: %v", err)
+	}
+
+	plan2 := twoThreadPlan("p")
+	plan2.Threads[2].AddSite("node", memory.SiteUse{Kinds: memory.PlanAlloc})
+	err = Gate(fp, plan2, 3)
+	if err == nil || !strings.Contains(err.Detail, "all allocation is in setup") {
+		t.Fatalf("worker-allocating plan admitted under AllAtomic: %v", err)
+	}
+}
+
+func TestGateRefusesUnnamedClaims(t *testing.T) {
+	fp := &memory.Footprint{Name: "p", Locs: []memory.LocCert{
+		{Class: memory.ClassExclusive, Owner: 1},
+	}}
+	err := Gate(fp, twoThreadPlan("p"), 3)
+	if err == nil || !strings.Contains(err.Detail, "unnamed location") {
+		t.Fatalf("unnamed exclusive claim admitted: %v", err)
+	}
+}
+
+// TestGateRefusesSeededDequeCertificate is the regression for the §9
+// deque caveat: the Chase-Lev deque's sharing is schedule-dependent, so a
+// certificate extracted from recording schedules can claim locations
+// exclusive that a steal makes shared, and enforcement used to abort
+// executions mid-exploration. The static plan for lib/deque is ⊤ (its
+// locations round-trip through simulated memory), so the gate refuses
+// any such certificate before exploration starts.
+func TestGateRefusesSeededDequeCertificate(t *testing.T) {
+	plan := staticplan.PlanFor("lib/deque")
+	if plan == nil {
+		t.Fatal("fixture has no plan for lib/deque")
+	}
+	// The seeded under-covering certificate: recordings where the thief
+	// never wins the race would classify the owner's slot exclusive.
+	fp := &memory.Footprint{
+		Name: "deque-worksteal",
+		Locs: []memory.LocCert{
+			{Class: memory.ClassExclusive, Name: "d.item", Owner: 1, SetupMax: 1},
+		},
+	}
+	err := Gate(fp, plan, 4)
+	if err == nil {
+		t.Fatal("seeded under-covering deque certificate admitted")
+	}
+	want := "static gate: certificate claims d.item exclusive to thread 1, but thread 0's plan is ⊤"
+	if !strings.Contains(err.Detail, want) {
+		t.Errorf("refusal detail = %q, want it to contain %q", err.Detail, want)
+	}
+	if !strings.Contains(err.Detail, "recovered from memory-held values") {
+		t.Errorf("refusal detail = %q, want the ⊤ reason surfaced", err.Detail)
+	}
+}

@@ -1,0 +1,446 @@
+package staticplan
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"compass/internal/analyzers/lint"
+	"compass/internal/memory"
+)
+
+// retSlot collects an inlined call's return values, merged positionally
+// across return statements.
+type retSlot struct{ vals []val }
+
+// call interprets a call expression: type conversions, builtins,
+// machine.Thread operations (the access sites the plan exists to
+// record), and resolvable function/method calls (inlined). Anything
+// else is an escape when location identity flows into it.
+func (e *exec) call(fr *frame, ce *ast.CallExpr) val {
+	if e.done() {
+		return anyVal()
+	}
+	// Type conversion.
+	if tv, ok := e.info().Types[ce.Fun]; ok && tv.IsType() {
+		arg := anyVal()
+		if len(ce.Args) == 1 {
+			arg = e.eval(fr, ce.Args[0])
+		}
+		if isLocType(tv.Type) {
+			if arg.kind == kLoc {
+				return arg
+			}
+			if arg.kind == kConst {
+				return topLoc("location built from a literal value")
+			}
+			return topLoc("location recovered from a memory-held value")
+		}
+		if arg.kind == kConst {
+			return arg // numeric/string conversions keep constants foldable
+		}
+		return anyVal()
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(ce.Fun).(*ast.Ident); ok {
+		if _, ok := e.info().Uses[id].(*types.Builtin); ok {
+			return e.builtin(fr, id.Name, ce)
+		}
+	}
+	// Thread operations.
+	if sel, ok := ast.Unparen(ce.Fun).(*ast.SelectorExpr); ok {
+		if recv := e.eval(fr, sel.X); recv.kind == kThread {
+			return e.threadOp(fr, sel.Sel.Name, ce)
+		}
+	}
+	// Resolvable function value (declaration, closure, or method value).
+	fn := e.eval(fr, ce.Fun)
+	if fn.kind == kFunc && fn.fn != nil {
+		args := make([]val, len(ce.Args))
+		for i, a := range ce.Args {
+			args[i] = e.eval(fr, a)
+		}
+		return e.inline(fn.fn, args, ce)
+	}
+	// Unresolvable: evaluate arguments; location-carrying arguments (or
+	// receivers) escape the tracked flow.
+	if sel, ok := ast.Unparen(ce.Fun).(*ast.SelectorExpr); ok {
+		if recv := e.eval(fr, sel.X); hasLoc(recv, nil) {
+			e.topf("call to unresolvable %s with location-carrying receiver", types.ExprString(ce.Fun))
+		}
+	}
+	for _, a := range ce.Args {
+		if hasLoc(e.eval(fr, a), nil) {
+			e.topf("location passed to unresolvable call %s", types.ExprString(ce.Fun))
+		}
+	}
+	if tv, ok := e.info().Types[ce]; ok && isLocType(tv.Type) {
+		return topLoc(fmt.Sprintf("location returned by unresolvable call %s", types.ExprString(ce.Fun)))
+	}
+	return anyVal()
+}
+
+func (e *exec) builtin(fr *frame, name string, ce *ast.CallExpr) val {
+	switch name {
+	case "make", "new":
+		if tv, ok := e.info().Types[ce]; ok {
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			switch t.Underlying().(type) {
+			case *types.Struct, *types.Slice, *types.Array:
+				obj := &object{}
+				if path, tn, ok := lint.NamedTypePath(t); ok {
+					obj.typeKey = path + "." + tn
+				}
+				return val{kind: kObj, obj: obj}
+			}
+		}
+		return anyVal()
+	case "append":
+		if len(ce.Args) == 0 {
+			return anyVal()
+		}
+		base := e.eval(fr, ce.Args[0])
+		for _, a := range ce.Args[1:] {
+			v := e.eval(fr, a)
+			if base.kind == kObj && base.obj != nil {
+				e.mset(base.obj.cell(elemKey), v)
+			} else if hasLoc(v, nil) {
+				e.top("location appended to an untracked slice")
+			}
+		}
+		return base
+	case "copy":
+		if len(ce.Args) == 2 {
+			dst := e.eval(fr, ce.Args[0])
+			src := e.eval(fr, ce.Args[1])
+			if dst.kind == kObj && dst.obj != nil {
+				if src.kind == kObj && src.obj != nil {
+					e.mset(dst.obj.cell(elemKey), src.obj.cell(elemKey).v)
+				} else if hasLoc(src, nil) {
+					e.mset(dst.obj.cell(elemKey), topLoc("copy from untracked source"))
+				}
+			} else if hasLoc(src, nil) {
+				e.top("location copied into an untracked slice")
+			}
+		}
+		return anyVal()
+	default:
+		for _, a := range ce.Args {
+			e.eval(fr, a)
+		}
+		return anyVal()
+	}
+}
+
+// threadOp interprets one machine.Thread method call — the plan's unit
+// of observation.
+func (e *exec) threadOp(fr *frame, method string, ce *ast.CallExpr) val {
+	arg := func(i int) val {
+		if i < len(ce.Args) {
+			return e.eval(fr, ce.Args[i])
+		}
+		return anyVal()
+	}
+	mode := func(i int) memory.ModeMask {
+		v := arg(i)
+		if v.kind == kConst && v.c != nil && v.c.Kind() == constant.Int {
+			if m, ok := constant.Int64Val(v.c); ok && m >= 0 && m <= int64(memory.AcqRel) {
+				return memory.ModeBit(memory.Mode(m))
+			}
+		}
+		return allModes
+	}
+	// site records one access of the loc argument's may-set.
+	site := func(l val, u memory.SiteUse, what string) {
+		if e.sink == nil {
+			return
+		}
+		switch {
+		case l.kind == kLoc && l.top:
+			e.topf("%s of unanalyzable location: %s", what, l.reason)
+		case l.kind == kLoc:
+			for n := range l.names {
+				e.sink.AddSite(n, u)
+			}
+		default:
+			e.topf("%s of location value the analysis lost track of", what)
+		}
+	}
+	switch method {
+	case "Alloc":
+		n := arg(0)
+		arg(1)
+		if n.kind == kConst && n.c != nil && n.c.Kind() == constant.String {
+			name := constant.StringVal(n.c)
+			if e.sink != nil {
+				e.sink.AddSite(name, memory.SiteUse{Kinds: memory.PlanAlloc})
+			}
+			return locVal(name)
+		}
+		e.top("allocation name is not statically derivable")
+		return topLoc("allocation name is not statically derivable")
+	case "Read":
+		site(arg(0), memory.SiteUse{Kinds: memory.PlanRead, ReadModes: mode(1)}, "read")
+		return anyVal()
+	case "Write":
+		arg(1)
+		site(arg(0), memory.SiteUse{Kinds: memory.PlanWrite, WriteModes: mode(2)}, "write")
+		return anyVal()
+	case "Free":
+		site(arg(0), memory.SiteUse{Kinds: memory.PlanFree}, "free")
+		return anyVal()
+	case "CAS":
+		arg(1)
+		arg(2)
+		site(arg(0), memory.SiteUse{Kinds: memory.PlanRead | memory.PlanWrite, ReadModes: mode(3), WriteModes: mode(4)}, "CAS")
+		return anyVal()
+	case "FetchAdd", "Exchange", "Update":
+		arg(1)
+		site(arg(0), memory.SiteUse{Kinds: memory.PlanRead | memory.PlanWrite, ReadModes: mode(2), WriteModes: mode(3)}, strings.ToLower(method))
+		return anyVal()
+	case "Fence", "FenceSC", "Yield", "Report", "Failf", "ID", "TV", "Mem":
+		for _, a := range ce.Args {
+			e.eval(fr, a)
+		}
+		return anyVal()
+	}
+	e.topf("unknown Thread method %s", method)
+	return anyVal()
+}
+
+// inline interprets a resolved callee with bound arguments. ce is the
+// call site, for diagnostics.
+func (e *exec) inline(fv *funcVal, args []val, ce *ast.CallExpr) val {
+	var body *ast.BlockStmt
+	var ftype *ast.FuncType
+	var pkg *pkgInfo
+	var key ast.Node
+	if fv.lit != nil {
+		body, ftype, pkg, key = fv.lit.Body, fv.lit.Type, fv.pkg, fv.lit
+	} else if fv.decl != nil {
+		body, ftype, pkg, key = fv.decl.decl.Body, fv.decl.decl.Type, fv.decl.pkg, fv.decl.decl
+	}
+	if body == nil || pkg == nil {
+		return anyVal()
+	}
+	escape := func(why string) val {
+		if hasLoc(fv.recv, nil) {
+			e.top(why)
+		}
+		for _, a := range args {
+			if hasLoc(a, nil) {
+				e.top(why)
+				break
+			}
+		}
+		if tv, ok := e.info().Types[ce]; ok && isLocType(tv.Type) {
+			return topLoc(why)
+		}
+		return anyVal()
+	}
+	if e.depth >= maxInlineDepth {
+		return escape(fmt.Sprintf("call depth limit at %s", types.ExprString(ce.Fun)))
+	}
+	if e.active[key] {
+		return escape(fmt.Sprintf("recursive call at %s", types.ExprString(ce.Fun)))
+	}
+
+	// The callee's frame: closures see their captured scope, declarations
+	// start fresh (package-level state is untracked by design).
+	var parent *frame
+	if fv.lit != nil {
+		parent = fv.fr
+	}
+	fr := newFrame(parent)
+
+	// Bind the receiver.
+	if fv.decl != nil && fv.decl.decl.Recv != nil && len(fv.decl.decl.Recv.List) > 0 {
+		f := fv.decl.decl.Recv.List[0]
+		if len(f.Names) == 1 && f.Names[0].Name != "_" {
+			if obj := pkg.info.Defs[f.Names[0]]; obj != nil {
+				e.mset(fr.define(obj), fv.recv)
+			}
+		}
+	}
+	// Bind parameters positionally; a variadic tail merges into one
+	// element cell.
+	i := 0
+	params := ftype.Params.List
+	for pi, f := range params {
+		variadic := pi == len(params)-1 && isEllipsis(f.Type)
+		for _, name := range f.Names {
+			var v val
+			switch {
+			case variadic:
+				obj := &object{}
+				for ; i < len(args); i++ {
+					e.mset(obj.cell(elemKey), args[i])
+				}
+				v = val{kind: kObj, obj: obj}
+			case i < len(args):
+				v = args[i]
+				i++
+			default:
+				v = anyVal()
+			}
+			if isThreadParam(pkg.info, name) && v.kind == kAny {
+				v = val{kind: kThread}
+			}
+			if name.Name == "_" {
+				continue
+			}
+			if obj := pkg.info.Defs[name]; obj != nil {
+				e.mset(fr.define(obj), v)
+			}
+		}
+		if len(f.Names) == 0 && !variadic && i < len(args) {
+			i++ // unnamed parameter consumes its argument
+		}
+	}
+
+	// Interpret the body with the callee's package in scope.
+	savedPkg, savedRet := e.pkg, e.ret
+	e.pkg, e.ret = pkg, &retSlot{}
+	if e.active == nil {
+		e.active = map[ast.Node]bool{}
+	}
+	e.active[key] = true
+	e.depth++
+	e.stmt(fr, body)
+	e.depth--
+	delete(e.active, key)
+	ret := e.ret
+	e.pkg, e.ret = savedPkg, savedRet
+
+	if len(ret.vals) > 0 {
+		return ret.vals[0]
+	}
+	if tv, ok := e.info().Types[ce]; ok && isLocType(tv.Type) {
+		return topLoc("call returned no tracked location")
+	}
+	return anyVal()
+}
+
+func isEllipsis(t ast.Expr) bool {
+	_, ok := t.(*ast.Ellipsis)
+	return ok
+}
+
+func isThreadParam(info *types.Info, name *ast.Ident) bool {
+	obj := info.Defs[name]
+	return obj != nil && isThreadType(obj.Type())
+}
+
+// invokeThreadBody runs a closure value as one machine thread's body,
+// recording accesses into sink. A non-function value yields ⊤.
+func (e *exec) invokeThreadBody(fn val, sink *memory.ThreadPlan, what string) {
+	saved := e.sink
+	e.sink = sink
+	if fn.kind != kFunc || fn.fn == nil {
+		if sink != nil {
+			sink.Top = true
+			sink.TopReason = fmt.Sprintf("%s is not a statically resolvable function", what)
+		}
+		e.sink = saved
+		return
+	}
+	fakeCall := &ast.CallExpr{Fun: &ast.Ident{Name: what}}
+	e.inline(fn.fn, []val{{kind: kThread}}, fakeCall)
+	e.sink = saved
+}
+
+// PlanBuild interprets a Build-style niladic function declared in pkg —
+// its body must return a machine.Program composite literal — and
+// extracts the program's access plan. program names the plan (litmus
+// programs are anonymous; the suite entry name identifies them).
+func (in *Interp) PlanBuild(pkg *pkgInfo, build *ast.FuncLit, program string) *memory.Plan {
+	e := &exec{in: in, pkg: pkg, active: map[ast.Node]bool{}}
+	fr := newFrame(nil)
+
+	lit, fr2 := e.findProgramLit(fr, build.Body)
+	if lit == nil {
+		return topPlan(program, "program is not built as a machine.Program literal")
+	}
+	return e.planProgramLit(fr2, lit, program)
+}
+
+// findProgramLit interprets statements until a return of a
+// machine.Program composite literal, which it hands back with the frame
+// in effect at that point.
+func (e *exec) findProgramLit(fr *frame, body *ast.BlockStmt) (*ast.CompositeLit, *frame) {
+	for _, s := range body.List {
+		if ret, ok := s.(*ast.ReturnStmt); ok && len(ret.Results) == 1 {
+			if cl, ok := ast.Unparen(ret.Results[0]).(*ast.CompositeLit); ok {
+				if tv, ok := e.info().Types[cl]; ok {
+					if path, name, ok := lint.NamedTypePath(tv.Type); ok &&
+						name == "Program" && strings.HasSuffix(path, "internal/machine") {
+						return cl, fr
+					}
+				}
+			}
+			return nil, fr
+		}
+		e.stmt(fr, s)
+	}
+	return nil, fr
+}
+
+// planProgramLit analyzes one machine.Program composite literal: Setup
+// binds (accesses predate concurrency and are not recorded), each
+// Workers element becomes plan thread i+1, Final becomes plan thread 0.
+func (e *exec) planProgramLit(fr *frame, lit *ast.CompositeLit, program string) *memory.Plan {
+	var setup, final ast.Expr
+	var workerExprs []ast.Expr
+	workersSplit := true
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Setup":
+			setup = kv.Value
+		case "Final":
+			final = kv.Value
+		case "Workers":
+			if wl, ok := ast.Unparen(kv.Value).(*ast.CompositeLit); ok {
+				workerExprs = wl.Elts
+			} else {
+				workersSplit = false
+			}
+		}
+	}
+	if !workersSplit {
+		return topPlan(program, "worker list is not a slice literal; threads cannot be separated")
+	}
+
+	plan := &memory.Plan{Program: program, Threads: make([]memory.ThreadPlan, len(workerExprs)+1)}
+
+	// Setup first: its assignments bind the shared location variables the
+	// worker closures capture.
+	if setup != nil {
+		e.invokeThreadBody(e.eval(fr, setup), nil, "Setup")
+	}
+	for i, w := range workerExprs {
+		e.invokeThreadBody(e.eval(fr, w), &plan.Threads[i+1], fmt.Sprintf("worker %d", i))
+	}
+	if final != nil {
+		e.invokeThreadBody(e.eval(fr, final), &plan.Threads[0], "Final")
+	}
+	return plan
+}
+
+// topPlan is the all-⊤ plan: one ⊤ thread entry; every other thread
+// index resolves out of range, which consumers also treat as ⊤.
+func topPlan(program, reason string) *memory.Plan {
+	return &memory.Plan{Program: program, Threads: []memory.ThreadPlan{{Top: true, TopReason: reason}}}
+}

@@ -1,0 +1,61 @@
+package staticplan
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"compass/internal/memory"
+)
+
+// plansJSON is the committed plan fixture: the canonical JSON rendering
+// of ExtractAll over the repository's suites. `make plan` (or
+// `go test ./internal/analysis/staticplan -run TestPlansFresh -update`)
+// regenerates it; the planstale lint pass and TestPlansFresh fail when
+// it drifts from the sources.
+//
+//go:embed testdata/plans.json
+var plansJSON []byte
+
+var plansOnce sync.Once
+var plansVal map[string]*memory.Plan
+var plansErr error
+
+// Plans returns the committed plan fixture, keyed by suite entry name
+// (litmus test names like "MP+rel+acq", library workload names like
+// "lib/msqueue"). The fixture is the canonical output of ExtractAll over
+// the plan-suite functions of internal/litmus.
+//
+//compass:plan-fixture testdata/plans.json
+//compass:plan-module
+func Plans() (map[string]*memory.Plan, error) {
+	plansOnce.Do(func() {
+		plansErr = json.Unmarshal(plansJSON, &plansVal)
+		if plansErr != nil {
+			plansErr = fmt.Errorf("staticplan: decoding embedded plan fixture: %w", plansErr)
+		}
+	})
+	return plansVal, plansErr
+}
+
+// PlanFor returns the committed plan for one suite entry, or nil when
+// the fixture has none (callers treat nil as "no static knowledge").
+func PlanFor(name string) *memory.Plan {
+	plans, err := Plans()
+	if err != nil {
+		return nil
+	}
+	return plans[name]
+}
+
+// Marshal renders a plan set canonically: sorted keys, two-space
+// indentation, trailing newline. Fixture comparison is byte equality of
+// this rendering.
+func Marshal(plans map[string]*memory.Plan) ([]byte, error) {
+	b, err := json.MarshalIndent(plans, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

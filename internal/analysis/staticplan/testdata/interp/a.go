@@ -1,0 +1,147 @@
+// Package interp is the interpreter corpus for staticplan: small
+// programs exercising the tracked dataflow fragment (helper inlining,
+// struct fields, name folding, loop fixpoints) and the ⊤ escapes.
+package interp
+
+import (
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+// Test mirrors the litmus suite entry shape the extractor walks.
+type Test struct {
+	Name  string
+	Build func() machine.Program
+}
+
+// twoLoc mimics the litmus setup helper: out-parameters bound through
+// pointers.
+func twoLoc(x, y *view.Loc) func(*machine.Thread) {
+	return func(th *machine.Thread) {
+		*x = th.Alloc("x", 0)
+		*y = th.Alloc("y", 0)
+	}
+}
+
+type pair struct{ a, b view.Loc }
+
+// mkPair allocates under concatenated names, like the library
+// constructors do.
+func mkPair(th *machine.Thread, name string) *pair {
+	return &pair{a: th.Alloc(name+".a", 0), b: th.Alloc(name+".b", 0)}
+}
+
+func (p *pair) readA(th *machine.Thread) int64 { return th.Read(p.a, memory.Acq) }
+
+// factory mimics a library workload constructor: entries built through a
+// call get a ⊤ plan named after the machine.Program literal inside.
+func factory(rounds int) func() machine.Program {
+	return func() machine.Program {
+		return machine.Program{Name: "factory-prog"}
+	}
+}
+
+// Corpus is the suite the extractor test walks.
+//
+//compass:plan-suite
+func Corpus() []Test {
+	return []Test{
+		{
+			Name: "direct",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) {
+							th.Write(x, 1, memory.Rel)
+							th.Read(y, memory.Rlx)
+						},
+						func(th *machine.Thread) {
+							for i := 0; i < 3; i++ {
+								th.Write(y, int64(i), memory.Rlx)
+							}
+						},
+					},
+					Final: func(th *machine.Thread) {
+						th.Read(x, memory.NA)
+					},
+				}
+			},
+		},
+		{
+			Name: "helpers",
+			Build: func() machine.Program {
+				var p *pair
+				return machine.Program{
+					Setup: func(th *machine.Thread) { p = mkPair(th, "p") },
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) {
+							p.readA(th)
+							th.Write(p.b, 1, memory.Rlx)
+						},
+					},
+				}
+			},
+		},
+		{
+			Name: "worker-alloc",
+			Build: func() machine.Program {
+				return machine.Program{
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) {
+							scratch := th.Alloc("scratch", 0)
+							th.Write(scratch, 1, memory.Rlx)
+							th.Free(scratch)
+						},
+					},
+				}
+			},
+		},
+		{
+			Name: "chain",
+			Build: func() machine.Program {
+				var x, y view.Loc
+				return machine.Program{
+					Setup: twoLoc(&x, &y),
+					Workers: []func(*machine.Thread){
+						// The loop-carried assignment chain needs four body
+						// passes before the write's may-set includes y — the
+						// fixpoint case a bounded-pass interpreter gets wrong.
+						func(th *machine.Thread) {
+							a, b, c := x, x, x
+							for i := 0; i < 4; i++ {
+								th.Write(c, 1, memory.Rlx)
+								c = b
+								b = a
+								a = y
+							}
+						},
+					},
+				}
+			},
+		},
+		{
+			Name: "escape",
+			Build: func() machine.Program {
+				var x view.Loc
+				return machine.Program{
+					Setup: func(th *machine.Thread) { x = th.Alloc("x", 0) },
+					Workers: []func(*machine.Thread){
+						// A location recovered from a memory-held value is the
+						// canonical unanalyzable access: the thread is ⊤.
+						func(th *machine.Thread) {
+							l := view.Loc(th.Read(x, memory.Rlx))
+							th.Write(l, 1, memory.Rlx)
+						},
+					},
+				}
+			},
+		},
+		{
+			Name:  "viafactory",
+			Build: factory(2),
+		},
+	}
+}

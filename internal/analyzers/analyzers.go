@@ -9,8 +9,11 @@ import (
 
 	"compass/internal/analyzers/detnondet"
 	"compass/internal/analyzers/lint"
+	"compass/internal/analyzers/loctrack"
 	"compass/internal/analyzers/modecheck"
+	"compass/internal/analyzers/planstale"
 	"compass/internal/analyzers/runnerctor"
+	"compass/internal/analyzers/speccover"
 	"compass/internal/analyzers/tallysite"
 	"compass/internal/analyzers/zerovalue"
 )
@@ -32,6 +35,17 @@ var corePkgs = []string{
 	"compass/internal/memory",
 	"compass/internal/view",
 	"compass/internal/core",
+}
+
+// libPkgs are the library implementation packages loctrack patrols: the
+// code whose location flow the static plan analysis must either follow
+// or find annotated.
+var libPkgs = []string{
+	"compass/internal/queue",
+	"compass/internal/stack",
+	"compass/internal/deque",
+	"compass/internal/exchanger",
+	"compass/internal/lock",
 }
 
 // Suite returns the registered passes in reporting order.
@@ -56,6 +70,20 @@ func Suite() []Entry {
 			return trimTest(p) != "compass/internal/machine"
 		}},
 		{modecheck.Analyzer, func(string) bool { return true }},
+		{loctrack.Analyzer, func(p string) bool {
+			for _, lib := range libPkgs {
+				if trimTest(p) == lib {
+					return true
+				}
+			}
+			return false
+		}},
+		{speccover.Analyzer, func(p string) bool {
+			return trimTest(p) == "compass/internal/check"
+		}},
+		{planstale.Analyzer, func(p string) bool {
+			return trimTest(p) == "compass/internal/analysis/staticplan"
+		}},
 	}
 }
 

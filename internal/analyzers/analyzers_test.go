@@ -24,7 +24,7 @@ func TestTreeClean(t *testing.T) {
 // TestSuiteRegistry pins the pass roster: removing an analyzer from the
 // suite should be a deliberate act, not a refactoring accident.
 func TestSuiteRegistry(t *testing.T) {
-	want := []string{"detnondet", "zerovalue", "tallysite", "runnerctor", "modecheck"}
+	want := []string{"detnondet", "zerovalue", "tallysite", "runnerctor", "modecheck", "loctrack", "speccover", "planstale"}
 	suite := analyzers.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
@@ -58,6 +58,14 @@ func TestScopeFilters(t *testing.T) {
 		{"runnerctor", "compass/internal/machine", false},
 		{"runnerctor", "compass/internal/fuzz", true},
 		{"modecheck", "compass", true},
+		{"loctrack", "compass/internal/queue", true},
+		{"loctrack", "compass/internal/deque", true},
+		{"loctrack", "compass/internal/lock_test", true},
+		{"loctrack", "compass/internal/check", false},
+		{"speccover", "compass/internal/check", true},
+		{"speccover", "compass/internal/litmus", false},
+		{"planstale", "compass/internal/analysis/staticplan", true},
+		{"planstale", "compass/internal/check", false},
 	}
 	byName := map[string]func(string) bool{}
 	for _, e := range analyzers.Suite() {

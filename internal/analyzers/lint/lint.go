@@ -115,6 +115,26 @@ func HasDirective(doc *ast.CommentGroup, name string) bool {
 	return false
 }
 
+// DirectiveArg returns the argument text following //compass:<name> in
+// the comment group (the rest of the line, space-trimmed) and whether
+// the directive is present at all. A bare directive yields ("", true).
+func DirectiveArg(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	want := DirectivePrefix + name
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(text, want+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
 // FuncDirective reports whether the function declaration enclosing pos in
 // file carries the directive, either in its doc comment or in a comment
 // anywhere inside its body (so a directive can sit next to the one

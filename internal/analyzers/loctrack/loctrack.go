@@ -1,0 +1,211 @@
+// Package loctrack patrols the library implementations for location
+// flow the static access-plan analysis (internal/analysis/staticplan)
+// can or cannot follow. Allocation sites must stay analyzable — a
+// statically derivable name, a result that lands somewhere — and every
+// place a location's identity round-trips through simulated memory (a
+// slice of cells indexed by a value read back from memory, the node-
+// table pattern) must be annotated //compass:loctrack-top <reason>, so
+// the ⊤ verdict in the committed plans is documented at the source line
+// that causes it rather than silent.
+package loctrack
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"compass/internal/analyzers/lint"
+)
+
+// Analyzer is the loctrack pass.
+var Analyzer = &lint.Analyzer{
+	Name: "loctrack",
+	Doc: `keep library allocation sites analyzable and location-decoding sites annotated
+
+Thread.Alloc calls must use statically derivable names (constants,
+string parameters, and their concatenations) and must not discard or
+convert away their result. Reading a view.Loc (or a struct of them) out
+of a slice at a non-constant index recovers a location from a
+memory-held value — the escape that makes a workload's static plan ⊤ —
+and the enclosing function must carry //compass:loctrack-top <reason>
+acknowledging it.`,
+	Run: run,
+}
+
+// TopDirective acknowledges a deliberate location-identity escape.
+const TopDirective = "loctrack-top"
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		if lint.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		parent := parents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkAlloc(pass, file, parent, x)
+			case *ast.IndexExpr:
+				checkIndexRead(pass, file, parent, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// parents maps every node in the file to its syntactic parent.
+func parents(file *ast.File) map[ast.Node]ast.Node {
+	m := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			m[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return m
+}
+
+func isLoc(t types.Type) bool {
+	path, name, ok := lint.NamedTypePath(t)
+	return ok && name == "Loc" && strings.HasSuffix(path, "internal/view")
+}
+
+// containsLoc reports whether a value of type t carries location
+// identity (view.Loc itself, or a struct/array/pointer holding one).
+func containsLoc(t types.Type, depth int) bool {
+	if t == nil || depth > 4 {
+		return false
+	}
+	if isLoc(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLoc(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLoc(u.Elem(), depth+1)
+	case *types.Pointer:
+		return containsLoc(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// threadAlloc reports whether the call is machine.Thread.Alloc.
+func threadAlloc(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Alloc" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	path, name, ok := lint.NamedTypePath(sig.Recv().Type())
+	return ok && name == "Thread" && strings.HasSuffix(path, "internal/machine")
+}
+
+// derivableName reports whether the allocation-name expression folds
+// statically: constants, string-typed identifiers and field selections
+// (parameters and struct config), and concatenations of those.
+func derivableName(info *types.Info, x ast.Expr) bool {
+	x = ast.Unparen(x)
+	if tv, ok := info.Types[x]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return true
+	}
+	switch e := x.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		tv, ok := info.Types[x]
+		if !ok {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	case *ast.BinaryExpr:
+		return derivableName(info, e.X) && derivableName(info, e.Y)
+	}
+	return false
+}
+
+func checkAlloc(pass *lint.Pass, file *ast.File, parent map[ast.Node]ast.Node, call *ast.CallExpr) {
+	if !threadAlloc(pass.TypesInfo, call) {
+		return
+	}
+	if lint.FuncDirective(file, call.Pos(), TopDirective) {
+		return
+	}
+	if len(call.Args) > 0 && !derivableName(pass.TypesInfo, call.Args[0]) {
+		pass.Reportf(call.Args[0].Pos(),
+			"allocation name is not statically derivable (use constants, string parameters, and concatenations): the static plan cannot identify this site")
+	}
+	switch p := parent[call].(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(),
+			"allocation result discarded: the location leaves the analyzable flow at birth")
+	case *ast.CallExpr:
+		// An argument position is tracked flow; a conversion away from
+		// view.Loc erases the location's identity.
+		if tv, ok := pass.TypesInfo.Types[p.Fun]; ok && tv.IsType() && !isLoc(tv.Type) {
+			pass.Reportf(call.Pos(),
+				"allocation result converted away from view.Loc: the location's identity is erased for the static plan")
+		}
+	}
+}
+
+// checkIndexRead flags rvalue reads of location-carrying slice/array
+// elements at non-constant indices: the location's identity depends on a
+// runtime value, which is exactly what the static plan cannot follow.
+func checkIndexRead(pass *lint.Pass, file *ast.File, parent map[ast.Node]ast.Node, ix *ast.IndexExpr) {
+	btv, ok := pass.TypesInfo.Types[ix.X]
+	if !ok {
+		return
+	}
+	bt := btv.Type.Underlying()
+	if p, ok := bt.(*types.Pointer); ok {
+		bt = p.Elem().Underlying()
+	}
+	var elem types.Type
+	switch u := bt.(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return
+	}
+	if !containsLoc(elem, 0) {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[ix.Index]; ok && tv.Value != nil {
+		return // constant index: still a fixed site
+	}
+	// Stores into the slice are tracked flow (the analysis merges all
+	// elements into one cell); only reads recover an identity.
+	if as, ok := parent[ix].(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if lhs == ix {
+				return
+			}
+		}
+	}
+	if lint.FuncDirective(file, ix.Pos(), TopDirective) {
+		return
+	}
+	pass.Reportf(ix.Pos(),
+		"location recovered by a non-constant index: workloads using this path get a ⊤ static plan; mark the decoder //compass:loctrack-top <reason> to acknowledge it")
+}

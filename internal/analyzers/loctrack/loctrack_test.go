@@ -1,0 +1,15 @@
+package loctrack_test
+
+import (
+	"testing"
+
+	"compass/internal/analyzers/lint/linttest"
+	"compass/internal/analyzers/loctrack"
+)
+
+// TestGolden diffs the analyzer against its testdata corpus: every
+// `// want` line must produce a matching diagnostic and nothing else
+// may be reported.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, loctrack.Analyzer, "../testdata/loctrack")
+}

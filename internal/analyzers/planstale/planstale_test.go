@@ -1,0 +1,37 @@
+package planstale_test
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"compass/internal/analysis/staticplan"
+	"compass/internal/analyzers/lint/linttest"
+	"compass/internal/analyzers/planstale"
+)
+
+var update = flag.Bool("update", false, "rewrite the fresh.json golden fixture from the corpus sources")
+
+// TestGolden diffs the analyzer against its testdata corpus. With
+// -update it first regenerates fresh.json the same way the pass renders
+// the corpus package, so the "fresh" case stays byte-exact.
+func TestGolden(t *testing.T) {
+	if *update {
+		pkg, err := linttest.Loader(t).LoadDir("../testdata/planstale")
+		if err != nil {
+			t.Fatalf("loading corpus: %v", err)
+		}
+		plans, err := staticplan.ExtractSuites(staticplan.NewInterp(pkg), pkg)
+		if err != nil {
+			t.Fatalf("extracting corpus plans: %v", err)
+		}
+		b, err := staticplan.Marshal(plans)
+		if err != nil {
+			t.Fatalf("rendering corpus plans: %v", err)
+		}
+		if err := os.WriteFile("../testdata/planstale/fresh.json", b, 0o644); err != nil {
+			t.Fatalf("writing fresh.json: %v", err)
+		}
+	}
+	linttest.Run(t, planstale.Analyzer, "../testdata/planstale")
+}

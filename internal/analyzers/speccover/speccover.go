@@ -1,0 +1,112 @@
+// Package speccover keeps the two oracle families in lockstep: every
+// workload factory that checks a library against its declarative spec
+// (internal/spec) must also register the corresponding
+// refinement/simulation checker (internal/refine). The cross-oracle
+// disagreement counter is the strongest evidence the corpus produces —
+// a workload that consults only one oracle silently opts out of it.
+// Paper-client workloads that deliberately check predicates only (their
+// verdict is the client invariant, not library refinement) carry
+// //compass:speccover-skip with a reason.
+package speccover
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"compass/internal/analyzers/lint"
+)
+
+// Analyzer is the speccover pass.
+var Analyzer = &lint.Analyzer{
+	Name: "speccover",
+	Doc: `require every spec-checked library workload to register a refinement checker
+
+A function that calls spec.Check<Lib> builds a library workload whose
+verdict should be cross-checked: it must also register a
+refine.Checker/CheckerMax for the same library, or carry
+//compass:speccover-skip <reason> documenting why predicate checking
+alone is intended (e.g. paper clients whose verdict is the client's own
+invariant).`,
+	Run: run,
+}
+
+// SkipDirective exempts a deliberate predicate-only workload.
+const SkipDirective = "speccover-skip"
+
+// specLibs maps internal/spec checker function names to the refine
+// library identifier they must be paired with. Spec variants (SPSC) pair
+// with their base library's refinement model.
+var specLibs = map[string]string{
+	"CheckQueue":     "Queue",
+	"CheckQueueSPSC": "Queue",
+	"CheckStack":     "Stack",
+	"CheckDeque":     "Deque",
+	"CheckExchanger": "Exchanger",
+	"CheckLock":      "Lock",
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		if lint.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if lint.HasDirective(fd.Doc, SkipDirective) {
+				continue
+			}
+			specUsed := map[string]ast.Node{}
+			refined := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := lint.PkgFunc(pass.TypesInfo, call.Fun)
+				fn, ok := obj.(*types.Func)
+				if !ok {
+					return true
+				}
+				path := lint.ObjPkgPath(fn)
+				switch {
+				case strings.HasSuffix(path, "internal/spec"):
+					if lib, ok := specLibs[fn.Name()]; ok {
+						if _, seen := specUsed[lib]; !seen {
+							specUsed[lib] = call
+						}
+					}
+				case strings.HasSuffix(path, "internal/refine"):
+					if fn.Name() != "Checker" && fn.Name() != "CheckerMax" {
+						return true
+					}
+					if len(call.Args) == 0 {
+						return true
+					}
+					if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+						refined[sel.Sel.Name] = true
+					}
+				}
+				return true
+			})
+			libs := make([]string, 0, len(specUsed))
+			for lib := range specUsed {
+				libs = append(libs, lib)
+			}
+			sort.Strings(libs)
+			for _, lib := range libs {
+				if refined[lib] {
+					continue
+				}
+				pass.Reportf(specUsed[lib].Pos(),
+					"workload checks the %s spec but registers no refine.%s checker: add a refine.Checker so the cross-oracle disagreement counter covers it, or mark the factory //compass:speccover-skip with a reason",
+					strings.ToLower(lib), lib)
+			}
+		}
+	}
+	return nil
+}

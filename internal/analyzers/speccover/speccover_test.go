@@ -1,0 +1,15 @@
+package speccover_test
+
+import (
+	"testing"
+
+	"compass/internal/analyzers/lint/linttest"
+	"compass/internal/analyzers/speccover"
+)
+
+// TestGolden diffs the analyzer against its testdata corpus: every
+// `// want` line must produce a matching diagnostic and nothing else
+// may be reported.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, speccover.Analyzer, "../testdata/speccover")
+}

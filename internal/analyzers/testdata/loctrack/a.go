@@ -1,0 +1,69 @@
+// Package loctrack is the golden corpus for the loctrack analyzer.
+package loctrack
+
+import (
+	"compass/internal/machine"
+	"compass/internal/view"
+)
+
+type cells struct {
+	locs []view.Loc
+}
+
+type entry struct {
+	val int64
+	loc view.Loc
+}
+
+// goodAlloc uses derivable names: constants, string parameters, and
+// their concatenations all fold statically.
+func goodAlloc(th *machine.Thread, name string) view.Loc {
+	_ = th.Alloc("head", 0)
+	return th.Alloc(name+".tail", 0)
+}
+
+func badName(th *machine.Thread, i rune) view.Loc {
+	return th.Alloc(string(i), 0) // want `allocation name is not statically derivable`
+}
+
+func discarded(th *machine.Thread) {
+	th.Alloc("x", 0) // want `allocation result discarded`
+}
+
+func erased(th *machine.Thread) int64 {
+	return int64(th.Alloc("x", 0)) // want `allocation result converted away from view\.Loc`
+}
+
+// tracked destinations: assignments, composite literals, stores into
+// Loc slices, and ordinary call arguments are all analyzable flow.
+func trackedFlow(th *machine.Thread, c *cells, i int) {
+	x := th.Alloc("a", 0)
+	c.locs[i] = th.Alloc("b", 0)
+	use(th.Alloc("c", 0))
+	_ = x
+}
+
+func use(l view.Loc) {}
+
+func undecodedRead(c *cells, i int64) view.Loc {
+	return c.locs[i] // want `location recovered by a non-constant index`
+}
+
+// nodeAt is the sanctioned node-table decoder pattern.
+//
+//compass:loctrack-top node table indexed by memory-held handles
+func nodeAt(c *cells, i int64) view.Loc {
+	return c.locs[i] // ok: loctrack-top acknowledges the ⊤ plan
+}
+
+func fixedRead(c *cells) view.Loc {
+	return c.locs[0] // ok: constant index is a fixed site
+}
+
+func structElem(es []entry, i int) entry {
+	return es[i] // want `location recovered by a non-constant index`
+}
+
+func plainInts(xs []int64, i int) int64 {
+	return xs[i] // ok: no location identity in the elements
+}

@@ -1,0 +1,54 @@
+// Package planstale is the golden corpus for the planstale analyzer.
+package planstale
+
+import (
+	"compass/internal/machine"
+	"compass/internal/memory"
+	"compass/internal/view"
+)
+
+type entry struct {
+	Name  string
+	Build func() machine.Program
+}
+
+// Corpus is the plan suite the fixture files pin.
+//
+//compass:plan-suite
+func Corpus() []entry {
+	return []entry{
+		{
+			Name: "solo",
+			Build: func() machine.Program {
+				var x view.Loc
+				return machine.Program{
+					Setup: func(th *machine.Thread) { x = th.Alloc("x", 0) },
+					Workers: []func(*machine.Thread){
+						func(th *machine.Thread) { th.Write(x, 1, memory.Rel) },
+					},
+					Final: func(th *machine.Thread) { th.Read(x, memory.Acq) },
+				}
+			},
+		},
+	}
+}
+
+// fresh pins a fixture that matches extraction.
+//
+//compass:plan-fixture fresh.json
+func fresh() {} // ok: fixture is current
+
+// stale pins a fixture whose content has drifted from the sources.
+//
+//compass:plan-fixture stale.json
+func stale() {} // want `plan fixture stale\.json is stale`
+
+// missing pins a fixture that was never generated.
+//
+//compass:plan-fixture missing.json
+func missing() {} // want `plan fixture missing\.json does not exist`
+
+// bare forgets the path argument.
+//
+//compass:plan-fixture
+func bare() {} // want `plan-fixture directive needs a path argument`

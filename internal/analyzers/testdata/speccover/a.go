@@ -1,0 +1,50 @@
+// Package speccover is the golden corpus for the speccover analyzer.
+package speccover
+
+import (
+	"compass/internal/core"
+	"compass/internal/refine"
+	"compass/internal/spec"
+)
+
+func graph() *core.Graph { return nil }
+
+// paired registers the matching refinement checker for the spec it
+// checks.
+func paired(level spec.Level) {
+	_ = spec.CheckQueue(graph(), level) // ok: refine.Checker(refine.Queue) below
+	_ = refine.Checker(refine.Queue, graph)
+}
+
+func unpaired(level spec.Level) {
+	_ = spec.CheckQueue(graph(), level) // want `workload checks the queue spec but registers no refine\.Queue checker`
+}
+
+// spscPairsWithQueue: the SPSC spec variant refines against the base
+// queue model, and CheckerMax counts as registering it.
+func spscPairsWithQueue() {
+	_ = spec.CheckQueueSPSC(graph())
+	_ = refine.CheckerMax(refine.Queue, 8, graph)
+}
+
+// wrongLibrary registers a checker, but for a different library than the
+// spec it consults.
+func wrongLibrary(level spec.Level) {
+	_ = spec.CheckStack(graph(), level) // want `workload checks the stack spec but registers no refine\.Stack checker`
+	_ = refine.Checker(refine.Queue, graph)
+}
+
+// predicateOnly deliberately checks the spec predicate without a
+// refinement checker: the verdict is the client's own invariant.
+//
+//compass:speccover-skip client workload: the verdict is the client invariant
+func predicateOnly(level spec.Level) {
+	_ = spec.CheckQueue(graph(), level) // ok: speccover-skip with a reason
+}
+
+// twoLibs must pair each consulted spec independently.
+func twoLibs(level spec.Level) {
+	_ = spec.CheckQueue(graph(), level)
+	_ = spec.CheckExchanger(graph()) // want `workload checks the exchanger spec but registers no refine\.Exchanger checker`
+	_ = refine.Checker(refine.Queue, graph)
+}

@@ -165,6 +165,12 @@ type Options struct {
 	// (see machine.ExploreOpts.POR). ModeRandom ignores it — random
 	// sampling has no branch tree to prune.
 	POR PORMode
+	// Plan, when non-nil, is a static access plan (extracted by
+	// internal/analysis/staticplan) consulted by source-DPOR to skip
+	// scheduling branches no statically-possible access can distinguish.
+	// Plans are may-over-approximations, so outcome sets are identical
+	// with or without one; modes other than PORSource ignore it.
+	Plan *memory.Plan
 }
 
 // PORMode is re-exported from machine so harness callers configure the
@@ -253,7 +259,7 @@ func (o Options) withDefaults() Options {
 //
 //compass:runner-ctor
 func (o Options) Runner(trace bool) *machine.Runner {
-	return &machine.Runner{Budget: o.Budget, Trace: trace, Stats: o.Stats, Footprint: o.Footprint}
+	return &machine.Runner{Budget: o.Budget, Trace: trace, Stats: o.Stats, Footprint: o.Footprint, Plan: o.Plan}
 }
 
 // ExploreOpts builds the machine exploration options for a harness-level
@@ -274,6 +280,7 @@ func (o Options) ExploreOpts() machine.ExploreOpts {
 		Footprint: o.Footprint,
 		Trace:     o.Refine,
 		POR:       o.POR,
+		Plan:      o.Plan,
 	}
 }
 

@@ -28,6 +28,11 @@ import (
 // The Fig. 3 dequeue-permission accounting is checked on the final graph:
 // with two deqPerm(1) permissions in the system, at most two successful
 // dequeues can exist.
+// The spec predicate is consulted for the client argument only; the
+// workload's verdict is the client invariant (never-empty dequeue and
+// the Fig. 3 permission bound), not library refinement.
+//
+//compass:speccover-skip client verdict is the client invariant, not refinement
 func MPQueue(f QueueFactory, level spec.Level, releaseFlag bool) func() Checked {
 	wmode, rmode := memory.Rel, memory.Acq
 	if !releaseFlag {
@@ -87,6 +92,10 @@ func MPQueue(f QueueFactory, level spec.Level, releaseFlag bool) func() Checked 
 // enqueues the contents of an array in index order; the consumer dequeues
 // n elements (retrying on empty) into its own array. FIFO requires the
 // consumer's array to equal the producer's.
+// The spec predicate is consulted for the client argument only; the
+// verdict is the client-level FIFO transfer property.
+//
+//compass:speccover-skip client verdict is the client invariant, not refinement
 func SPSC(f QueueFactory, level spec.Level, n int) func() Checked {
 	return func() Checked {
 		var q queue.Queue
@@ -137,6 +146,10 @@ func SPSC(f QueueFactory, level spec.Level, n int) func() Checked {
 // guarantees of both queues through the relay's program order (the kind of
 // multi-object protocol §2.2's invariant discussion motivates). Both
 // queues' graphs are checked, plus the client-level order property.
+// The spec predicates are consulted for the client argument only; the
+// verdict is the end-to-end order property across both queues.
+//
+//compass:speccover-skip client verdict is the client invariant, not refinement
 func Pipeline(f QueueFactory, level spec.Level, n int) func() Checked {
 	return func() Checked {
 		var q1, q2 queue.Queue
@@ -191,6 +204,10 @@ func Pipeline(f QueueFactory, level spec.Level, n int) func() Checked {
 // preserving successor into the other. The client invariant is checked on
 // the final graphs: every value that ever entered q1 is odd, every value
 // that entered q2 is even.
+// The spec predicates are consulted for the client argument only; the
+// verdict is the parity invariant R over both queues.
+//
+//compass:speccover-skip client verdict is the client invariant, not refinement
 func OddEven(f QueueFactory, level spec.Level, movers, moves int) func() Checked {
 	return func() Checked {
 		var q1, q2 queue.Queue

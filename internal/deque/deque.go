@@ -65,8 +65,14 @@ func newDeque(th *machine.Thread, name string, cap int, sc bool) *Deque {
 // Recorder exposes the deque's event graph recorder.
 func (d *Deque) Recorder() *core.Recorder { return d.rec }
 
+// slot and eid decode a ring index out of a memory-held counter value:
+// the workload's static plan is ⊤.
+//
+//compass:loctrack-top ring slot selected by a memory-held counter
 func (d *Deque) slot(i int64) view.Loc { return d.items[int(i)%len(d.items)] }
-func (d *Deque) eid(i int64) view.Loc  { return d.eids[int(i)%len(d.items)] }
+
+//compass:loctrack-top ring slot selected by a memory-held counter
+func (d *Deque) eid(i int64) view.Loc { return d.eids[int(i)%len(d.items)] }
 
 func (d *Deque) fence(th *machine.Thread) {
 	if d.scFence {

@@ -104,6 +104,8 @@ func (x *Exchanger) Exchange(th *machine.Thread, v int64, patience int) int64 {
 
 // ExchangeMatch is Exchange with a helper-side match callback (see
 // MatchFunc).
+//
+//compass:loctrack-top offer node selected by a memory-held offer handle
 func (x *Exchanger) ExchangeMatch(th *machine.Thread, v int64, patience int, onMatch MatchFunc) int64 {
 	if v == 0 || v == core.ExFail {
 		th.Failf("exchanger: reserved value %d offered", v)
@@ -154,6 +156,8 @@ func (x *Exchanger) ExchangeMatch(th *machine.Thread, v int64, patience int, onM
 
 // awaitResponse polls the offer's response cell. spins < 0 waits
 // indefinitely (bounded by the machine's step budget).
+//
+//compass:loctrack-top offer node selected by a memory-held offer handle
 func (x *Exchanger) awaitResponse(th *machine.Thread, n int64, spins int) (int64, bool) {
 	node := x.nodes[n-1]
 	for i := 0; spins < 0 || i < spins; i++ {

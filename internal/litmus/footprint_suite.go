@@ -12,6 +12,8 @@ import (
 // and a shared flag that keeps the exploration branching. The equivalence
 // test runs them alongside the suite, and cmd/benchreport sweeps them to
 // measure how much per-access work pruning removes.
+//
+//compass:plan-suite
 func FootprintSuite() []Test {
 	return []Test{
 		{

@@ -56,11 +56,11 @@ func (t LibTest) Modes() []check.PORMode {
 
 // LibResult summarizes one exhaustive refinement-judged exploration.
 type LibResult struct {
-	Test       LibTest
-	Runs       int
-	Complete   bool
-	Passed     bool
-	Discarded  int
+	Test      LibTest
+	Runs      int
+	Complete  bool
+	Passed    bool
+	Discarded int
 	// TracesChecked / Disagreements are the refinement oracle's counters
 	// for this run: executions judged, and judged executions where the
 	// refinement verdict differed from the predicate verdict.
@@ -138,7 +138,7 @@ func RunLib(t LibTest, maxRuns int, opts ...Option) *LibResult {
 	rep := check.ExhaustiveOpt(t.Name, t.Build, check.Options{
 		MaxRuns: maxRuns, Budget: 4000, KeepGoing: true,
 		Refine: true, Workers: cfg.workers, Stats: stats,
-		Footprint: cfg.fp, POR: cfg.por,
+		Footprint: cfg.fp, POR: cfg.por, Plan: cfg.plan,
 	})
 	after := stats.Snapshot().Refine
 	res := &LibResult{
@@ -176,6 +176,8 @@ func LibFootprint(t LibTest) (*memory.Footprint, error) {
 // POR mode explores them completely (contended exchangers and spin locks
 // have unbounded schedules, so the exchanger runs the uncontended
 // single-offer instance and the lock runs bounded try-lock rounds).
+//
+//compass:plan-suite
 func LibrarySuite() []LibTest {
 	return []LibTest{
 		{
@@ -200,8 +202,8 @@ func LibrarySuite() []LibTest {
 			}, spec.LevelHB, 1, 2, 1, 2),
 		},
 		{
-			Name: "lib/elimstack",
-			Note: "elimination stack composed of Treiber base + exchanger",
+			Name:  "lib/elimstack",
+			Note:  "elimination stack composed of Treiber base + exchanger",
 			Build: check.ElimStackComposed(spec.LevelHB, 1, 1),
 		},
 		{

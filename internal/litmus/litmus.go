@@ -109,6 +109,7 @@ type config struct {
 	stats   *telemetry.Stats
 	fp      *memory.Footprint
 	por     check.PORMode
+	plan    *memory.Plan
 }
 
 // WithWorkers sets the parallel exploration worker count (0 = GOMAXPROCS,
@@ -149,6 +150,17 @@ func WithPOR(on bool) Option {
 		}
 	}
 }
+
+// WithPlan installs a static access plan (see
+// internal/analysis/staticplan) consulted by source-DPOR: provably
+// conflict-free pending accesses are forced as singleton persistent sets
+// and conservative wake verdicts on allocations and frees are refuted.
+// Plans are may-over-approximations of every schedule's accesses, so the
+// outcome *set* is identical with and without one — asserted bit-for-bit
+// by the plan-equivalence test in this package — while the execution
+// count shrinks further than source-DPOR alone. Modes other than
+// check.PORSource ignore the plan.
+func WithPlan(p *memory.Plan) Option { return func(c *config) { c.plan = p } }
 
 // WithPORMode selects the partial-order reduction mode explicitly:
 // check.POROff, check.PORSleep, or check.PORSource. Source-DPOR reverses
@@ -212,7 +224,7 @@ func (s *JobState) RunSegment(t Test, maxRuns, pauseRuns int, opts ...Option) bo
 	if maxRuns <= 0 {
 		maxRuns = check.DefaultMaxRuns
 	}
-	eo := check.Options{MaxRuns: maxRuns, Workers: cfg.workers, Stats: cfg.stats, Footprint: cfg.fp, POR: cfg.por}.ExploreOpts()
+	eo := check.Options{MaxRuns: maxRuns, Workers: cfg.workers, Stats: cfg.stats, Footprint: cfg.fp, POR: cfg.por, Plan: cfg.plan}.ExploreOpts()
 	eo.Resume = s.Frontier
 	eo.PauseRuns = pauseRuns
 	// The explorer bounds one call; the job bound spans segments.
@@ -316,6 +328,8 @@ func twoLoc(x, y *view.Loc) func(*machine.Thread) {
 }
 
 // Suite returns the litmus tests for the ORC11 machine.
+//
+//compass:plan-suite
 func Suite() []Test {
 	return []Test{
 		{

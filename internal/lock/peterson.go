@@ -44,6 +44,8 @@ func newPeterson(th *machine.Thread, name string, sc bool) *Peterson {
 // the contender that yielded before us (otherwise our stale read of their
 // flag lets both threads enter); the SC fence rules out the symmetric
 // store-buffering case where both contenders read both flags stale.
+//
+//compass:loctrack-top flag cell selected by the contender index
 func (p *Peterson) Lock(th *machine.Thread, who int) {
 	other := 1 - who
 	th.Write(p.flag[who], 1, memory.Rlx)
@@ -67,6 +69,8 @@ func (p *Peterson) Lock(th *machine.Thread, who int) {
 }
 
 // Unlock releases the lock.
+//
+//compass:loctrack-top flag cell selected by the contender index
 func (p *Peterson) Unlock(th *machine.Thread, who int) {
 	th.Write(p.flag[who], 0, memory.Rel)
 }

@@ -400,6 +400,9 @@ type controller struct {
 	floors   []view.Time
 	doneMask uint64 // finished threads (valid while por != POROff, so <= 64 threads)
 	wakes    int    // source-mode wake events this run (wakeup-tree size)
+	// plan is the static access-plan oracle (only under PORSource with a
+	// matching Runner.Plan); nil means no static knowledge.
+	plan *memory.PlanOracle
 }
 
 // porCandidates filters the runnable threads down to those not asleep and
@@ -526,6 +529,17 @@ type Runner struct {
 	// set is a 64-bit mask); the fallback bumps the por_disabled_threads
 	// counter and fires the SetPORFallbackWarn hook.
 	POR PORMode
+	// Plan, when non-nil, is a static access plan (extracted by
+	// internal/analysis/staticplan) consulted only under PORSource, and
+	// only when its Program matches the program's name (anonymous
+	// programs trust the caller's pairing): the plan oracle
+	// refutes conservative dynamic conflict verdicts before a sleeper is
+	// woken, and proves pending reads/writes invisible (no other live
+	// thread's may-set conflicts with them) so they form singleton
+	// persistent sets. The plan is a may-over-approximation, so
+	// consulting it never loses a reachable outcome; with Plan nil the
+	// explorer behaves bit-identically to the plan-less one.
+	Plan *memory.Plan
 }
 
 // Run executes prog under the given strategy and returns the result.
@@ -570,6 +584,9 @@ func (r *Runner) Run(prog Program, strat Strategy) *Result {
 	}
 	if c.por == PORSource {
 		c.floors = make([]view.Time, nw+1)
+		if r.Plan != nil && (prog.Name == "" || r.Plan.Program == prog.Name) {
+			c.plan = memory.NewPlanOracle(r.Plan, c.mem)
+		}
 	}
 	for i := range c.grants {
 		c.grants[i] = make(chan struct{})

@@ -122,11 +122,20 @@ func porFallbackWarn(threads int) {
 //     covered, because forcing glues each report to its program-order
 //     predecessor, and both relative orders of two such blocks are still
 //     reached through the ordinary branching on the predecessors.
+//   - With a static access plan installed (c.plan), a pending read,
+//     write, or RMW whose site no other live thread's may-set can touch
+//     conflictingly (memory.PlanOracle.MayConflict). The plan covers
+//     each thread's entire future behaviour, so no dependent operation
+//     can ever precede the forced step — the defining property of a
+//     singleton persistent set. Unstarted workers are covered too (their
+//     plans are total over their bodies); only finished threads are
+//     excluded. Allocations are never forced: two allocations swap
+//     location IDs, and the plan does not speak about fresh locations.
 //
 // The forced grant skips the strategy (candidate fan-out 1), so the
 // decision tree simply loses these nodes; being a pure function of
-// pending announcements and the done mask, it replays identically under
-// both explorers.
+// pending announcements, the done mask, and the (per-program constant)
+// plan, it replays identically under both explorers.
 func (c *controller) forceInvisible(cand []int) int {
 	for i, tid := range cand {
 		p := c.pending[tid]
@@ -140,6 +149,24 @@ func (c *controller) forceInvisible(cand []int) int {
 					continue
 				}
 				if q := c.pending[v]; q.Kind == memory.AccReport && q.Name == p.Name {
+					clash = true
+					break
+				}
+			}
+			if !clash {
+				return i
+			}
+		case memory.AccRead, memory.AccWrite, memory.AccRMW:
+			if c.plan == nil {
+				continue
+			}
+			c.stats.PlanCheck()
+			clash := false
+			for v := range c.pending {
+				if v == tid || c.doneMask&(1<<uint(v)) != 0 {
+					continue
+				}
+				if c.plan.MayConflict(v, p) {
 					clash = true
 					break
 				}
@@ -164,6 +191,19 @@ func (c *controller) sourceWake(u int, op memory.Access) {
 	p := c.pending[u]
 	if !memory.Conflicting(p, op) {
 		return
+	}
+	if c.plan != nil {
+		// The dynamic oracle is conservative about allocations and frees
+		// (dependent with everything); the plan oracle refutes the
+		// verdicts that are provably spurious for the two concrete
+		// pending accesses (an allocation's fresh location cannot be an
+		// existing one; frees commute with accesses to other locations).
+		// Gated on plan presence so plan-off exploration is bit-identical.
+		c.stats.PlanCheck()
+		if c.plan.Refutes(p, op) {
+			c.stats.PlanConflictRefuted()
+			return
+		}
 	}
 	pWrites := p.Kind == memory.AccWrite || p.Kind == memory.AccRMW
 	opWrites := op.Kind == memory.AccWrite || op.Kind == memory.AccRMW

@@ -177,6 +177,12 @@ type ExploreOpts struct {
 	// reduced tree is still a deterministic function of the decision
 	// prefix, so pinned prefixes replay it exactly).
 	POR PORMode
+	// Plan, when non-nil, is installed into every execution's Runner (see
+	// Runner.Plan): under PORSource the static access-plan oracle refutes
+	// spurious dynamic conflicts and forces plan-invisible steps, further
+	// shrinking Runs at provably identical outcome sets. Ignored in the
+	// other POR modes.
+	Plan *memory.Plan
 }
 
 // ExploreResult summarizes an exploration.
@@ -207,7 +213,10 @@ func Explore(build func() Program, opts ExploreOpts, visit func(*Result) bool) E
 	if maxRuns <= 0 {
 		maxRuns = 200000
 	}
-	runner := &Runner{Budget: opts.Budget, Trace: opts.Trace, Stats: opts.Stats, Footprint: opts.Footprint, POR: opts.POR}
+	runner := &Runner{Budget: opts.Budget, Trace: opts.Trace, Stats: opts.Stats, Footprint: opts.Footprint, POR: opts.POR, Plan: opts.Plan}
+	if opts.Plan != nil {
+		opts.Stats.PlanSites(int64(opts.Plan.SiteCount()))
+	}
 	var prefix []Decision
 	res := ExploreResult{}
 	for res.Runs < maxRuns {
@@ -283,6 +292,9 @@ func ExploreParallel(opts ExploreOpts, newWorker func() (build func() Program, v
 	frontier := NewFrontier()
 	if opts.Resume != nil {
 		frontier = opts.Resume.Clone()
+	}
+	if opts.Plan != nil {
+		opts.Stats.PlanSites(int64(opts.Plan.SiteCount()))
 	}
 	e := &parallelExplorer{opts: opts, maxRuns: maxRuns, frontier: frontier}
 	e.cond = sync.NewCond(&e.mu)
@@ -370,7 +382,7 @@ func (e *parallelExplorer) done(children [][]Decision, keep bool) {
 //
 //compass:accounting
 func (e *parallelExplorer) worker(build func() Program, visit func(*Result) bool) {
-	runner := &Runner{Budget: e.opts.Budget, Trace: e.opts.Trace, Stats: e.opts.Stats, Footprint: e.opts.Footprint, POR: e.opts.POR}
+	runner := &Runner{Budget: e.opts.Budget, Trace: e.opts.Trace, Stats: e.opts.Stats, Footprint: e.opts.Footprint, POR: e.opts.POR, Plan: e.opts.Plan}
 	for {
 		prefix, ok := e.next()
 		if !ok {
@@ -446,7 +458,7 @@ func (s *Recorded) Choose(n int) int {
 //
 //compass:accounting
 func RunRandomOpt(build func() Program, n int, seed int64, opts ExploreOpts, visit func(*Result) bool) int {
-	runner := &Runner{Budget: opts.Budget, Trace: opts.Trace, Stats: opts.Stats, Footprint: opts.Footprint, POR: opts.POR}
+	runner := &Runner{Budget: opts.Budget, Trace: opts.Trace, Stats: opts.Stats, Footprint: opts.Footprint, POR: opts.POR, Plan: opts.Plan}
 	ok := 0
 	for i := 0; i < n; i++ {
 		r := runner.Run(build(), NewRandom(seed+int64(i)))

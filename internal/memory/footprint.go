@@ -73,6 +73,11 @@ func (c LocClass) String() string {
 // LocCert is one location's certificate.
 type LocCert struct {
 	Class LocClass
+	// Name is the location's allocation-site name, recorded so static
+	// access plans (plan.go) can be checked against the certificate
+	// before exploration: plan sites are keyed by name, not by the
+	// schedule-dependent location index.
+	Name string
 	// Owner is the accessing thread for ClassExclusive.
 	Owner int
 	// SetupMax is the location's maximal timestamp when setup finished

@@ -78,6 +78,8 @@ func (q *HWQueue) Recorder() *core.Recorder { return q.rec }
 
 // Enqueue implements Queue. Fails the execution if capacity is exceeded
 // (workloads must size the queue).
+//
+//compass:loctrack-top slot selected by a memory-held ticket counter
 func (q *HWQueue) Enqueue(th *machine.Thread, v int64) {
 	if v <= 0 {
 		th.Failf("hwqueue: values must be positive, got %d", v)
@@ -103,6 +105,8 @@ func (q *HWQueue) Enqueue(th *machine.Thread, v int64) {
 // knowledge at the moment it decided the observable range is what
 // QUEUE-EMPDEQ constrains. This mirrors the paper's remark that the
 // Herlihy-Wing commit points are subtle (§3.2).
+//
+//compass:loctrack-top slot selected by a memory-held ticket counter
 func (q *HWQueue) TryDequeue(th *machine.Thread) (int64, bool) {
 	rng := th.Read(q.back, q.scanMode)
 	empID := q.rec.Begin(th, core.EmpDeq, 0) // snapshot at the back read

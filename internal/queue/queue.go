@@ -75,5 +75,9 @@ func (nt *nodeTable) alloc(th *machine.Thread, name string, v, eid int64) int64 
 	return int64(len(nt.nodes))
 }
 
-// at resolves a non-nil handle.
+// at resolves a non-nil handle: the node-table decode of a location
+// identity read back from simulated memory, which is exactly why queue
+// workloads carry a ⊤ static plan.
+//
+//compass:loctrack-top node table indexed by memory-held handles
 func (nt *nodeTable) at(h int64) nodeCells { return nt.nodes[h-1] }

@@ -60,6 +60,8 @@ func (q *Ring) slot(pos int64) int { return int(pos) % len(q.seqs) }
 
 // Enqueue implements Queue. Fails the execution if the ring is full
 // (size workloads accordingly).
+//
+//compass:loctrack-top ring slot selected by a memory-held position counter
 func (q *Ring) Enqueue(th *machine.Thread, v int64) {
 	if v <= 0 {
 		th.Failf("ring: values must be positive, got %d", v)
@@ -92,6 +94,8 @@ func (q *Ring) Enqueue(th *machine.Thread, v int64) {
 // TryDequeue implements Queue: claim the next published slot, or report
 // empty if the slot at deqPos is not (visibly) published — the ring's
 // best-effort emptiness.
+//
+//compass:loctrack-top ring slot selected by a memory-held position counter
 func (q *Ring) TryDequeue(th *machine.Thread) (int64, bool) {
 	for {
 		pos := th.Read(q.deqPos, memory.Rlx)

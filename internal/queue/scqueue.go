@@ -45,6 +45,8 @@ func NewSC(th *machine.Thread, name string, cap int) *SCQueue {
 func (q *SCQueue) Recorder() *core.Recorder { return q.rec }
 
 // Enqueue implements Queue.
+//
+//compass:loctrack-top buffer slot selected by a memory-held head/tail index
 func (q *SCQueue) Enqueue(th *machine.Thread, v int64) {
 	q.lk.Lock(th)
 	t := th.Read(q.tl, memory.NA)
@@ -61,6 +63,8 @@ func (q *SCQueue) Enqueue(th *machine.Thread, v int64) {
 }
 
 // TryDequeue implements Queue. Under the lock, emptiness is exact.
+//
+//compass:loctrack-top buffer slot selected by a memory-held head/tail index
 func (q *SCQueue) TryDequeue(th *machine.Thread) (int64, bool) {
 	q.lk.Lock(th)
 	h := th.Read(q.hd, memory.NA)

@@ -84,6 +84,8 @@ func (s *TreiberHP) Push(th *machine.Thread, v int64) {
 
 // Pop implements Stack: hazard-protect the head node, dereference it,
 // unlink it, then retire it for reclamation.
+//
+//compass:loctrack-top hazard-pointer slot selected by the runtime thread id
 func (s *TreiberHP) Pop(th *machine.Thread) (int64, bool) {
 	var slot view.Loc
 	if s.useHP {

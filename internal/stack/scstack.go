@@ -41,6 +41,8 @@ func NewSC(th *machine.Thread, name string, cap int) *SCStack {
 func (s *SCStack) Recorder() *core.Recorder { return s.rec }
 
 // Push implements Stack.
+//
+//compass:loctrack-top buffer slot selected by a memory-held top index
 func (s *SCStack) Push(th *machine.Thread, v int64) {
 	s.lk.Lock(th)
 	t := th.Read(s.top, memory.NA)
@@ -57,6 +59,8 @@ func (s *SCStack) Push(th *machine.Thread, v int64) {
 }
 
 // Pop implements Stack. Under the lock, emptiness is exact.
+//
+//compass:loctrack-top buffer slot selected by a memory-held top index
 func (s *SCStack) Pop(th *machine.Thread) (int64, bool) {
 	s.lk.Lock(th)
 	t := th.Read(s.top, memory.NA)

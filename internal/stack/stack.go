@@ -77,4 +77,8 @@ func (nt *nodeTable) alloc(th *machine.Thread, name string, v, eid int64) int64 
 	return int64(len(nt.nodes))
 }
 
+// at resolves a non-nil handle (see the queue nodeTable: the decode is
+// why stack workloads carry a ⊤ static plan).
+//
+//compass:loctrack-top node table indexed by memory-held handles
 func (nt *nodeTable) at(h int64) nodeCells { return nt.nodes[h-1] }

@@ -189,6 +189,10 @@ type MachineStats struct {
 	// RaceChecksSkipped counts non-atomic accesses whose race
 	// instrumentation was skipped under a footprint certificate.
 	RaceChecksSkipped Counter
+	// CertRefusals counts dynamic footprint certificates refused by the
+	// static access-plan gate before exploration started (the certificate
+	// omitted a statically-reachable access; the run proceeds unpruned).
+	CertRefusals Counter
 }
 
 // ExploreStats instruments the decision-prefix tree of the exhaustive
@@ -242,6 +246,19 @@ type ExploreStats struct {
 	// wake events (race reversals carried by one run's wakeup
 	// bookkeeping); one sample per execution under PORSource.
 	WakeupTreeSize Histogram
+	// PlanSites counts static access-plan sites installed into
+	// explorations (one (thread, site) entry each, recorded once per
+	// exploration with a plan).
+	PlanSites Counter
+	// PlanChecks counts consultations of the static plan oracle: wake
+	// decisions where a dynamic conflict verdict was tested for
+	// refutation, plus invisible-step queries over pending accesses.
+	PlanChecks Counter
+	// PlanConflictsRefuted counts conservative dynamic conflict verdicts
+	// the plan oracle refuted, each preventing a spurious sleeper wake
+	// (and therefore a spurious backtrack point). Always ≤ PlanChecks,
+	// which the snapshot validator enforces.
+	PlanConflictsRefuted Counter
 }
 
 // FuzzStats instruments a differential-fuzzing campaign.
@@ -423,6 +440,41 @@ func (s *Stats) PORRunWakeups(n int) {
 	s.Explore.WakeupTreeSize.Observe(int64(n))
 }
 
+// PlanSites records the size of a static access plan installed into an
+// exploration (once per exploration, not per execution).
+func (s *Stats) PlanSites(n int64) {
+	if s == nil {
+		return
+	}
+	s.Explore.PlanSites.Add(n)
+}
+
+// PlanCheck records one consultation of the static plan oracle.
+func (s *Stats) PlanCheck() {
+	if s == nil {
+		return
+	}
+	s.Explore.PlanChecks.Inc()
+}
+
+// PlanConflictRefuted records one conservative dynamic conflict verdict
+// refuted by the plan oracle (a spurious wake avoided).
+func (s *Stats) PlanConflictRefuted() {
+	if s == nil {
+		return
+	}
+	s.Explore.PlanConflictsRefuted.Inc()
+}
+
+// CertRefused records one dynamic footprint certificate refused by the
+// static access-plan gate before exploration.
+func (s *Stats) CertRefused() {
+	if s == nil {
+		return
+	}
+	s.Machine.CertRefusals.Inc()
+}
+
 // FuzzProgram records one generated campaign program.
 func (s *Stats) FuzzProgram() {
 	if s == nil {
@@ -511,6 +563,7 @@ func (s *Stats) Merge(o *Stats) {
 	}
 	m.PrunedReads.Add(om.PrunedReads.Load())
 	m.RaceChecksSkipped.Add(om.RaceChecksSkipped.Load())
+	m.CertRefusals.Add(om.CertRefusals.Load())
 	e, oe := &s.Explore, &o.Explore
 	e.Prefixes.Add(oe.Prefixes.Load())
 	e.Children.Add(oe.Children.Load())
@@ -524,6 +577,9 @@ func (s *Stats) Merge(o *Stats) {
 	e.PORStaleReadsSkipped.Add(oe.PORStaleReadsSkipped.Load())
 	e.PORDisabledThreads.Add(oe.PORDisabledThreads.Load())
 	e.WakeupTreeSize.merge(&oe.WakeupTreeSize)
+	e.PlanSites.Add(oe.PlanSites.Load())
+	e.PlanChecks.Add(oe.PlanChecks.Load())
+	e.PlanConflictsRefuted.Add(oe.PlanConflictsRefuted.Load())
 	f, of := &s.Fuzz, &o.Fuzz
 	f.Programs.Add(of.Programs.Load())
 	f.Execs.Add(of.Execs.Load())
@@ -561,6 +617,9 @@ type MachineSnapshot struct {
 	// installed for the run; see internal/analysis/footprint).
 	PrunedReads       int64 `json:"pruned_reads"`
 	RaceChecksSkipped int64 `json:"race_checks_skipped"`
+	// CertRefusals counts certificates the static access-plan gate
+	// refused before exploration (0 unless plan gating was requested).
+	CertRefusals int64 `json:"cert_refusals"`
 }
 
 // ExploreSnapshot is the JSON form of ExploreStats.
@@ -580,6 +639,11 @@ type ExploreSnapshot struct {
 	PORStaleReadsSkipped int64             `json:"por_stale_reads_skipped"`
 	PORDisabledThreads   int64             `json:"por_disabled_threads"`
 	WakeupTreeSize       HistogramSnapshot `json:"wakeup_tree_size"`
+	// Static access-plan effectiveness (0 unless a plan was installed;
+	// see internal/analysis/staticplan).
+	PlanSites            int64 `json:"plan_sites"`
+	PlanChecks           int64 `json:"plan_checks"`
+	PlanConflictsRefuted int64 `json:"plan_conflicts_refuted"`
 }
 
 // FuzzSnapshot is the JSON form of FuzzStats.
@@ -638,6 +702,7 @@ func (s *Stats) Snapshot() Snapshot {
 	snap.Machine.ReadFanout = m.ReadFanout.snapshot()
 	snap.Machine.PrunedReads = m.PrunedReads.Load()
 	snap.Machine.RaceChecksSkipped = m.RaceChecksSkipped.Load()
+	snap.Machine.CertRefusals = m.CertRefusals.Load()
 	last := 0
 	for i := range m.ThreadPicks {
 		if m.ThreadPicks[i].Load() > 0 {
@@ -662,6 +727,9 @@ func (s *Stats) Snapshot() Snapshot {
 		PORStaleReadsSkipped: e.PORStaleReadsSkipped.Load(),
 		PORDisabledThreads:   e.PORDisabledThreads.Load(),
 		WakeupTreeSize:       e.WakeupTreeSize.snapshot(),
+		PlanSites:            e.PlanSites.Load(),
+		PlanChecks:           e.PlanChecks.Load(),
+		PlanConflictsRefuted: e.PlanConflictsRefuted.Load(),
 	}
 	f := &s.Fuzz
 	snap.Fuzz = FuzzSnapshot{
@@ -761,6 +829,11 @@ func ValidateSnapshotJSON(data []byte) error {
 		return fmt.Errorf("telemetry snapshot: wakeup_tree_size sum %d != por_races_reversed %d",
 			e.WakeupTreeSize.Sum, e.PORRacesReversed)
 	}
+	if e := snap.Explore; e.PlanConflictsRefuted > e.PlanChecks {
+		// Every refutation is preceded by exactly one oracle consultation.
+		return fmt.Errorf("telemetry snapshot: plan_conflicts_refuted %d > plan_checks %d",
+			e.PlanConflictsRefuted, e.PlanChecks)
+	}
 	if r := snap.Refine; r.Disagreements > r.TracesChecked {
 		// A disagreement is recorded at most once per judged trace.
 		return fmt.Errorf("telemetry snapshot: refine_disagreements %d > refine_traces_checked %d",
@@ -771,11 +844,12 @@ func ValidateSnapshotJSON(data []byte) error {
 		return fmt.Errorf("telemetry snapshot: jobs_failed %d > jobs_done %d", v.JobsFailed, v.JobsDone)
 	}
 	for _, c := range []int64{m.Steps, m.ReadChoices, m.StaleReads,
-		m.PrunedReads, m.RaceChecksSkipped,
+		m.PrunedReads, m.RaceChecksSkipped, m.CertRefusals,
 		snap.Explore.Prefixes, snap.Explore.Children, snap.Explore.FrontierPeak,
 		snap.Explore.PORBranchesSkipped, snap.Explore.SleepSetSize.Count,
 		snap.Explore.PORRacesReversed, snap.Explore.PORStaleReadsSkipped,
 		snap.Explore.PORDisabledThreads, snap.Explore.WakeupTreeSize.Count,
+		snap.Explore.PlanSites, snap.Explore.PlanChecks, snap.Explore.PlanConflictsRefuted,
 		snap.Fuzz.Programs, snap.Fuzz.Execs, snap.Fuzz.Discarded, snap.Fuzz.Failures,
 		snap.Refine.TracesChecked, snap.Refine.Disagreements, snap.Refine.StateFanout.Count,
 		snap.Serve.JobsSubmitted, snap.Serve.JobsResumed, snap.Serve.JobsDone,
