@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: check lint build vet test race bench benchreport fuzz fuzznative golden telemetry serve servesmoke plan
+.PHONY: check lint build vet test race bench benchreport fuzz fuzznative golden telemetry serve servesmoke shardsmoke plan
 
 check: lint build race
 
@@ -75,6 +75,14 @@ serve:
 # run). CI's compassd job runs these and a shell-level binary smoke.
 servesmoke:
 	$(GO) test ./internal/serve -run 'TestKillResume|TestSIGKILLResume' -count=1 -v
+
+# Multi-process sharding smoke: the lease matrix (two peers vs
+# single-process byte-identity, peer SIGKILLed mid-lease, coordinator
+# crash + epoch-bumped resume, idempotent returns) and the /v1 HTTP
+# lifecycle. CI's compassd-shard job runs these and a shell-level
+# coordinator + two-peer smoke with one peer killed mid-run.
+shardsmoke:
+	$(GO) test ./internal/serve -run 'TestShard|TestHTTP|TestSubmitDuringShutdown|TestKillResumeDedup' -count=1 -v
 
 # Quick benchmark pass over the tier-1 set (see cmd/benchreport).
 bench:

@@ -1,5 +1,6 @@
 // Command compassd is the verification service: it runs litmus and
-// library workloads as sharded, resumable jobs behind an HTTP API.
+// library workloads as sharded, resumable jobs behind a versioned HTTP
+// API (/v1; the unversioned paths remain as deprecated aliases).
 //
 // Server mode:
 //
@@ -12,10 +13,17 @@
 // checkpoint — on any -workers count — with a final result identical to
 // an uninterrupted run's.
 //
-//	curl -s localhost:8723/workloads
-//	curl -s -X POST localhost:8723/jobs -d '{"workload":"litmus/SB","por":"source"}'
-//	curl -s localhost:8723/jobs/<id>
-//	curl -sN localhost:8723/jobs/<id>/events   # NDJSON telemetry stream
+//	curl -s localhost:8723/v1/workloads
+//	curl -s -X POST localhost:8723/v1/jobs -d '{"workload":"litmus/SB","por":"source"}'
+//	curl -s localhost:8723/v1/jobs/<id>
+//	curl -sN localhost:8723/v1/jobs/<id>/events   # NDJSON telemetry stream
+//
+// Peer mode joins a coordinator and processes leased frontier segments
+// until interrupted; jobs submitted with "coordinator": true shard
+// across every joined peer, survive peer SIGKILL via lease expiry, and
+// merge to a result byte-identical to a single-process run:
+//
+//	go run ./cmd/compassd -join http://coordinator:8723 -peer-name worker-1
 //
 // Client mode fans the whole corpus (or a -filter substring of it)
 // across a running server and waits for the verdicts:
@@ -50,6 +58,9 @@ func main() {
 		worker = flag.Int("workers", 0, "default exploration workers per job (0 = GOMAXPROCS)")
 		every  = flag.Int("checkpoint-every", 0, "executions per segment between checkpoints (0 = default)")
 
+		join     = flag.String("join", "", "peer mode: coordinator base URL to lease work from")
+		peerName = flag.String("peer-name", "", "peer mode: name in the coordinator's lease table (default host:pid)")
+
 		server  = flag.String("server", "http://localhost:8723", "client mode: server base URL")
 		filter  = flag.String("filter", "", "client mode: only workloads containing this substring")
 		por     = flag.String("por", "source", "client mode: POR mode for exhaustive jobs (off|sleep|source)")
@@ -62,6 +73,9 @@ func main() {
 
 	if *client {
 		os.Exit(runClient(*server, *filter, *por, *libMode, *execs, *maxRuns, *refine))
+	}
+	if *join != "" {
+		os.Exit(runPeer(*join, *peerName, *worker, *every))
 	}
 	os.Exit(runServer(*addr, *state, *worker, *every))
 }
@@ -109,6 +123,31 @@ func runServer(addr, state string, workers, every int) int {
 	if state != "" {
 		log.Printf("jobs checkpointed; restart with -state %s to resume", state)
 	}
+	return 0
+}
+
+// runPeer joins a coordinator and processes leases until interrupted.
+func runPeer(base, name string, workers, every int) int {
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("%s: finishing the current lease, then exiting", s)
+		cancel()
+	}()
+	p := &serve.Peer{Base: base, Name: name, Workers: workers, PauseEvery: every}
+	log.Printf("peer %s joining %s", name, base)
+	n, err := p.Run(ctx)
+	if err != nil {
+		log.Printf("peer: %v", err)
+		return 1
+	}
+	log.Printf("peer %s exiting: %d lease(s) completed", name, n)
 	return 0
 }
 
@@ -200,13 +239,13 @@ func runClient(server, filter, por, libMode string, execs, maxRuns int, refine b
 }
 
 func fetchWorkloads(server string) ([]string, error) {
-	resp, err := http.Get(server + "/workloads")
+	resp, err := http.Get(server + "/v1/workloads")
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /workloads: %s", resp.Status)
+		return nil, fmt.Errorf("GET /v1/workloads: %s", resp.Status)
 	}
 	var names []string
 	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
@@ -221,14 +260,14 @@ func submitJob(server string, sp serve.JobSpec) (serve.JobView, error) {
 	if err != nil {
 		return view, err
 	}
-	resp, err := http.Post(server+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(server+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return view, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
 		msg, _ := io.ReadAll(resp.Body)
-		return view, fmt.Errorf("POST /jobs: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		return view, fmt.Errorf("POST /v1/jobs: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
 	}
 	err = json.NewDecoder(resp.Body).Decode(&view)
 	return view, err
@@ -236,13 +275,13 @@ func submitJob(server string, sp serve.JobSpec) (serve.JobView, error) {
 
 func getJob(server, id string) (serve.JobView, error) {
 	var view serve.JobView
-	resp, err := http.Get(server + "/jobs/" + id)
+	resp, err := http.Get(server + "/v1/jobs/" + id)
 	if err != nil {
 		return view, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return view, fmt.Errorf("GET /jobs/%s: %s", id, resp.Status)
+		return view, fmt.Errorf("GET /v1/jobs/%s: %s", id, resp.Status)
 	}
 	err = json.NewDecoder(resp.Body).Decode(&view)
 	return view, err

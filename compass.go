@@ -369,7 +369,7 @@ func ExplainCheckedOpts(build func() Checked, seed int64, opt CheckOptions) (Sta
 // Deprecated: use ExplainCheckedOpts with the original run's CheckOptions
 // so replay applies the same oracles (Refine) and telemetry sink.
 func ExplainChecked(build func() Checked, seed int64, staleBias float64, budget int) (Status, []string, []Violation) {
-	return check.Explain(build, seed, staleBias, budget)
+	return check.ExplainOpt(build, seed, check.Options{StaleBias: staleBias, Budget: budget})
 }
 
 // DequeFactory builds a work-stealing deque in a program's setup.
@@ -487,7 +487,7 @@ func TraceCheckedExecutionOpts(build func() Checked, seed int64, opt CheckOption
 // Deprecated: use TraceCheckedExecutionOpts with the original run's
 // CheckOptions so replay applies the same oracles (Refine).
 func TraceCheckedExecution(build func() Checked, seed int64, staleBias float64, budget int) (*ExecResult, []Violation) {
-	return check.TraceChecked(build, seed, staleBias, budget)
+	return check.TraceCheckedOpt(build, seed, check.Options{StaleBias: staleBias, Budget: budget})
 }
 
 // ValidateTelemetryJSON checks that data is a well-formed telemetry
@@ -532,6 +532,21 @@ func WithPOR(on bool) LitmusOption { return litmus.WithPOR(on) }
 // observed races and prunes stale read-value branches through wakeup
 // read floors; outcome sets stay identical across all modes.
 func WithPORMode(m PORMode) LitmusOption { return litmus.WithPORMode(m) }
+
+// Dedup is a bounded visited set of canonical state fingerprints shared
+// by the runs of one exhaustive exploration (see NewDedup).
+type Dedup = machine.Dedup
+
+// NewDedup returns an empty visited set holding at most cap canonical
+// state fingerprints (a default near one million if cap <= 0).
+func NewDedup(cap int) *Dedup { return machine.NewDedup(cap) }
+
+// WithDedup installs a state-space dedup visited set: runs reaching a
+// canonical state an earlier run already claimed are cut short. The
+// outcome set and verdict are identical with and without dedup in every
+// POR mode; the number of explored executions shrinks. Reuse one Dedup
+// only across the segments of one logical exploration.
+func WithDedup(d *Dedup) LitmusOption { return litmus.WithDedup(d) }
 
 // PORMode selects the partial-order reduction applied by the exhaustive
 // explorers (see the machine package's PORMode).

@@ -74,8 +74,9 @@ func TestExhaustiveProvesTinyHWQueue(t *testing.T) {
 	// every interleaving and read choice, checked at LAT_hb — a bounded
 	// proof, the closest executable analogue of the paper's theorems.
 	f := func(th *machine.Thread) queue.Queue { return queue.NewHW(th, "q", 4) }
-	rep := check.Exhaustive("hw-tiny",
-		check.QueueMixed(f, spec.LevelHB, 1, 1, 1, 1), 300000, 0)
+	rep := check.Run("hw-tiny",
+		check.QueueMixed(f, spec.LevelHB, 1, 1, 1, 1),
+		check.Options{Mode: check.ModeExhaustive, MaxRuns: 300000})
 	if !rep.Passed() || !rep.Complete {
 		t.Fatalf("%s", rep)
 	}
@@ -89,8 +90,9 @@ func TestExhaustiveProvesTinyHWQueue(t *testing.T) {
 }
 
 func TestExhaustiveProvesTinyMSQueue(t *testing.T) {
-	rep := check.Exhaustive("ms-tiny",
-		check.QueueMixed(msFactory, spec.LevelAbsHB, 1, 1, 1, 1), 400000, 0)
+	rep := check.Run("ms-tiny",
+		check.QueueMixed(msFactory, spec.LevelAbsHB, 1, 1, 1, 1),
+		check.Options{Mode: check.ModeExhaustive, MaxRuns: 400000})
 	if !rep.Passed() || !rep.Complete {
 		t.Fatalf("%s", rep)
 	}
@@ -100,8 +102,9 @@ func TestExhaustiveProvesTinyMSQueue(t *testing.T) {
 func TestExhaustiveFindsInjectedBug(t *testing.T) {
 	// The exhaustive explorer must find the HW abs-level violation
 	// somewhere in the space of a 2-enqueue/1-dequeue instance.
-	rep := check.Exhaustive("hw-abs-tiny",
-		check.QueueMixed(hwFactory, spec.LevelAbsHB, 2, 1, 1, 1), 400000, 0)
+	rep := check.Run("hw-abs-tiny",
+		check.QueueMixed(hwFactory, spec.LevelAbsHB, 2, 1, 1, 1),
+		check.Options{Mode: check.ModeExhaustive, MaxRuns: 400000})
 	if rep.Passed() {
 		t.Fatalf("expected the abs-level violation to be found: %s", rep)
 	}

@@ -20,7 +20,7 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 // traced replay must export a valid — and byte-stable — Chrome trace.
 func TestExhaustiveEmitsValidArtifacts(t *testing.T) {
 	stats := telemetry.New()
-	rep := check.ExhaustiveOpt("racy-reads", racyReads, check.Options{Stats: stats})
+	rep := check.Run("racy-reads", racyReads, check.Options{Mode: check.ModeExhaustive, Stats: stats})
 	if !rep.Complete {
 		t.Fatalf("tiny workload should be fully explored: %s", rep)
 	}
@@ -32,7 +32,7 @@ func TestExhaustiveEmitsValidArtifacts(t *testing.T) {
 		t.Fatalf("snapshot does not validate: %v", err)
 	}
 
-	res, _ := check.TraceChecked(racyReads, 3, check.BiasZero, 0)
+	res, _ := check.TraceCheckedOpt(racyReads, 3, check.Options{StaleBias: check.BiasZero})
 	if len(res.Events) == 0 {
 		t.Fatal("traced replay recorded no step events")
 	}

@@ -37,7 +37,7 @@ func TestExhaustJobSegmentsMatchUninterrupted(t *testing.T) {
 	for _, por := range []check.PORMode{check.POROff, check.PORSleep, check.PORSource} {
 		t.Run(fmt.Sprint(por), func(t *testing.T) {
 			opt := check.Options{Mode: check.ModeExhaustive, Budget: 4000, Refine: true, POR: por}
-			want := check.ExhaustiveOpt("msqueue/uninterrupted", msqueueBuild(), opt)
+			want := check.Run("msqueue/uninterrupted", msqueueBuild(), opt)
 			if !want.Complete {
 				t.Fatalf("baseline did not complete: %s", want)
 			}

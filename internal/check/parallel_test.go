@@ -80,9 +80,9 @@ func optsWithWorkers(o check.Options, w int) check.Options {
 func TestExhaustiveOptParallelComplete(t *testing.T) {
 	hwFactory := func(th *machine.Thread) queue.Queue { return queue.NewHW(th, "q", 8) }
 	build := check.QueueMixed(hwFactory, spec.LevelHB, 1, 1, 1, 1)
-	opts := check.Options{MaxRuns: 300000, Budget: 3000}
-	seq := check.ExhaustiveOpt("exh/seq", build, optsWithWorkers(opts, 1))
-	par := check.ExhaustiveOpt("exh/par", build, optsWithWorkers(opts, 4))
+	opts := check.Options{Mode: check.ModeExhaustive, MaxRuns: 300000, Budget: 3000}
+	seq := check.Run("exh/seq", build, optsWithWorkers(opts, 1))
+	par := check.Run("exh/par", build, optsWithWorkers(opts, 4))
 	if !seq.Complete || !par.Complete {
 		t.Fatalf("exploration incomplete: seq %v, par %v", seq.Complete, par.Complete)
 	}
@@ -104,13 +104,13 @@ func TestExhaustiveOptHonorsMaxFailures(t *testing.T) {
 	// Herlihy-Wing fails LevelSC on many interleavings of even a tiny
 	// workload, so a low MaxFailures stops almost immediately.
 	build := check.QueueMixed(hwFactory, spec.LevelSC, 2, 1, 1, 2)
-	limited := check.ExhaustiveOpt("exh/limited", build,
-		optsWithWorkers(check.Options{MaxRuns: 200000, Budget: 3000, MaxFailures: 2}, 1))
+	limited := check.Run("exh/limited", build,
+		optsWithWorkers(check.Options{Mode: check.ModeExhaustive, MaxRuns: 200000, Budget: 3000, MaxFailures: 2}, 1))
 	if len(limited.Failures) != 2 {
 		t.Fatalf("MaxFailures: 2 not honored: %d failures", len(limited.Failures))
 	}
-	keep := check.ExhaustiveOpt("exh/keepgoing", build,
-		optsWithWorkers(check.Options{MaxRuns: 200000, Budget: 3000, KeepGoing: true}, 1))
+	keep := check.Run("exh/keepgoing", build,
+		optsWithWorkers(check.Options{Mode: check.ModeExhaustive, MaxRuns: 200000, Budget: 3000, KeepGoing: true}, 1))
 	if !keep.Complete {
 		t.Fatalf("KeepGoing exploration should run to completion")
 	}

@@ -19,7 +19,7 @@ import (
 func exhaustRefine(t *testing.T, name string, build func() check.Checked, maxRuns int) (*check.Report, telemetry.Snapshot) {
 	t.Helper()
 	stats := telemetry.New()
-	rep := check.ExhaustiveOpt(name, build, check.Options{
+	rep := check.Run(name, build, check.Options{
 		Mode:    check.ModeExhaustive,
 		MaxRuns: maxRuns,
 		Budget:  4000,
@@ -145,7 +145,7 @@ func TestRefineVerdictPORInvariant(t *testing.T) {
 	// the POR mode: reduction prunes equivalent interleavings only.
 	for _, por := range []check.PORMode{check.POROff, check.PORSleep, check.PORSource} {
 		stats := telemetry.New()
-		rep := check.ExhaustiveOpt("refine-por", check.LockContention(2, 1), check.Options{
+		rep := check.Run("refine-por", check.LockContention(2, 1), check.Options{
 			Mode:    check.ModeExhaustive,
 			MaxRuns: 400000,
 			Refine:  true,

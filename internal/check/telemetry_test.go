@@ -139,7 +139,7 @@ func TestStatsAgreeOnParallelEarlyStop(t *testing.T) {
 
 func TestExhaustiveStatsAgreeWithReport(t *testing.T) {
 	stats := telemetry.New()
-	rep := check.ExhaustiveOpt("sb", racyReads, check.Options{Stats: stats})
+	rep := check.Run("sb", racyReads, check.Options{Mode: check.ModeExhaustive, Stats: stats})
 	if !rep.Complete {
 		t.Fatalf("tiny workload should be fully explored: %s", rep)
 	}

@@ -31,8 +31,8 @@ func TestFootprintEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("extracting footprint: %v", err)
 			}
-			plain := RunWorkersStats(tc, 0, 1, nil)
-			pruned := RunWorkersFootprint(tc, 0, 1, nil, fp)
+			plain := Run(tc, 0, WithWorkers(1))
+			pruned := Run(tc, 0, WithWorkers(1), WithFootprint(fp))
 			if plain.Runs != pruned.Runs {
 				t.Errorf("runs diverged: %d without footprint, %d with", plain.Runs, pruned.Runs)
 			}
@@ -73,7 +73,7 @@ func TestFootprintActuallyPrunes(t *testing.T) {
 		t.Errorf("flag classified %v, want shared", classes["flag"])
 	}
 	stats := telemetry.New()
-	res := RunWorkersFootprint(tc, 0, 1, stats, fp)
+	res := Run(tc, 0, WithWorkers(1), WithStats(stats), WithFootprint(fp))
 	if !res.Complete {
 		t.Fatalf("exploration incomplete: %s", res)
 	}

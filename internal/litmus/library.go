@@ -135,10 +135,10 @@ func RunLib(t LibTest, maxRuns int, opts ...Option) *LibResult {
 		stats = telemetry.New()
 	}
 	before := stats.Snapshot().Refine
-	rep := check.ExhaustiveOpt(t.Name, t.Build, check.Options{
-		MaxRuns: maxRuns, Budget: 4000, KeepGoing: true,
-		Refine: true, Workers: cfg.workers, Stats: stats,
-		Footprint: cfg.fp, POR: cfg.por, Plan: cfg.plan,
+	rep := check.Run(t.Name, t.Build, check.Options{
+		Mode: check.ModeExhaustive, MaxRuns: maxRuns, Budget: 4000,
+		KeepGoing: true, Refine: true, Workers: cfg.workers, Stats: stats,
+		Footprint: cfg.fp, POR: cfg.por, Plan: cfg.plan, Dedup: cfg.dedup,
 	})
 	after := stats.Snapshot().Refine
 	res := &LibResult{

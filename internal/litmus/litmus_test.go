@@ -60,8 +60,8 @@ func TestRequiredDetection(t *testing.T) {
 // the suite.
 func TestRunWorkersMatchesSequential(t *testing.T) {
 	for _, lt := range Suite() {
-		seq := RunWorkers(lt, 400000, 1)
-		par := RunWorkers(lt, 400000, 4)
+		seq := Run(lt, 400000, WithWorkers(1))
+		par := Run(lt, 400000, WithWorkers(4))
 		if seq.Runs != par.Runs || seq.Complete != par.Complete {
 			t.Errorf("%s: runs/complete diverged: seq %d/%v, par %d/%v",
 				lt.Name, seq.Runs, seq.Complete, par.Runs, par.Complete)
@@ -82,7 +82,7 @@ func TestRunWorkersMatchesSequential(t *testing.T) {
 // litmus result's accounting, including budget-discarded executions.
 func TestRunWorkersStatsAgree(t *testing.T) {
 	stats := telemetry.New()
-	res := RunWorkersStats(Suite()[0], 400000, 4, stats)
+	res := Run(Suite()[0], 400000, WithWorkers(4), WithStats(stats))
 	if !res.OK() {
 		t.Fatalf("%s", res)
 	}
@@ -106,7 +106,7 @@ func TestRunWorkersStatsAgree(t *testing.T) {
 		}}
 	}}
 	stats = telemetry.New()
-	res = RunWorkersStats(spin, 0, 1, stats)
+	res = Run(spin, 0, WithWorkers(1), WithStats(stats))
 	// Budget is the machine default here, so force discards via MaxDepth-free
 	// exploration with the default budget: the spin loop exhausts it.
 	if res.Discarded == 0 || res.Discarded != res.Runs {

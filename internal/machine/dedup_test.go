@@ -1,0 +1,279 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+
+	"compass/internal/memory"
+	"compass/internal/telemetry"
+	"compass/internal/view"
+)
+
+// outcomeSet runs an exhaustive exploration and returns the multiset-free
+// outcome set (sorted rendered outcomes of OK runs), the per-status run
+// counts, and the exploration result.
+func dedupExplore(t *testing.T, build func() Program, opts ExploreOpts) (map[string]bool, map[Status]int, ExploreResult) {
+	t.Helper()
+	outcomes := map[string]bool{}
+	statuses := map[Status]int{}
+	res := Explore(build, opts, func(r *Result) bool {
+		statuses[r.Status]++
+		if r.Status == OK {
+			outcomes[renderOutcome(r.Outcome)] = true
+		}
+		return true
+	})
+	if !res.Complete {
+		t.Fatalf("exploration incomplete (%d runs)", res.Runs)
+	}
+	return outcomes, statuses, res
+}
+
+func renderOutcome(m map[string]int64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d;", k, m[k])
+	}
+	return b.String()
+}
+
+func equalSets(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildMP is a message-passing shape with more convergence than SB: two
+// independent writers into disjoint locations plus a reader, so many
+// interleavings reach identical states.
+func buildMP() Program {
+	var x, y, f view.Loc
+	return Program{
+		Name: "MPDedup",
+		Setup: func(t *Thread) {
+			x = t.Alloc("x", 0)
+			y = t.Alloc("y", 0)
+			f = t.Alloc("f", 0)
+		},
+		Workers: []func(*Thread){
+			func(t *Thread) { t.Write(x, 1, memory.Rlx); t.Write(f, 1, memory.Rel) },
+			func(t *Thread) { t.Write(y, 1, memory.Rlx) },
+			func(t *Thread) {
+				if t.Read(f, memory.Acq) == 1 {
+					t.Report("r", t.Read(x, memory.Rlx))
+				} else {
+					t.Report("r", -1)
+				}
+			},
+		},
+	}
+}
+
+// TestDedupOutcomeEquivalence: dedup on must preserve the exact outcome
+// set of dedup off in every POR mode, while never running more
+// executions. This is the machine-level core of the golden equivalence
+// criterion (the corpus-wide version lives in internal/check).
+func TestDedupOutcomeEquivalence(t *testing.T) {
+	for _, por := range []PORMode{POROff, PORSleep, PORSource} {
+		for _, build := range []func() Program{buildSB, buildMP} {
+			name := build().Name
+			t.Run(fmt.Sprintf("%s/por=%s", name, por), func(t *testing.T) {
+				base, _, baseRes := dedupExplore(t, build, ExploreOpts{POR: por})
+				stats := telemetry.New()
+				ded, statuses, dedRes := dedupExplore(t, build, ExploreOpts{POR: por, Dedup: NewDedup(0), Stats: stats})
+				if !equalSets(base, ded) {
+					t.Fatalf("outcome sets differ: off=%v on=%v", base, ded)
+				}
+				if dedRes.Runs > baseRes.Runs {
+					t.Fatalf("dedup ran more executions: %d > %d", dedRes.Runs, baseRes.Runs)
+				}
+				if got := stats.Explore.DedupHits.Load(); got != int64(statuses[Deduped]) {
+					t.Fatalf("telemetry hits %d != Deduped runs %d", got, statuses[Deduped])
+				}
+				if stats.Explore.DedupEvictions.Load() != 0 {
+					t.Fatalf("unexpected evictions under default cap")
+				}
+			})
+		}
+	}
+}
+
+// TestDedupSerialParallelRunCounts: the visited-set hit pattern — and
+// therefore the run count — must be identical whether the exploration
+// runs sequentially or on many workers. Checked points are a
+// deterministic function of each decision path and the claimed states
+// are the reachable quotient states, both schedule-independent (absent
+// eviction, which the default cap rules out at this size).
+func TestDedupSerialParallelRunCounts(t *testing.T) {
+	for _, por := range []PORMode{POROff, PORSleep, PORSource} {
+		t.Run(fmt.Sprintf("por=%s", por), func(t *testing.T) {
+			serialStats := telemetry.New()
+			serialOut, serialStatuses, serialRes := dedupExplore(t, buildMP,
+				ExploreOpts{POR: por, Dedup: NewDedup(0), Stats: serialStats})
+
+			parStats := telemetry.New()
+			parOutcomes := map[string]bool{}
+			parStatuses := map[Status]int{}
+			var mu = make(chan struct{}, 1)
+			mu <- struct{}{}
+			parRes := ExploreParallel(ExploreOpts{POR: por, Dedup: NewDedup(0), Stats: parStats, Workers: 4},
+				func() (func() Program, func(*Result) bool) {
+					return buildMP, func(r *Result) bool {
+						<-mu
+						parStatuses[r.Status]++
+						if r.Status == OK {
+							parOutcomes[renderOutcome(r.Outcome)] = true
+						}
+						mu <- struct{}{}
+						return true
+					}
+				})
+			if !parRes.Complete {
+				t.Fatalf("parallel exploration incomplete")
+			}
+			if parRes.Runs != serialRes.Runs {
+				t.Fatalf("run counts differ: serial=%d parallel=%d", serialRes.Runs, parRes.Runs)
+			}
+			if !equalSets(serialOut, parOutcomes) {
+				t.Fatalf("outcome sets differ: serial=%v parallel=%v", serialOut, parOutcomes)
+			}
+			if serialStatuses[Deduped] != parStatuses[Deduped] {
+				t.Fatalf("dedup cut counts differ: serial=%d parallel=%d",
+					serialStatuses[Deduped], parStatuses[Deduped])
+			}
+			if s, p := serialStats.Explore.DedupStates.Load(), parStats.Explore.DedupStates.Load(); s != p {
+				t.Fatalf("distinct state counts differ: serial=%d parallel=%d", s, p)
+			}
+		})
+	}
+}
+
+// TestDedupPrunesRuns: dedup must actually cut something on a program
+// with convergent prefixes, or the whole mechanism is dead weight.
+func TestDedupPrunesRuns(t *testing.T) {
+	_, _, base := dedupExplore(t, buildMP, ExploreOpts{})
+	_, statuses, ded := dedupExplore(t, buildMP, ExploreOpts{Dedup: NewDedup(0)})
+	if statuses[Deduped] == 0 {
+		t.Fatalf("no runs deduped on a convergent program")
+	}
+	if ded.Runs >= base.Runs {
+		t.Fatalf("dedup did not shrink runs: %d >= %d", ded.Runs, base.Runs)
+	}
+}
+
+// TestDedupResumeRoundTrip: a paused exploration that serializes both
+// frontier and visited set must finish with the same total run count and
+// outcomes as an uninterrupted one — the property serve checkpoints
+// depend on.
+func TestDedupResumeRoundTrip(t *testing.T) {
+	unOut, _, unRes := dedupExplore(t, buildMP, ExploreOpts{Dedup: NewDedup(0)})
+
+	d := NewDedup(0)
+	outcomes := map[string]bool{}
+	total := 0
+	visit := func(r *Result) bool {
+		if r.Status == OK {
+			outcomes[renderOutcome(r.Outcome)] = true
+		}
+		return true
+	}
+	newWorker := func() (func() Program, func(*Result) bool) { return buildMP, visit }
+	res := ExploreParallel(ExploreOpts{Dedup: d, Workers: 1, PauseRuns: 3}, newWorker)
+	total += res.Runs
+	for !res.Complete {
+		// Serialize and restore the visited set between segments, as a
+		// checkpoint/restart would.
+		blob, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2 := &Dedup{}
+		if err := json.Unmarshal(blob, d2); err != nil {
+			t.Fatal(err)
+		}
+		d = d2
+		res = ExploreParallel(ExploreOpts{Dedup: d, Workers: 1, PauseRuns: 3, Resume: res.Frontier}, newWorker)
+		total += res.Runs
+	}
+	if total != unRes.Runs {
+		t.Fatalf("segmented total %d != uninterrupted %d", total, unRes.Runs)
+	}
+	if !equalSets(outcomes, unOut) {
+		t.Fatalf("outcome sets differ: segmented=%v uninterrupted=%v", outcomes, unOut)
+	}
+}
+
+// TestDedupJSONRoundTrip: marshal/unmarshal must preserve keys, order,
+// and cap exactly.
+func TestDedupJSONRoundTrip(t *testing.T) {
+	d := NewDedup(8)
+	for i := 0; i < 5; i++ {
+		d.checkAndMark([]byte{byte(i)}, nil)
+	}
+	blob, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := &Dedup{}
+	if err := json.Unmarshal(blob, d2); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Cap() != 8 || d2.Len() != 5 {
+		t.Fatalf("round trip: cap=%d len=%d", d2.Cap(), d2.Len())
+	}
+	blob2, err := json.Marshal(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatalf("round trip not byte-identical:\n%s\n%s", blob, blob2)
+	}
+	// Restored entries must still count as seen.
+	for i := 0; i < 5; i++ {
+		if !d2.checkAndMark([]byte{byte(i)}, nil) {
+			t.Fatalf("restored set lost key %d", i)
+		}
+	}
+}
+
+// TestDedupEviction: the cap must hold and evictions must be counted.
+func TestDedupEviction(t *testing.T) {
+	stats := telemetry.New()
+	d := NewDedup(2)
+	d.checkAndMark([]byte{1}, stats) // miss: {1}
+	d.checkAndMark([]byte{2}, stats) // miss: {2,1}
+	d.checkAndMark([]byte{1}, stats) // hit, refreshes 1: {1,2}
+	d.checkAndMark([]byte{3}, stats) // miss, evicts 2 (coldest): {3,1}
+	if d.Len() != 2 {
+		t.Fatalf("len %d after eviction, want 2", d.Len())
+	}
+	if got := stats.Explore.DedupEvictions.Load(); got != 1 {
+		t.Fatalf("evictions %d, want 1", got)
+	}
+	if d.checkAndMark([]byte{2}, stats) { // miss, evicts 1: {2,3}
+		t.Fatalf("evicted key still reported seen")
+	}
+	if !d.checkAndMark([]byte{3}, stats) {
+		t.Fatalf("hot key lost")
+	}
+	if got, want := stats.Explore.DedupStates.Load(), int64(4); got != want {
+		t.Fatalf("misses %d, want %d", got, want)
+	}
+	if got, want := stats.Explore.DedupHits.Load(), int64(2); got != want {
+		t.Fatalf("hits %d, want %d", got, want)
+	}
+}

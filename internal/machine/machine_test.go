@@ -331,7 +331,7 @@ func TestRunRandomCountsOK(t *testing.T) {
 			snap.Machine.Execs, snap.Machine.ExecsByStatus["ok"])
 	}
 	// The deprecated wrapper delegates: same results, no telemetry.
-	if w := RunRandom(build, 10, 42, 0, func(r *Result) bool { return true }); w != n {
+	if w := RunRandomOpt(build, 10, 42, ExploreOpts{}, func(r *Result) bool { return true }); w != n {
 		t.Fatalf("RunRandom wrapper ok count = %d, want %d", w, n)
 	}
 }

@@ -1,0 +1,182 @@
+package memory
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"compass/internal/view"
+)
+
+// This file is the canonicalization pass behind state-space deduplication:
+// a deterministic binary encoding of the machine-visible memory state
+// (per-location message histories with their views, the SC clock, and
+// every thread's view) that quotients out the non-semantic identifiers
+// two convergent decision prefixes can disagree on.
+//
+// Two prefixes that reach "the same" state may still differ in
+//
+//   - raw location IDs: locations are numbered in global allocation
+//     order, so schedules that interleave allocations differently name
+//     the same logical location with different view.Loc values;
+//   - message Step stamps: Message.Step records the global machine step
+//     of the write, a path artifact that Independent explicitly calls
+//     diagnostics-only.
+//
+// The encoding removes both: locations are renamed to their canonical
+// index — the rank of (name, allocation order among same-named
+// locations) — every view is re-indexed through that renaming with
+// trailing zeros trimmed (view.View treats them as absent), and Step
+// stamps are simply not encoded. Message timestamps need no renaming:
+// a timestamp is the 1-based position in the location's history, so the
+// positional encoding subsumes it.
+//
+// Soundness does not rest on the renaming being a complete quotient —
+// it is not (same-named locations allocated by racing threads keep
+// their global order). It rests on the encoding being *injective up to
+// state isomorphism*: equal encodings imply the two states are
+// isomorphic under the canonical renaming, so their continuation trees
+// produce identical outcome sets. An imperfect quotient only misses
+// collisions, which costs pruning, never outcomes. See DESIGN.md §15.
+
+// CanonOrder is the canonical location renaming of one memory state:
+// locations sorted by (name, allocation order). It is stable under
+// further allocation — new locations always sort after existing
+// same-named ones — so the canonical index of a location never changes
+// during a run.
+type CanonOrder struct {
+	// byCanon[i] is the raw location with canonical index i.
+	byCanon []view.Loc
+}
+
+// CanonicalOrder computes the canonical renaming of m's locations.
+func (m *Memory) CanonicalOrder() CanonOrder {
+	o := CanonOrder{byCanon: make([]view.Loc, len(m.locs))}
+	for i := range o.byCanon {
+		o.byCanon[i] = view.Loc(i)
+	}
+	sort.SliceStable(o.byCanon, func(a, b int) bool {
+		la, lb := m.locs[o.byCanon[a]], m.locs[o.byCanon[b]]
+		if la.name != lb.name {
+			return la.name < lb.name
+		}
+		return o.byCanon[a] < o.byCanon[b]
+	})
+	return o
+}
+
+// appendView appends the canonical encoding of a view: the timestamps in
+// canonical location order, trailing zeros trimmed (a view with trailing
+// zeros is equal to one without — view.View.Equal says so — and the
+// canonical encoding must respect that).
+func (o CanonOrder) appendView(b []byte, v view.View) []byte {
+	n := len(o.byCanon)
+	for n > 0 && v.Get(o.byCanon[n-1]) == 0 {
+		n--
+	}
+	b = binary.AppendUvarint(b, uint64(n))
+	for i := 0; i < n; i++ {
+		b = binary.AppendUvarint(b, uint64(v.Get(o.byCanon[i])))
+	}
+	return b
+}
+
+// appendClock appends the canonical encoding of a clock: the physical
+// view re-indexed canonically plus the logical view as its sorted event
+// IDs. Event IDs are object-local (obj<<32 | seq) and objects are
+// created deterministically by program code, so they need no renaming;
+// when a workload does allocate recorder objects in racing threads the
+// IDs differ, the encodings differ, and the states simply fail to
+// collide (lost pruning, never lost soundness).
+func (o CanonOrder) appendClock(b []byte, c view.Clock) []byte {
+	b = o.appendView(b, c.V)
+	evs := c.L.Events()
+	b = binary.AppendUvarint(b, uint64(len(evs)))
+	for _, e := range evs {
+		b = binary.AppendVarint(b, int64(e))
+	}
+	return b
+}
+
+// AppendCanon appends the canonical encoding of the full memory state —
+// per-location histories (values, writers, RMW flags, message clocks),
+// NA-race bookkeeping, freed flags, and the global SC clock — to b and
+// returns the extended slice. Message Step stamps are excluded (path
+// artifacts); timestamps are positional.
+func (m *Memory) AppendCanon(b []byte, o CanonOrder) []byte {
+	b = binary.AppendUvarint(b, uint64(len(m.locs)))
+	for _, raw := range o.byCanon {
+		loc := m.locs[raw]
+		b = binary.AppendUvarint(b, uint64(len(loc.name)))
+		b = append(b, loc.name...)
+		flags := byte(0)
+		if loc.freed {
+			flags |= 1
+		}
+		if loc.hasRead {
+			flags |= 2
+		}
+		b = append(b, flags)
+		b = o.appendView(b, loc.readView)
+		b = binary.AppendUvarint(b, uint64(len(loc.hist)))
+		for i := range loc.hist {
+			msg := &loc.hist[i]
+			b = binary.AppendVarint(b, msg.Val)
+			b = binary.AppendVarint(b, int64(msg.Writer))
+			if msg.IsRMW {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = o.appendClock(b, msg.Clk)
+		}
+	}
+	return o.appendClock(b, m.sc)
+}
+
+// AppendCanonThread appends the canonical encoding of one thread's view
+// state: Cur, Acq, FRel, and the per-location release clocks in
+// canonical location order (absent entries skipped, so map iteration
+// order never leaks into the encoding).
+func (o CanonOrder) AppendCanonThread(b []byte, tv *ThreadView) []byte {
+	b = o.appendClock(b, tv.Cur)
+	b = o.appendClock(b, tv.Acq)
+	b = o.appendClock(b, tv.FRel)
+	n := 0
+	for _, raw := range o.byCanon {
+		if _, ok := tv.RelLoc[raw]; ok {
+			n++
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(n))
+	for ci, raw := range o.byCanon {
+		c, ok := tv.RelLoc[raw]
+		if !ok {
+			continue
+		}
+		b = binary.AppendUvarint(b, uint64(ci))
+		b = o.appendClock(b, c)
+	}
+	return b
+}
+
+// CanonLocID returns the stable canonical identity of location l for
+// incremental hashing: a hash of the location's name mixed with its rank
+// among same-named locations in allocation order. Unlike the raw
+// view.Loc it is invariant under allocation-order differences between
+// distinct-named locations, and unlike a CanonOrder index it is fixed
+// the moment the location is allocated (later allocations never change
+// it), so per-thread operation histories can fold it in as they go.
+func (m *Memory) CanonLocID(l view.Loc) uint64 {
+	name := m.locs[l].name
+	rank := uint64(0)
+	for i := view.Loc(0); i < l; i++ {
+		if m.locs[i].name == name {
+			rank++
+		}
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return h ^ (rank * 0x9e3779b97f4a7c15)
+}

@@ -37,6 +37,10 @@ type Checkpoint struct {
 	// Result is the rendered outcome, present once Done.
 	Result    *JobResult          `json:"result,omitempty"`
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	// Shard is a coordinator job's lease table: unleased prefixes,
+	// outstanding leases (reclaimed under a bumped epoch on resume), and
+	// completed lease IDs (for idempotent re-acks).
+	Shard *ShardState `json:"shard,omitempty"`
 }
 
 // Store persists checkpoints in a state directory, one JSON file per

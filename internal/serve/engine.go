@@ -23,6 +23,20 @@ type engine interface {
 	runs() int
 }
 
+// sharder is implemented by engines whose exhaustive frontier can be
+// leased to peer processes (litmus and exhaustive library engines; the
+// random engine has no frontier). takeFrontier removes the engine's
+// pending prefixes — after it the engine must not run local segments
+// until finishShard declares the leased exploration complete; mergeDelta
+// folds one returned lease delta (an engine state accumulated from a
+// fresh start over the leased frontier) into the totals and returns the
+// peer's unexplored leftover, if any.
+type sharder interface {
+	takeFrontier() *machine.Frontier
+	mergeDelta(delta json.RawMessage) (leftover *machine.Frontier, err error)
+	finishShard()
+}
+
 // JobResult is the client-facing outcome of a job: common verdict fields
 // plus the kind-specific detail (litmus outcome histogram or library
 // report).
@@ -117,6 +131,11 @@ func newEngine(sp JobSpec, w Workload, stats *telemetry.Stats, state json.RawMes
 				return nil, fmt.Errorf("litmus state: %w", err)
 			}
 		}
+		// A restored state carries its own visited set; a fresh dedup job
+		// starts an empty one.
+		if sp.Dedup && e.job.Dedup == nil {
+			e.job.Dedup = machine.NewDedup(sp.DedupCap)
+		}
 		return e, nil
 	case sp.Mode == ModeRandom:
 		e := &randomEngine{spec: sp, test: w.Lib, stats: stats, rep: &ReportState{}}
@@ -135,9 +154,23 @@ func newEngine(sp JobSpec, w Workload, stats *telemetry.Stats, state json.RawMes
 			}
 			e.job = check.ResumeExhaustJob(restoreReport(w.Name, st.Report), st.Frontier)
 			e.job.Done = st.Done
+			e.dedup = st.Dedup
+		}
+		if sp.Dedup && e.dedup == nil {
+			e.dedup = machine.NewDedup(sp.DedupCap)
 		}
 		return e, nil
 	}
+}
+
+// leaseEngineState renders the engine state a peer starts a leased
+// segment from: an empty report/histogram plus the leased frontier, so
+// the peer's accumulated state IS the delta the coordinator merges.
+func leaseEngineState(w Workload, f *machine.Frontier) (json.RawMessage, error) {
+	if w.Kind == KindLitmus {
+		return json.Marshal(&litmus.JobState{Outcomes: map[string]int{}, Frontier: f})
+	}
+	return json.Marshal(&exhaustState{Report: &ReportState{}, Frontier: f})
 }
 
 // litmusEngine drives one litmus test through litmus.JobState.
@@ -174,11 +207,42 @@ func (e *litmusEngine) result() *JobResult {
 	}
 }
 
+func (e *litmusEngine) takeFrontier() *machine.Frontier {
+	f := e.job.Frontier
+	e.job.Frontier = nil
+	return f
+}
+
+func (e *litmusEngine) mergeDelta(delta json.RawMessage) (*machine.Frontier, error) {
+	var d litmus.JobState
+	if err := json.Unmarshal(delta, &d); err != nil {
+		return nil, fmt.Errorf("litmus lease delta: %w", err)
+	}
+	e.job.Runs += d.Runs
+	e.job.Discarded += d.Discarded
+	if e.job.Outcomes == nil {
+		e.job.Outcomes = map[string]int{}
+	}
+	for k, n := range d.Outcomes {
+		e.job.Outcomes[k] += n
+	}
+	return d.Frontier, nil
+}
+
+func (e *litmusEngine) finishShard() {
+	e.job.Complete = true
+	e.job.Done = true
+}
+
 // exhaustState is the checkpoint form of an exhaustEngine.
 type exhaustState struct {
 	Report   *ReportState      `json:"report"`
 	Frontier *machine.Frontier `json:"frontier,omitempty"`
-	Done     bool              `json:"done"`
+	// Dedup is the visited set of canonical state fingerprints, carried
+	// across segments so a resumed dedup job never re-claims states a
+	// pre-pause segment covered.
+	Dedup *machine.Dedup `json:"dedup,omitempty"`
+	Done  bool           `json:"done"`
 }
 
 // exhaustEngine drives one library workload exhaustively through
@@ -188,6 +252,7 @@ type exhaustEngine struct {
 	test  litmus.LibTest
 	stats *telemetry.Stats
 	job   *check.ExhaustJob
+	dedup *machine.Dedup
 }
 
 func (e *exhaustEngine) options() check.Options {
@@ -201,6 +266,7 @@ func (e *exhaustEngine) options() check.Options {
 		Workers:     e.spec.Workers,
 		POR:         e.spec.porMode(),
 		Stats:       e.stats,
+		Dedup:       e.dedup,
 	}
 }
 
@@ -212,11 +278,47 @@ func (e *exhaustEngine) state() (json.RawMessage, error) {
 	return json.Marshal(exhaustState{
 		Report:   projectReport(e.job.Report),
 		Frontier: e.job.Frontier,
+		Dedup:    e.dedup,
 		Done:     e.job.Done,
 	})
 }
 
 func (e *exhaustEngine) runs() int { return e.job.Report.Executions }
+
+func (e *exhaustEngine) takeFrontier() *machine.Frontier {
+	f := e.job.Frontier
+	e.job.Frontier = nil
+	return f
+}
+
+func (e *exhaustEngine) mergeDelta(delta json.RawMessage) (*machine.Frontier, error) {
+	var st exhaustState
+	if err := json.Unmarshal(delta, &st); err != nil {
+		return nil, fmt.Errorf("exhaustive lease delta: %w", err)
+	}
+	if st.Report == nil {
+		return nil, errors.New("exhaustive lease delta: missing report")
+	}
+	rep := e.job.Report
+	rep.Executions += st.Report.Executions
+	rep.OK += st.Report.OK
+	rep.Discarded += st.Report.Discarded
+	rep.Unknown += st.Report.Unknown
+	rep.Steps += st.Report.Steps
+	for _, f := range st.Report.Failures {
+		cf := check.Failure{Seed: f.Seed, Status: machine.Status(f.Status), Violations: f.Violations}
+		if f.Err != "" {
+			cf.Err = errors.New(f.Err)
+		}
+		rep.Failures = append(rep.Failures, cf)
+	}
+	return st.Frontier, nil
+}
+
+func (e *exhaustEngine) finishShard() {
+	e.job.Report.Complete = true
+	e.job.Done = true
+}
 
 func (e *exhaustEngine) result() *JobResult {
 	rep := e.job.Report

@@ -2,66 +2,162 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
 	"compass/internal/telemetry"
 )
 
-// Handler builds the compassd HTTP API on a manager:
+// Error envelope codes. Every non-2xx response carries the uniform JSON
+// body {"error": <message>, "code": <one of these>}.
+const (
+	codeBadRequest   = "bad_request"
+	codeNotFound     = "not_found"
+	codeShuttingDown = "shutting_down"
+	codeNoWork       = "no_work"
+	codeStaleLease   = "stale_lease"
+)
+
+// Handler builds the compassd HTTP API on a manager. The canonical
+// surface is versioned under /v1:
 //
-//	POST /jobs            submit a JobSpec, returns the JobView (202)
-//	GET  /jobs            list all jobs
-//	GET  /jobs/{id}       one job's status/result
-//	GET  /jobs/{id}/events  NDJSON stream: one compass/telemetry/v1
-//	                        snapshot per completed segment, closing with
-//	                        the final totals when the job ends
-//	GET  /workloads       registry names
-//	GET  /stats           service-level telemetry snapshot
-//	GET  /healthz         liveness
+//	POST /v1/jobs                submit a JobSpec, returns the JobView (202)
+//	GET  /v1/jobs                list all jobs
+//	GET  /v1/jobs/{id}           one job's status/result
+//	GET  /v1/jobs/{id}/events    NDJSON stream: one compass/telemetry/v1
+//	                             snapshot per completed segment, closing
+//	                             with the final totals when the job ends
+//	GET  /v1/workloads           registry names
+//	GET  /v1/stats               service-level telemetry snapshot
+//	GET  /v1/healthz             liveness
+//	POST /v1/shard/leases        acquire a lease of frontier prefixes
+//	POST /v1/shard/leases/renew  extend a lease's deadline
+//	POST /v1/shard/leases/return return a completed lease's delta
+//
+// Errors are the uniform JSON envelope {"error", "code"}. The
+// pre-versioning unversioned paths (POST /jobs, GET /jobs, ...) remain
+// as deprecated aliases answering identically plus a "Deprecation: true"
+// header and a Link to their /v1 successor; the lease endpoints are
+// /v1-only (they postdate versioning).
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+	// handle registers the /v1 route and, when alias is set, the legacy
+	// unversioned route wrapped with the deprecation headers.
+	handle := func(method, path string, alias bool, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+path, h)
+		if alias {
+			successor := "/v1" + path
+			mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Deprecation", "true")
+				w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+				h(w, r)
+			})
+		}
+	}
+
+	handle("POST", "/jobs", true, func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+			httpError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decode job spec: %w", err))
 			return
 		}
 		j, err := m.Submit(spec)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			if errors.Is(err, ErrShuttingDown) {
+				httpError(w, http.StatusServiceUnavailable, codeShuttingDown, err)
+				return
+			}
+			httpError(w, http.StatusBadRequest, codeBadRequest, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, j.View())
 	})
-	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/jobs", true, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.JobViews())
 	})
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/jobs/{id}", true, func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Job(r.PathValue("id"))
 		if !ok {
-			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			httpError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 			return
 		}
 		writeJSON(w, http.StatusOK, j.View())
 	})
-	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/jobs/{id}/events", true, func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Job(r.PathValue("id"))
 		if !ok {
-			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			httpError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 			return
 		}
 		streamEvents(w, r, j)
 	})
-	mux.HandleFunc("GET /workloads", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/workloads", true, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, WorkloadNames())
 	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/stats", true, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Stats().Snapshot())
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/healthz", true, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+
+	// Lease protocol: /v1-only.
+	handle("POST", "/shard/leases", false, func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Peer string `json:"peer"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decode acquire request: %w", err))
+			return
+		}
+		grant, err := m.AcquireLease(req.Peer)
+		if err != nil {
+			if errors.Is(err, ErrNoWork) {
+				httpError(w, http.StatusNotFound, codeNoWork, err)
+				return
+			}
+			httpError(w, http.StatusBadRequest, codeBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, grant)
+	})
+	handle("POST", "/shard/leases/renew", false, func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			JobID   string `json:"job_id"`
+			LeaseID string `json:"lease_id"`
+			Epoch   int64  `json:"epoch"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decode renew request: %w", err))
+			return
+		}
+		if err := m.RenewLease(req.JobID, req.LeaseID, req.Epoch); err != nil {
+			if errors.Is(err, ErrStaleLease) {
+				httpError(w, http.StatusConflict, codeStaleLease, err)
+				return
+			}
+			httpError(w, http.StatusBadRequest, codeBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	handle("POST", "/shard/leases/return", false, func(w http.ResponseWriter, r *http.Request) {
+		var ret LeaseReturn
+		if err := json.NewDecoder(r.Body).Decode(&ret); err != nil {
+			httpError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decode lease return: %w", err))
+			return
+		}
+		if err := m.ReturnLease(&ret); err != nil {
+			if errors.Is(err, ErrStaleLease) {
+				httpError(w, http.StatusConflict, codeStaleLease, err)
+				return
+			}
+			httpError(w, http.StatusBadRequest, codeBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	return mux
 }
@@ -109,6 +205,7 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// httpError writes the uniform error envelope {"error", "code"}.
+func httpError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
 }

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeEnvelope asserts a non-2xx response carries the uniform
+// {"error", "code"} JSON envelope and returns it.
+func decodeEnvelope(t *testing.T, resp *http.Response) apiError {
+	t.Helper()
+	defer resp.Body.Close()
+	var ae apiError
+	if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
+		t.Fatalf("error response is not the JSON envelope: %v", err)
+	}
+	if ae.Error == "" || ae.Code == "" {
+		t.Fatalf("envelope missing fields: %+v", ae)
+	}
+	return ae
+}
+
+// TestHTTPV1Lifecycle walks the whole job lifecycle over the canonical
+// /v1 paths: submit, get, list, events, workloads, stats, healthz.
+func TestHTTPV1Lifecycle(t *testing.T) {
+	t.Parallel()
+	srv, _ := newTestServer(t)
+
+	var names []string
+	if code := getJSON(t, srv.URL+"/v1/workloads", &names); code != http.StatusOK || len(names) == 0 {
+		t.Fatalf("GET /v1/workloads: code %d, %d names", code, len(names))
+	}
+	if code := getJSON(t, srv.URL+"/v1/healthz", nil); code != http.StatusOK {
+		t.Fatalf("GET /v1/healthz: %d", code)
+	}
+
+	body, _ := json.Marshal(JobSpec{Workload: "litmus/SB", POR: "sleep"})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for view.Status == StatusRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish", view.ID)
+		}
+		time.Sleep(10 * time.Millisecond)
+		if code := getJSON(t, srv.URL+"/v1/jobs/"+view.ID, &view); code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s: %d", view.ID, code)
+		}
+	}
+	if view.Status != StatusDone || view.Result == nil || !view.Result.Passed {
+		t.Fatalf("job did not pass: %+v", view)
+	}
+
+	var list []JobView
+	if code := getJSON(t, srv.URL+"/v1/jobs", &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("GET /v1/jobs: code %d, %d jobs", code, len(list))
+	}
+	eresp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eresp.Body.Close()
+	if eresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/{id}/events: %d", eresp.StatusCode)
+	}
+	if code := getJSON(t, srv.URL+"/v1/stats", nil); code != http.StatusOK {
+		t.Fatalf("GET /v1/stats: %d", code)
+	}
+}
+
+// TestHTTPDeprecationAliases: every pre-versioning path answers
+// identically to its /v1 successor but flags itself deprecated with a
+// Deprecation header and a successor-version Link; the /v1 paths carry
+// neither.
+func TestHTTPDeprecationAliases(t *testing.T) {
+	t.Parallel()
+	srv, _ := newTestServer(t)
+
+	paths := []string{"/jobs", "/workloads", "/stats", "/healthz"}
+	for _, path := range paths {
+		old, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		old.Body.Close()
+		canon, err := http.Get(srv.URL + "/v1" + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon.Body.Close()
+		if old.StatusCode != canon.StatusCode {
+			t.Errorf("%s: alias %d vs canonical %d", path, old.StatusCode, canon.StatusCode)
+		}
+		if got := old.Header.Get("Deprecation"); got != "true" {
+			t.Errorf("GET %s: Deprecation header = %q, want \"true\"", path, got)
+		}
+		wantLink := `</v1` + path + `>; rel="successor-version"`
+		if got := old.Header.Get("Link"); got != wantLink {
+			t.Errorf("GET %s: Link = %q, want %q", path, got, wantLink)
+		}
+		if got := canon.Header.Get("Deprecation"); got != "" {
+			t.Errorf("GET /v1%s: unexpected Deprecation header %q", path, got)
+		}
+	}
+
+	// POST /jobs alias carries the headers too (on the error path here:
+	// empty spec is refused, which also proves the alias shares the
+	// handler).
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("POST /jobs alias missing Deprecation header")
+	}
+	if ae := decodeEnvelope(t, resp); ae.Code != codeBadRequest {
+		t.Errorf("empty spec code = %q, want %q", ae.Code, codeBadRequest)
+	}
+
+	// The lease endpoints postdate versioning: /v1-only, no alias.
+	lresp, err := http.Post(srv.URL+"/shard/leases", "application/json", strings.NewReader(`{"peer":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if lresp.StatusCode != http.StatusNotFound {
+		t.Errorf("unversioned lease path answered %d, want 404 (no alias)", lresp.StatusCode)
+	}
+}
+
+// TestHTTPErrorEnvelope pins the {"error","code"} envelope and its code
+// vocabulary across the API's failure modes.
+func TestHTTPErrorEnvelope(t *testing.T) {
+	t.Parallel()
+	srv, m := newTestServer(t)
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// bad_request: malformed body and invalid spec.
+	if ae := decodeEnvelope(t, post("/v1/jobs", `{not json`)); ae.Code != codeBadRequest {
+		t.Errorf("malformed body code = %q", ae.Code)
+	}
+	if ae := decodeEnvelope(t, post("/v1/jobs", `{"workload":"no/such"}`)); ae.Code != codeBadRequest {
+		t.Errorf("unknown workload code = %q", ae.Code)
+	}
+
+	// not_found: unknown job.
+	resp, err := http.Get(srv.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/jobs/nope: %d, want 404", resp.StatusCode)
+	}
+	if ae := decodeEnvelope(t, resp); ae.Code != codeNotFound {
+		t.Errorf("unknown job code = %q", ae.Code)
+	}
+
+	// no_work: acquiring with no coordinator job sharded.
+	resp = post("/v1/shard/leases", `{"peer":"idle"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("acquire with no work: %d, want 404", resp.StatusCode)
+	}
+	if ae := decodeEnvelope(t, resp); ae.Code != codeNoWork {
+		t.Errorf("no-work code = %q", ae.Code)
+	}
+
+	// stale_lease: renewing and returning under a dead lease.
+	resp = post("/v1/shard/leases/renew", `{"job_id":"gone","lease_id":"gone-l0","epoch":0}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("stale renew: %d, want 409", resp.StatusCode)
+	}
+	if ae := decodeEnvelope(t, resp); ae.Code != codeStaleLease {
+		t.Errorf("stale renew code = %q", ae.Code)
+	}
+	resp = post("/v1/shard/leases/return", `{"job_id":"gone","lease_id":"gone-l0","epoch":0}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("stale return: %d, want 409", resp.StatusCode)
+	}
+	if ae := decodeEnvelope(t, resp); ae.Code != codeStaleLease {
+		t.Errorf("stale return code = %q", ae.Code)
+	}
+
+	// shutting_down: submission once the drain began.
+	m.Shutdown()
+	resp = post("/v1/jobs", `{"workload":"litmus/SB","por":"sleep"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit during drain: %d, want 503", resp.StatusCode)
+	}
+	if ae := decodeEnvelope(t, resp); ae.Code != codeShuttingDown {
+		t.Errorf("drain code = %q", ae.Code)
+	}
+}
+
+// TestHTTPV1LeaseRoundTrip drives the lease protocol over HTTP directly:
+// acquire → renew → return, asserting grant shape and the renew/return
+// happy paths the Peer client depends on.
+func TestHTTPV1LeaseRoundTrip(t *testing.T) {
+	t.Parallel()
+	m, err := NewManager(Config{StateDir: t.TempDir(), Workers: 1, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(m))
+	t.Cleanup(srv.Close)
+	j, err := m.Submit(JobSpec{Workload: "litmus/SB", POR: "off", Coordinator: true,
+		LeasePrefixes: 2, LeaseTTLMillis: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitShardPending(t, j)
+
+	postJSON := func(path string, in, out interface{}) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(in)
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil && resp.StatusCode < 300 {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp
+	}
+
+	var grant LeaseGrant
+	if resp := postJSON("/v1/shard/leases", map[string]string{"peer": "rt"}, &grant); resp.StatusCode != http.StatusOK {
+		t.Fatalf("acquire: %d", resp.StatusCode)
+	}
+	if grant.JobID != j.ID || grant.LeaseID == "" || grant.Frontier == nil || grant.Frontier.Len() == 0 {
+		t.Fatalf("malformed grant: %+v", grant)
+	}
+	if grant.Spec.Coordinator {
+		t.Error("granted spec still flagged Coordinator; peers must not re-shard")
+	}
+	if grant.TTLMillis <= 0 {
+		t.Errorf("grant TTL = %d, want positive", grant.TTLMillis)
+	}
+
+	renew := map[string]interface{}{"job_id": grant.JobID, "lease_id": grant.LeaseID, "epoch": grant.Epoch}
+	if resp := postJSON("/v1/shard/leases/renew", renew, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("renew: %d", resp.StatusCode)
+	}
+	// Wrong epoch → 409.
+	badRenew := map[string]interface{}{"job_id": grant.JobID, "lease_id": grant.LeaseID, "epoch": grant.Epoch + 1}
+	if resp := postJSON("/v1/shard/leases/renew", badRenew, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("bad-epoch renew: %d, want 409", resp.StatusCode)
+	}
+
+	ret := runLeaseLocal(t, &grant)
+	if resp := postJSON("/v1/shard/leases/return", ret, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("return: %d", resp.StatusCode)
+	}
+	// Drain the rest so the manager can wind down.
+	for {
+		var g LeaseGrant
+		resp := postJSON("/v1/shard/leases", map[string]string{"peer": "rt"}, &g)
+		if resp.StatusCode == http.StatusNotFound {
+			v := j.View()
+			if v.Status != StatusRunning {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("drain acquire: %d", resp.StatusCode)
+		}
+		if resp := postJSON("/v1/shard/leases/return", runLeaseLocal(t, &g), nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("drain return: %d", resp.StatusCode)
+		}
+	}
+	m.Wait()
+	if v := j.View(); v.Status != StatusDone {
+		t.Fatalf("status %s (err %q), want done", v.Status, v.Error)
+	}
+}

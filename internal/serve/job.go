@@ -3,6 +3,7 @@ package serve
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -41,6 +42,10 @@ const (
 	StatusFailed  JobStatus = "failed"
 )
 
+// ErrShuttingDown refuses a submission that races Shutdown: the drain
+// has begun, so a job accepted now could neither run nor checkpoint.
+var ErrShuttingDown = errors.New("manager is shutting down")
+
 // Manager owns the job table: submission, execution, checkpointing, and
 // resume.
 type Manager struct {
@@ -48,10 +53,11 @@ type Manager struct {
 	store *Store
 	stats *telemetry.Stats
 
-	mu    sync.Mutex
-	jobs  map[string]*Job
-	order []string
-	wg    sync.WaitGroup
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	draining bool
+	wg       sync.WaitGroup
 
 	// startPaused pre-stops every started job so it pauses after exactly
 	// one segment. Test-only: makes kill/resume cycles deterministic
@@ -90,6 +96,12 @@ type Job struct {
 	done  chan struct{}
 	stop  atomic.Bool
 
+	// shard is the lease table of a coordinator job (nil otherwise).
+	// shardMu guards it together with every engine access and checkpoint
+	// in the sharding phase, and is always acquired before mu.
+	shardMu sync.Mutex
+	shard   *shardState
+
 	mu     sync.Mutex
 	status JobStatus
 	runs   int
@@ -106,13 +118,21 @@ type JobView struct {
 	Runs   int        `json:"runs"`
 	Error  string     `json:"error,omitempty"`
 	Result *JobResult `json:"result,omitempty"`
+	// Shard summarizes a coordinator job's lease table.
+	Shard *ShardView `json:"shard,omitempty"`
 }
 
 // View renders the job's current status.
 func (j *Job) View() JobView {
+	var sv *ShardView
+	if j.shard != nil {
+		j.shardMu.Lock()
+		sv = j.shard.viewLocked()
+		j.shardMu.Unlock()
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	v := JobView{ID: j.ID, Spec: j.Spec, Status: j.status, Runs: j.runs, Result: j.result}
+	v := JobView{ID: j.ID, Spec: j.Spec, Status: j.status, Runs: j.runs, Result: j.result, Shard: sv}
 	if j.err != nil {
 		v.Error = j.err.Error()
 	}
@@ -206,7 +226,22 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := m.register(newJobID(spec.Workload), spec, eng, stats)
+	j := &Job{
+		ID:     newJobID(spec.Workload),
+		Spec:   spec,
+		m:      m,
+		eng:    eng,
+		stats:  stats,
+		done:   make(chan struct{}),
+		status: StatusRunning,
+		runs:   eng.runs(),
+	}
+	if spec.Coordinator {
+		j.shard = newShardState(spec)
+	}
+	if err := m.register(j); err != nil {
+		return nil, err
+	}
 	m.stats.JobSubmitted()
 	m.start(j)
 	return j, nil
@@ -224,23 +259,18 @@ func (m *Manager) start(j *Job) {
 	}()
 }
 
-// register inserts the job into the table in running state.
-func (m *Manager) register(id string, spec JobSpec, eng engine, stats *telemetry.Stats) *Job {
-	j := &Job{
-		ID:     id,
-		Spec:   spec,
-		m:      m,
-		eng:    eng,
-		stats:  stats,
-		done:   make(chan struct{}),
-		status: StatusRunning,
-		runs:   eng.runs(),
-	}
+// register inserts the job into the table, refusing it when the manager
+// is draining: a job registered after Shutdown began would be invisible
+// to the drain's stop sweep and keep running past it.
+func (m *Manager) register(j *Job) error {
 	m.mu.Lock()
-	m.jobs[id] = j
-	m.order = append(m.order, id)
-	m.mu.Unlock()
-	return j
+	defer m.mu.Unlock()
+	if m.draining {
+		return ErrShuttingDown
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	return nil
 }
 
 // Job looks up a job by ID.
@@ -270,9 +300,12 @@ func (m *Manager) JobViews() []JobView {
 // last committed checkpoint is then the exact resumable state — and
 // waits for the segment loops to exit. Jobs keep their "running" status;
 // a restarted daemon resumes them. With no state dir the paused progress
-// is simply lost (there is nowhere to resume from).
+// is simply lost (there is nowhere to resume from). Submissions racing
+// the drain are refused with ErrShuttingDown — a job slipping in after
+// the stop sweep would run past the drain unsupervised.
 func (m *Manager) Shutdown() {
 	m.mu.Lock()
+	m.draining = true
 	for _, j := range m.jobs {
 		j.stop.Store(true)
 	}
@@ -313,6 +346,10 @@ func (j *Job) checkpointEvery() int {
 //
 //compass:accounting
 func (j *Job) run() {
+	if j.shard != nil {
+		j.runSharded()
+		return
+	}
 	every := j.checkpointEvery()
 	prev := j.eng.runs()
 	for {
@@ -353,7 +390,9 @@ func (j *Job) run() {
 }
 
 // checkpoint persists the current quiescent state (no-op without a
-// store).
+// store). For a coordinator job the caller holds shardMu, so the engine
+// state and the lease table are captured together — a return merged
+// after this snapshot cannot leak only half its effect into the file.
 //
 //compass:accounting
 func (j *Job) checkpoint(done bool, result *JobResult, segErr error) error {
@@ -372,6 +411,9 @@ func (j *Job) checkpoint(done bool, result *JobResult, segErr error) error {
 		Done:      done,
 		Engine:    state,
 		Telemetry: &snap,
+	}
+	if j.shard != nil {
+		cp.Shard = j.shard.checkpointLocked()
 	}
 	if done {
 		cp.Result = result
@@ -447,7 +489,35 @@ func (m *Manager) Resume() (resumed, finished int, errs []error) {
 			errs = append(errs, fmt.Errorf("checkpoint %s: %w", id, err))
 			continue
 		}
-		j := m.register(id, spec, eng, stats)
+		j := &Job{
+			ID:     id,
+			Spec:   spec,
+			m:      m,
+			eng:    eng,
+			stats:  stats,
+			done:   make(chan struct{}),
+			status: StatusRunning,
+			runs:   eng.runs(),
+		}
+		if spec.Coordinator {
+			if cp.Shard != nil {
+				// Bump the epoch and reclaim every outstanding lease: the
+				// crashed coordinator may have granted work it never saw
+				// returned, and any late return from the old epoch must
+				// be refused rather than double-counted.
+				sh, reclaimed := restoreShardState(spec, cp.Shard)
+				j.shard = sh
+				for i := 0; i < reclaimed; i++ {
+					m.stats.LeaseReclaimed()
+				}
+			} else {
+				j.shard = newShardState(spec)
+			}
+		}
+		if err := m.register(j); err != nil {
+			errs = append(errs, fmt.Errorf("checkpoint %s: %w", id, err))
+			continue
+		}
 		if cp.Done {
 			status := StatusDone
 			var jerr error

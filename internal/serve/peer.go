@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"compass/internal/telemetry"
+)
+
+// Peer runs leased frontier segments against a coordinator compassd
+// (the `compassd -join <url>` worker loop). Each lease builds a fresh
+// engine seeded with the leased frontier and an empty report, so the
+// accumulated engine state is exactly the delta the coordinator merges;
+// the peer renews the lease between pause points and retries the final
+// return until the coordinator acks it — or refuses it as stale, in
+// which case the delta is discarded (the coordinator has reclaimed and
+// re-leased the prefixes; merging would double-count).
+type Peer struct {
+	// Base is the coordinator URL, e.g. "http://127.0.0.1:7333".
+	Base string
+	// Name identifies this peer in the coordinator's lease table.
+	Name string
+	// Client is the HTTP client (nil = a 10s-timeout default).
+	Client *http.Client
+	// Workers is the exploration worker count per leased segment (0 =
+	// GOMAXPROCS).
+	Workers int
+	// PauseEvery is the executions between lease renewals (0 =
+	// DefaultCheckpointEvery).
+	PauseEvery int
+	// Poll is the idle wait between acquire attempts when the
+	// coordinator has no work (0 = 200ms).
+	Poll time.Duration
+	// Stats aggregates this peer's service-level counters (optional).
+	Stats *telemetry.Stats
+}
+
+func (p *Peer) client() *http.Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (p *Peer) poll() time.Duration {
+	if p.Poll > 0 {
+		return p.Poll
+	}
+	return 200 * time.Millisecond
+}
+
+// apiError is the decoded {error, code} envelope.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// post sends a JSON body and decodes a JSON response into out (when out
+// is non-nil). Error responses are returned with their envelope code.
+func (p *Peer) post(ctx context.Context, path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Code != "" {
+			switch ae.Code {
+			case codeNoWork:
+				return ErrNoWork
+			case codeStaleLease:
+				return ErrStaleLease
+			}
+			return fmt.Errorf("%s: %s (%s)", path, ae.Error, ae.Code)
+		}
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// RunOne acquires and processes a single lease. It returns ErrNoWork
+// when the coordinator has nothing to grant, ErrStaleLease when the
+// lease was reclaimed under the peer (the delta is discarded), and nil
+// when the segment's return was acked.
+func (p *Peer) RunOne(ctx context.Context) error {
+	var grant LeaseGrant
+	if err := p.post(ctx, "/v1/shard/leases", map[string]string{"peer": p.Name}, &grant); err != nil {
+		return err
+	}
+	spec, w, err := grant.Spec.Normalize()
+	if err != nil {
+		return fmt.Errorf("lease %s: %w", grant.LeaseID, err)
+	}
+	spec.Workers = p.Workers
+	state, err := leaseEngineState(w, grant.Frontier)
+	if err != nil {
+		return fmt.Errorf("lease %s: %w", grant.LeaseID, err)
+	}
+	stats := telemetry.New()
+	eng, err := newEngine(spec, w, stats, state)
+	if err != nil {
+		return fmt.Errorf("lease %s: %w", grant.LeaseID, err)
+	}
+	pause := p.PauseEvery
+	if pause <= 0 {
+		pause = DefaultCheckpointEvery
+	}
+	renewReq := map[string]interface{}{
+		"job_id": grant.JobID, "lease_id": grant.LeaseID, "epoch": grant.Epoch,
+	}
+	for {
+		done, segErr := eng.segment(pause)
+		if segErr != nil {
+			// Abandon: the lease expires and the coordinator re-leases
+			// the prefixes to a healthy peer.
+			return fmt.Errorf("lease %s: %w", grant.LeaseID, segErr)
+		}
+		if done {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := p.post(ctx, "/v1/shard/leases/renew", renewReq, nil); err != nil {
+			return err
+		}
+	}
+	delta, err := eng.state()
+	if err != nil {
+		return fmt.Errorf("lease %s: %w", grant.LeaseID, err)
+	}
+	snap := stats.Snapshot()
+	ret := &LeaseReturn{
+		JobID:     grant.JobID,
+		LeaseID:   grant.LeaseID,
+		Epoch:     grant.Epoch,
+		Engine:    delta,
+		Telemetry: &snap,
+	}
+	// Retry the return until acked: a coordinator killed mid-merge
+	// either re-acks idempotently (it checkpointed the merge) or refuses
+	// the new attempt as stale from its bumped epoch (it lost the merge
+	// and re-leases the work) — never both.
+	for {
+		err := p.post(ctx, "/v1/shard/leases/return", ret, nil)
+		if err == nil || err == ErrStaleLease {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(p.poll()):
+		}
+	}
+}
+
+// Run processes leases until the context is canceled, polling while the
+// coordinator has nothing to grant. It returns the number of leases
+// whose return was acked.
+func (p *Peer) Run(ctx context.Context) (int, error) {
+	completed := 0
+	for {
+		err := p.RunOne(ctx)
+		switch {
+		case err == nil:
+			completed++
+			continue
+		case err == ErrStaleLease:
+			continue // reclaimed under us; the delta is discarded
+		case ctx.Err() != nil:
+			return completed, nil
+		case err == ErrNoWork:
+			// fall through to poll
+		default:
+			// Transient coordinator trouble (restarting, unreachable):
+			// poll and retry.
+		}
+		select {
+		case <-ctx.Done():
+			return completed, nil
+		case <-time.After(p.poll()):
+		}
+	}
+}

@@ -73,6 +73,15 @@ type JobSpec struct {
 	KeepGoing bool `json:"keep_going,omitempty"`
 	// MaxFailures is the library early-stop threshold (0 = check default).
 	MaxFailures int `json:"max_failures,omitempty"`
+	// Dedup enables state-space deduplication on exhaustive jobs: runs
+	// reaching a canonical state an earlier run claimed are cut short.
+	// The outcome set and verdict are identical either way; the run
+	// counts and histogram shrink, so — unlike Workers — this knob is
+	// semantic and part of the spec hash.
+	Dedup bool `json:"dedup,omitempty"`
+	// DedupCap bounds the dedup visited set (0 = machine.DefaultDedupCap).
+	// Semantic: evictions change which runs are cut.
+	DedupCap int `json:"dedup_cap,omitempty"`
 
 	// Workers is the exploration worker count for this job (0 = the
 	// server's default). Non-semantic: the result is identical for every
@@ -82,6 +91,21 @@ type JobSpec struct {
 	// CheckpointEvery is the number of executions per segment between
 	// checkpoints (0 = server default). Non-semantic, like Workers.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Coordinator marks the job shardable across processes: after one
+	// initial local segment splits the decision tree, the job's frontier
+	// is leased in batches to peer compassd processes (compassd -join)
+	// and only their returned deltas advance it. Non-semantic, like
+	// Workers: every decision-tree leaf still executes exactly once
+	// across the union of leases, so the final result is byte-identical
+	// to a single-process run of the same spec.
+	Coordinator bool `json:"coordinator,omitempty"`
+	// LeaseTTLMillis is how long a granted lease stays valid without a
+	// renewal before the coordinator reclaims its prefixes (0 = default
+	// 10s). Non-semantic.
+	LeaseTTLMillis int64 `json:"lease_ttl_millis,omitempty"`
+	// LeasePrefixes is the maximum number of frontier prefixes granted
+	// per lease (0 = default 8). Non-semantic.
+	LeasePrefixes int `json:"lease_prefixes,omitempty"`
 }
 
 // Normalize validates the spec against the registry and fills mode
@@ -106,6 +130,28 @@ func (s JobSpec) Normalize() (JobSpec, Workload, error) {
 	if w.Kind == KindLib && s.Budget == 0 {
 		s.Budget = 4000
 	}
+	if s.Dedup && s.Mode != ModeExhaustive {
+		return s, w, fmt.Errorf("workload %s: dedup requires exhaustive mode", s.Workload)
+	}
+	if !s.Dedup && s.DedupCap != 0 {
+		return s, w, fmt.Errorf("workload %s: dedup_cap set without dedup", s.Workload)
+	}
+	if s.Coordinator {
+		if s.Mode != ModeExhaustive {
+			return s, w, fmt.Errorf("workload %s: only exhaustive jobs shard across processes", s.Workload)
+		}
+		if s.Dedup {
+			// The visited set is process-local; per-peer sets would make
+			// the merged histogram depend on the lease partition, breaking
+			// the byte-identity guarantee sharding promises.
+			return s, w, fmt.Errorf("workload %s: dedup and coordinator are mutually exclusive", s.Workload)
+		}
+		if s.MaxRuns != 0 {
+			// A cross-process run bound cannot be enforced without making
+			// which leaves execute depend on lease timing.
+			return s, w, fmt.Errorf("workload %s: coordinator jobs do not support max_runs", s.Workload)
+		}
+	}
 	return s, w, nil
 }
 
@@ -125,12 +171,17 @@ func (s JobSpec) porMode() check.PORMode {
 
 // Hash is the semantic identity of the job: the sha256 of the canonical
 // spec JSON with the non-semantic scheduling knobs (Workers,
-// CheckpointEvery) zeroed. A checkpoint is resumable exactly when its
-// recorded hash matches its recorded spec — re-sharding is fine, a
-// drifted workload definition or edited spec is refused as stale.
+// CheckpointEvery, Coordinator, and the lease tuning) zeroed. Dedup and
+// DedupCap stay in: they change the run counts and histogram. A
+// checkpoint is resumable exactly when its recorded hash matches its
+// recorded spec — re-sharding is fine, a drifted workload definition or
+// edited spec is refused as stale.
 func (s JobSpec) Hash() string {
 	s.Workers = 0
 	s.CheckpointEvery = 0
+	s.Coordinator = false
+	s.LeaseTTLMillis = 0
+	s.LeasePrefixes = 0
 	data, _ := json.Marshal(s)
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:])

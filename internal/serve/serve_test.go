@@ -392,4 +392,20 @@ func TestSpecHashIgnoresScheduling(t *testing.T) {
 	if a.Hash() == c.Hash() {
 		t.Error("hash ignores semantic field POR")
 	}
+	// Sharding knobs are scheduling too: a checkpoint taken by a
+	// coordinator must resume under different lease sizing or none.
+	d := JobSpec{Workload: "litmus/SB", POR: "sleep",
+		Coordinator: true, LeaseTTLMillis: 5000, LeasePrefixes: 4}
+	if a.Hash() != d.Hash() {
+		t.Error("hash depends on sharding knobs")
+	}
+	// Dedup changes the execution count the checkpoint carries: semantic.
+	e := JobSpec{Workload: "litmus/SB", POR: "sleep", Dedup: true}
+	if a.Hash() == e.Hash() {
+		t.Error("hash ignores semantic field Dedup")
+	}
+	f := JobSpec{Workload: "litmus/SB", POR: "sleep", Dedup: true, DedupCap: 64}
+	if e.Hash() == f.Hash() {
+		t.Error("hash ignores semantic field DedupCap")
+	}
 }

@@ -2,8 +2,11 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"testing"
@@ -13,13 +16,20 @@ import (
 const (
 	killChildEnv = "COMPASS_SERVE_KILL_CHILD"
 	killDirEnv   = "COMPASS_SERVE_KILL_DIR"
+	peerChildEnv = "COMPASS_SERVE_PEER_CHILD"
+	peerURLEnv   = "COMPASS_SERVE_PEER_URL"
 )
 
-// TestMain lets the SIGKILL test re-exec this binary as a compassd-like
-// child process that can be killed for real, mid-job.
+// TestMain lets the SIGKILL tests re-exec this binary as a compassd-like
+// child process (whole-service or lease-holding peer) that can be killed
+// for real, mid-job.
 func TestMain(m *testing.M) {
 	if os.Getenv(killChildEnv) == "1" {
 		runKillChild()
+		return
+	}
+	if os.Getenv(peerChildEnv) == "1" {
+		runPeerChild()
 		return
 	}
 	os.Exit(m.Run())
@@ -45,6 +55,134 @@ func runKillChild() {
 	}
 	fmt.Println(j.ID)
 	m.Wait()
+}
+
+// runPeerChild is the re-exec'd peer process for the multi-process kill
+// matrix: it acquires one lease over the real /v1 API, announces the
+// lease ID on stdout, and then just keeps renewing — holding the lease
+// live, never returning it — until the parent SIGKILLs it. Its death is
+// what stops the renewals and lets the lease expire.
+func runPeerChild() {
+	base := os.Getenv(peerURLEnv)
+	p := &Peer{Base: base, Name: "victim"}
+	ctx := context.Background()
+	var grant LeaseGrant
+	for {
+		err := p.post(ctx, "/v1/shard/leases", map[string]string{"peer": "victim"}, &grant)
+		if err == nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	fmt.Println(grant.LeaseID)
+	renew := map[string]interface{}{
+		"job_id": grant.JobID, "lease_id": grant.LeaseID, "epoch": grant.Epoch,
+	}
+	for {
+		time.Sleep(50 * time.Millisecond)
+		p.post(ctx, "/v1/shard/leases/renew", renew, nil)
+	}
+}
+
+// TestShardPeerSIGKILL is the multi-process half of the kill matrix: a
+// real peer process acquires a lease over HTTP and is SIGKILLed while
+// holding it. The kill is what ends its renewals, so the lease expires,
+// the coordinator reclaims the prefixes, and a healthy peer drives the
+// job to a result byte-identical to a single-process run — the SIGKILLed
+// peer neither loses nor double-counts work.
+func TestShardPeerSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec smoke test")
+	}
+	base := JobSpec{Workload: "litmus/SB", POR: "off"}
+	want := baseline(t, base, 2)
+
+	spec := base
+	spec.Coordinator = true
+	spec.LeasePrefixes = 1
+	spec.LeaseTTLMillis = 250
+	m, err := NewManager(Config{StateDir: t.TempDir(), Workers: 1, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitShardPending(t, j)
+
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), peerChildEnv+"=1", peerURLEnv+"="+srv.URL)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("peer child announced no lease: %v", sc.Err())
+	}
+	t.Logf("peer child holds lease %s; killing it", sc.Text())
+	// Let at least one renewal land so the kill provably interrupts a
+	// live, renewing peer rather than one that never checked in.
+	granted := m.Stats().Snapshot().Serve.LeasesGranted
+	deadline := time.Now().Add(30 * time.Second)
+	for m.Stats().Snapshot().Serve.LeasesRenewed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("peer child never renewed its lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// A healthy peer finishes everything, including the dead peer's
+	// reclaimed prefixes once the lease expires.
+	for {
+		g, err := m.AcquireLease("healthy")
+		if errors.Is(err, ErrNoWork) {
+			v := j.View()
+			if v.Status == StatusDone || v.Status == StatusFailed {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		if err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		if err := m.ReturnLease(runLeaseLocal(t, g)); err != nil {
+			t.Fatalf("return: %v", err)
+		}
+	}
+	m.Wait()
+
+	got := j.View()
+	if got.Status != StatusDone {
+		t.Fatalf("status %s (err %q), want done", got.Status, got.Error)
+	}
+	if g, w := resultJSON(t, got), resultJSON(t, want); g != w {
+		t.Errorf("result diverged after peer SIGKILL\n got: %s\nwant: %s", g, w)
+	}
+	if got.Runs != want.Runs {
+		t.Errorf("runs = %d, want %d", got.Runs, want.Runs)
+	}
+	snap := m.Stats().Snapshot()
+	if snap.Serve.LeasesReclaimed == 0 {
+		t.Error("the SIGKILLed peer's lease was never reclaimed")
+	}
+	if snap.Serve.LeasesGranted <= granted {
+		t.Error("no lease granted after the kill; reclaimed work was not re-leased")
+	}
 }
 
 // TestSIGKILLResume is the end-to-end crash test: a separate process

@@ -47,6 +47,7 @@ func Restore(snap Snapshot) (*Stats, error) {
 	}
 	m.PrunedReads.Add(snap.Machine.PrunedReads)
 	m.RaceChecksSkipped.Add(snap.Machine.RaceChecksSkipped)
+	m.CertRefusals.Add(snap.Machine.CertRefusals)
 
 	e := &s.Explore
 	e.Prefixes.Add(snap.Explore.Prefixes)
@@ -67,6 +68,12 @@ func Restore(snap Snapshot) (*Stats, error) {
 	if err := e.WakeupTreeSize.restore(snap.Explore.WakeupTreeSize); err != nil {
 		return nil, fmt.Errorf("telemetry restore: wakeup_tree_size: %w", err)
 	}
+	e.PlanSites.Add(snap.Explore.PlanSites)
+	e.PlanChecks.Add(snap.Explore.PlanChecks)
+	e.PlanConflictsRefuted.Add(snap.Explore.PlanConflictsRefuted)
+	e.DedupStates.Add(snap.Explore.DedupStates)
+	e.DedupHits.Add(snap.Explore.DedupHits)
+	e.DedupEvictions.Add(snap.Explore.DedupEvictions)
 
 	f := &s.Fuzz
 	f.Programs.Add(snap.Fuzz.Programs)
@@ -94,6 +101,10 @@ func Restore(snap Snapshot) (*Stats, error) {
 	if err := v.SegmentRuns.restore(snap.Serve.SegmentRuns); err != nil {
 		return nil, fmt.Errorf("telemetry restore: segment_runs: %w", err)
 	}
+	v.LeasesGranted.Add(snap.Serve.LeasesGranted)
+	v.LeasesRenewed.Add(snap.Serve.LeasesRenewed)
+	v.LeasesReturned.Add(snap.Serve.LeasesReturned)
+	v.LeasesReclaimed.Add(snap.Serve.LeasesReclaimed)
 	return s, nil
 }
 

@@ -23,6 +23,15 @@ type ServeStats struct {
 	// SegmentRuns is the distribution of executions per job segment (the
 	// work done between two checkpoint opportunities).
 	SegmentRuns Histogram
+	// LeasesGranted counts frontier leases handed to peer processes;
+	// LeasesRenewed counts TTL extensions; LeasesReturned counts leases
+	// retired by their holder returning a segment delta; LeasesReclaimed
+	// counts leases retired by expiry (crashed or stalled peer). The
+	// validator enforces LeasesReturned + LeasesReclaimed ≤ LeasesGranted.
+	LeasesGranted   Counter
+	LeasesRenewed   Counter
+	LeasesReturned  Counter
+	LeasesReclaimed Counter
 }
 
 // JobSubmitted records one job accepted by the API.
@@ -82,6 +91,48 @@ func (s *Stats) SegmentDone(runs int) {
 	s.Serve.SegmentRuns.Observe(int64(runs))
 }
 
+// LeaseGranted records one frontier lease handed to a peer.
+//
+//compass:accounting
+func (s *Stats) LeaseGranted() {
+	if s == nil {
+		return
+	}
+	s.Serve.LeasesGranted.Inc()
+}
+
+// LeaseRenewed records one lease TTL extension.
+//
+//compass:accounting
+func (s *Stats) LeaseRenewed() {
+	if s == nil {
+		return
+	}
+	s.Serve.LeasesRenewed.Inc()
+}
+
+// LeaseReturned records one lease retired by its holder returning a
+// segment delta.
+//
+//compass:accounting
+func (s *Stats) LeaseReturned() {
+	if s == nil {
+		return
+	}
+	s.Serve.LeasesReturned.Inc()
+}
+
+// LeaseReclaimed records one lease retired by TTL expiry (its prefixes
+// went back to the frontier).
+//
+//compass:accounting
+func (s *Stats) LeaseReclaimed() {
+	if s == nil {
+		return
+	}
+	s.Serve.LeasesReclaimed.Inc()
+}
+
 // ServeSnapshot is the JSON form of ServeStats.
 type ServeSnapshot struct {
 	JobsSubmitted   int64             `json:"jobs_submitted"`
@@ -91,4 +142,8 @@ type ServeSnapshot struct {
 	Checkpoints     int64             `json:"checkpoints"`
 	CheckpointBytes int64             `json:"checkpoint_bytes"`
 	SegmentRuns     HistogramSnapshot `json:"segment_runs"`
+	LeasesGranted   int64             `json:"leases_granted"`
+	LeasesRenewed   int64             `json:"leases_renewed"`
+	LeasesReturned  int64             `json:"leases_returned"`
+	LeasesReclaimed int64             `json:"leases_reclaimed"`
 }

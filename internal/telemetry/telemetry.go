@@ -36,7 +36,7 @@ const SnapshotSchema = "compass/telemetry/v1"
 // by-status map. telemetry cannot import machine (machine imports
 // telemetry), so the mapping is pinned here and cross-checked by a test
 // in the machine package.
-var statusNames = [...]string{"ok", "racy", "budget", "failed", "pruned"}
+var statusNames = [...]string{"ok", "racy", "budget", "failed", "pruned", "deduped"}
 
 // NumStatuses is the number of execution statuses tracked by ExecDone.
 const NumStatuses = len(statusNames)
@@ -259,6 +259,19 @@ type ExploreStats struct {
 	// (and therefore a spurious backtrack point). Always ≤ PlanChecks,
 	// which the snapshot validator enforces.
 	PlanConflictsRefuted Counter
+	// DedupStates counts distinct canonical state fingerprints entered
+	// into the dedup visited set (first arrivals / misses).
+	DedupStates Counter
+	// DedupHits counts arrivals at an already-claimed fingerprint, each
+	// cutting one run short with machine.Deduped.
+	DedupHits Counter
+	// DedupEvictions counts fingerprints dropped by the visited set's
+	// LRU memory cap. A nonzero count means dedup ran lossy: evicted
+	// states can be re-claimed and their subtrees re-explored (still
+	// sound, just less pruning — and run counts may then depend on
+	// arrival order, so equivalence tests size their caps to keep this
+	// zero).
+	DedupEvictions Counter
 }
 
 // FuzzStats instruments a differential-fuzzing campaign.
@@ -466,6 +479,33 @@ func (s *Stats) PlanConflictRefuted() {
 	s.Explore.PlanConflictsRefuted.Inc()
 }
 
+// DedupMiss records a first arrival at a canonical state fingerprint
+// (the state is entered into the visited set and its subtree explored).
+func (s *Stats) DedupMiss() {
+	if s == nil {
+		return
+	}
+	s.Explore.DedupStates.Inc()
+}
+
+// DedupHit records an arrival at an already-claimed fingerprint (the run
+// is cut short as machine.Deduped).
+func (s *Stats) DedupHit() {
+	if s == nil {
+		return
+	}
+	s.Explore.DedupHits.Inc()
+}
+
+// DedupEvicted records one fingerprint dropped by the visited set's LRU
+// memory cap.
+func (s *Stats) DedupEvicted() {
+	if s == nil {
+		return
+	}
+	s.Explore.DedupEvictions.Inc()
+}
+
 // CertRefused records one dynamic footprint certificate refused by the
 // static access-plan gate before exploration.
 func (s *Stats) CertRefused() {
@@ -580,6 +620,9 @@ func (s *Stats) Merge(o *Stats) {
 	e.PlanSites.Add(oe.PlanSites.Load())
 	e.PlanChecks.Add(oe.PlanChecks.Load())
 	e.PlanConflictsRefuted.Add(oe.PlanConflictsRefuted.Load())
+	e.DedupStates.Add(oe.DedupStates.Load())
+	e.DedupHits.Add(oe.DedupHits.Load())
+	e.DedupEvictions.Add(oe.DedupEvictions.Load())
 	f, of := &s.Fuzz, &o.Fuzz
 	f.Programs.Add(of.Programs.Load())
 	f.Execs.Add(of.Execs.Load())
@@ -600,6 +643,10 @@ func (s *Stats) Merge(o *Stats) {
 	v.Checkpoints.Add(ov.Checkpoints.Load())
 	v.CheckpointBytes.Add(ov.CheckpointBytes.Load())
 	v.SegmentRuns.merge(&ov.SegmentRuns)
+	v.LeasesGranted.Add(ov.LeasesGranted.Load())
+	v.LeasesRenewed.Add(ov.LeasesRenewed.Load())
+	v.LeasesReturned.Add(ov.LeasesReturned.Load())
+	v.LeasesReclaimed.Add(ov.LeasesReclaimed.Load())
 }
 
 // MachineSnapshot is the JSON form of MachineStats.
@@ -644,6 +691,11 @@ type ExploreSnapshot struct {
 	PlanSites            int64 `json:"plan_sites"`
 	PlanChecks           int64 `json:"plan_checks"`
 	PlanConflictsRefuted int64 `json:"plan_conflicts_refuted"`
+	// State-space dedup effectiveness (0 unless a visited set was
+	// installed; see machine.Dedup).
+	DedupStates    int64 `json:"dedup_states"`
+	DedupHits      int64 `json:"dedup_hits"`
+	DedupEvictions int64 `json:"dedup_evictions"`
 }
 
 // FuzzSnapshot is the JSON form of FuzzStats.
@@ -730,6 +782,9 @@ func (s *Stats) Snapshot() Snapshot {
 		PlanSites:            e.PlanSites.Load(),
 		PlanChecks:           e.PlanChecks.Load(),
 		PlanConflictsRefuted: e.PlanConflictsRefuted.Load(),
+		DedupStates:          e.DedupStates.Load(),
+		DedupHits:            e.DedupHits.Load(),
+		DedupEvictions:       e.DedupEvictions.Load(),
 	}
 	f := &s.Fuzz
 	snap.Fuzz = FuzzSnapshot{
@@ -756,6 +811,10 @@ func (s *Stats) Snapshot() Snapshot {
 		Checkpoints:     v.Checkpoints.Load(),
 		CheckpointBytes: v.CheckpointBytes.Load(),
 		SegmentRuns:     v.SegmentRuns.snapshot(),
+		LeasesGranted:   v.LeasesGranted.Load(),
+		LeasesRenewed:   v.LeasesRenewed.Load(),
+		LeasesReturned:  v.LeasesReturned.Load(),
+		LeasesReclaimed: v.LeasesReclaimed.Load(),
 	}
 	return snap
 }
@@ -843,6 +902,12 @@ func ValidateSnapshotJSON(data []byte) error {
 		// Every failed job is first counted as done.
 		return fmt.Errorf("telemetry snapshot: jobs_failed %d > jobs_done %d", v.JobsFailed, v.JobsDone)
 	}
+	if v := snap.Serve; v.LeasesReturned+v.LeasesReclaimed > v.LeasesGranted {
+		// A lease is granted exactly once and retired at most once, either
+		// by the holder returning it or by expiry reclaim.
+		return fmt.Errorf("telemetry snapshot: leases_returned %d + leases_reclaimed %d > leases_granted %d",
+			v.LeasesReturned, v.LeasesReclaimed, v.LeasesGranted)
+	}
 	for _, c := range []int64{m.Steps, m.ReadChoices, m.StaleReads,
 		m.PrunedReads, m.RaceChecksSkipped, m.CertRefusals,
 		snap.Explore.Prefixes, snap.Explore.Children, snap.Explore.FrontierPeak,
@@ -850,11 +915,14 @@ func ValidateSnapshotJSON(data []byte) error {
 		snap.Explore.PORRacesReversed, snap.Explore.PORStaleReadsSkipped,
 		snap.Explore.PORDisabledThreads, snap.Explore.WakeupTreeSize.Count,
 		snap.Explore.PlanSites, snap.Explore.PlanChecks, snap.Explore.PlanConflictsRefuted,
+		snap.Explore.DedupStates, snap.Explore.DedupHits, snap.Explore.DedupEvictions,
 		snap.Fuzz.Programs, snap.Fuzz.Execs, snap.Fuzz.Discarded, snap.Fuzz.Failures,
 		snap.Refine.TracesChecked, snap.Refine.Disagreements, snap.Refine.StateFanout.Count,
 		snap.Serve.JobsSubmitted, snap.Serve.JobsResumed, snap.Serve.JobsDone,
 		snap.Serve.JobsFailed, snap.Serve.Checkpoints, snap.Serve.CheckpointBytes,
-		snap.Serve.SegmentRuns.Count} {
+		snap.Serve.SegmentRuns.Count,
+		snap.Serve.LeasesGranted, snap.Serve.LeasesRenewed,
+		snap.Serve.LeasesReturned, snap.Serve.LeasesReclaimed} {
 		if c < 0 {
 			return fmt.Errorf("telemetry snapshot: negative counter")
 		}
